@@ -1,0 +1,65 @@
+// Command approvald runs one policy-board approval service: a TLS REST
+// endpoint that signs approve/reject verdicts over policy-change requests
+// (§III-C). Its decision policy is selected on the command line; production
+// members would wire two-factor authentication or automated code review
+// behind the same endpoint.
+package main
+
+import (
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"palaemon/internal/board"
+	"palaemon/internal/cryptoutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "approvald:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("name", "member", "board member name")
+		policy = flag.String("decision", "approve", "decision policy: approve|reject")
+	)
+	flag.Parse()
+
+	var decide board.ApprovalFunc
+	switch *policy {
+	case "approve":
+		decide = board.ApproveAll
+	case "reject":
+		decide = board.RejectAll
+	default:
+		return fmt.Errorf("unknown decision policy %q", *policy)
+	}
+
+	approvalCA, err := cryptoutil.NewCertAuthority("Approval Root", 365*24*time.Hour)
+	if err != nil {
+		return err
+	}
+	member, err := board.NewMember(*name, board.WithDecision(decide))
+	if err != nil {
+		return err
+	}
+	url, err := member.Serve(approvalCA)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("approvald: %s serving on %s\n", *name, url)
+	fmt.Printf("approvald: public key (for policy board entry): %s\n",
+		base64.StdEncoding.EncodeToString(member.Signer.Public))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	return member.Close()
+}

@@ -1,0 +1,58 @@
+// Command benchreport regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchreport               # run every experiment (full durations)
+//	benchreport -quick        # reduced durations (CI-sized)
+//	benchreport -exp fig10    # one experiment
+//	benchreport -list         # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"palaemon/internal/figures"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expID = flag.String("exp", "", "experiment ID to run (default: all)")
+		quick = flag.Bool("quick", false, "reduced measurement windows")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range figures.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	selected := figures.All()
+	if *expID != "" {
+		exp, ok := figures.ByID(*expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *expID)
+		}
+		selected = []figures.Experiment{exp}
+	}
+
+	for _, exp := range selected {
+		report, err := exp.Run(*quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		report.Print(os.Stdout)
+	}
+	return nil
+}

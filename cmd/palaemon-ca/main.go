@@ -1,0 +1,90 @@
+// Command palaemon-ca runs the PALÆMON certification authority (§III-B): a
+// TEE-resident CA whose trusted PALÆMON MRENCLAVE set is embedded in its
+// measured binary. It prints the root certificate fingerprint clients pin
+// and the CA's own MRE (which clients may attest explicitly), then issues
+// short-lived certificates to attested instances until interrupted.
+//
+// Deploying a new PALÆMON version requires a new CA with the extended MRE
+// set — by design, an operator cannot widen trust without changing the
+// CA's own measurement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"palaemon/internal/ca"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/policy"
+	"palaemon/internal/sgx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "palaemon-ca:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mres     = flag.String("mres", "", "comma-separated trusted PALÆMON MRENCLAVEs (hex); empty trusts the built-in binary")
+		validity = flag.Duration("validity", 24*time.Hour, "issued certificate lifetime")
+	)
+	flag.Parse()
+
+	platform, err := sgx.NewPlatform(sgx.Options{})
+	if err != nil {
+		return err
+	}
+	var trusted []sgx.Measurement
+	if *mres == "" {
+		trusted = append(trusted, defaultPalaemonMRE())
+	} else {
+		for _, s := range strings.Split(*mres, ",") {
+			m, err := policy.ParseMeasurement(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			trusted = append(trusted, m)
+		}
+	}
+	authority, err := ca.New(platform, ca.Config{
+		TrustedMREs:  trusted,
+		CertValidity: *validity,
+	})
+	if err != nil {
+		return err
+	}
+	defer authority.Close()
+
+	fp := cryptoutil.CertFingerprint(authority.Root().Cert.Raw)
+	fmt.Printf("palaemon-ca: running inside enclave, MRE %s\n", authority.MRE())
+	fmt.Printf("palaemon-ca: root certificate fingerprint %x\n", fp)
+	fmt.Printf("palaemon-ca: trusting %d PALÆMON MRE(s):\n", len(trusted))
+	for _, m := range trusted {
+		fmt.Printf("  %s\n", m)
+	}
+	fmt.Printf("palaemon-ca: issuing certificates valid for %s\n", *validity)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Printf("palaemon-ca: issued %d certificates; shutting down\n", authority.Issued())
+	return nil
+}
+
+// defaultPalaemonMRE mirrors core.DefaultBinary without importing core (the
+// CA must not depend on the service it certifies).
+func defaultPalaemonMRE() sgx.Measurement {
+	bin := sgx.Binary{
+		Name: "palaemon",
+		Code: []byte("palaemon-tms-v1.0\x00trust management service reference implementation"),
+	}
+	return bin.Measure()
+}

@@ -1,0 +1,165 @@
+// Command palaemonctl is the client CLI for a PALÆMON instance: create,
+// read, update and delete security policies, fetch secrets, and verify the
+// instance's attestation.
+//
+// Usage:
+//
+//	palaemonctl -url https://127.0.0.1:PORT -cert client.pem create policy.yaml
+//	palaemonctl -url ... read <policy-name>
+//	palaemonctl -url ... delete <policy-name>
+//	palaemonctl -url ... secrets <policy-name> [secret ...]
+//	palaemonctl -url ... attestation
+//
+// Client certificates: on first use, palaemonctl mints a self-signed client
+// certificate and stores it next to -certdir; the certificate fingerprint
+// is the client identity the instance pins on policy creation.
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"palaemon"
+	"palaemon/internal/core"
+	"palaemon/internal/policy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "palaemonctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url     = flag.String("url", "https://127.0.0.1:8443", "instance base URL")
+		certDir = flag.String("certdir", "./palaemonctl-certs", "client certificate directory")
+		asYAML  = flag.Bool("yaml", false, "print policies in the policy-file YAML dialect")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("usage: palaemonctl [flags] <create|read|update|delete|secrets|attestation> ...")
+	}
+
+	cert, err := loadOrCreateCert(*certDir)
+	if err != nil {
+		return err
+	}
+	cli := core.NewClient(core.ClientOptions{
+		BaseURL:     *url,
+		Certificate: cert,
+		// Roots nil: the operator either pins the CA out of band or uses
+		// the attestation subcommand to verify explicitly.
+	})
+	ctx := context.Background()
+
+	switch args[0] {
+	case "create", "update":
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs a policy file", args[0])
+		}
+		raw, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		pol, err := palaemon.ParsePolicy(string(raw))
+		if err != nil {
+			return err
+		}
+		if args[0] == "create" {
+			if err := cli.CreatePolicy(ctx, pol); err != nil {
+				return err
+			}
+			fmt.Printf("created policy %q\n", pol.Name)
+			return nil
+		}
+		if err := cli.UpdatePolicy(ctx, pol); err != nil {
+			return err
+		}
+		fmt.Printf("updated policy %q\n", pol.Name)
+		return nil
+	case "read":
+		if len(args) != 2 {
+			return fmt.Errorf("read needs a policy name")
+		}
+		pol, err := cli.ReadPolicy(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		if *asYAML {
+			fmt.Print(policy.MarshalYAML(pol))
+			return nil
+		}
+		out, err := json.MarshalIndent(pol, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	case "delete":
+		if len(args) != 2 {
+			return fmt.Errorf("delete needs a policy name")
+		}
+		if err := cli.DeletePolicy(ctx, args[1]); err != nil {
+			return err
+		}
+		fmt.Printf("deleted policy %q\n", args[1])
+		return nil
+	case "secrets":
+		if len(args) < 2 {
+			return fmt.Errorf("secrets needs a policy name")
+		}
+		secrets, err := cli.FetchSecrets(ctx, args[1], args[2:], nil)
+		if err != nil {
+			return err
+		}
+		for name, value := range secrets {
+			fmt.Printf("%s=%s\n", name, value)
+		}
+		return nil
+	case "attestation":
+		doc, err := cli.Attestation(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("instance MRE: %s\n", doc.MRE)
+		if doc.Report != nil {
+			fmt.Printf("IAS report %s: status %s\n", doc.Report.ID, doc.Report.Status)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// loadOrCreateCert keeps a stable client identity across invocations by
+// persisting the minted certificate as PKCS material in certDir.
+func loadOrCreateCert(dir string) (*tls.Certificate, error) {
+	certPath := filepath.Join(dir, "client.cert")
+	keyPath := filepath.Join(dir, "client.key")
+	if _, err := os.Stat(certPath); err == nil {
+		cert, err := tls.LoadX509KeyPair(certPath, keyPath)
+		if err != nil {
+			return nil, fmt.Errorf("load client certificate: %w", err)
+		}
+		return &cert, nil
+	}
+	cert, _, err := palaemon.NewClientCertificate("palaemonctl")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	if err := writePEM(certPath, keyPath, cert); err != nil {
+		return nil, err
+	}
+	return cert, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"os"
+)
+
+// writePEM persists a tls.Certificate as cert/key PEM files so the client
+// identity (its certificate fingerprint) is stable across invocations.
+func writePEM(certPath, keyPath string, cert *tls.Certificate) error {
+	certOut, err := os.OpenFile(certPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	for _, der := range cert.Certificate {
+		if err := pem.Encode(certOut, &pem.Block{Type: "CERTIFICATE", Bytes: der}); err != nil {
+			certOut.Close()
+			return err
+		}
+	}
+	if err := certOut.Close(); err != nil {
+		return err
+	}
+
+	key, ok := cert.PrivateKey.(*ecdsa.PrivateKey)
+	if !ok {
+		return fmt.Errorf("unsupported private key type %T", cert.PrivateKey)
+	}
+	der, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return err
+	}
+	keyOut, err := os.OpenFile(keyPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := pem.Encode(keyOut, &pem.Block{Type: "EC PRIVATE KEY", Bytes: der}); err != nil {
+		keyOut.Close()
+		return err
+	}
+	return keyOut.Close()
+}

@@ -1,0 +1,198 @@
+// mltraining reproduces the paper's motivating use case (Fig 1, §I): a
+// software provider owns an ML engine, a model provider supplies training
+// data and harvests models, and neither may see the other's assets. The
+// policy board gives the software provider a veto, and the model count is
+// limited by a rollback-protected execution counter — the "rollback attack"
+// of running the engine more often than permitted is detected.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"palaemon"
+	"palaemon/internal/fspf"
+)
+
+// short trims an error chain for display.
+func short(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	s := err.Error()
+	if i := strings.IndexByte(s, ':'); i > 0 && len(s) > 90 {
+		s = s[:90] + "..."
+	}
+	return s
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mltraining:", err)
+		os.Exit(1)
+	}
+}
+
+const maxModels = 3
+
+func run() error {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "palaemon-ml")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// The policy board: software provider (veto!) and model provider. Any
+	// policy change needs both; the software provider can unilaterally
+	// block changes that would leak its engine (§III-C).
+	boardDef, evaluator, cleanup, err := palaemon.NewBoard(
+		[]string{"software-provider", "model-provider"},
+		[]palaemon.ApprovalFunc{palaemon.ApproveAll, palaemon.ApproveAll})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	boardDef.Members[0].Veto = true
+
+	dep, err := palaemon.StartService(palaemon.DeploymentOptions{
+		DataDir:   dir,
+		Evaluator: evaluator,
+	})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+
+	client, clientID, err := dep.Connect(palaemon.ConnectOptions{Name: "model-provider"})
+	if err != nil {
+		return err
+	}
+
+	// The ML engine binary (the software provider's asset) and its policy:
+	// strict mode ON so a crash-and-retry cannot dodge the counter.
+	engine := palaemon.Binary{Name: "ml-engine", Code: []byte("python ml-engine v2.4 (proprietary)")}
+	pol := &palaemon.Policy{
+		Name: "ml-training",
+		Services: []palaemon.Service{{
+			Name:       "trainer",
+			Command:    "python /engine/train.py --license $$license_key",
+			MREnclaves: []palaemon.Measurement{palaemon.MeasureBinary(engine)},
+			StrictMode: true,
+		}},
+		Secrets: []palaemon.Secret{
+			{Name: "license_key", Type: palaemon.SecretRandom},
+		},
+		Board: boardDef,
+	}
+	if err := client.CreatePolicy(ctx, pol); err != nil {
+		return err
+	}
+	fmt.Println("policy created: board-guarded, strict mode, veto for software provider")
+
+	// Train up to the licensed number of models. The execution counter
+	// lives in the shielded file system, so its tag is tracked by PALÆMON.
+	var image []byte
+	for i := 1; i <= maxModels; i++ {
+		image, err = trainOnce(ctx, dep, engine, image)
+		if err != nil {
+			return fmt.Errorf("training run %d: %w", i, err)
+		}
+		fmt.Printf("training run %d: model produced, counter committed\n", i)
+	}
+
+	// The model provider now tries the rollback attack from §I: restore
+	// the file-system image from before the last run to get a free run.
+	fmt.Println("\n-- rollback attack: replaying an old volume image --")
+	_, err = dep.RunApp(ctx, palaemon.RunAppOptions{
+		Binary: engine, PolicyName: "ml-training", ServiceName: "trainer",
+		Image: nil, // "fresh" volume: pretend the state never existed
+	})
+	if err == nil {
+		return errors.New("rollback attack succeeded — counter state was lost")
+	}
+	if !errors.Is(err, fspf.ErrTagMismatch) {
+		return fmt.Errorf("unexpected failure: %w", err)
+	}
+	fmt.Println("PALÆMON refused the stale volume:", err)
+
+	// Strict mode treats the failed execution as an unclean exit: even an
+	// honest restart is now blocked until the policy owner explicitly
+	// resets the service — an operation the policy board must approve
+	// (§III-D: "the restart requires an explicit update of the policy").
+	_, err = dep.RunApp(ctx, palaemon.RunAppOptions{
+		Binary: engine, PolicyName: "ml-training", ServiceName: "trainer", Image: image,
+	})
+	fmt.Println("strict mode locks the service after the attack:", short(err))
+	if err := dep.Instance.ResetService(ctx, clientID, "ml-training", "trainer"); err != nil {
+		return fmt.Errorf("board-approved reset: %w", err)
+	}
+	fmt.Println("service reset approved by the full board; honest restart resumes")
+
+	// Honest restart with the current image now works, and the counter
+	// shows the licensed limit was reached.
+	app, err := dep.RunApp(ctx, palaemon.RunAppOptions{
+		Binary: engine, PolicyName: "ml-training", ServiceName: "trainer", Image: image,
+	})
+	if err != nil {
+		return err
+	}
+	raw, err := app.ReadFile("/state/models-produced")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nhonest restart: models produced so far = %s (limit %d)\n", raw, maxModels)
+	count, err := strconv.Atoi(string(raw))
+	if err != nil {
+		return err
+	}
+	if count >= maxModels {
+		fmt.Println("license exhausted: engine refuses further training runs")
+	}
+	return app.Exit(ctx)
+}
+
+// trainOnce runs the engine once: bump the rollback-protected counter,
+// "train", and persist the encrypted volume image.
+func trainOnce(ctx context.Context, dep *palaemon.Deployment, engine palaemon.Binary, image []byte) ([]byte, error) {
+	app, err := dep.RunApp(ctx, palaemon.RunAppOptions{
+		Binary:      engine,
+		PolicyName:  "ml-training",
+		ServiceName: "trainer",
+		Image:       image,
+	})
+	if err != nil {
+		return nil, err
+	}
+	count := 0
+	if raw, err := app.ReadFile("/state/models-produced"); err == nil {
+		if count, err = strconv.Atoi(string(raw)); err != nil {
+			return nil, err
+		}
+	}
+	if count >= maxModels {
+		app.Abort()
+		return nil, fmt.Errorf("license exhausted after %d models", count)
+	}
+	// "Training": produce a model artefact into the encrypted volume; the
+	// software provider's engine code never leaves the TEE decrypted.
+	model := fmt.Sprintf("model-%d: weights...", count+1)
+	if err := app.WriteFile(fmt.Sprintf("/models/model-%d.bin", count+1), []byte(model)); err != nil {
+		return nil, err
+	}
+	if err := app.WriteFile("/state/models-produced", []byte(strconv.Itoa(count+1))); err != nil {
+		return nil, err
+	}
+	newImage, err := app.Image()
+	if err != nil {
+		return nil, err
+	}
+	if err := app.Exit(ctx); err != nil {
+		return nil, err
+	}
+	return newImage, nil
+}

@@ -1,0 +1,133 @@
+// Quickstart: stand up a managed PALÆMON deployment, register a security
+// policy with secrets delivered via arguments, environment variables and an
+// injected configuration file, then run an attested application that reads
+// them — the §IV-A flow end to end in one file.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"palaemon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// 1. The (untrusted) operator starts a PALÆMON instance. StartService
+	//    launches the enclave, runs the rollback-protection startup
+	//    protocol, and attests the instance to the PALÆMON CA.
+	dir, err := os.MkdirTemp("", "palaemon-quickstart")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	dep, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: dir})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+	fmt.Println("instance :", dep.URL())
+	fmt.Println("MRE      :", dep.Instance.MRE())
+
+	// 2. A stakeholder connects. The client trusts the PALÆMON CA root, so
+	//    the TLS handshake itself attests the instance (§IV-B).
+	client, _, err := dep.Connect(palaemon.ConnectOptions{Name: "software-provider"})
+	if err != nil {
+		return err
+	}
+
+	// 3. Define the application binary and its security policy. The policy
+	//    pins the binary's MRENCLAVE and declares a random secret delivered
+	//    through all three channels.
+	app := palaemon.Binary{Name: "webapp", Code: []byte("webapp-v1.0 binary image")}
+	pol := &palaemon.Policy{
+		Name: "quickstart",
+		Services: []palaemon.Service{{
+			Name:        "web",
+			Command:     "webapp --api-key $$api_key",
+			MREnclaves:  []palaemon.Measurement{palaemon.MeasureBinary(app)},
+			Environment: map[string]string{"API_KEY": "$$api_key"},
+			InjectionFiles: []palaemon.InjectionFile{
+				{Path: "/etc/webapp.conf", Template: "api_key = $$api_key\nlisten = :8443\n"},
+			},
+		}},
+		Secrets: []palaemon.Secret{{Name: "api_key", Type: palaemon.SecretRandom}},
+	}
+	if err := client.CreatePolicy(ctx, pol); err != nil {
+		return err
+	}
+	fmt.Println("policy   : created (secret generated inside the enclave)")
+
+	// 4. Run the application. The runtime attests the binary, receives the
+	//    configuration, mounts the encrypted file system, injects the
+	//    secret, and keeps PALÆMON's expected tag current.
+	run1, err := dep.RunApp(ctx, palaemon.RunAppOptions{
+		Binary:      app,
+		PolicyName:  "quickstart",
+		ServiceName: "web",
+		Mode:        palaemon.ModeHW,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("args     :", run1.Args())
+	fmt.Println("env      :", run1.Env())
+	conf, err := run1.ReadFile("/etc/webapp.conf")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("conf     : %q\n", conf)
+
+	// 5. Write state, persist the encrypted image, and exit cleanly: the
+	//    final tag is handed to PALÆMON so a restart verifies freshness.
+	if err := run1.WriteFile("/var/data", []byte("session state")); err != nil {
+		return err
+	}
+	image, err := run1.Image()
+	if err != nil {
+		return err
+	}
+	if err := run1.Exit(ctx); err != nil {
+		return err
+	}
+	fmt.Println("exit     : clean (final tag stored at PALÆMON)")
+
+	// 6. Restart from the stored image: attestation + tag check pass.
+	run2, err := dep.RunApp(ctx, palaemon.RunAppOptions{
+		Binary:      app,
+		PolicyName:  "quickstart",
+		ServiceName: "web",
+		Mode:        palaemon.ModeHW,
+		Image:       image,
+	})
+	if err != nil {
+		return err
+	}
+	state, err := run2.ReadFile("/var/data")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restart  : recovered %q with verified freshness\n", state)
+
+	// 7. A tampered binary is refused before any secret is released.
+	evil := palaemon.Binary{Name: "webapp", Code: []byte("webapp-v1.0 binary image + backdoor")}
+	if _, err := dep.RunApp(ctx, palaemon.RunAppOptions{
+		Binary:      evil,
+		PolicyName:  "quickstart",
+		ServiceName: "web",
+	}); err != nil {
+		fmt.Println("tampered :", err)
+	} else {
+		return fmt.Errorf("tampered binary was attested")
+	}
+	return run2.Exit(ctx)
+}

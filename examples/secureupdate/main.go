@@ -1,0 +1,165 @@
+// secureupdate demonstrates §III-E: rolling out a new application version
+// under policy-board control, an image policy exporting permitted versions,
+// the automatic intersection that disables withdrawn versions, and a
+// malicious update attempt blocked by a board member.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"palaemon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "secureupdate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "palaemon-update")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// The policy board: two stakeholders must both approve. The auditor
+	// logs every request it signs off — in production this slot holds a
+	// two-factor check or automated binary analysis (§III-C).
+	auditor := func(req palaemon.ApprovalRequest) (bool, string) {
+		fmt.Printf("  [auditor] reviewing %s of %q rev %d (digest %x...)\n",
+			req.Operation, req.PolicyName, req.Revision, req.Digest[:4])
+		return true, ""
+	}
+	boardDef, evaluator, cleanup, err := palaemon.NewBoard(
+		[]string{"dev-lead", "security-auditor"},
+		[]palaemon.ApprovalFunc{palaemon.ApproveAll, auditor})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	dep, err := palaemon.StartService(palaemon.DeploymentOptions{
+		DataDir:   dir,
+		Evaluator: evaluator,
+	})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+
+	client, _, err := dep.Connect(palaemon.ConnectOptions{Name: "image-provider"})
+	if err != nil {
+		return err
+	}
+
+	v1 := palaemon.Binary{Name: "python", Code: []byte("python-runtime 3.7.4")}
+	v2 := palaemon.Binary{Name: "python", Code: []byte("python-runtime 3.7.5 (CVE fix)")}
+
+	// 1. The image provider publishes a curated runtime image policy that
+	//    EXPORTS its permitted MREs (§III-E's image policy pattern).
+	imagePolicy := &palaemon.Policy{
+		Name: "python-image",
+		Services: []palaemon.Service{{
+			Name:       "runtime",
+			MREnclaves: []palaemon.Measurement{palaemon.MeasureBinary(v1)},
+		}},
+		Board: boardDef,
+	}
+	imagePolicy.Exports.MREnclaves = []palaemon.Measurement{palaemon.MeasureBinary(v1)}
+	if err := client.CreatePolicy(ctx, imagePolicy); err != nil {
+		return err
+	}
+	fmt.Println("image policy: python-image created (exports v1)")
+
+	// 2. An application builds on the image and INTERSECTS with it.
+	appClient, _, err := dep.Connect(palaemon.ConnectOptions{Name: "app-developer"})
+	if err != nil {
+		return err
+	}
+	appPolicy := &palaemon.Policy{
+		Name: "ml-app",
+		Services: []palaemon.Service{{
+			Name:       "app",
+			MREnclaves: []palaemon.Measurement{palaemon.MeasureBinary(v1), palaemon.MeasureBinary(v2)},
+		}},
+	}
+	appPolicy.Imports = []palaemon.PolicyImport{{Policy: "python-image", Intersect: true}}
+	if err := appClient.CreatePolicy(ctx, appPolicy); err != nil {
+		return err
+	}
+	fmt.Println("app policy  : ml-app created (intersects with python-image)")
+
+	// v1 runs; v2 does not (the image does not export it yet).
+	if err := tryRun(ctx, dep, v1, "v1 before update"); err != nil {
+		return err
+	}
+	if err := tryRun(ctx, dep, v2, "v2 before update"); err == nil {
+		return errors.New("v2 ran before the image exported it")
+	} else {
+		fmt.Println("v2 before update: refused —", short(err))
+	}
+
+	// 3. Board-approved rolling update: the image provider exports v2.
+	updated := clonePolicy(imagePolicy)
+	updated.Services[0].MREnclaves = []palaemon.Measurement{
+		palaemon.MeasureBinary(v1), palaemon.MeasureBinary(v2),
+	}
+	updated.Exports.MREnclaves = updated.Services[0].MREnclaves
+	if err := client.UpdatePolicy(ctx, updated); err != nil {
+		return err
+	}
+	fmt.Println("image update: v2 exported after unanimous board approval")
+	if err := tryRun(ctx, dep, v2, "v2 after update"); err != nil {
+		return err
+	}
+
+	// 4. A vulnerability lands in v1: the image provider WITHDRAWS it.
+	//    The application's intersection disables v1 automatically, without
+	//    any change to the app policy (§III-E).
+	final := clonePolicy(updated)
+	final.Services[0].MREnclaves = []palaemon.Measurement{palaemon.MeasureBinary(v2)}
+	final.Exports.MREnclaves = final.Services[0].MREnclaves
+	if err := client.UpdatePolicy(ctx, final); err != nil {
+		return err
+	}
+	fmt.Println("withdrawal  : v1 removed from the image exports")
+	if err := tryRun(ctx, dep, v1, "v1 after withdrawal"); err == nil {
+		return errors.New("withdrawn v1 still attests")
+	} else {
+		fmt.Println("v1 after withdrawal: refused —", short(err))
+	}
+	return tryRun(ctx, dep, v2, "v2 still runs")
+}
+
+func tryRun(ctx context.Context, dep *palaemon.Deployment, bin palaemon.Binary, label string) error {
+	app, err := dep.RunApp(ctx, palaemon.RunAppOptions{
+		Binary:      bin,
+		PolicyName:  "ml-app",
+		ServiceName: "app",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: attested and running\n", label)
+	return app.Exit(ctx)
+}
+
+func clonePolicy(p *palaemon.Policy) *palaemon.Policy { return p.Clone() }
+
+func short(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i > 0 {
+		s = s[:i]
+	}
+	if len(s) > 100 {
+		s = s[:100] + "..."
+	}
+	return s
+}

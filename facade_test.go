@@ -1,0 +1,193 @@
+package palaemon_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"palaemon"
+	"palaemon/internal/core"
+	"palaemon/internal/fspf"
+)
+
+// TestFacadeEndToEnd drives the public API exactly the way the README and
+// quickstart do: deployment, policy, attested app, restart with freshness.
+func TestFacadeEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	dep, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("StartService: %v", err)
+	}
+	defer dep.Close()
+
+	client, _, err := dep.Connect(palaemon.ConnectOptions{Name: "tester"})
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+
+	app := palaemon.Binary{Name: "svc", Code: []byte("service binary v1")}
+	pol := &palaemon.Policy{
+		Name: "facade",
+		Services: []palaemon.Service{{
+			Name:        "svc",
+			Command:     "svc --key $$k",
+			MREnclaves:  []palaemon.Measurement{palaemon.MeasureBinary(app)},
+			Environment: map[string]string{"K": "$$k"},
+		}},
+		Secrets: []palaemon.Secret{{Name: "k", Type: palaemon.SecretRandom}},
+	}
+	if err := client.CreatePolicy(ctx, pol); err != nil {
+		t.Fatalf("CreatePolicy: %v", err)
+	}
+
+	run, err := dep.RunApp(ctx, palaemon.RunAppOptions{
+		Binary: app, PolicyName: "facade", ServiceName: "svc",
+	})
+	if err != nil {
+		t.Fatalf("RunApp: %v", err)
+	}
+	if len(run.Args()) != 3 {
+		t.Fatalf("args = %v", run.Args())
+	}
+	secret := run.Env()["K"]
+	if secret == "" {
+		t.Fatal("secret not delivered")
+	}
+	if err := run.WriteFile("/state", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	image, err := run.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Exit(ctx); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+
+	// Restart with verified freshness; the same secret comes back.
+	run2, err := dep.RunApp(ctx, palaemon.RunAppOptions{
+		Binary: app, PolicyName: "facade", ServiceName: "svc", Image: image,
+	})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer run2.Exit(ctx)
+	if run2.Env()["K"] != secret {
+		t.Fatal("secret changed across restart")
+	}
+	data, err := run2.ReadFile("/state")
+	if err != nil || string(data) != "v1" {
+		t.Fatalf("state = %q, %v", data, err)
+	}
+}
+
+func TestFacadeExplicitAttestation(t *testing.T) {
+	dep, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	// A client with no CA trust verifies the instance explicitly.
+	cli := dep.ConnectUntrusted()
+	err = cli.VerifyInstance(context.Background(), dep.IAS.PublicKey(),
+		[]string{dep.Instance.MRE().String()})
+	if err != nil {
+		t.Fatalf("VerifyInstance: %v", err)
+	}
+	// Wrong MRE set refused.
+	if err := cli.VerifyInstance(context.Background(), dep.IAS.PublicKey(), []string{"00"}); err == nil {
+		t.Fatal("wrong MRE accepted")
+	}
+}
+
+func TestFacadeBoardFlow(t *testing.T) {
+	ctx := context.Background()
+	boardDef, evaluator, cleanup, err := palaemon.NewBoard(
+		[]string{"approve", "reject"},
+		[]palaemon.ApprovalFunc{palaemon.ApproveAll, palaemon.RejectAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	dep, err := palaemon.StartService(palaemon.DeploymentOptions{
+		DataDir:   t.TempDir(),
+		Evaluator: evaluator,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	client, _, err := dep.Connect(palaemon.ConnectOptions{Name: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bin := palaemon.Binary{Name: "b", Code: []byte("b")}
+	pol := &palaemon.Policy{
+		Name:     "guarded",
+		Services: []palaemon.Service{{Name: "s", MREnclaves: []palaemon.Measurement{palaemon.MeasureBinary(bin)}}},
+		Board:    boardDef, // threshold 2 of 2, one member rejects
+	}
+	err = client.CreatePolicy(ctx, pol)
+	if !errors.Is(err, core.ErrAccessDenied) && err == nil {
+		t.Fatalf("rejected board approved the create: %v", err)
+	}
+
+	// Lower the threshold: 1-of-2 passes with one approval.
+	pol.Board.Threshold = 1
+	if err := client.CreatePolicy(ctx, pol); err != nil {
+		t.Fatalf("create with threshold 1: %v", err)
+	}
+}
+
+func TestFacadeParsePolicy(t *testing.T) {
+	bin := palaemon.Binary{Name: "x", Code: []byte("x")}
+	src := `
+name: parsed
+services:
+  - name: app
+    mrenclaves: ["` + palaemon.MeasureBinary(bin).String() + `"]
+secrets:
+  - name: s1
+    type: random
+`
+	pol, err := palaemon.ParsePolicy(src)
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	if pol.Name != "parsed" || len(pol.Services) != 1 || len(pol.Secrets) != 1 {
+		t.Fatalf("policy = %+v", pol)
+	}
+}
+
+func TestFacadeCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	platform, err := palaemon.NewFastPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: dir, Platform: platform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the server dies without the graceful drain.
+	dep.Server.Close()
+	dep.Instance.Abort()
+	dep.Authority.Close()
+
+	// Restart without acknowledgement refused (crash-as-attack).
+	if _, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: dir, Platform: platform}); err == nil {
+		t.Fatal("crash restart accepted without recovery flag")
+	}
+	// Acknowledged fail-over proceeds.
+	dep2, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: dir, Platform: platform, Recover: true})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if err := dep2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = fspf.Tag{}
+}

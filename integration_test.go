@@ -1,0 +1,143 @@
+package palaemon_test
+
+import (
+	"context"
+	"testing"
+
+	"palaemon"
+	"palaemon/internal/core"
+	"palaemon/internal/simclock"
+	"palaemon/internal/simnet"
+)
+
+// TestCrossInstanceSecretRetrieval exercises the decentralised deployment
+// of Fig 12: two independent PALÆMON instances on different platforms, with
+// a client retrieving secrets from the remote one over HTTPS and installing
+// them in a policy on the local one — the paper's "secret sharing between
+// service instances".
+func TestCrossInstanceSecretRetrieval(t *testing.T) {
+	ctx := context.Background()
+
+	// Remote instance (different platform, different CA).
+	remote, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	remoteClient, _, err := remote.Connect(palaemon.ConnectOptions{
+		Name:    "holder",
+		Profile: simnet.KM7000, // on another continent's edge
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	holderBin := palaemon.Binary{Name: "holder", Code: []byte("holder")}
+	remotePol := &palaemon.Policy{
+		Name: "shared-keys",
+		Services: []palaemon.Service{{
+			Name:       "holder",
+			MREnclaves: []palaemon.Measurement{palaemon.MeasureBinary(holderBin)},
+		}},
+		Secrets: []palaemon.Secret{
+			{Name: "db_key", Type: palaemon.SecretExplicit, Value: "K-remote-123"},
+		},
+	}
+	if err := remoteClient.CreatePolicy(ctx, remotePol); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client retrieves the secret across the modelled WAN, charging a
+	// tracker so the test stays fast.
+	var tracker simclock.Tracker
+	secrets, err := remoteClient.FetchSecrets(ctx, "shared-keys", []string{"db_key"}, &tracker)
+	if err != nil {
+		t.Fatalf("remote fetch: %v", err)
+	}
+	if secrets["db_key"] != "K-remote-123" {
+		t.Fatalf("remote secret = %q", secrets["db_key"])
+	}
+	if tracker.Total() < simnet.KM7000.RTT {
+		t.Fatalf("WAN charge %v below one RTT", tracker.Total())
+	}
+
+	// Local instance: the retrieved secret lands in a local policy and is
+	// delivered to an attested application.
+	local, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	localClient, _, err := local.Connect(palaemon.ConnectOptions{Name: "consumer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appBin := palaemon.Binary{Name: "consumer", Code: []byte("consumer")}
+	localPol := &palaemon.Policy{
+		Name: "consumer",
+		Services: []palaemon.Service{{
+			Name:        "app",
+			MREnclaves:  []palaemon.Measurement{palaemon.MeasureBinary(appBin)},
+			Environment: map[string]string{"DB_KEY": "$$db_key"},
+		}},
+		Secrets: []palaemon.Secret{
+			{Name: "db_key", Type: palaemon.SecretExplicit, Value: secrets["db_key"]},
+		},
+	}
+	if err := localClient.CreatePolicy(ctx, localPol); err != nil {
+		t.Fatal(err)
+	}
+	app, err := local.RunApp(ctx, palaemon.RunAppOptions{
+		Binary: appBin, PolicyName: "consumer", ServiceName: "app",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Exit(ctx)
+	if app.Env()["DB_KEY"] != "K-remote-123" {
+		t.Fatalf("delivered = %q", app.Env()["DB_KEY"])
+	}
+}
+
+// TestInstanceIsolation checks that two instances do not share identity or
+// secrets: a client certificate registered at one instance has no standing
+// at the other, and their identity keys differ.
+func TestInstanceIsolation(t *testing.T) {
+	ctx := context.Background()
+	a, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if string(a.Instance.PublicKey()) == string(b.Instance.PublicKey()) {
+		t.Fatal("instances share an identity key")
+	}
+
+	clientA, _, err := a.Connect(palaemon.ConnectOptions{Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := palaemon.Binary{Name: "p", Code: []byte("p")}
+	pol := &palaemon.Policy{
+		Name:     "only-on-a",
+		Services: []palaemon.Service{{Name: "s", MREnclaves: []palaemon.Measurement{palaemon.MeasureBinary(bin)}}},
+	}
+	if err := clientA.CreatePolicy(ctx, pol); err != nil {
+		t.Fatal(err)
+	}
+	// Instance B never saw the policy.
+	clientB, _, err := b.Connect(palaemon.ConnectOptions{Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clientB.ReadPolicy(ctx, "only-on-a"); err == nil {
+		t.Fatal("policy leaked across instances")
+	}
+	_ = core.ClientID{}
+}

@@ -1,0 +1,118 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+)
+
+func launch(t *testing.T) (*sgx.Platform, *sgx.Enclave) {
+	t.Helper()
+	p, err := sgx.NewPlatform(sgx.Options{Clock: simclock.NewVirtual()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(sgx.Binary{Name: "app", Code: []byte("code")}, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Destroy)
+	return p, e
+}
+
+func TestEvidenceBinding(t *testing.T) {
+	p, e := launch(t)
+	signer := cryptoutil.MustNewSigner()
+	ev := NewEvidence(e, "policy", "svc", signer.Public)
+	if ev.PolicyName != "policy" || ev.ServiceName != "svc" {
+		t.Fatal("names lost")
+	}
+	if err := VerifyBinding(ev, p.QuotingKey()); err != nil {
+		t.Fatalf("VerifyBinding: %v", err)
+	}
+}
+
+func TestBindingRejectsSwappedKey(t *testing.T) {
+	p, e := launch(t)
+	signer := cryptoutil.MustNewSigner()
+	ev := NewEvidence(e, "policy", "svc", signer.Public)
+	// An attacker relays the quote but substitutes their own session key.
+	attacker := cryptoutil.MustNewSigner()
+	ev.SessionKey = attacker.Public
+	if err := VerifyBinding(ev, p.QuotingKey()); !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("want ErrKeyMismatch, got %v", err)
+	}
+}
+
+func TestBindingRejectsForgedQuote(t *testing.T) {
+	p, e := launch(t)
+	signer := cryptoutil.MustNewSigner()
+	ev := NewEvidence(e, "policy", "svc", signer.Public)
+	ev.Quote.MRE[0] ^= 1 // pretend to be different code
+	if err := VerifyBinding(ev, p.QuotingKey()); !errors.Is(err, ErrQuoteInvalid) {
+		t.Fatalf("want ErrQuoteInvalid, got %v", err)
+	}
+}
+
+func TestBindingRejectsWrongPlatformKey(t *testing.T) {
+	_, e := launch(t)
+	p2, _ := launch(t)
+	signer := cryptoutil.MustNewSigner()
+	ev := NewEvidence(e, "p", "s", signer.Public)
+	if err := VerifyBinding(ev, p2.QuotingKey()); !errors.Is(err, ErrQuoteInvalid) {
+		t.Fatalf("want ErrQuoteInvalid, got %v", err)
+	}
+}
+
+func TestBindingRejectsTruncatedReportData(t *testing.T) {
+	p, e := launch(t)
+	signer := cryptoutil.MustNewSigner()
+	ev := NewEvidence(e, "p", "s", signer.Public)
+	ev.Quote.ReportData = ev.Quote.ReportData[:16]
+	if err := VerifyBinding(ev, p.QuotingKey()); !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("want ErrKeyMismatch, got %v", err)
+	}
+}
+
+func TestChallengeResponse(t *testing.T) {
+	signer := cryptoutil.MustNewSigner()
+	ch, err := NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := Respond(ch, signer, "palaemon-instance")
+	if err := VerifyResponse(ch, resp, signer.Public, "palaemon-instance"); err != nil {
+		t.Fatalf("VerifyResponse: %v", err)
+	}
+	// Context binding: a response for one protocol must not verify for
+	// another.
+	if err := VerifyResponse(ch, resp, signer.Public, "other-context"); err == nil {
+		t.Fatal("cross-context response verified")
+	}
+	// Fresh challenge: old response must not replay.
+	ch2, err := NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyResponse(ch2, resp, signer.Public, "palaemon-instance"); err == nil {
+		t.Fatal("replayed response verified")
+	}
+	// Wrong key.
+	other := cryptoutil.MustNewSigner()
+	if err := VerifyResponse(ch, resp, other.Public, "palaemon-instance"); err == nil {
+		t.Fatal("response verified under wrong key")
+	}
+}
+
+func TestKeyHashDeterministic(t *testing.T) {
+	k := cryptoutil.MustNewSigner().Public
+	if KeyHash(k) != KeyHash(k) {
+		t.Fatal("KeyHash not deterministic")
+	}
+	if KeyHash(k) == KeyHash(append([]byte(nil), k[:31]...)) {
+		t.Fatal("KeyHash ignores length")
+	}
+}

@@ -1,0 +1,367 @@
+// Package board implements the PALÆMON policy board (§III-C): the quorum of
+// stakeholders whose approval services must sign off every CRUD access to a
+// security policy.
+//
+// Each board member runs an approval service — here a TLS REST endpoint
+// (optionally "inside a TEE", which adds the enclave cost model) that
+// receives a change request and answers with a signed approve/reject
+// verdict. The Evaluator collects verdicts: a change passes when at least
+// `threshold` members approve and no veto member rejects. Byzantine members
+// (wrong verdicts, stalls, garbage signatures) are tolerated up to f as long
+// as f+1 honest approvals arrive.
+package board
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/policy"
+	"palaemon/internal/sgx"
+)
+
+// Request describes one policy change submitted for approval.
+type Request struct {
+	// PolicyName identifies the policy.
+	PolicyName string `json:"policy_name"`
+	// Operation is "create", "read", "update" or "delete".
+	Operation string `json:"operation"`
+	// Revision is the policy revision the change applies to.
+	Revision uint64 `json:"revision"`
+	// Digest commits to the exact new policy content (SHA-256 of its
+	// canonical JSON), so members approve bytes, not descriptions.
+	Digest [32]byte `json:"digest"`
+}
+
+func (r Request) signedBytes(approve bool) []byte {
+	payload := struct {
+		Request
+		Approve bool `json:"approve"`
+	}{r, approve}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		panic(err) // fixed shape
+	}
+	return raw
+}
+
+// Verdict is one member's signed answer.
+type Verdict struct {
+	// Member names the responding board member.
+	Member string `json:"member"`
+	// Approve is the decision.
+	Approve bool `json:"approve"`
+	// Reason optionally explains a rejection.
+	Reason string `json:"reason,omitempty"`
+	// Signature covers the request and the decision.
+	Signature []byte `json:"signature"`
+}
+
+// Decision aggregates verdicts into an outcome.
+type Decision struct {
+	// Approved is the final outcome.
+	Approved bool
+	// Approvals and Rejections count valid signed verdicts.
+	Approvals, Rejections int
+	// VetoedBy names the veto member that rejected, if any.
+	VetoedBy string
+	// Failures lists members that could not be reached or answered
+	// rubbish; they count as neither approval nor rejection.
+	Failures []string
+}
+
+// Policy of the approver: a function deciding a request.
+type ApprovalFunc func(Request) (bool, string)
+
+// ApproveAll approves everything (an accommodating stakeholder).
+func ApproveAll(Request) (bool, string) { return true, "" }
+
+// RejectAll rejects everything (a withholding or compromised stakeholder).
+func RejectAll(Request) (bool, string) { return false, "not acceptable" }
+
+// Member is one stakeholder: an approval-service server plus its signing
+// identity.
+type Member struct {
+	// Name labels the member.
+	Name string
+	// Signer holds the approval key.
+	Signer *cryptoutil.Signer
+
+	decide ApprovalFunc
+
+	mu      sync.Mutex
+	enclave *sgx.Enclave
+	delay   time.Duration
+	garbage bool
+
+	server   *http.Server
+	listener net.Listener
+	url      string
+	done     chan struct{}
+}
+
+// MemberOption configures a Member.
+type MemberOption func(*Member)
+
+// WithDecision installs the member's approval logic (default: approve all).
+func WithDecision(fn ApprovalFunc) MemberOption {
+	return func(m *Member) { m.decide = fn }
+}
+
+// WithEnclave runs the approval service "inside a TEE", charging the
+// enclave's syscall cost model per request (Fig 13's TEE variant).
+func WithEnclave(e *sgx.Enclave) MemberOption {
+	return func(m *Member) { m.enclave = e }
+}
+
+// WithDelay stalls every response — a slow or stalling (Byzantine) member.
+func WithDelay(d time.Duration) MemberOption {
+	return func(m *Member) { m.delay = d }
+}
+
+// WithGarbageSignatures makes the member emit invalid signatures — a
+// Byzantine member whose verdicts must not count.
+func WithGarbageSignatures() MemberOption {
+	return func(m *Member) { m.garbage = true }
+}
+
+// NewMember creates a member with a fresh key pair.
+func NewMember(name string, opts ...MemberOption) (*Member, error) {
+	signer, err := cryptoutil.NewSigner()
+	if err != nil {
+		return nil, err
+	}
+	m := &Member{Name: name, Signer: signer, decide: ApproveAll}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// Descriptor returns the policy.BoardMember entry for this member.
+func (m *Member) Descriptor(veto bool) policy.BoardMember {
+	return policy.BoardMember{
+		Name:      m.Name,
+		PublicKey: append([]byte(nil), m.Signer.Public...),
+		URL:       m.url,
+		Veto:      veto,
+	}
+}
+
+// URL returns the approval endpoint once Serve has been called.
+func (m *Member) URL() string { return m.url }
+
+// Serve starts the member's TLS approval service on a loopback port, using
+// a certificate issued by ca. It returns the endpoint URL.
+func (m *Member) Serve(ca *cryptoutil.CertAuthority) (string, error) {
+	iss, err := ca.Issue(cryptoutil.IssueOptions{
+		CommonName: "approval-" + m.Name,
+		IPs:        []net.IP{net.IPv4(127, 0, 0, 1)},
+		Validity:   24 * time.Hour,
+	})
+	if err != nil {
+		return "", fmt.Errorf("board: issue cert: %w", err)
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", cryptoutil.ServerTLSConfig(iss.TLSCertificate(), nil))
+	if err != nil {
+		return "", fmt.Errorf("board: listen: %w", err)
+	}
+	return m.serveOn(ln, "https")
+}
+
+// ServePlain starts the approval service WITHOUT TLS — the "w/o TLS"
+// baseline of the Fig 13 comparison only; production boards always use TLS.
+func (m *Member) ServePlain() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("board: listen: %w", err)
+	}
+	return m.serveOn(ln, "http")
+}
+
+func (m *Member) serveOn(ln net.Listener, scheme string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /approve", m.handleApprove)
+	m.server = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	m.listener = ln
+	m.url = scheme + "://" + ln.Addr().String() + "/approve"
+	m.done = make(chan struct{})
+	go func() {
+		defer close(m.done)
+		if err := m.server.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			// Serve only returns on close; other errors are fatal startup
+			// races surfaced to the operator via logs in a real deployment.
+			_ = err
+		}
+	}()
+	return m.url, nil
+}
+
+// Close stops the approval service and waits for the serve loop to exit.
+func (m *Member) Close() error {
+	if m.server == nil {
+		return nil
+	}
+	err := m.server.Close()
+	<-m.done
+	return err
+}
+
+func (m *Member) handleApprove(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "decode request", http.StatusBadRequest)
+		return
+	}
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	if m.enclave != nil {
+		// TLS read + JSON parse + TLS write: a handful of shielded
+		// syscalls per request.
+		time.Sleep(m.enclave.ChargeSyscalls(6))
+	}
+	approve, reason := m.decide(req)
+	v := Verdict{Member: m.Name, Approve: approve, Reason: reason}
+	v.Signature = m.Signer.Sign(req.signedBytes(approve))
+	if m.garbage {
+		v.Signature[0] ^= 0xFF
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return // client gone
+	}
+}
+
+// VerifyVerdict checks a verdict's signature under the member's public key
+// from the policy.
+func VerifyVerdict(req Request, v Verdict, member policy.BoardMember) error {
+	if !cryptoutil.Verify(member.PublicKey, req.signedBytes(v.Approve), v.Signature) {
+		return fmt.Errorf("board: verdict signature from %s invalid", v.Member)
+	}
+	return nil
+}
+
+// Evaluator collects verdicts from a policy's board over TLS and decides.
+type Evaluator struct {
+	// Client is the HTTP client used to reach approval services; it must
+	// trust the approval CA.
+	Client *http.Client
+	// Timeout bounds each member call.
+	Timeout time.Duration
+}
+
+// NewEvaluator builds an evaluator trusting the given CA pool.
+func NewEvaluator(ca *cryptoutil.CertAuthority, timeout time.Duration) *Evaluator {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	return &Evaluator{
+		Client: &http.Client{
+			Transport: &http.Transport{
+				TLSClientConfig: cryptoutil.ClientTLSConfig(ca.Pool(), nil, ""),
+			},
+			Timeout: timeout,
+		},
+		Timeout: timeout,
+	}
+}
+
+// Evaluate contacts every board member in parallel and aggregates verdicts
+// per the board rules: approved iff no veto member rejects and at least
+// `threshold` members validly approve. An unreachable or garbage-signing
+// member contributes nothing (it can block approval but cannot forge one).
+func (ev *Evaluator) Evaluate(ctx context.Context, b policy.Board, req Request) Decision {
+	if b.Empty() {
+		return Decision{Approved: true}
+	}
+	type result struct {
+		member policy.BoardMember
+		v      Verdict
+		err    error
+	}
+	results := make(chan result, len(b.Members))
+	var wg sync.WaitGroup
+	for _, member := range b.Members {
+		wg.Add(1)
+		go func(member policy.BoardMember) {
+			defer wg.Done()
+			v, err := ev.ask(ctx, member, req)
+			results <- result{member: member, v: v, err: err}
+		}(member)
+	}
+	wg.Wait()
+	close(results)
+
+	var d Decision
+	for r := range results {
+		if r.err != nil {
+			d.Failures = append(d.Failures, r.member.Name)
+			continue
+		}
+		if err := VerifyVerdict(req, r.v, r.member); err != nil {
+			d.Failures = append(d.Failures, r.member.Name)
+			continue
+		}
+		if r.v.Approve {
+			d.Approvals++
+			continue
+		}
+		d.Rejections++
+		if r.member.Veto {
+			d.VetoedBy = r.member.Name
+		}
+	}
+	d.Approved = d.VetoedBy == "" && d.Approvals >= b.Threshold
+	return d
+}
+
+func (ev *Evaluator) ask(ctx context.Context, member policy.BoardMember, req Request) (Verdict, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("board: encode request: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, ev.Timeout)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, member.URL, bytes.NewReader(raw))
+	if err != nil {
+		return Verdict{}, fmt.Errorf("board: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := ev.Client.Do(httpReq)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("board: reach %s: %w", member.Name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Verdict{}, fmt.Errorf("board: %s answered %d", member.Name, resp.StatusCode)
+	}
+	var v Verdict
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v); err != nil {
+		return Verdict{}, fmt.Errorf("board: decode verdict from %s: %w", member.Name, err)
+	}
+	return v, nil
+}
+
+// DigestPolicy computes the content digest members sign off on.
+func DigestPolicy(p *policy.Policy) [32]byte {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		panic(err) // policy is a plain data struct
+	}
+	return cryptoutil.Digest(raw)
+}

@@ -1,0 +1,232 @@
+package board
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/policy"
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+)
+
+type fixture struct {
+	ca      *cryptoutil.CertAuthority
+	ev      *Evaluator
+	members []*Member
+	board   policy.Board
+}
+
+// newFixture starts n approval services; vetoIdx members (by index) receive
+// veto rights. Decision functions are supplied per member.
+func newFixture(t *testing.T, decisions []ApprovalFunc, veto map[int]bool, opts map[int][]MemberOption) *fixture {
+	t.Helper()
+	ca, err := cryptoutil.NewCertAuthority("Approval Root", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{ca: ca, ev: NewEvaluator(ca, 2*time.Second)}
+	for i, d := range decisions {
+		memberOpts := []MemberOption{WithDecision(d)}
+		memberOpts = append(memberOpts, opts[i]...)
+		m, err := NewMember(memberName(i), memberOpts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Serve(ca); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		f.members = append(f.members, m)
+		f.board.Members = append(f.board.Members, m.Descriptor(veto[i]))
+	}
+	f.board.Threshold = len(decisions)
+	return f
+}
+
+func memberName(i int) string { return string(rune('a' + i)) }
+
+func req() Request {
+	return Request{PolicyName: "p", Operation: "update", Revision: 3, Digest: cryptoutil.Digest([]byte("new"))}
+}
+
+func TestUnanimousApproval(t *testing.T) {
+	f := newFixture(t, []ApprovalFunc{ApproveAll, ApproveAll, ApproveAll}, nil, nil)
+	d := f.ev.Evaluate(context.Background(), f.board, req())
+	if !d.Approved || d.Approvals != 3 {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestThresholdQuorum(t *testing.T) {
+	// f=1: 2-of-3 approvals suffice even with one Byzantine rejector.
+	f := newFixture(t, []ApprovalFunc{ApproveAll, ApproveAll, RejectAll}, nil, nil)
+	f.board.Threshold = 2
+	d := f.ev.Evaluate(context.Background(), f.board, req())
+	if !d.Approved || d.Approvals != 2 || d.Rejections != 1 {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestBelowThreshold(t *testing.T) {
+	f := newFixture(t, []ApprovalFunc{ApproveAll, RejectAll, RejectAll}, nil, nil)
+	f.board.Threshold = 2
+	d := f.ev.Evaluate(context.Background(), f.board, req())
+	if d.Approved {
+		t.Fatalf("approved below threshold: %+v", d)
+	}
+}
+
+func TestVetoOverridesQuorum(t *testing.T) {
+	// The data provider holds a veto (§III-C): even with quorum approvals,
+	// a veto rejection kills the change.
+	f := newFixture(t, []ApprovalFunc{ApproveAll, ApproveAll, RejectAll}, map[int]bool{2: true}, nil)
+	f.board.Threshold = 2
+	d := f.ev.Evaluate(context.Background(), f.board, req())
+	if d.Approved {
+		t.Fatalf("veto ignored: %+v", d)
+	}
+	if d.VetoedBy != memberName(2) {
+		t.Fatalf("VetoedBy = %q", d.VetoedBy)
+	}
+}
+
+func TestVetoApprovalStillCounts(t *testing.T) {
+	f := newFixture(t, []ApprovalFunc{ApproveAll, ApproveAll}, map[int]bool{1: true}, nil)
+	d := f.ev.Evaluate(context.Background(), f.board, req())
+	if !d.Approved {
+		t.Fatalf("approving veto member blocked the change: %+v", d)
+	}
+}
+
+func TestGarbageSignaturesDontCount(t *testing.T) {
+	// A Byzantine member emitting invalid signatures contributes nothing:
+	// it can neither approve nor (non-veto) reject.
+	f := newFixture(t, []ApprovalFunc{ApproveAll, ApproveAll, ApproveAll},
+		nil, map[int][]MemberOption{2: {WithGarbageSignatures()}})
+	f.board.Threshold = 3
+	d := f.ev.Evaluate(context.Background(), f.board, req())
+	if d.Approved {
+		t.Fatalf("garbage signature counted as approval: %+v", d)
+	}
+	if len(d.Failures) != 1 {
+		t.Fatalf("failures = %v", d.Failures)
+	}
+	f.board.Threshold = 2
+	d = f.ev.Evaluate(context.Background(), f.board, req())
+	if !d.Approved {
+		t.Fatalf("honest quorum blocked by Byzantine member: %+v", d)
+	}
+}
+
+func TestUnreachableMember(t *testing.T) {
+	f := newFixture(t, []ApprovalFunc{ApproveAll, ApproveAll}, nil, nil)
+	// Add a member whose service was never started.
+	ghost, err := NewMember("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := ghost.Descriptor(false)
+	desc.URL = "https://127.0.0.1:1/approve" // nothing listens there
+	f.board.Members = append(f.board.Members, desc)
+	f.board.Threshold = 2
+	d := f.ev.Evaluate(context.Background(), f.board, req())
+	if !d.Approved {
+		t.Fatalf("unreachable member blocked quorum: %+v", d)
+	}
+	if len(d.Failures) != 1 {
+		t.Fatalf("failures = %v", d.Failures)
+	}
+}
+
+func TestStallingMemberTimesOut(t *testing.T) {
+	f := newFixture(t, []ApprovalFunc{ApproveAll, ApproveAll, ApproveAll},
+		nil, map[int][]MemberOption{2: {WithDelay(5 * time.Second)}})
+	f.ev.Timeout = 300 * time.Millisecond
+	f.ev.Client.Timeout = 300 * time.Millisecond
+	f.board.Threshold = 2
+	start := time.Now()
+	d := f.ev.Evaluate(context.Background(), f.board, req())
+	if !d.Approved {
+		t.Fatalf("stalling member blocked quorum: %+v", d)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("evaluation waited for the stalling member")
+	}
+}
+
+func TestEmptyBoardApproves(t *testing.T) {
+	ca, err := cryptoutil.NewCertAuthority("Root", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(ca, time.Second)
+	d := ev.Evaluate(context.Background(), policy.Board{}, req())
+	if !d.Approved {
+		t.Fatal("empty board must approve (single-client control)")
+	}
+}
+
+func TestVerdictSignatureBinding(t *testing.T) {
+	m, err := NewMember("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := req()
+	v := Verdict{Member: "alice", Approve: true, Signature: m.Signer.Sign(r.signedBytes(true))}
+	desc := m.Descriptor(false)
+	if err := VerifyVerdict(r, v, desc); err != nil {
+		t.Fatalf("VerifyVerdict: %v", err)
+	}
+	// Replaying an approval as a rejection (or vice versa) must fail.
+	v2 := v
+	v2.Approve = false
+	if err := VerifyVerdict(r, v2, desc); err == nil {
+		t.Fatal("flipped verdict verified")
+	}
+	// Replaying against a different request must fail.
+	r2 := r
+	r2.Revision = 4
+	if err := VerifyVerdict(r2, v, desc); err == nil {
+		t.Fatal("verdict verified for different revision")
+	}
+	r3 := r
+	r3.Digest = cryptoutil.Digest([]byte("other content"))
+	if err := VerifyVerdict(r3, v, desc); err == nil {
+		t.Fatal("verdict verified for different content digest")
+	}
+}
+
+func TestEnclaveMemberCharges(t *testing.T) {
+	p, err := sgx.NewPlatform(sgx.Options{Clock: simclock.Wall{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(sgx.Binary{Name: "approval", Code: []byte("svc")}, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	f := newFixture(t, []ApprovalFunc{ApproveAll}, nil,
+		map[int][]MemberOption{0: {WithEnclave(e)}})
+	d := f.ev.Evaluate(context.Background(), f.board, req())
+	if !d.Approved {
+		t.Fatalf("decision = %+v", d)
+	}
+	exits, _ := e.Stats()
+	if exits == 0 {
+		t.Fatal("enclave member charged no syscalls")
+	}
+}
+
+func TestDigestPolicyDistinguishesContent(t *testing.T) {
+	a := &policy.Policy{Name: "p", Revision: 1}
+	b := &policy.Policy{Name: "p", Revision: 2}
+	if DigestPolicy(a) == DigestPolicy(b) {
+		t.Fatal("different policies share a digest")
+	}
+	if DigestPolicy(a) != DigestPolicy(&policy.Policy{Name: "p", Revision: 1}) {
+		t.Fatal("digest not deterministic")
+	}
+}

@@ -1,0 +1,196 @@
+// Package ca implements the PALÆMON certification authority (§III-B, §IV-B).
+//
+// The CA runs inside a TEE and embeds the set of valid PALÆMON MRENCLAVEs in
+// its binary: it first explicitly attests a PALÆMON instance (verifying its
+// quote and checking the MRE against the embedded set), and only then issues
+// a short-lived TLS certificate signed by the root certificate (RC). Clients
+// that trust the RC attest an instance simply by checking its TLS
+// certificate chain. Because the MRE set is baked into the CA's measured
+// binary, deploying a new PALÆMON version requires deploying a new CA — and
+// CA updates are themselves controlled by a policy board (§III-B).
+package ca
+
+import (
+	"crypto/ecdsa"
+	"crypto/ed25519"
+	"crypto/elliptic"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/sgx"
+)
+
+var (
+	// ErrMRENotTrusted reports an instance whose measurement is not in the
+	// CA's embedded set.
+	ErrMRENotTrusted = errors.New("ca: MRENCLAVE not in the trusted set")
+	// ErrQuoteRejected reports attestation failure.
+	ErrQuoteRejected = errors.New("ca: instance attestation failed")
+)
+
+// Config is the CA's "binary-embedded" configuration. Changing any field
+// models shipping a new CA binary with a new measurement.
+type Config struct {
+	// TrustedMREs is the set of PALÆMON measurements the CA will certify.
+	TrustedMREs []sgx.Measurement
+	// CertValidity bounds issued certificates; short lifetimes force
+	// timely upgrades to new PALÆMON versions (§III-B).
+	CertValidity time.Duration
+	// RootValidity bounds the root certificate.
+	RootValidity time.Duration
+}
+
+// Authority is a running PALÆMON CA.
+type Authority struct {
+	root    *cryptoutil.CertAuthority
+	enclave *sgx.Enclave
+
+	mu     sync.RWMutex
+	cfg    Config
+	issued uint64
+}
+
+// New launches the CA "inside" the given platform: the CA binary's code is
+// derived from the configuration so that a different trusted-MRE set yields
+// a different CA measurement, as in the paper.
+func New(platform *sgx.Platform, cfg Config) (*Authority, error) {
+	if cfg.CertValidity <= 0 {
+		cfg.CertValidity = 24 * time.Hour
+	}
+	if cfg.RootValidity <= 0 {
+		cfg.RootValidity = 90 * 24 * time.Hour
+	}
+	root, err := cryptoutil.NewCertAuthority("Palaemon CA", cfg.RootValidity)
+	if err != nil {
+		return nil, fmt.Errorf("ca: create root: %w", err)
+	}
+	enclave, err := platform.Launch(binaryFor(cfg), sgx.LaunchOptions{HeapBytes: 4 << 20})
+	if err != nil {
+		return nil, fmt.Errorf("ca: launch enclave: %w", err)
+	}
+	return &Authority{root: root, enclave: enclave, cfg: cfg}, nil
+}
+
+// binaryFor encodes the configuration into the measured CA binary.
+func binaryFor(cfg Config) sgx.Binary {
+	payload := struct {
+		MREs     []sgx.Measurement `json:"mres"`
+		Validity time.Duration     `json:"validity"`
+	}{cfg.TrustedMREs, cfg.CertValidity}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		panic(err) // fixed shape
+	}
+	code := append([]byte("palaemon-ca-v1\x00"), raw...)
+	return sgx.Binary{Name: "palaemon-ca", Code: code}
+}
+
+// MRE returns the CA's own measurement, which clients attest explicitly.
+func (a *Authority) MRE() sgx.Measurement { return a.enclave.MRE() }
+
+// Enclave exposes the CA enclave (for clients performing explicit
+// attestation of the CA itself).
+func (a *Authority) Enclave() *sgx.Enclave { return a.enclave }
+
+// Root exposes the root certificate authority for building client pools.
+func (a *Authority) Root() *cryptoutil.CertAuthority { return a.root }
+
+// TrustedMREs returns a copy of the embedded set.
+func (a *Authority) TrustedMREs() []sgx.Measurement {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return append([]sgx.Measurement(nil), a.cfg.TrustedMREs...)
+}
+
+// Issued reports the number of certificates issued.
+func (a *Authority) Issued() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.issued
+}
+
+// CertRequest is a PALÆMON instance's request for a TLS certificate.
+type CertRequest struct {
+	// Evidence carries the instance's quote binding its identity key.
+	Evidence attest.Evidence
+	// QuotingKey is the platform quoting key (learned by the CA out of
+	// band in a deployment; carried here for the simulated platform).
+	QuotingKey ed25519.PublicKey
+	// CommonName for the certificate (instance address).
+	CommonName string
+	// IPs for the SAN.
+	IPs []net.IP
+}
+
+// Certify attests the instance and issues a certificate for the quoted
+// session key. The certificate's public key is an ECDSA key the instance
+// sends as its session key material; the quote binds its hash.
+func (a *Authority) Certify(req CertRequest, instancePub *ecdsa.PublicKey) (*cryptoutil.Issued, error) {
+	if err := attest.VerifyBinding(req.Evidence, req.QuotingKey); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrQuoteRejected, err)
+	}
+	a.mu.RLock()
+	trusted := false
+	for _, m := range a.cfg.TrustedMREs {
+		if m == req.Evidence.Quote.MRE {
+			trusted = true
+			break
+		}
+	}
+	validity := a.cfg.CertValidity
+	a.mu.RUnlock()
+	if !trusted {
+		return nil, fmt.Errorf("%w: %s", ErrMRENotTrusted, req.Evidence.Quote.MRE)
+	}
+	iss, err := a.root.IssueForKey(cryptoutil.IssueOptions{
+		CommonName: req.CommonName,
+		IPs:        req.IPs,
+		Validity:   validity,
+	}, instancePub)
+	if err != nil {
+		return nil, fmt.Errorf("ca: issue: %w", err)
+	}
+	a.mu.Lock()
+	a.issued++
+	a.mu.Unlock()
+	return iss, nil
+}
+
+// GenerateInstanceKey creates the ECDSA key pair a PALÆMON instance uses as
+// its TLS identity; the private key never leaves the instance.
+func GenerateInstanceKey() (*ecdsa.PrivateKey, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ca: generate instance key: %w", err)
+	}
+	return key, nil
+}
+
+// Rotate models a secure CA update: shipping a new binary with a new
+// trusted-MRE set. It returns a NEW Authority (new enclave, new MRE) that
+// shares the root key — exactly the deployment flow in §III-B where the
+// root of trust (RC) persists while the CA binary revs. The caller is
+// responsible for having obtained policy-board approval.
+func (a *Authority) Rotate(platform *sgx.Platform, cfg Config) (*Authority, error) {
+	if cfg.CertValidity <= 0 {
+		cfg.CertValidity = a.cfg.CertValidity
+	}
+	if cfg.RootValidity <= 0 {
+		cfg.RootValidity = a.cfg.RootValidity
+	}
+	enclave, err := platform.Launch(binaryFor(cfg), sgx.LaunchOptions{HeapBytes: 4 << 20})
+	if err != nil {
+		return nil, fmt.Errorf("ca: launch rotated enclave: %w", err)
+	}
+	return &Authority{root: a.root, enclave: enclave, cfg: cfg}, nil
+}
+
+// Close releases the CA enclave.
+func (a *Authority) Close() { a.enclave.Destroy() }

@@ -1,0 +1,232 @@
+package ca
+
+import (
+	"crypto/x509"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+)
+
+func platform(t *testing.T) *sgx.Platform {
+	t.Helper()
+	p, err := sgx.NewPlatform(sgx.Options{Clock: simclock.NewVirtual()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCertifyTrustedInstance(t *testing.T) {
+	p := platform(t)
+	palaemonBin := sgx.Binary{Name: "palaemon", Code: []byte("palaemon-v1")}
+	authority, err := New(p, Config{
+		TrustedMREs:  []sgx.Measurement{palaemonBin.Measure()},
+		CertValidity: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer authority.Close()
+
+	// The instance launches, creates its identity key, and requests a cert.
+	enclave, err := p.Launch(palaemonBin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	instKey, err := GenerateInstanceKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(&instKey.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := attest.Evidence{
+		PolicyName: "palaemon", ServiceName: "palaemon",
+		SessionKey: pubDER,
+		Quote:      quoteFor(enclave, pubDER),
+	}
+	iss, err := authority.Certify(CertRequest{
+		Evidence:   ev,
+		QuotingKey: p.QuotingKey(),
+		CommonName: "palaemon-instance",
+		IPs:        []net.IP{net.IPv4(127, 0, 0, 1)},
+	}, &instKey.PublicKey)
+	if err != nil {
+		t.Fatalf("Certify: %v", err)
+	}
+	// The issued certificate chains to the CA root.
+	if _, err := iss.Leaf.Verify(x509.VerifyOptions{Roots: authority.Root().Pool()}); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	// Short-lived: validity stays within the configured bound.
+	if iss.Leaf.NotAfter.Sub(iss.Leaf.NotBefore) > 2*time.Hour {
+		t.Fatal("certificate validity exceeds configuration")
+	}
+	if authority.Issued() != 1 {
+		t.Fatalf("Issued = %d", authority.Issued())
+	}
+}
+
+func quoteFor(e *sgx.Enclave, sessionKey []byte) sgx.Quote {
+	h := attest.KeyHash(sessionKey)
+	return e.GetQuote(h[:])
+}
+
+func TestCertifyRejectsUnknownMRE(t *testing.T) {
+	p := platform(t)
+	trusted := sgx.Binary{Name: "palaemon", Code: []byte("palaemon-v1")}
+	authority, err := New(p, Config{TrustedMREs: []sgx.Measurement{trusted.Measure()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer authority.Close()
+
+	// A provider runs a modified PALÆMON: different code, different MRE.
+	evil := sgx.Binary{Name: "palaemon", Code: []byte("palaemon-v1-backdoored")}
+	enclave, err := p.Launch(evil, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	instKey, err := GenerateInstanceKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(&instKey.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := attest.Evidence{SessionKey: pubDER, Quote: quoteFor(enclave, pubDER)}
+	_, err = authority.Certify(CertRequest{Evidence: ev, QuotingKey: p.QuotingKey()}, &instKey.PublicKey)
+	if !errors.Is(err, ErrMRENotTrusted) {
+		t.Fatalf("want ErrMRENotTrusted, got %v", err)
+	}
+}
+
+func TestCertifyRejectsBadBinding(t *testing.T) {
+	p := platform(t)
+	bin := sgx.Binary{Name: "palaemon", Code: []byte("v1")}
+	authority, err := New(p, Config{TrustedMREs: []sgx.Measurement{bin.Measure()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer authority.Close()
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	instKey, err := GenerateInstanceKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quote binds a DIFFERENT key than the one requesting certification.
+	otherKey, err := GenerateInstanceKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherDER, err := x509.MarshalPKIXPublicKey(&otherKey.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(&instKey.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := attest.Evidence{SessionKey: pubDER, Quote: quoteFor(enclave, otherDER)}
+	_, err = authority.Certify(CertRequest{Evidence: ev, QuotingKey: p.QuotingKey()}, &instKey.PublicKey)
+	if !errors.Is(err, ErrQuoteRejected) {
+		t.Fatalf("want ErrQuoteRejected, got %v", err)
+	}
+}
+
+func TestMREChangesWithTrustedSet(t *testing.T) {
+	p := platform(t)
+	v1 := sgx.Binary{Code: []byte("palaemon-v1")}.Measure()
+	v2 := sgx.Binary{Code: []byte("palaemon-v2")}.Measure()
+	a1, err := New(p, Config{TrustedMREs: []sgx.Measurement{v1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	a2, err := New(p, Config{TrustedMREs: []sgx.Measurement{v1, v2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	// Embedding a different MRE set yields a different CA binary, hence a
+	// different CA measurement: an adversary cannot extend the set without
+	// invalidating the CA's MRE (§III-B).
+	if a1.MRE() == a2.MRE() {
+		t.Fatal("CA MRE independent of embedded trusted set")
+	}
+}
+
+func TestRotateKeepsRootExtendsSet(t *testing.T) {
+	p := platform(t)
+	v1 := sgx.Binary{Code: []byte("palaemon-v1")}
+	v2 := sgx.Binary{Code: []byte("palaemon-v2")}
+	a1, err := New(p, Config{TrustedMREs: []sgx.Measurement{v1.Measure()}, CertValidity: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+
+	a2, err := a1.Rotate(p, Config{TrustedMREs: []sgx.Measurement{v1.Measure(), v2.Measure()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if a2.MRE() == a1.MRE() {
+		t.Fatal("rotated CA kept the old measurement")
+	}
+	// Root persists: certs from the rotated CA chain to the same root.
+	enclave, err := p.Launch(v2, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	instKey, err := GenerateInstanceKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(&instKey.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := attest.Evidence{SessionKey: pubDER, Quote: quoteFor(enclave, pubDER)}
+	iss, err := a2.Certify(CertRequest{Evidence: ev, QuotingKey: p.QuotingKey(), CommonName: "i2"}, &instKey.PublicKey)
+	if err != nil {
+		t.Fatalf("Certify v2 on rotated CA: %v", err)
+	}
+	if _, err := iss.Leaf.Verify(x509.VerifyOptions{Roots: a1.Root().Pool()}); err != nil {
+		t.Fatalf("rotated CA cert does not chain to original root: %v", err)
+	}
+	// The OLD CA must still refuse v2.
+	_, err = a1.Certify(CertRequest{Evidence: ev, QuotingKey: p.QuotingKey()}, &instKey.PublicKey)
+	if !errors.Is(err, ErrMRENotTrusted) {
+		t.Fatalf("old CA accepted v2: %v", err)
+	}
+}
+
+func TestTrustedMREsCopy(t *testing.T) {
+	p := platform(t)
+	v1 := sgx.Binary{Code: []byte("v1")}.Measure()
+	a, err := New(p, Config{TrustedMREs: []sgx.Measurement{v1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	got := a.TrustedMREs()
+	got[0][0] ^= 0xFF
+	if a.TrustedMREs()[0] != v1 {
+		t.Fatal("TrustedMREs exposed internal state")
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fspf"
+	"palaemon/internal/policy"
+)
+
+// AppConfig is the configuration PALÆMON releases to an attested
+// application (§IV-A): command line, environment, file-system keys and
+// tags, and the injection files with secrets substituted.
+type AppConfig struct {
+	// Command is the command line with secrets substituted.
+	Command string `json:"command"`
+	// Environment carries substituted environment variables.
+	Environment map[string]string `json:"environment,omitempty"`
+	// FSPFKey is the file-system shield key.
+	FSPFKey cryptoutil.Key `json:"fspf_key"`
+	// ExpectedTag is the tag the runtime must verify on volume open; zero
+	// for a fresh volume.
+	ExpectedTag fspf.Tag `json:"expected_tag"`
+	// InjectionFiles map path -> content with secrets substituted.
+	InjectionFiles map[string]string `json:"injection_files,omitempty"`
+	// Secrets carries the policy's secret values for the runtime's own
+	// variable substitution on reads.
+	Secrets map[string]string `json:"secrets,omitempty"`
+	// SessionToken authenticates subsequent tag pushes for this execution.
+	SessionToken string `json:"session_token"`
+	// Epoch is this execution's tag-push epoch.
+	Epoch uint64 `json:"epoch"`
+	// StrictMode echoes the policy's strict flag.
+	StrictMode bool `json:"strict_mode"`
+}
+
+// AttestApplication verifies application evidence against the named policy
+// and, on success, releases the service configuration (§IV-A). The quoting
+// key is the platform's, known to the instance (in a deployment PALÆMON
+// verifies via IAS or a cached QE identity; the trust decision is
+// identical).
+func (i *Instance) AttestApplication(ev attest.Evidence, quotingKey ed25519.PublicKey) (*AppConfig, error) {
+	if err := i.begin(); err != nil {
+		return nil, err
+	}
+	defer i.end()
+
+	// (i) the TLS session key must match the quote's report data, and the
+	// quote signature must verify.
+	if err := attest.VerifyBinding(ev, quotingKey); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	// (ii) the policy must exist and permit the MRE.
+	p, err := i.resolvePolicy(ev.PolicyName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	svc, ok := p.FindService(ev.ServiceName)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown service %q", ErrAttestation, ev.ServiceName)
+	}
+	if !svc.PermittedMRE(ev.Quote.MRE) {
+		return nil, fmt.Errorf("%w: %v", ErrAttestation, attest.ErrMRENotPermitted)
+	}
+	// (iii) the platform must be permitted.
+	if !svc.PermittedPlatform(ev.Quote.Platform) {
+		return nil, fmt.Errorf("%w: %v", ErrAttestation, attest.ErrPlatformNotPermitted)
+	}
+
+	// Strict mode: refuse restart unless the previous execution exited
+	// cleanly (pushed its final tag), §III-D.
+	rec, err := i.tagRecordFor(ev.PolicyName, ev.ServiceName)
+	if err != nil {
+		return nil, err
+	}
+	if svc.StrictMode && rec.Epoch > 0 && !rec.CleanExit {
+		return nil, fmt.Errorf("%w: policy %s service %s", ErrStrictRestart, ev.PolicyName, ev.ServiceName)
+	}
+
+	// The expected tag: prefer the live record (kept current by pushes),
+	// fall back to the policy's permitted tags.
+	var expected fspf.Tag
+	if rec.Tag != "" {
+		parsed, err := policy.ParseTag(rec.Tag)
+		if err != nil {
+			return nil, fmt.Errorf("core: stored tag corrupt: %w", err)
+		}
+		expected = parsed
+	} else if len(svc.FSPFTags) > 0 {
+		expected = svc.FSPFTags[0]
+	}
+	if !expected.IsZero() && !svc.PermittedTag(expected) && len(svc.FSPFTags) > 0 {
+		// The stored tag drifted outside the policy's permitted set; a
+		// policy update (board-approved) is required to accept it.
+		return nil, fmt.Errorf("%w: stored tag not permitted by policy", ErrAttestation)
+	}
+
+	// Build the released configuration.
+	secrets := p.SecretValues()
+	cfg := &AppConfig{
+		Command:     policy.Substitute(svc.Command, secrets),
+		Environment: make(map[string]string, len(svc.Environment)),
+		ExpectedTag: expected,
+		Secrets:     secrets,
+		StrictMode:  svc.StrictMode,
+	}
+	for k, v := range svc.Environment {
+		cfg.Environment[k] = policy.Substitute(v, secrets)
+	}
+	if len(svc.InjectionFiles) > 0 {
+		cfg.InjectionFiles = make(map[string]string, len(svc.InjectionFiles))
+		for _, f := range svc.InjectionFiles {
+			cfg.InjectionFiles[f.Path] = policy.Substitute(f.Template, secrets)
+		}
+	}
+	if svc.FSPFKey != "" {
+		key, err := cryptoutil.KeyFromHex(svc.FSPFKey)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy FSPF key: %w", err)
+		}
+		cfg.FSPFKey = key
+	} else {
+		// First execution: mint the volume key and persist it in the
+		// stored policy so restarts decrypt the same volume.
+		key, err := cryptoutil.NewKey()
+		if err != nil {
+			return nil, err
+		}
+		cfg.FSPFKey = key
+		stored, err := i.getPolicy(ev.PolicyName)
+		if err != nil {
+			return nil, err
+		}
+		if s, ok := stored.FindService(ev.ServiceName); ok {
+			s.FSPFKey = key.Hex()
+		}
+		if err := i.putPolicy(stored); err != nil {
+			return nil, err
+		}
+	}
+
+	// Open a tag-push session for this execution.
+	tokenKey, err := cryptoutil.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	token := hex.EncodeToString(tokenKey[:])
+	rec.Epoch++
+	rec.Running = true
+	rec.CleanExit = false
+	if err := i.putTagRecord(ev.PolicyName, ev.ServiceName, rec); err != nil {
+		return nil, err
+	}
+	cfg.Epoch = rec.Epoch
+	cfg.SessionToken = token
+
+	i.mu.Lock()
+	i.sessions[token] = &session{
+		policyName:  ev.PolicyName,
+		serviceName: ev.ServiceName,
+		sessionKey:  append([]byte(nil), ev.SessionKey...),
+		epoch:       rec.Epoch,
+	}
+	i.mu.Unlock()
+	return cfg, nil
+}
+
+// PushTag stores a new expected tag for the session's service. The runtime
+// calls this on every file close and sync (§III-D).
+func (i *Instance) PushTag(token string, tag fspf.Tag) error {
+	if err := i.begin(); err != nil {
+		return err
+	}
+	defer i.end()
+	return i.pushTag(token, tag, false)
+}
+
+// NotifyExit records a clean exit with the final tag, unblocking
+// strict-mode restarts.
+func (i *Instance) NotifyExit(token string, tag fspf.Tag) error {
+	// Exit notifications are accepted during drain: a terminating PALÆMON
+	// still lets applications hand off their final tags (Fig 6's "existing
+	// requests are still processed").
+	i.mu.RLock()
+	closed := i.closed
+	i.mu.RUnlock()
+	if closed {
+		return ErrDraining
+	}
+	i.inflight.Add(1)
+	defer i.inflight.Done()
+	return i.pushTag(token, tag, true)
+}
+
+func (i *Instance) pushTag(token string, tag fspf.Tag, exit bool) error {
+	i.mu.RLock()
+	sess, ok := i.sessions[token]
+	i.mu.RUnlock()
+	if !ok {
+		return ErrStaleTag
+	}
+	rec, err := i.tagRecordFor(sess.policyName, sess.serviceName)
+	if err != nil {
+		return err
+	}
+	if rec.Epoch != sess.epoch {
+		// A newer execution superseded this session: a zombie process must
+		// not clobber its successor's expected tags.
+		return fmt.Errorf("%w: epoch %d, current %d", ErrStaleTag, sess.epoch, rec.Epoch)
+	}
+	rec.Tag = tag.String()
+	if exit {
+		rec.Running = false
+		rec.CleanExit = true
+	}
+	if err := i.putTagRecord(sess.policyName, sess.serviceName, rec); err != nil {
+		return err
+	}
+	if exit {
+		i.mu.Lock()
+		delete(i.sessions, token)
+		i.mu.Unlock()
+	}
+	return nil
+}
+
+// ExpectedTag reads the stored expected tag for diagnostics and benches.
+func (i *Instance) ExpectedTag(policyName, serviceName string) (fspf.Tag, error) {
+	if err := i.begin(); err != nil {
+		return fspf.Tag{}, err
+	}
+	defer i.end()
+	rec, err := i.tagRecordFor(policyName, serviceName)
+	if err != nil {
+		return fspf.Tag{}, err
+	}
+	if rec.Tag == "" {
+		return fspf.Tag{}, nil
+	}
+	return policy.ParseTag(rec.Tag)
+}
+
+func tagKey(policyName, serviceName string) string { return policyName + "\x00" + serviceName }
+
+func (i *Instance) tagRecordFor(policyName, serviceName string) (tagRecord, error) {
+	i.mu.RLock()
+	raw, err := i.db.Get(bucketTags, tagKey(policyName, serviceName))
+	i.mu.RUnlock()
+	if err != nil {
+		return tagRecord{}, nil // fresh record
+	}
+	var rec tagRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return tagRecord{}, fmt.Errorf("core: decode tag record: %w", err)
+	}
+	return rec, nil
+}
+
+func (i *Instance) putTagRecord(policyName, serviceName string, rec tagRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("core: encode tag record: %w", err)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if err := i.db.Put(bucketTags, tagKey(policyName, serviceName), raw); err != nil {
+		return fmt.Errorf("core: store tag record: %w", err)
+	}
+	return nil
+}

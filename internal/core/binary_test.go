@@ -1,0 +1,23 @@
+package core
+
+import "testing"
+
+// TestDefaultBinaryPinned pins the default PALÆMON binary bytes: the
+// measurement derived from them is embedded in CA trusted sets and
+// duplicated (without an import, by design) in cmd/palaemon-ca. Changing
+// the binary is a PALÆMON version bump and must be done deliberately —
+// update cmd/palaemon-ca's defaultPalaemonMRE alongside this test.
+func TestDefaultBinaryPinned(t *testing.T) {
+	want := "palaemon-tms-v1.0\x00trust management service reference implementation"
+	bin := DefaultBinary()
+	if string(bin.Code) != want {
+		t.Fatalf("default binary changed: %q", bin.Code)
+	}
+	if bin.Name != "palaemon" {
+		t.Fatalf("default binary name %q", bin.Name)
+	}
+	// The measurement is stable across calls.
+	if DefaultBinary().Measure() != bin.Measure() {
+		t.Fatal("default binary measurement unstable")
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fspf"
+	"palaemon/internal/ias"
+	"palaemon/internal/policy"
+	"palaemon/internal/simclock"
+	"palaemon/internal/simnet"
+)
+
+// Client talks to a PALÆMON instance over its REST/TLS API. It implements
+// both attestation paths of §IV-B: TLS-based (verify the server certificate
+// against the PALÆMON CA root) and explicit (fetch the IAS report, verify
+// it, check the MRE, and challenge the identity key).
+type Client struct {
+	base    string
+	http    *http.Client
+	profile simnet.Profile
+	clock   simclock.Clock
+	seq     uint64
+}
+
+// ClientOptions configures a client.
+type ClientOptions struct {
+	// BaseURL is the instance endpoint.
+	BaseURL string
+	// Roots trusts the PALÆMON CA root; nil skips TLS verification (the
+	// client must then use explicit attestation before trusting anything).
+	Roots *x509.CertPool
+	// Certificate is the client certificate used for policy access.
+	Certificate *tls.Certificate
+	// Profile models the network distance to the instance (Fig 12);
+	// Loopback by default.
+	Profile simnet.Profile
+	// Clock sleeps the modelled distance; defaults to wall clock.
+	Clock simclock.Clock
+	// Timeout bounds each request.
+	Timeout time.Duration
+}
+
+// NewClient constructs a client.
+func NewClient(opts ClientOptions) *Client {
+	tlsCfg := &tls.Config{MinVersion: tls.VersionTLS13}
+	if opts.Roots != nil {
+		tlsCfg.RootCAs = opts.Roots
+	} else {
+		tlsCfg.InsecureSkipVerify = true
+	}
+	if opts.Certificate != nil {
+		tlsCfg.Certificates = []tls.Certificate{*opts.Certificate}
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.Clock == nil {
+		opts.Clock = simclock.Wall{}
+	}
+	if opts.Profile.Name == "" {
+		opts.Profile = simnet.Loopback
+	}
+	return &Client{
+		base: opts.BaseURL,
+		http: &http.Client{
+			Transport: &http.Transport{TLSClientConfig: tlsCfg},
+			Timeout:   opts.Timeout,
+		},
+		profile: opts.Profile,
+		clock:   opts.Clock,
+	}
+}
+
+// NewClientCertificate mints a self-signed client certificate; its
+// fingerprint becomes the client's identity at the instance (§IV-E).
+func NewClientCertificate(commonName string) (*tls.Certificate, ClientID, error) {
+	// A throwaway CA issuing a single leaf keeps the code path uniform.
+	selfCA, err := cryptoutil.NewCertAuthority("client-"+commonName, 365*24*time.Hour)
+	if err != nil {
+		return nil, ClientID{}, err
+	}
+	iss, err := selfCA.Issue(cryptoutil.IssueOptions{
+		CommonName: commonName,
+		Validity:   365 * 24 * time.Hour,
+		Client:     true,
+	})
+	if err != nil {
+		return nil, ClientID{}, err
+	}
+	cert := iss.TLSCertificate()
+	return &cert, ClientID(cryptoutil.CertFingerprint(iss.CertDER)), nil
+}
+
+// charge models the WAN round trip for one request/response pair.
+func (c *Client) charge(reqBytes, respBytes int, tracker *simclock.Tracker) {
+	c.seq++
+	d := c.profile.RoundTrip(reqBytes, respBytes, c.seq)
+	if tracker != nil {
+		tracker.Add("network", d)
+		return
+	}
+	c.clock.Sleep(d)
+}
+
+// do performs a JSON request.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, tracker *simclock.Tracker) error {
+	var body []byte
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("core: encode request: %w", err)
+		}
+		body = raw
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("core: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("core: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return fmt.Errorf("core: read response: %w", err)
+	}
+	c.charge(len(body), len(raw), tracker)
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return remoteError(resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("core: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("core: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// remoteError maps HTTP statuses back onto the sentinel errors so callers
+// can errors.Is across the wire.
+func remoteError(status int, msg string) error {
+	var sentinel error
+	switch status {
+	case http.StatusNotFound:
+		sentinel = ErrPolicyNotFound
+	case http.StatusForbidden:
+		sentinel = ErrAccessDenied
+	case http.StatusConflict:
+		sentinel = ErrPolicyExists
+	case http.StatusUnauthorized:
+		sentinel = ErrAttestation
+	case http.StatusServiceUnavailable:
+		sentinel = ErrDraining
+	default:
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%w: %s", sentinel, msg)
+}
+
+// CreatePolicy uploads a new policy.
+func (c *Client) CreatePolicy(ctx context.Context, p *policy.Policy) error {
+	return c.do(ctx, http.MethodPost, "/policies", p, nil, nil)
+}
+
+// ReadPolicy fetches a policy with secrets (creator certificate required).
+func (c *Client) ReadPolicy(ctx context.Context, name string) (*policy.Policy, error) {
+	var p policy.Policy
+	if err := c.do(ctx, http.MethodGet, "/policies/"+name, nil, &p, nil); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// UpdatePolicy replaces policy content (board approval happens server-side).
+func (c *Client) UpdatePolicy(ctx context.Context, p *policy.Policy) error {
+	return c.do(ctx, http.MethodPut, "/policies/"+p.Name, p, nil, nil)
+}
+
+// DeletePolicy removes a policy.
+func (c *Client) DeletePolicy(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/policies/"+name, nil, nil, nil)
+}
+
+// FetchSecrets retrieves secret values (Fig 12). tracker, when non-nil,
+// receives the modelled network latency instead of sleeping.
+func (c *Client) FetchSecrets(ctx context.Context, policyName string, names []string, tracker *simclock.Tracker) (map[string]string, error) {
+	var out map[string]string
+	req := fetchSecretsRequest{Names: names}
+	if err := c.do(ctx, http.MethodPost, "/policies/"+policyName+"/secrets", req, &out, tracker); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Attest submits application evidence and returns the released config.
+func (c *Client) Attest(ctx context.Context, ev attest.Evidence, quotingKey []byte, tracker *simclock.Tracker) (*AppConfig, error) {
+	var cfg AppConfig
+	req := attestRequest{Evidence: ev, QuotingKey: quotingKey}
+	if err := c.do(ctx, http.MethodPost, "/attest", req, &cfg, tracker); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// PushTag sends an expected-tag update for an attested session.
+func (c *Client) PushTag(ctx context.Context, token string, tag fspf.Tag, tracker *simclock.Tracker) error {
+	return c.do(ctx, http.MethodPost, "/tags", tagPush{Token: token, Tag: tag}, nil, tracker)
+}
+
+// NotifyExit reports a clean exit with the final tag.
+func (c *Client) NotifyExit(ctx context.Context, token string, tag fspf.Tag) error {
+	return c.do(ctx, http.MethodPost, "/exit", tagPush{Token: token, Tag: tag}, nil, nil)
+}
+
+// ReadTag fetches the stored expected tag for a service.
+func (c *Client) ReadTag(ctx context.Context, policyName, serviceName string, tracker *simclock.Tracker) (string, error) {
+	var out map[string]string
+	path := "/tags/" + policyName + "/" + serviceName
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, tracker); err != nil {
+		return "", err
+	}
+	return out["tag"], nil
+}
+
+// Attestation fetches the explicit-attestation document.
+func (c *Client) Attestation(ctx context.Context) (*AttestationDoc, error) {
+	var doc AttestationDoc
+	if err := c.do(ctx, http.MethodGet, "/attestation", nil, &doc, nil); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// VerifyInstance performs explicit attestation (§IV-B): fetch the report,
+// verify the IAS signature, check the MRE against the expected set, then
+// challenge the instance to prove possession of the reported key.
+func (c *Client) VerifyInstance(ctx context.Context, iasPub []byte, expectedMREs []string) error {
+	doc, err := c.Attestation(ctx)
+	if err != nil {
+		return err
+	}
+	if doc.Report == nil {
+		return errors.New("core: instance offers no attestation report")
+	}
+	if err := ias.VerifyReport(*doc.Report, iasPub); err != nil {
+		return fmt.Errorf("core: instance report: %w", err)
+	}
+	if doc.Report.Status != ias.StatusOK {
+		return fmt.Errorf("core: instance platform status %s", doc.Report.Status)
+	}
+	mreOK := false
+	for _, m := range expectedMREs {
+		if doc.MRE == m {
+			mreOK = true
+			break
+		}
+	}
+	if !mreOK {
+		return fmt.Errorf("core: instance MRE %s not in expected set", doc.MRE)
+	}
+	// The report must bind the served public key.
+	keyHash := attest.KeyHash(doc.PublicKey)
+	if len(doc.Report.ReportData) != len(keyHash) || !bytes.Equal(doc.Report.ReportData, keyHash[:]) {
+		return errors.New("core: report does not bind the instance key")
+	}
+	// Prove liveness/possession.
+	ch, err := attest.NewChallenge()
+	if err != nil {
+		return err
+	}
+	var resp attest.Response
+	if err := c.do(ctx, http.MethodPost, "/challenge", challengeExchange{Challenge: ch}, &resp, nil); err != nil {
+		return err
+	}
+	if err := attest.VerifyResponse(ch, resp, doc.PublicKey, "palaemon-instance"); err != nil {
+		return fmt.Errorf("core: instance challenge: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,383 @@
+// Package core implements the PALÆMON trust management service itself: the
+// paper's primary contribution.
+//
+// An Instance runs inside a (simulated) SGX enclave, keeps its state in an
+// encrypted embedded database, and exposes the operations the paper
+// describes: policy CRUD guarded by a two-stage access control (client
+// certificate pinning, then policy-board quorum, §III-C/§IV-E); application
+// attestation and configuration delivery (§IV-A); expected-tag storage for
+// rollback protection of application file systems (§III-D); and its own
+// rollback protection through the monotonic-counter lifecycle protocol of
+// Fig 6, which also enforces that at most one instance runs with a given
+// identity (§IV-C).
+package core
+
+import (
+	"context"
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"palaemon/internal/board"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/kvdb"
+	"palaemon/internal/mcounter"
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+)
+
+// Buckets in the instance database.
+const (
+	bucketPolicies = "policies"
+	bucketTags     = "tags"
+	bucketMeta     = "meta"
+)
+
+// Errors returned by instance operations.
+var (
+	// ErrCounterMismatch reports the Fig 6 startup check failure: the
+	// database version and the monotonic counter disagree — a rollback of
+	// the database, an unclean shutdown (treated as an attack, §IV-D), or
+	// a concurrent instance.
+	ErrCounterMismatch = errors.New("core: database version does not match monotonic counter")
+	// ErrSecondInstance reports that the post-increment check c == v+1
+	// failed: another instance incremented the counter concurrently.
+	ErrSecondInstance = errors.New("core: another instance is running with this identity")
+	// ErrPolicyExists reports a create with a taken name.
+	ErrPolicyExists = errors.New("core: policy name already exists")
+	// ErrPolicyNotFound reports a missing policy.
+	ErrPolicyNotFound = errors.New("core: policy not found")
+	// ErrAccessDenied reports a client certificate mismatch.
+	ErrAccessDenied = errors.New("core: client certificate does not match policy creator")
+	// ErrBoardRejected reports a policy-board quorum failure.
+	ErrBoardRejected = errors.New("core: policy board rejected the operation")
+	// ErrAttestation reports application attestation failure.
+	ErrAttestation = errors.New("core: application attestation failed")
+	// ErrStrictRestart reports a strict-mode restart without a clean
+	// previous exit (§III-D).
+	ErrStrictRestart = errors.New("core: strict mode forbids restart after unclean exit")
+	// ErrStaleTag reports a tag push from a session that is not current.
+	ErrStaleTag = errors.New("core: tag push from stale session")
+	// ErrDraining reports an instance that is shutting down.
+	ErrDraining = errors.New("core: instance is draining")
+)
+
+// Options configures an Instance.
+type Options struct {
+	// Platform hosts the instance enclave.
+	Platform *sgx.Platform
+	// Binary is the PALÆMON binary (its MRE is the instance identity for
+	// attestation). A default binary is used when empty.
+	Binary sgx.Binary
+	// DataDir stores the encrypted database.
+	DataDir string
+	// CounterName names the platform monotonic counter protecting the DB.
+	CounterName string
+	// Evaluator reaches policy-board approval services; nil disables board
+	// checks (boards then must be empty).
+	Evaluator *board.Evaluator
+	// Clock defaults to the platform clock.
+	Clock simclock.Clock
+	// Recover acknowledges a fail-over: accept v < c by fast-forwarding the
+	// version. The paper treats a crash as an attack; recovery is an
+	// explicit operator decision, never automatic.
+	Recover bool
+	// DBNoFsync disables per-update fsync (benchmarks of the non-durable
+	// path only).
+	DBNoFsync bool
+}
+
+// identity is the sealed instance identity (§IV-B): the Ed25519 key pair the
+// instance is known by, and the database encryption key.
+type identity struct {
+	Ed25519Private []byte            `json:"ed25519_private"`
+	Ed25519Public  []byte            `json:"ed25519_public"`
+	DBKey          cryptoutil.Key    `json:"db_key"`
+	SealedOnMRE    string            `json:"sealed_on_mre"`
+	Platform       string            `json:"platform"`
+	Extra          map[string]string `json:"extra,omitempty"`
+}
+
+// session is one attested application connection.
+type session struct {
+	policyName  string
+	serviceName string
+	sessionKey  []byte
+	epoch       uint64
+}
+
+// tagRecord is the stored rollback-protection state of one service.
+type tagRecord struct {
+	// Tag is the expected file-system tag.
+	Tag string `json:"tag"`
+	// Running marks an execution in progress.
+	Running bool `json:"running"`
+	// CleanExit marks that the last execution pushed its tag on exit.
+	CleanExit bool `json:"clean_exit"`
+	// Epoch increments per execution; tag pushes must carry the current
+	// epoch so a zombie process cannot overwrite a successor's tags.
+	Epoch uint64 `json:"epoch"`
+}
+
+// Instance is one running PALÆMON service.
+type Instance struct {
+	platform *sgx.Platform
+	enclave  *sgx.Enclave
+	clock    simclock.Clock
+	signer   *cryptoutil.Signer
+	counter  mcounter.Counter
+	eval     *board.Evaluator
+
+	mu       sync.RWMutex
+	db       *kvdb.DB
+	sessions map[string]*session
+	draining bool
+	closed   bool
+
+	// inflight tracks requests during drain.
+	inflight sync.WaitGroup
+}
+
+// DefaultBinary is the simulated PALÆMON enclave binary.
+func DefaultBinary() sgx.Binary {
+	return sgx.Binary{Name: "palaemon", Code: []byte("palaemon-tms-v1.0\x00" + licenseBanner)}
+}
+
+// licenseBanner pads the binary so its measurement is not trivially small.
+const licenseBanner = "trust management service reference implementation"
+
+// Open starts an instance: restores (or creates) the sealed identity, opens
+// the encrypted database, and runs the Fig 6 startup protocol — requiring
+// v == c, then incrementing c and verifying c == v+1 before serving.
+func Open(opts Options) (*Instance, error) {
+	if opts.Platform == nil {
+		return nil, errors.New("core: platform is required")
+	}
+	if opts.Binary.Name == "" {
+		opts.Binary = DefaultBinary()
+	}
+	if opts.CounterName == "" {
+		opts.CounterName = "palaemon-db"
+	}
+	if opts.Clock == nil {
+		opts.Clock = opts.Platform.Clock()
+	}
+
+	enclave, err := opts.Platform.Launch(opts.Binary, sgx.LaunchOptions{HeapBytes: 16 << 20, AllowPaging: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: launch enclave: %w", err)
+	}
+
+	id, err := loadOrCreateIdentity(opts.Platform, enclave.MRE(), opts.DataDir)
+	if err != nil {
+		enclave.Destroy()
+		return nil, err
+	}
+	signer, err := signerFromIdentity(id)
+	if err != nil {
+		enclave.Destroy()
+		return nil, err
+	}
+
+	db, err := kvdb.Open(opts.DataDir, id.DBKey, kvdb.Options{NoFsync: opts.DBNoFsync})
+	if err != nil {
+		enclave.Destroy()
+		return nil, fmt.Errorf("core: open database: %w", err)
+	}
+
+	counter := mcounter.NewPlatform(opts.Platform, opts.CounterName)
+
+	inst := &Instance{
+		platform: opts.Platform,
+		enclave:  enclave,
+		clock:    opts.Clock,
+		signer:   signer,
+		counter:  counter,
+		eval:     opts.Evaluator,
+		db:       db,
+		sessions: make(map[string]*session),
+	}
+
+	if err := inst.startupProtocol(opts.Recover); err != nil {
+		db.Close()
+		enclave.Destroy()
+		return nil, err
+	}
+	return inst, nil
+}
+
+// startupProtocol is the Fig 6 sequence.
+func (i *Instance) startupProtocol(recover bool) error {
+	v := i.db.Version()
+	c, err := i.counter.Value()
+	if err != nil {
+		return fmt.Errorf("core: read counter: %w", err)
+	}
+	if v != c {
+		if !recover {
+			return fmt.Errorf("%w: v=%d c=%d", ErrCounterMismatch, v, c)
+		}
+		if v > c {
+			// The DB claims a future the counter never saw: fabricated
+			// state. Recovery must not accept it.
+			return fmt.Errorf("%w: v=%d ahead of c=%d (fabricated state)", ErrCounterMismatch, v, c)
+		}
+		// Operator-acknowledged fail-over: adopt the counter's epoch.
+		if err := i.db.SetVersion(c); err != nil {
+			return fmt.Errorf("core: recover version: %w", err)
+		}
+		v = c
+	}
+	newC, err := i.counter.Increment()
+	if err != nil {
+		return fmt.Errorf("core: increment counter: %w", err)
+	}
+	if newC != v+1 {
+		// Someone else bumped the counter between our read and increment:
+		// a second instance is starting with the same identity.
+		return fmt.Errorf("%w: c=%d after increment, want %d", ErrSecondInstance, newC, v+1)
+	}
+	// The database now trails the counter (v < c) until graceful shutdown,
+	// which is what blocks crash-restarts (§IV-D).
+	return nil
+}
+
+// Shutdown drains in-flight requests, persists v = c, and closes the
+// database — after which a restart passes the startup check again.
+func (i *Instance) Shutdown(ctx context.Context) error {
+	i.mu.Lock()
+	if i.closed {
+		i.mu.Unlock()
+		return nil
+	}
+	i.draining = true
+	i.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		i.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("core: drain: %w", ctx.Err())
+	}
+
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	c, err := i.counter.Value()
+	if err != nil {
+		return fmt.Errorf("core: read counter at shutdown: %w", err)
+	}
+	if err := i.db.SetVersion(c); err != nil {
+		return fmt.Errorf("core: persist version: %w", err)
+	}
+	if err := i.db.Close(); err != nil {
+		return fmt.Errorf("core: close database: %w", err)
+	}
+	i.closed = true
+	i.enclave.Destroy()
+	return nil
+}
+
+// Abort simulates a crash: the enclave disappears without updating v. A
+// subsequent Open fails the v == c check unless Recover is acknowledged.
+func (i *Instance) Abort() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.closed {
+		return
+	}
+	i.closed = true
+	_ = i.db.Close() // WAL contents remain; version is NOT advanced
+	i.enclave.Destroy()
+}
+
+// begin registers a request; it fails when draining.
+func (i *Instance) begin() error {
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	if i.draining || i.closed {
+		return ErrDraining
+	}
+	i.inflight.Add(1)
+	return nil
+}
+
+func (i *Instance) end() { i.inflight.Done() }
+
+// PublicKey returns the instance identity key (stable across restarts on
+// the same platform, §IV-B).
+func (i *Instance) PublicKey() ed25519.PublicKey {
+	return append(ed25519.PublicKey(nil), i.signer.Public...)
+}
+
+// Signer exposes the identity signer for the attestation handshake.
+func (i *Instance) Signer() *cryptoutil.Signer { return i.signer }
+
+// MRE returns the instance's enclave measurement.
+func (i *Instance) MRE() sgx.Measurement { return i.enclave.MRE() }
+
+// Enclave exposes the instance enclave (for quotes and cost accounting).
+func (i *Instance) Enclave() *sgx.Enclave { return i.enclave }
+
+// DBVersion exposes the version for tests and diagnostics.
+func (i *Instance) DBVersion() uint64 { return i.db.Version() }
+
+// --- Identity management ----------------------------------------------------
+
+// sealedIdentityKey is the meta key under which the sealed identity is
+// stored on disk (outside the DB: it must be readable before the DB key is
+// known). We keep it in a file next to the DB.
+const sealedIdentityFile = "identity.sealed"
+
+func loadOrCreateIdentity(p *sgx.Platform, mre sgx.Measurement, dir string) (identity, error) {
+	path := dir + "/" + sealedIdentityFile
+	raw, err := readFileIfExists(path)
+	if err != nil {
+		return identity{}, err
+	}
+	if raw != nil {
+		pt, err := p.UnsealWithMRE(raw, mre)
+		if err != nil {
+			return identity{}, fmt.Errorf("core: unseal identity: %w", err)
+		}
+		var id identity
+		if err := json.Unmarshal(pt, &id); err != nil {
+			return identity{}, fmt.Errorf("core: decode identity: %w", err)
+		}
+		return id, nil
+	}
+	// First start on this platform: mint identity and seal it to our MRE,
+	// so only the same PALÆMON binary on the same platform can recover it.
+	signer, err := cryptoutil.NewSigner()
+	if err != nil {
+		return identity{}, err
+	}
+	dbKey, err := cryptoutil.NewKey()
+	if err != nil {
+		return identity{}, err
+	}
+	id := identity{
+		Ed25519Public: signer.Public,
+		DBKey:         dbKey,
+		SealedOnMRE:   mre.String(),
+		Platform:      string(p.ID()),
+	}
+	id.Ed25519Private = marshalSigner(signer)
+	pt, err := json.Marshal(id)
+	if err != nil {
+		return identity{}, fmt.Errorf("core: encode identity: %w", err)
+	}
+	sealed, err := p.SealToMRE(pt, mre)
+	if err != nil {
+		return identity{}, fmt.Errorf("core: seal identity: %w", err)
+	}
+	if err := writeFileAtomic(path, sealed); err != nil {
+		return identity{}, err
+	}
+	return id, nil
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"palaemon/internal/kvdb"
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+)
+
+// fastPlatform returns a platform whose counter has no rate limit so tests
+// run instantly; protocol correctness is independent of the limit.
+func fastPlatform(t *testing.T) *sgx.Platform {
+	t.Helper()
+	model := sgx.DefaultCostModel()
+	model.CounterInterval = 0
+	p, err := sgx.NewPlatform(sgx.Options{Clock: simclock.NewVirtual(), Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func openInstance(t *testing.T, p *sgx.Platform, dir string) *Instance {
+	t.Helper()
+	inst, err := Open(Options{Platform: p, DataDir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return inst
+}
+
+func TestLifecycleCleanRestart(t *testing.T) {
+	p := fastPlatform(t)
+	dir := t.TempDir()
+
+	inst := openInstance(t, p, dir)
+	pub1 := inst.PublicKey()
+	if err := inst.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Clean restart: v == c again, same identity from sealed storage.
+	inst2 := openInstance(t, p, dir)
+	defer inst2.Shutdown(context.Background())
+	pub2 := inst2.PublicKey()
+	if string(pub1) != string(pub2) {
+		t.Fatal("identity key changed across restart")
+	}
+}
+
+func TestCrashBlocksRestart(t *testing.T) {
+	p := fastPlatform(t)
+	dir := t.TempDir()
+
+	inst := openInstance(t, p, dir)
+	inst.Abort() // crash: v not updated
+
+	// The restart must be refused: the crash is treated as an attack.
+	_, err := Open(Options{Platform: p, DataDir: dir})
+	if !errors.Is(err, ErrCounterMismatch) {
+		t.Fatalf("want ErrCounterMismatch after crash, got %v", err)
+	}
+
+	// Operator-acknowledged recovery proceeds.
+	inst2, err := Open(Options{Platform: p, DataDir: dir, Recover: true})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := inst2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBRollbackDetected(t *testing.T) {
+	p := fastPlatform(t)
+	dir := t.TempDir()
+
+	inst := openInstance(t, p, dir)
+	// Capture the consistent state of epoch 1 (v persisted at shutdown).
+	if err := inst.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	oldCopy := t.TempDir()
+	// Copy the shut-down database files (consistent at v=1).
+	db, err := kvdb.Open(dir, keyOf(t, p, dir), kvdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CopyTo(oldCopy); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Run another full epoch: counter moves to 2 then v=2 at shutdown.
+	inst2 := openInstance(t, p, dir)
+	if err := inst2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The attacker restores the old (v=1) database; counter says 2.
+	if err := kvdb.RestoreFrom(dir, oldCopy); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(Options{Platform: p, DataDir: dir})
+	if !errors.Is(err, ErrCounterMismatch) {
+		t.Fatalf("rolled-back DB accepted: %v", err)
+	}
+	// Even explicit recovery must refuse a database claiming a FUTURE the
+	// counter never saw; v < c recovery is allowed, v > c never. Here
+	// v(1) < c(2) so recovery is permitted — and fast-forwards.
+	inst3, err := Open(Options{Platform: p, DataDir: dir, Recover: true})
+	if err != nil {
+		t.Fatalf("acknowledged recovery failed: %v", err)
+	}
+	inst3.Shutdown(context.Background())
+}
+
+// keyOf re-derives the DB key by unsealing the stored identity, standing in
+// for the attacker-visible on-disk layout (the attacker does NOT get the
+// key; the test uses it only to drive CopyTo).
+func keyOf(t *testing.T, p *sgx.Platform, dir string) (k [32]byte) {
+	t.Helper()
+	raw, err := readFileIfExists(dir + "/" + sealedIdentityFile)
+	if err != nil || raw == nil {
+		t.Fatalf("identity missing: %v", err)
+	}
+	pt, err := p.UnsealWithMRE(raw, DefaultBinary().Measure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id identity
+	if err := json.Unmarshal(pt, &id); err != nil {
+		t.Fatal(err)
+	}
+	return id.DBKey
+}
+
+func TestFabricatedFutureStateRefused(t *testing.T) {
+	p := fastPlatform(t)
+	dir := t.TempDir()
+	inst := openInstance(t, p, dir)
+	if err := inst.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a database version ahead of the counter.
+	db, err := kvdb.Open(dir, keyOf(t, p, dir), kvdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetVersion(99); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if _, err := Open(Options{Platform: p, DataDir: dir}); !errors.Is(err, ErrCounterMismatch) {
+		t.Fatalf("future-state DB accepted: %v", err)
+	}
+	// Recovery must ALSO refuse: only v < c is recoverable.
+	if _, err := Open(Options{Platform: p, DataDir: dir, Recover: true}); !errors.Is(err, ErrCounterMismatch) {
+		t.Fatalf("future-state DB recovered: %v", err)
+	}
+}
+
+func TestSecondInstanceRefused(t *testing.T) {
+	p := fastPlatform(t)
+	dir := t.TempDir()
+
+	inst := openInstance(t, p, dir)
+	defer inst.Shutdown(context.Background())
+
+	// A second instance with the same identity (same DB, same counter):
+	// its startup check sees v < c and exits.
+	_, err := Open(Options{Platform: p, DataDir: dir})
+	if !errors.Is(err, ErrCounterMismatch) && !errors.Is(err, ErrSecondInstance) {
+		t.Fatalf("second instance accepted: %v", err)
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	if err := inst.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.CreatePolicy(context.Background(), ClientID{}, nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("work accepted after shutdown: %v", err)
+	}
+	// Double shutdown is a no-op.
+	if err := inst.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterAdvancesPerLifecycle(t *testing.T) {
+	p := fastPlatform(t)
+	dir := t.TempDir()
+	for epoch := 1; epoch <= 3; epoch++ {
+		inst := openInstance(t, p, dir)
+		if got := inst.DBVersion(); got != uint64(epoch-1) {
+			t.Fatalf("epoch %d: version %d at startup", epoch, got)
+		}
+		if err := inst.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"crypto/ed25519"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/fspf"
+	"palaemon/internal/simclock"
+)
+
+// TMS is the surface an application runtime needs from PALÆMON. Both the
+// HTTP Client and the in-process Local adapter implement it, so runtimes and
+// benchmarks can choose between full-stack TLS and direct calls.
+type TMS interface {
+	// Attest submits evidence and receives the service configuration.
+	Attest(ctx context.Context, ev attest.Evidence, quotingKey []byte, tracker *simclock.Tracker) (*AppConfig, error)
+	// PushTag updates the expected tag for the session.
+	PushTag(ctx context.Context, token string, tag fspf.Tag, tracker *simclock.Tracker) error
+	// NotifyExit records a clean exit with the final tag.
+	NotifyExit(ctx context.Context, token string, tag fspf.Tag) error
+}
+
+var (
+	_ TMS = (*Client)(nil)
+	_ TMS = (*Local)(nil)
+)
+
+// Local adapts an Instance to the TMS interface without the network stack.
+type Local struct {
+	// Inst is the wrapped instance.
+	Inst *Instance
+}
+
+// Attest calls the instance directly.
+func (l *Local) Attest(_ context.Context, ev attest.Evidence, quotingKey []byte, _ *simclock.Tracker) (*AppConfig, error) {
+	return l.Inst.AttestApplication(ev, ed25519.PublicKey(quotingKey))
+}
+
+// PushTag calls the instance directly.
+func (l *Local) PushTag(_ context.Context, token string, tag fspf.Tag, _ *simclock.Tracker) error {
+	return l.Inst.PushTag(token, tag)
+}
+
+// NotifyExit calls the instance directly.
+func (l *Local) NotifyExit(_ context.Context, token string, tag fspf.Tag) error {
+	return l.Inst.NotifyExit(token, tag)
+}

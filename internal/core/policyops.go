@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"palaemon/internal/board"
+	"palaemon/internal/policy"
+)
+
+// ClientID identifies a client by the fingerprint of its TLS certificate.
+// Multiple clients can share one certificate to share one policy (§IV-E).
+type ClientID [32]byte
+
+// CreatePolicy stores a new policy under the caller's certificate. The new
+// policy's own board must approve the creation (§III-C: "Upon creation, the
+// board of the new policy must also approve the operation").
+func (i *Instance) CreatePolicy(ctx context.Context, client ClientID, p *policy.Policy) error {
+	if err := i.begin(); err != nil {
+		return err
+	}
+	defer i.end()
+
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	i.mu.RLock()
+	_, err := i.db.Get(bucketPolicies, p.Name)
+	i.mu.RUnlock()
+	if err == nil {
+		return fmt.Errorf("%w: %s", ErrPolicyExists, p.Name)
+	}
+
+	stored := p.Clone()
+	stored.CreatorCertFingerprint = [32]byte(client)
+	stored.Revision = 1
+	if err := stored.MaterializeSecrets(); err != nil {
+		return err
+	}
+
+	if err := i.approve(ctx, stored.Board, board.Request{
+		PolicyName: stored.Name,
+		Operation:  "create",
+		Revision:   stored.Revision,
+		Digest:     board.DigestPolicy(stored),
+	}); err != nil {
+		return err
+	}
+	return i.putPolicy(stored)
+}
+
+// ReadPolicy returns the policy with secrets, to its creator only, after
+// board approval of the read (§III-C permits the board to guard all CRUD).
+func (i *Instance) ReadPolicy(ctx context.Context, client ClientID, name string) (*policy.Policy, error) {
+	if err := i.begin(); err != nil {
+		return nil, err
+	}
+	defer i.end()
+
+	p, err := i.getPolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.CreatorCertFingerprint != [32]byte(client) {
+		return nil, ErrAccessDenied
+	}
+	if err := i.approve(ctx, p.Board, board.Request{
+		PolicyName: name,
+		Operation:  "read",
+		Revision:   p.Revision,
+		Digest:     board.DigestPolicy(p),
+	}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// UpdatePolicy replaces the policy content. The caller must present the
+// creator certificate, and the CURRENT board must approve the new content —
+// a malicious insider cannot first swap the board out (§III-C).
+func (i *Instance) UpdatePolicy(ctx context.Context, client ClientID, next *policy.Policy) error {
+	if err := i.begin(); err != nil {
+		return err
+	}
+	defer i.end()
+
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	cur, err := i.getPolicy(next.Name)
+	if err != nil {
+		return err
+	}
+	if cur.CreatorCertFingerprint != [32]byte(client) {
+		return ErrAccessDenied
+	}
+
+	stored := next.Clone()
+	stored.CreatorCertFingerprint = cur.CreatorCertFingerprint
+	stored.Revision = cur.Revision + 1
+	if err := stored.MaterializeSecrets(); err != nil {
+		return err
+	}
+	if err := i.approve(ctx, cur.Board, board.Request{
+		PolicyName: stored.Name,
+		Operation:  "update",
+		Revision:   stored.Revision,
+		Digest:     board.DigestPolicy(stored),
+	}); err != nil {
+		return err
+	}
+	return i.putPolicy(stored)
+}
+
+// DeletePolicy removes a policy (creator certificate + current board).
+func (i *Instance) DeletePolicy(ctx context.Context, client ClientID, name string) error {
+	if err := i.begin(); err != nil {
+		return err
+	}
+	defer i.end()
+
+	cur, err := i.getPolicy(name)
+	if err != nil {
+		return err
+	}
+	if cur.CreatorCertFingerprint != [32]byte(client) {
+		return ErrAccessDenied
+	}
+	if err := i.approve(ctx, cur.Board, board.Request{
+		PolicyName: name,
+		Operation:  "delete",
+		Revision:   cur.Revision,
+		Digest:     board.DigestPolicy(cur),
+	}); err != nil {
+		return err
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if err := i.db.Delete(bucketPolicies, name); err != nil {
+		return fmt.Errorf("core: delete policy: %w", err)
+	}
+	if err := i.db.Delete(bucketTags, name); err != nil {
+		return fmt.Errorf("core: delete tags: %w", err)
+	}
+	return nil
+}
+
+// ListPolicyNames lists stored policy names (names are not secret).
+func (i *Instance) ListPolicyNames() []string {
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	return i.db.Keys(bucketPolicies)
+}
+
+// FetchSecrets returns the named secrets of a policy to its creator, after
+// board approval (the Fig 12 remote-secret-retrieval path). Empty names
+// fetch every secret.
+func (i *Instance) FetchSecrets(ctx context.Context, client ClientID, policyName string, names []string) (map[string]string, error) {
+	p, err := i.ReadPolicy(ctx, client, policyName)
+	if err != nil {
+		return nil, err
+	}
+	all := p.SecretValues()
+	if len(names) == 0 {
+		return all, nil
+	}
+	out := make(map[string]string, len(names))
+	for _, n := range names {
+		v, ok := all[n]
+		if !ok {
+			return nil, fmt.Errorf("core: policy %s has no secret %q", policyName, n)
+		}
+		out[n] = v
+	}
+	return out, nil
+}
+
+// ResetService clears a service's rollback-protection record. Strict-mode
+// services refuse restarts after an unclean exit until the policy owner
+// explicitly adjusts the expected state (§III-D: "the restart requires an
+// explicit update of the policy, which ... must in turn be approved by the
+// policy board"). The same two-stage access control applies.
+func (i *Instance) ResetService(ctx context.Context, client ClientID, policyName, serviceName string) error {
+	if err := i.begin(); err != nil {
+		return err
+	}
+	defer i.end()
+
+	p, err := i.getPolicy(policyName)
+	if err != nil {
+		return err
+	}
+	if p.CreatorCertFingerprint != [32]byte(client) {
+		return ErrAccessDenied
+	}
+	if _, ok := p.FindService(serviceName); !ok {
+		return fmt.Errorf("%w: service %s", ErrPolicyNotFound, serviceName)
+	}
+	if err := i.approve(ctx, p.Board, board.Request{
+		PolicyName: policyName,
+		Operation:  "update",
+		Revision:   p.Revision,
+		Digest:     board.DigestPolicy(p),
+	}); err != nil {
+		return err
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if err := i.db.Delete(bucketTags, tagKey(policyName, serviceName)); err != nil {
+		return fmt.Errorf("core: reset service: %w", err)
+	}
+	return nil
+}
+
+// approve runs the two-stage check's second stage.
+func (i *Instance) approve(ctx context.Context, b policy.Board, req board.Request) error {
+	if b.Empty() {
+		return nil
+	}
+	if i.eval == nil {
+		return fmt.Errorf("%w: no evaluator configured for a board-guarded policy", ErrBoardRejected)
+	}
+	d := i.eval.Evaluate(ctx, b, req)
+	if !d.Approved {
+		if d.VetoedBy != "" {
+			return fmt.Errorf("%w: vetoed by %s", ErrBoardRejected, d.VetoedBy)
+		}
+		return fmt.Errorf("%w: %d approvals of %d required", ErrBoardRejected, d.Approvals, b.Threshold)
+	}
+	return nil
+}
+
+func (i *Instance) putPolicy(p *policy.Policy) error {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("core: encode policy: %w", err)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if err := i.db.Put(bucketPolicies, p.Name, raw); err != nil {
+		return fmt.Errorf("core: store policy: %w", err)
+	}
+	return nil
+}
+
+func (i *Instance) getPolicy(name string) (*policy.Policy, error) {
+	i.mu.RLock()
+	raw, err := i.db.Get(bucketPolicies, name)
+	i.mu.RUnlock()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrPolicyNotFound, name)
+	}
+	var p policy.Policy
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, fmt.Errorf("core: decode policy %s: %w", name, err)
+	}
+	return &p, nil
+}
+
+// resolvePolicy loads a policy and resolves its imports (intersections and
+// imported secrets) against the instance's stored policies.
+func (i *Instance) resolvePolicy(name string) (*policy.Policy, error) {
+	p, err := i.getPolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Imports) == 0 {
+		return p, nil
+	}
+	exporters := make(map[string]*policy.Policy, len(p.Imports))
+	for _, imp := range p.Imports {
+		exp, err := i.getPolicy(imp.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("core: resolve import %q: %w", imp.Policy, err)
+		}
+		exporters[imp.Policy] = exp
+	}
+	if err := p.ApplyImports(exporters); err != nil {
+		return nil, err
+	}
+	if err := p.ResolveImportedSecrets(exporters); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

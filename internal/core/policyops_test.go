@@ -1,0 +1,637 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/board"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fspf"
+	"palaemon/internal/policy"
+	"palaemon/internal/sgx"
+)
+
+func testPolicy(name string, mres ...sgx.Measurement) *policy.Policy {
+	return &policy.Policy{
+		Name: name,
+		Services: []policy.Service{{
+			Name:        "app",
+			Command:     "serve --token $$api_token",
+			MREnclaves:  mres,
+			Environment: map[string]string{"TOKEN": "$$api_token"},
+		}},
+		Secrets: []policy.Secret{{Name: "api_token", Type: policy.SecretRandom}},
+	}
+}
+
+func clientA() ClientID { return ClientID{1} }
+func clientB() ClientID { return ClientID{2} }
+
+func appBinary() sgx.Binary { return sgx.Binary{Name: "app", Code: []byte("application-v1")} }
+
+func TestPolicyCRUDWithCreatorPinning(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	pol := testPolicy("p1", appBinary().Measure())
+	if err := inst.CreatePolicy(ctx, clientA(), pol); err != nil {
+		t.Fatalf("CreatePolicy: %v", err)
+	}
+
+	// Duplicate name refused regardless of client.
+	if err := inst.CreatePolicy(ctx, clientB(), testPolicy("p1", appBinary().Measure())); !errors.Is(err, ErrPolicyExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+
+	// Creator reads back with materialised secrets.
+	got, err := inst.ReadPolicy(ctx, clientA(), "p1")
+	if err != nil {
+		t.Fatalf("ReadPolicy: %v", err)
+	}
+	if got.SecretValues()["api_token"] == "" {
+		t.Fatal("random secret not materialised")
+	}
+	if got.Revision != 1 {
+		t.Fatalf("revision = %d", got.Revision)
+	}
+
+	// Another certificate is refused (two-stage access control, stage 1).
+	if _, err := inst.ReadPolicy(ctx, clientB(), "p1"); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("foreign read: %v", err)
+	}
+	if err := inst.UpdatePolicy(ctx, clientB(), testPolicy("p1", appBinary().Measure())); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("foreign update: %v", err)
+	}
+	if err := inst.DeletePolicy(ctx, clientB(), "p1"); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("foreign delete: %v", err)
+	}
+
+	// Creator updates: revision bumps, secrets regenerate only when empty.
+	upd := testPolicy("p1", appBinary().Measure())
+	upd.Secrets[0].Value = got.SecretValues()["api_token"] // carry value over
+	if err := inst.UpdatePolicy(ctx, clientA(), upd); err != nil {
+		t.Fatalf("UpdatePolicy: %v", err)
+	}
+	got2, err := inst.ReadPolicy(ctx, clientA(), "p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Revision != 2 {
+		t.Fatalf("revision after update = %d", got2.Revision)
+	}
+
+	if err := inst.DeletePolicy(ctx, clientA(), "p1"); err != nil {
+		t.Fatalf("DeletePolicy: %v", err)
+	}
+	if _, err := inst.ReadPolicy(ctx, clientA(), "p1"); !errors.Is(err, ErrPolicyNotFound) {
+		t.Fatalf("read after delete: %v", err)
+	}
+}
+
+func TestUpdateOfMissingPolicy(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	err := inst.UpdatePolicy(context.Background(), clientA(), testPolicy("ghost", appBinary().Measure()))
+	if !errors.Is(err, ErrPolicyNotFound) {
+		t.Fatalf("update missing: %v", err)
+	}
+}
+
+// boardFixture starts approval members and returns their policy.Board.
+func boardFixture(t *testing.T, decisions []board.ApprovalFunc, veto map[int]bool) (policy.Board, *board.Evaluator) {
+	t.Helper()
+	approvalCA, err := cryptoutil.NewCertAuthority("Approval Root", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b policy.Board
+	for i, d := range decisions {
+		m, err := board.NewMember(string(rune('a'+i)), board.WithDecision(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Serve(approvalCA); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		b.Members = append(b.Members, m.Descriptor(veto[i]))
+	}
+	b.Threshold = len(decisions)
+	return b, board.NewEvaluator(approvalCA, 2*time.Second)
+}
+
+func TestBoardGuardsCRUD(t *testing.T) {
+	p := fastPlatform(t)
+	ctx := context.Background()
+
+	// Two approvers, one rejector; threshold 2 (f=1).
+	b, ev := boardFixture(t, []board.ApprovalFunc{board.ApproveAll, board.ApproveAll, board.RejectAll}, nil)
+	b.Threshold = 2
+
+	inst, err := Open(Options{Platform: p, DataDir: t.TempDir(), Evaluator: ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Shutdown(ctx)
+
+	pol := testPolicy("guarded", appBinary().Measure())
+	pol.Board = b
+	if err := inst.CreatePolicy(ctx, clientA(), pol); err != nil {
+		t.Fatalf("create with quorum: %v", err)
+	}
+
+	// Raise the threshold via the stored board? No — updates are approved
+	// by the CURRENT board, so a unanimous-threshold board with one
+	// rejector must block the update.
+	pol2 := testPolicy("guarded", appBinary().Measure())
+	pol2.Board = b
+	pol2.Board.Threshold = 3
+	// Current board threshold is 2 → the update itself passes with 2
+	// approvals and installs the stricter board.
+	if err := inst.UpdatePolicy(ctx, clientA(), pol2); err != nil {
+		t.Fatalf("update to stricter board: %v", err)
+	}
+	// Now any further change needs 3 approvals but only 2 arrive.
+	pol3 := testPolicy("guarded", appBinary().Measure())
+	pol3.Board = b
+	if err := inst.UpdatePolicy(ctx, clientA(), pol3); !errors.Is(err, ErrBoardRejected) {
+		t.Fatalf("update past strict board: %v", err)
+	}
+	// Delete is likewise blocked.
+	if err := inst.DeletePolicy(ctx, clientA(), "guarded"); !errors.Is(err, ErrBoardRejected) {
+		t.Fatalf("delete past strict board: %v", err)
+	}
+}
+
+func TestVetoBlocksCreate(t *testing.T) {
+	p := fastPlatform(t)
+	ctx := context.Background()
+	b, ev := boardFixture(t, []board.ApprovalFunc{board.ApproveAll, board.RejectAll}, map[int]bool{1: true})
+	b.Threshold = 1
+
+	inst, err := Open(Options{Platform: p, DataDir: t.TempDir(), Evaluator: ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Shutdown(ctx)
+
+	pol := testPolicy("vetoed", appBinary().Measure())
+	pol.Board = b
+	if err := inst.CreatePolicy(ctx, clientA(), pol); !errors.Is(err, ErrBoardRejected) {
+		t.Fatalf("vetoed create: %v", err)
+	}
+}
+
+func TestBoardWithoutEvaluatorRefused(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	pol := testPolicy("b", appBinary().Measure())
+	pol.Board = policy.Board{
+		Members:   []policy.BoardMember{{Name: "x", URL: "https://nowhere/approve"}},
+		Threshold: 1,
+	}
+	if err := inst.CreatePolicy(context.Background(), clientA(), pol); !errors.Is(err, ErrBoardRejected) {
+		t.Fatalf("board-guarded policy without evaluator: %v", err)
+	}
+}
+
+func TestFetchSecrets(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	pol := testPolicy("s", appBinary().Measure())
+	pol.Secrets = append(pol.Secrets, policy.Secret{Name: "second", Type: policy.SecretExplicit, Value: "v2"})
+	if err := inst.CreatePolicy(ctx, clientA(), pol); err != nil {
+		t.Fatal(err)
+	}
+
+	all, err := inst.FetchSecrets(ctx, clientA(), "s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all["second"] != "v2" {
+		t.Fatalf("all secrets = %v", all)
+	}
+	one, err := inst.FetchSecrets(ctx, clientA(), "s", []string{"second"})
+	if err != nil || len(one) != 1 {
+		t.Fatalf("one secret = %v, %v", one, err)
+	}
+	if _, err := inst.FetchSecrets(ctx, clientA(), "s", []string{"ghost"}); err == nil {
+		t.Fatal("fetched nonexistent secret")
+	}
+	if _, err := inst.FetchSecrets(ctx, clientB(), "s", nil); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("foreign fetch: %v", err)
+	}
+}
+
+func TestPoliciesSurviveRestart(t *testing.T) {
+	p := fastPlatform(t)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	inst := openInstance(t, p, dir)
+	if err := inst.CreatePolicy(ctx, clientA(), testPolicy("persist", appBinary().Measure())); err != nil {
+		t.Fatal(err)
+	}
+	secret := mustSecret(t, inst, clientA(), "persist")
+	if err := inst.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	inst2 := openInstance(t, p, dir)
+	defer inst2.Shutdown(ctx)
+	if mustSecret(t, inst2, clientA(), "persist") != secret {
+		t.Fatal("secret changed across restart")
+	}
+}
+
+func mustSecret(t *testing.T, inst *Instance, c ClientID, name string) string {
+	t.Helper()
+	vals, err := inst.FetchSecrets(context.Background(), c, name, []string{"api_token"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals["api_token"]
+}
+
+func TestAttestApplicationFullFlow(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	bin := appBinary()
+	pol := testPolicy("ml", bin.Measure())
+	pol.Services[0].InjectionFiles = []policy.InjectionFile{
+		{Path: "/etc/app.conf", Template: "token=$$api_token\nmode=prod"},
+	}
+	if err := inst.CreatePolicy(ctx, clientA(), pol); err != nil {
+		t.Fatal(err)
+	}
+
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	session := cryptoutil.MustNewSigner()
+	ev := attest.NewEvidence(enclave, "ml", "app", session.Public)
+	cfg, err := inst.AttestApplication(ev, p.QuotingKey())
+	if err != nil {
+		t.Fatalf("AttestApplication: %v", err)
+	}
+	token := mustSecret(t, inst, clientA(), "ml")
+	if cfg.Command != "serve --token "+token {
+		t.Fatalf("command = %q", cfg.Command)
+	}
+	if cfg.Environment["TOKEN"] != token {
+		t.Fatalf("env = %v", cfg.Environment)
+	}
+	if cfg.InjectionFiles["/etc/app.conf"] != "token="+token+"\nmode=prod" {
+		t.Fatalf("injection = %q", cfg.InjectionFiles["/etc/app.conf"])
+	}
+	if cfg.FSPFKey.IsZero() {
+		t.Fatal("no FSPF key released")
+	}
+	if cfg.SessionToken == "" || cfg.Epoch != 1 {
+		t.Fatalf("session = %q epoch %d", cfg.SessionToken, cfg.Epoch)
+	}
+
+	// Second attestation (restart) gets the SAME volume key and epoch 2.
+	ev2 := attest.NewEvidence(enclave, "ml", "app", cryptoutil.MustNewSigner().Public)
+	cfg2, err := inst.AttestApplication(ev2, p.QuotingKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.FSPFKey != cfg.FSPFKey {
+		t.Fatal("volume key changed across executions")
+	}
+	if cfg2.Epoch != 2 {
+		t.Fatalf("epoch = %d", cfg2.Epoch)
+	}
+}
+
+func TestAttestRejections(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	bin := appBinary()
+	pol := testPolicy("strictpol", bin.Measure())
+	pol.Services[0].Platforms = []sgx.PlatformID{p.ID()}
+	if err := inst.CreatePolicy(ctx, clientA(), pol); err != nil {
+		t.Fatal(err)
+	}
+
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	good := attest.NewEvidence(enclave, "strictpol", "app", cryptoutil.MustNewSigner().Public)
+
+	// Unknown policy.
+	badPol := good
+	badPol.PolicyName = "ghost"
+	if _, err := inst.AttestApplication(badPol, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("unknown policy: %v", err)
+	}
+	// Unknown service.
+	badSvc := good
+	badSvc.ServiceName = "ghost"
+	if _, err := inst.AttestApplication(badSvc, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("unknown service: %v", err)
+	}
+	// Wrong MRE: different binary.
+	evil, err := p.Launch(sgx.Binary{Name: "evil", Code: []byte("modified")}, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evil.Destroy()
+	evilEv := attest.NewEvidence(evil, "strictpol", "app", cryptoutil.MustNewSigner().Public)
+	if _, err := inst.AttestApplication(evilEv, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("wrong MRE: %v", err)
+	}
+	// Wrong platform.
+	other := fastPlatform(t)
+	otherEnc, err := other.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer otherEnc.Destroy()
+	otherEv := attest.NewEvidence(otherEnc, "strictpol", "app", cryptoutil.MustNewSigner().Public)
+	if _, err := inst.AttestApplication(otherEv, other.QuotingKey()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("wrong platform: %v", err)
+	}
+	// Stolen quote: evidence whose session key does not match report data.
+	stolen := good
+	stolen.SessionKey = cryptoutil.MustNewSigner().Public
+	if _, err := inst.AttestApplication(stolen, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("stolen quote: %v", err)
+	}
+}
+
+func TestTagPushAndEpochFencing(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	bin := appBinary()
+	if err := inst.CreatePolicy(ctx, clientA(), testPolicy("tags", bin.Measure())); err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+
+	cfg1, err := inst.AttestApplication(attest.NewEvidence(enclave, "tags", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag1 := fspf.Tag{1}
+	if err := inst.PushTag(cfg1.SessionToken, tag1); err != nil {
+		t.Fatalf("PushTag: %v", err)
+	}
+	got, err := inst.ExpectedTag("tags", "app")
+	if err != nil || got != tag1 {
+		t.Fatalf("ExpectedTag = %v, %v", got, err)
+	}
+
+	// A second execution starts; the first session becomes a zombie.
+	cfg2, err := inst.AttestApplication(attest.NewEvidence(enclave, "tags", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.PushTag(cfg1.SessionToken, fspf.Tag{9}); !errors.Is(err, ErrStaleTag) {
+		t.Fatalf("zombie push: %v", err)
+	}
+	tag2 := fspf.Tag{2}
+	if err := inst.PushTag(cfg2.SessionToken, tag2); err != nil {
+		t.Fatal(err)
+	}
+	// Bogus token.
+	if err := inst.PushTag("bogus", tag2); !errors.Is(err, ErrStaleTag) {
+		t.Fatalf("bogus token: %v", err)
+	}
+	// Exit closes the session.
+	if err := inst.NotifyExit(cfg2.SessionToken, tag2); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.PushTag(cfg2.SessionToken, tag2); !errors.Is(err, ErrStaleTag) {
+		t.Fatalf("push after exit: %v", err)
+	}
+}
+
+func TestStrictModeRefusesUncleanRestart(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	bin := appBinary()
+	pol := testPolicy("strict", bin.Measure())
+	pol.Services[0].StrictMode = true
+	if err := inst.CreatePolicy(ctx, clientA(), pol); err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+
+	// First execution crashes (no exit notification).
+	if _, err := inst.AttestApplication(attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
+		t.Fatal(err)
+	}
+	// Restart is refused in strict mode.
+	_, err = inst.AttestApplication(attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+	if !errors.Is(err, ErrStrictRestart) {
+		t.Fatalf("strict restart: %v", err)
+	}
+
+	// A policy update (board-approved in general) resets the service: the
+	// paper requires an explicit policy update to adjust the tag. Model:
+	// update re-creates the tag record via UpdatePolicy + explicit reset.
+	upd := testPolicy("strict", bin.Measure())
+	upd.Services[0].StrictMode = true
+	if err := inst.UpdatePolicy(ctx, clientA(), upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.ResetService(ctx, clientA(), "strict", "app"); err != nil {
+		t.Fatalf("ResetService: %v", err)
+	}
+	cfg, err := inst.AttestApplication(attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+	if err != nil {
+		t.Fatalf("restart after reset: %v", err)
+	}
+	// Clean exit this time; restart is then allowed without reset.
+	if err := inst.NotifyExit(cfg.SessionToken, fspf.Tag{5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.AttestApplication(attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
+		t.Fatalf("restart after clean exit: %v", err)
+	}
+}
+
+func TestSecureUpdateFlow(t *testing.T) {
+	// §III-E: a new application version means a new MRE; the update adds
+	// the new MRE to the policy (board-approved), after which only the
+	// permitted versions attest.
+	p := fastPlatform(t)
+	ctx := context.Background()
+	b, ev := boardFixture(t, []board.ApprovalFunc{board.ApproveAll, board.ApproveAll}, nil)
+
+	inst, err := Open(Options{Platform: p, DataDir: t.TempDir(), Evaluator: ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Shutdown(ctx)
+
+	v1 := sgx.Binary{Name: "app", Code: []byte("app-v1")}
+	v2 := sgx.Binary{Name: "app", Code: []byte("app-v2")}
+
+	pol := testPolicy("upd", v1.Measure())
+	pol.Board = b
+	if err := inst.CreatePolicy(ctx, clientA(), pol); err != nil {
+		t.Fatal(err)
+	}
+
+	// v2 cannot attest yet.
+	e2, err := p.Launch(v2, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Destroy()
+	if _, err := inst.AttestApplication(attest.NewEvidence(e2, "upd", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("v2 attested before update: %v", err)
+	}
+
+	// Board-approved update permits both versions (rolling upgrade).
+	upd := testPolicy("upd", v1.Measure(), v2.Measure())
+	upd.Board = b
+	if err := inst.UpdatePolicy(ctx, clientA(), upd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.AttestApplication(attest.NewEvidence(e2, "upd", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
+		t.Fatalf("v2 after update: %v", err)
+	}
+
+	// Finally v1 is retired.
+	final := testPolicy("upd", v2.Measure())
+	final.Board = b
+	if err := inst.UpdatePolicy(ctx, clientA(), final); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := p.Launch(v1, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Destroy()
+	if _, err := inst.AttestApplication(attest.NewEvidence(e1, "upd", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("retired v1 still attests: %v", err)
+	}
+}
+
+func TestImportIntersectionAtAttestation(t *testing.T) {
+	// An image policy exports permitted MREs; the application policy
+	// intersects with them (§III-E). Withdrawal by the image provider
+	// takes effect at the next attestation without touching the app policy.
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	v1 := sgx.Binary{Name: "py", Code: []byte("python-3.7")}
+	v2 := sgx.Binary{Name: "py", Code: []byte("python-3.8")}
+
+	imagePol := &policy.Policy{
+		Name:     "python_image",
+		Services: []policy.Service{{Name: "runtime", MREnclaves: []sgx.Measurement{v1.Measure(), v2.Measure()}}},
+		Exports:  policy.Export{MREnclaves: []sgx.Measurement{v1.Measure(), v2.Measure()}},
+	}
+	if err := inst.CreatePolicy(ctx, clientB(), imagePol); err != nil {
+		t.Fatal(err)
+	}
+	appPol := testPolicy("pyapp", v1.Measure(), v2.Measure())
+	appPol.Imports = []policy.Import{{Policy: "python_image", Intersect: true}}
+	if err := inst.CreatePolicy(ctx, clientA(), appPol); err != nil {
+		t.Fatal(err)
+	}
+
+	e1, err := p.Launch(v1, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Destroy()
+	if _, err := inst.AttestApplication(attest.NewEvidence(e1, "pyapp", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
+		t.Fatalf("v1 before withdrawal: %v", err)
+	}
+
+	// Image provider withdraws v1 (vulnerability discovered).
+	withdrawn := &policy.Policy{
+		Name:     "python_image",
+		Services: []policy.Service{{Name: "runtime", MREnclaves: []sgx.Measurement{v2.Measure()}}},
+		Exports:  policy.Export{MREnclaves: []sgx.Measurement{v2.Measure()}},
+	}
+	if err := inst.UpdatePolicy(ctx, clientB(), withdrawn); err != nil {
+		t.Fatal(err)
+	}
+	// v1 is now automatically disallowed for the app as well.
+	if _, err := inst.AttestApplication(attest.NewEvidence(e1, "pyapp", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("withdrawn image version still attests: %v", err)
+	}
+}
+
+func TestImportedSecretsAtAttestation(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	bin := appBinary()
+	exporter := &policy.Policy{
+		Name:     "shared_secrets",
+		Services: []policy.Service{{Name: "holder", MREnclaves: []sgx.Measurement{bin.Measure()}}},
+		Secrets:  []policy.Secret{{Name: "db_key", Type: policy.SecretExplicit, Value: "K-123", Export: true}},
+		Exports:  policy.Export{Secrets: []string{"db_key"}},
+	}
+	if err := inst.CreatePolicy(ctx, clientB(), exporter); err != nil {
+		t.Fatal(err)
+	}
+	importer := testPolicy("consumer", bin.Measure())
+	importer.Secrets = append(importer.Secrets, policy.Secret{
+		Name: "remote_db_key", Type: policy.SecretImported, ImportFrom: "shared_secrets:db_key",
+	})
+	importer.Services[0].Environment["DB_KEY"] = "$$remote_db_key"
+	importer.Imports = []policy.Import{{Policy: "shared_secrets"}}
+	if err := inst.CreatePolicy(ctx, clientA(), importer); err != nil {
+		t.Fatal(err)
+	}
+
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	cfg, err := inst.AttestApplication(attest.NewEvidence(enclave, "consumer", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Environment["DB_KEY"] != "K-123" {
+		t.Fatalf("imported secret not delivered: %v", cfg.Environment)
+	}
+}

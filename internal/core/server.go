@@ -1,0 +1,380 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/ca"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fspf"
+	"palaemon/internal/ias"
+	"palaemon/internal/policy"
+)
+
+// Server exposes an Instance over the REST/TLS API (§IV-E). Two attestation
+// paths are offered to clients (§IV-B): the TLS certificate issued by the
+// PALÆMON CA (checked implicitly by the TLS handshake on the client side),
+// and the explicit /attestation endpoint serving an IAS-style report plus a
+// challenge-response proof of the instance identity key.
+type Server struct {
+	inst *Instance
+	srv  *http.Server
+	ln   net.Listener
+	url  string
+	done chan struct{}
+
+	iasReport *ias.Report
+	iasPub    ed25519.PublicKey
+}
+
+// ServerOptions wires the server's PKI and attestation artefacts.
+type ServerOptions struct {
+	// Authority is the PALÆMON CA that certifies this instance. Required.
+	Authority *ca.Authority
+	// IAS optionally provides the explicit attestation report path.
+	IAS *ias.Service
+	// Addr defaults to a dynamic loopback port.
+	Addr string
+}
+
+// Serve attests the instance to the CA, obtains its TLS certificate, and
+// starts the REST endpoint. It returns the server handle.
+func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
+	if opts.Authority == nil {
+		return nil, errors.New("core: server requires a CA")
+	}
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+
+	// Instance TLS identity: fresh ECDSA key, quote binding its hash,
+	// certificate from the PALÆMON CA after attestation (§IV-B).
+	tlsKey, err := ca.GenerateInstanceKey()
+	if err != nil {
+		return nil, err
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(&tlsKey.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal instance key: %w", err)
+	}
+	keyHash := attest.KeyHash(pubDER)
+	quote := inst.enclave.GetQuote(keyHash[:])
+	iss, err := opts.Authority.Certify(ca.CertRequest{
+		Evidence: attest.Evidence{
+			PolicyName:  "palaemon",
+			ServiceName: "palaemon",
+			SessionKey:  pubDER,
+			Quote:       quote,
+		},
+		QuotingKey: inst.platform.QuotingKey(),
+		CommonName: "palaemon-instance",
+		IPs:        []net.IP{net.IPv4(127, 0, 0, 1)},
+	}, &tlsKey.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("core: CA refused instance: %w", err)
+	}
+	cert := tls.Certificate{
+		Certificate: [][]byte{iss.CertDER},
+		PrivateKey:  tlsKey,
+		Leaf:        iss.Leaf,
+	}
+
+	s := &Server{inst: inst, done: make(chan struct{})}
+
+	if opts.IAS != nil {
+		// Obtain the explicit-attestation report once at startup, binding
+		// the instance identity key (not the TLS key): clients verify the
+		// report and then challenge the identity key (§IV-B).
+		idHash := attest.KeyHash(inst.PublicKey())
+		report, err := opts.IAS.VerifyQuote(inst.enclave.GetQuote(idHash[:]))
+		if err != nil {
+			return nil, fmt.Errorf("core: IAS attestation: %w", err)
+		}
+		s.iasReport = &report
+		s.iasPub = opts.IAS.PublicKey()
+	}
+
+	tlsCfg := &tls.Config{
+		MinVersion:   tls.VersionTLS13,
+		Certificates: []tls.Certificate{cert},
+		// Policy endpoints authenticate clients by certificate fingerprint
+		// (clients typically use self-signed certificates, §IV-E), so any
+		// client certificate is accepted at the TLS layer and pinned at
+		// the application layer.
+		ClientAuth: tls.RequestClientCert,
+	}
+	ln, err := tls.Listen("tcp", opts.Addr, tlsCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: listen: %w", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /policies", s.handleCreatePolicy)
+	mux.HandleFunc("GET /policies/{name}", s.handleReadPolicy)
+	mux.HandleFunc("PUT /policies/{name}", s.handleUpdatePolicy)
+	mux.HandleFunc("DELETE /policies/{name}", s.handleDeletePolicy)
+	mux.HandleFunc("POST /policies/{name}/secrets", s.handleFetchSecrets)
+	mux.HandleFunc("POST /attest", s.handleAttest)
+	mux.HandleFunc("POST /tags", s.handlePushTag)
+	mux.HandleFunc("GET /tags/{policy}/{service}", s.handleReadTag)
+	mux.HandleFunc("POST /exit", s.handleExit)
+	mux.HandleFunc("GET /attestation", s.handleAttestation)
+	mux.HandleFunc("POST /challenge", s.handleChallenge)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	s.ln = ln
+	s.url = "https://" + ln.Addr().String()
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			_ = err // surfaced via health checks in a deployment
+		}
+	}()
+	return s, nil
+}
+
+// URL returns the server base URL.
+func (s *Server) URL() string { return s.url }
+
+// Instance returns the served instance.
+func (s *Server) Instance() *Instance { return s.inst }
+
+// Close stops the HTTP endpoint (the instance lifecycle is separate:
+// callers Shutdown the instance to run the Fig 6 drain).
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// clientID extracts the fingerprint of the presented client certificate.
+func clientID(r *http.Request) (ClientID, bool) {
+	if r.TLS == nil || len(r.TLS.PeerCertificates) == 0 {
+		return ClientID{}, false
+	}
+	return ClientID(cryptoutil.CertFingerprint(r.TLS.PeerCertificates[0].Raw)), true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrPolicyNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrAccessDenied), errors.Is(err, ErrBoardRejected):
+		status = http.StatusForbidden
+	case errors.Is(err, ErrPolicyExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrAttestation), errors.Is(err, ErrStrictRestart), errors.Is(err, ErrStaleTag):
+		status = http.StatusUnauthorized
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, policy.ErrNoName), errors.Is(err, policy.ErrNoServices),
+		errors.Is(err, policy.ErrNoMRE), errors.Is(err, policy.ErrBadThreshold):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(v)
+}
+
+func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientID(r)
+	if !ok {
+		writeErr(w, ErrAccessDenied)
+		return
+	}
+	var p policy.Policy
+	if err := decodeBody(r, &p); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := s.inst.CreatePolicy(r.Context(), id, &p); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": p.Name})
+}
+
+func (s *Server) handleReadPolicy(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientID(r)
+	if !ok {
+		writeErr(w, ErrAccessDenied)
+		return
+	}
+	p, err := s.inst.ReadPolicy(r.Context(), id, r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientID(r)
+	if !ok {
+		writeErr(w, ErrAccessDenied)
+		return
+	}
+	var p policy.Policy
+	if err := decodeBody(r, &p); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if p.Name != r.PathValue("name") {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "policy name mismatch"})
+		return
+	}
+	if err := s.inst.UpdatePolicy(r.Context(), id, &p); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": p.Name})
+}
+
+func (s *Server) handleDeletePolicy(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientID(r)
+	if !ok {
+		writeErr(w, ErrAccessDenied)
+		return
+	}
+	if err := s.inst.DeletePolicy(r.Context(), id, r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
+}
+
+// fetchSecretsRequest selects secrets to retrieve.
+type fetchSecretsRequest struct {
+	Names []string `json:"names,omitempty"`
+}
+
+func (s *Server) handleFetchSecrets(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientID(r)
+	if !ok {
+		writeErr(w, ErrAccessDenied)
+		return
+	}
+	var req fetchSecretsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	secrets, err := s.inst.FetchSecrets(r.Context(), id, r.PathValue("name"), req.Names)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, secrets)
+}
+
+// attestRequest carries application evidence plus the platform quoting key
+// (simulated-platform transport of a value PALÆMON would hold already).
+type attestRequest struct {
+	Evidence   attest.Evidence `json:"evidence"`
+	QuotingKey []byte          `json:"quoting_key"`
+}
+
+func (s *Server) handleAttest(w http.ResponseWriter, r *http.Request) {
+	var req attestRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	cfg, err := s.inst.AttestApplication(req.Evidence, req.QuotingKey)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cfg)
+}
+
+// tagPush carries a tag update or exit notification.
+type tagPush struct {
+	Token string   `json:"token"`
+	Tag   fspf.Tag `json:"tag"`
+}
+
+func (s *Server) handlePushTag(w http.ResponseWriter, r *http.Request) {
+	var req tagPush
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := s.inst.PushTag(req.Token, req.Tag); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleReadTag(w http.ResponseWriter, r *http.Request) {
+	tag, err := s.inst.ExpectedTag(r.PathValue("policy"), r.PathValue("service"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"tag": tag.String()})
+}
+
+func (s *Server) handleExit(w http.ResponseWriter, r *http.Request) {
+	var req tagPush
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := s.inst.NotifyExit(req.Token, req.Tag); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// AttestationDoc is the explicit-attestation bundle (§IV-B): the IAS report
+// binding the instance identity key to the PALÆMON MRE.
+type AttestationDoc struct {
+	Report    *ias.Report `json:"report,omitempty"`
+	PublicKey []byte      `json:"public_key"`
+	MRE       string      `json:"mre"`
+}
+
+func (s *Server) handleAttestation(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, AttestationDoc{
+		Report:    s.iasReport,
+		PublicKey: s.inst.PublicKey(),
+		MRE:       s.inst.MRE().String(),
+	})
+}
+
+// challengeExchange proves the instance holds the identity private key.
+type challengeExchange struct {
+	Challenge attest.Challenge `json:"challenge"`
+}
+
+func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
+	var req challengeExchange
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	resp := attest.Respond(req.Challenge, s.inst.signer, "palaemon-instance")
+	writeJSON(w, http.StatusOK, resp)
+}

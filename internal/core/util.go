@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"palaemon/internal/cryptoutil"
+)
+
+// readFileIfExists returns (nil, nil) for a missing file.
+func readFileIfExists(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: read %s: %w", path, err)
+	}
+	return raw, nil
+}
+
+// writeFileAtomic writes via a temp file and rename.
+func writeFileAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+		return fmt.Errorf("core: create dir: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return fmt.Errorf("core: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: publish %s: %w", path, err)
+	}
+	return nil
+}
+
+func marshalSigner(s *cryptoutil.Signer) []byte { return s.Seed() }
+
+func signerFromIdentity(id identity) (*cryptoutil.Signer, error) {
+	s, err := cryptoutil.SignerFromSeed(id.Ed25519Private)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore identity signer: %w", err)
+	}
+	return s, nil
+}

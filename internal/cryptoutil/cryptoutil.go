@@ -1,0 +1,370 @@
+// Package cryptoutil collects the cryptographic primitives shared by the
+// PALÆMON reproduction: AES-256-GCM sealing (file-system shield, sealed
+// storage, database encryption), HMAC-based key derivation, Ed25519 signing
+// (quotes, IAS-style reports — PALÆMON uses Ed25519 in place of EPID, §V-B),
+// and X.509 certificate minting for the PALÆMON CA and every TLS endpoint.
+//
+// Everything here wraps the Go standard library; no external dependencies.
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdsa"
+	"crypto/ed25519"
+	"crypto/elliptic"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// KeySize is the byte length of symmetric keys (AES-256).
+const KeySize = 32
+
+// Key is a symmetric encryption key.
+type Key [KeySize]byte
+
+var (
+	// ErrCiphertextShort reports a ciphertext too short to contain a nonce.
+	ErrCiphertextShort = errors.New("cryptoutil: ciphertext shorter than nonce")
+	// ErrDecrypt reports an authentication failure (tampering or wrong key).
+	ErrDecrypt = errors.New("cryptoutil: message authentication failed")
+)
+
+// NewKey returns a fresh random key.
+func NewKey() (Key, error) {
+	var k Key
+	if _, err := rand.Read(k[:]); err != nil {
+		return Key{}, fmt.Errorf("cryptoutil: read random key: %w", err)
+	}
+	return k, nil
+}
+
+// MustNewKey returns a fresh random key and panics if the system entropy
+// source fails. Reserved for program initialisation and tests.
+func MustNewKey() Key {
+	k, err := NewKey()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// KeyFromHex parses a 64-hex-digit key, as stored in policy files.
+func KeyFromHex(s string) (Key, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return Key{}, fmt.Errorf("cryptoutil: parse hex key: %w", err)
+	}
+	if len(raw) != KeySize {
+		return Key{}, fmt.Errorf("cryptoutil: key must be %d bytes, got %d", KeySize, len(raw))
+	}
+	var k Key
+	copy(k[:], raw)
+	return k, nil
+}
+
+// Hex renders the key for storage in a policy file.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// IsZero reports whether the key is the all-zero (unset) key.
+func (k Key) IsZero() bool { return k == Key{} }
+
+// Derive produces a sub-key bound to a label, so one master key (for
+// example a platform sealing key) can protect independent domains. It is an
+// HMAC-SHA256 expand step: HKDF-style with the label as info.
+func (k Key) Derive(label string) Key {
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write([]byte("palaemon-derive-v1"))
+	mac.Write([]byte{0})
+	mac.Write([]byte(label))
+	var out Key
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Seal encrypts and authenticates plaintext with AES-256-GCM, binding the
+// optional additional data. The random nonce is prepended to the result.
+func Seal(key Key, plaintext, additionalData []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize(), aead.NonceSize()+len(plaintext)+aead.Overhead())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("cryptoutil: read nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, additionalData), nil
+}
+
+// Open authenticates and decrypts a Seal output.
+func Open(key Key, ciphertext, additionalData []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrCiphertextShort
+	}
+	nonce, body := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, body, additionalData)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+func newAEAD(key Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: new cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: new GCM: %w", err)
+	}
+	return aead, nil
+}
+
+// Digest is a SHA-256 convenience wrapper returning an array.
+func Digest(data []byte) [32]byte { return sha256.Sum256(data) }
+
+// Signer bundles an Ed25519 key pair used for quotes, reports, and approval
+// signatures.
+type Signer struct {
+	// Public is the verification key.
+	Public ed25519.PublicKey
+	// private is kept unexported; use Sign.
+	private ed25519.PrivateKey
+}
+
+// NewSigner generates a fresh Ed25519 key pair.
+func NewSigner() (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: generate ed25519 key: %w", err)
+	}
+	return &Signer{Public: pub, private: priv}, nil
+}
+
+// MustNewSigner panics on entropy failure; for initialisation and tests.
+func MustNewSigner() *Signer {
+	s, err := NewSigner()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Sign signs msg.
+func (s *Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.private, msg) }
+
+// Seed exports the 32-byte private seed for sealed storage. Handle with the
+// same care as the private key itself.
+func (s *Signer) Seed() []byte {
+	return append([]byte(nil), s.private.Seed()...)
+}
+
+// SignerFromSeed reconstructs a signer from a Seed export.
+func SignerFromSeed(seed []byte) (*Signer, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("cryptoutil: seed must be %d bytes, got %d", ed25519.SeedSize, len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub, ok := priv.Public().(ed25519.PublicKey)
+	if !ok {
+		return nil, errors.New("cryptoutil: derive public key")
+	}
+	return &Signer{Public: pub, private: priv}, nil
+}
+
+// Verify checks sig over msg under pub.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize {
+		return false
+	}
+	return ed25519.Verify(pub, msg, sig)
+}
+
+// CertAuthority is an in-memory X.509 CA: the root of the PALÆMON CA and of
+// every test PKI in the repository.
+type CertAuthority struct {
+	// Cert is the self-signed root certificate.
+	Cert *x509.Certificate
+	// CertPEMBytes is the DER encoding of Cert (despite the name kept DER
+	// internally; use Pool or TLS helpers rather than raw bytes).
+	certDER []byte
+	key     *ecdsa.PrivateKey
+}
+
+// NewCertAuthority mints a self-signed root with the given common name.
+func NewCertAuthority(commonName string, validity time.Duration) (*CertAuthority, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: generate CA key: %w", err)
+	}
+	serial, err := randomSerial()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now().Add(-time.Minute)
+	tmpl := &x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: commonName, Organization: []string{"Palaemon"}},
+		NotBefore:             now,
+		NotAfter:              now.Add(validity),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: create CA cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: parse CA cert: %w", err)
+	}
+	return &CertAuthority{Cert: cert, certDER: der, key: key}, nil
+}
+
+// IssueOptions controls leaf certificate issuance.
+type IssueOptions struct {
+	// CommonName is the subject CN.
+	CommonName string
+	// DNSNames and IPs populate the SAN extension.
+	DNSNames []string
+	IPs      []net.IP
+	// Validity bounds the certificate lifetime; the PALÆMON CA issues
+	// short-lived certificates to force timely upgrades (§III-B).
+	Validity time.Duration
+	// Client marks the certificate for TLS client authentication as well.
+	Client bool
+}
+
+// Issued is a leaf certificate with its private key, ready for TLS.
+type Issued struct {
+	// CertDER is the DER-encoded leaf certificate.
+	CertDER []byte
+	// Leaf is the parsed certificate.
+	Leaf *x509.Certificate
+	// Key is the leaf private key.
+	Key *ecdsa.PrivateKey
+}
+
+// Issue signs a leaf certificate over a freshly generated key pair.
+func (ca *CertAuthority) Issue(opts IssueOptions) (*Issued, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: generate leaf key: %w", err)
+	}
+	return ca.issueWithKey(opts, &key.PublicKey, key)
+}
+
+// IssueForKey signs a leaf certificate for a public key the subject already
+// holds (the subject keeps its private key; Issued.Key is nil). This is how
+// the PALÆMON CA certifies an attested instance's identity key.
+func (ca *CertAuthority) IssueForKey(opts IssueOptions, pub *ecdsa.PublicKey) (*Issued, error) {
+	return ca.issueWithKey(opts, pub, nil)
+}
+
+func (ca *CertAuthority) issueWithKey(opts IssueOptions, pub *ecdsa.PublicKey, priv *ecdsa.PrivateKey) (*Issued, error) {
+	serial, err := randomSerial()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Validity <= 0 {
+		opts.Validity = 24 * time.Hour
+	}
+	now := time.Now().Add(-time.Minute)
+	usage := []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth}
+	if opts.Client {
+		usage = append(usage, x509.ExtKeyUsageClientAuth)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: opts.CommonName, Organization: []string{"Palaemon"}},
+		NotBefore:    now,
+		NotAfter:     now.Add(opts.Validity),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  usage,
+		DNSNames:     opts.DNSNames,
+		IPAddresses:  opts.IPs,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.Cert, pub, ca.key)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: create leaf cert: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: parse leaf cert: %w", err)
+	}
+	return &Issued{CertDER: der, Leaf: leaf, Key: priv}, nil
+}
+
+// Pool returns a cert pool trusting only this CA.
+func (ca *CertAuthority) Pool() *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(ca.Cert)
+	return pool
+}
+
+// TLSCertificate converts an issued leaf into a tls.Certificate.
+func (iss *Issued) TLSCertificate() tls.Certificate {
+	return tls.Certificate{
+		Certificate: [][]byte{iss.CertDER},
+		PrivateKey:  iss.Key,
+		Leaf:        iss.Leaf,
+	}
+}
+
+// ServerTLSConfig builds a TLS 1.3 server configuration. When clientCAs is
+// non-nil, client certificates are required and verified against it — the
+// first stage of PALÆMON's two-stage policy access control (§IV-E).
+func ServerTLSConfig(cert tls.Certificate, clientCAs *x509.CertPool) *tls.Config {
+	cfg := &tls.Config{
+		MinVersion:   tls.VersionTLS13,
+		Certificates: []tls.Certificate{cert},
+	}
+	if clientCAs != nil {
+		cfg.ClientCAs = clientCAs
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg
+}
+
+// ClientTLSConfig builds a TLS 1.3 client configuration trusting roots, and
+// presenting cert when non-nil.
+func ClientTLSConfig(roots *x509.CertPool, cert *tls.Certificate, serverName string) *tls.Config {
+	cfg := &tls.Config{
+		MinVersion: tls.VersionTLS13,
+		RootCAs:    roots,
+		ServerName: serverName,
+	}
+	if cert != nil {
+		cfg.Certificates = []tls.Certificate{*cert}
+	}
+	return cfg
+}
+
+// CertFingerprint returns the SHA-256 of a certificate's DER encoding; used
+// to pin policy creator identity.
+func CertFingerprint(der []byte) [32]byte { return sha256.Sum256(der) }
+
+func randomSerial() (*big.Int, error) {
+	limit := new(big.Int).Lsh(big.NewInt(1), 128)
+	serial, err := rand.Int(rand.Reader, limit)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: random serial: %w", err)
+	}
+	return serial, nil
+}

@@ -1,0 +1,276 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"crypto/tls"
+	"crypto/x509"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := MustNewKey()
+	pt := []byte("the secret payload")
+	ad := []byte("context")
+	ct, err := Seal(key, pt, ad)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	out, err := Open(key, ct, ad)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(out, pt) {
+		t.Fatalf("round trip mismatch: %q != %q", out, pt)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	key := MustNewKey()
+	ct, err := Seal(key, []byte("data"), []byte("ad"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	// Flip one ciphertext bit.
+	ct[len(ct)-1] ^= 1
+	if _, err := Open(key, ct, []byte("ad")); err == nil {
+		t.Fatal("Open accepted tampered ciphertext")
+	}
+}
+
+func TestOpenRejectsWrongAD(t *testing.T) {
+	key := MustNewKey()
+	ct, err := Seal(key, []byte("data"), []byte("ad-one"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := Open(key, ct, []byte("ad-two")); err == nil {
+		t.Fatal("Open accepted wrong additional data")
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	ct, err := Seal(MustNewKey(), []byte("data"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := Open(MustNewKey(), ct, nil); err == nil {
+		t.Fatal("Open accepted wrong key")
+	}
+}
+
+func TestOpenShortCiphertext(t *testing.T) {
+	if _, err := Open(MustNewKey(), []byte{1, 2, 3}, nil); err == nil {
+		t.Fatal("Open accepted short ciphertext")
+	}
+}
+
+func TestKeyHexRoundTrip(t *testing.T) {
+	k := MustNewKey()
+	k2, err := KeyFromHex(k.Hex())
+	if err != nil {
+		t.Fatalf("KeyFromHex: %v", err)
+	}
+	if k != k2 {
+		t.Fatal("hex round trip mismatch")
+	}
+	if _, err := KeyFromHex("zz"); err == nil {
+		t.Fatal("accepted invalid hex")
+	}
+	if _, err := KeyFromHex("abcd"); err == nil {
+		t.Fatal("accepted short key")
+	}
+}
+
+func TestDeriveIsDeterministicAndSeparated(t *testing.T) {
+	k := MustNewKey()
+	if k.Derive("a") != k.Derive("a") {
+		t.Fatal("Derive not deterministic")
+	}
+	if k.Derive("a") == k.Derive("b") {
+		t.Fatal("Derive labels collide")
+	}
+	if k.Derive("a") == k {
+		t.Fatal("Derive returned the master key")
+	}
+}
+
+func TestSignerVerify(t *testing.T) {
+	s := MustNewSigner()
+	msg := []byte("approve policy update")
+	sig := s.Sign(msg)
+	if !Verify(s.Public, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(s.Public, []byte("other"), sig) {
+		t.Fatal("signature verified for wrong message")
+	}
+	other := MustNewSigner()
+	if Verify(other.Public, msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+	if Verify(nil, msg, sig) {
+		t.Fatal("nil key verified")
+	}
+}
+
+func TestQuickSealOpen(t *testing.T) {
+	key := MustNewKey()
+	f := func(pt, ad []byte) bool {
+		ct, err := Seal(key, pt, ad)
+		if err != nil {
+			return false
+		}
+		out, err := Open(key, ct, ad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertAuthorityIssueAndTLS(t *testing.T) {
+	ca, err := NewCertAuthority("Test Root", time.Hour)
+	if err != nil {
+		t.Fatalf("NewCertAuthority: %v", err)
+	}
+	server, err := ca.Issue(IssueOptions{
+		CommonName: "server",
+		IPs:        []net.IP{net.IPv4(127, 0, 0, 1)},
+		Validity:   time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("Issue server: %v", err)
+	}
+	client, err := ca.Issue(IssueOptions{CommonName: "client", Validity: time.Hour, Client: true})
+	if err != nil {
+		t.Fatalf("Issue client: %v", err)
+	}
+
+	// Certificate chains verify against the CA pool.
+	if _, err := server.Leaf.Verify(x509.VerifyOptions{Roots: ca.Pool()}); err != nil {
+		t.Fatalf("server chain: %v", err)
+	}
+
+	// Full mutual-TLS handshake over a pipe.
+	srvCfg := ServerTLSConfig(server.TLSCertificate(), ca.Pool())
+	cliCert := client.TLSCertificate()
+	cliCfg := ClientTLSConfig(ca.Pool(), &cliCert, "server")
+	cliCfg.InsecureSkipVerify = false
+	cliCfg.ServerName = "127.0.0.1"
+
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", srvCfg)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := conn.Read(buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = conn.Write(buf)
+		done <- err
+	}()
+	conn, err := tls.Dial("tcp", ln.Addr().String(), cliCfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func TestClientCertRequired(t *testing.T) {
+	ca, err := NewCertAuthority("Root", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := ca.Issue(IssueOptions{CommonName: "s", IPs: []net.IP{net.IPv4(127, 0, 0, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCfg := ServerTLSConfig(server.TLSCertificate(), ca.Pool())
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Drive the handshake; it must fail without a client cert.
+			buf := make([]byte, 1)
+			_, _ = conn.Read(buf)
+			conn.Close()
+		}
+	}()
+	cliCfg := ClientTLSConfig(ca.Pool(), nil, "127.0.0.1")
+	conn, err := tls.Dial("tcp", ln.Addr().String(), cliCfg)
+	if err == nil {
+		// TLS 1.3: the failure may surface on first read.
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err2 := conn.Read(make([]byte, 1)); err2 == nil {
+			conn.Close()
+			t.Fatal("handshake without client certificate succeeded")
+		}
+		conn.Close()
+	}
+}
+
+func TestCertFingerprintDistinct(t *testing.T) {
+	ca, err := NewCertAuthority("Root", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ca.Issue(IssueOptions{CommonName: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ca.Issue(IssueOptions{CommonName: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CertFingerprint(a.CertDER) == CertFingerprint(b.CertDER) {
+		t.Fatal("distinct certs share a fingerprint")
+	}
+}
+
+func TestShortLivedCertExpiry(t *testing.T) {
+	ca, err := NewCertAuthority("Root", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.Issue(IssueOptions{CommonName: "ephemeral", Validity: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	until := leaf.Leaf.NotAfter.Sub(leaf.Leaf.NotBefore)
+	if until > 2*time.Minute {
+		t.Fatalf("validity %v exceeds requested minute", until)
+	}
+}

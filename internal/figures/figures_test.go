@@ -1,0 +1,142 @@
+package figures
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllExperimentsRunQuick regenerates every table and figure in quick
+// mode and sanity-checks the report structure — the end-to-end smoke test
+// for deliverable (d).
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiments take seconds")
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			report, err := exp.Run(true)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if report.ID != exp.ID {
+				t.Fatalf("report ID %q, want %q", report.ID, exp.ID)
+			}
+			if len(report.Rows) == 0 {
+				t.Fatal("empty report")
+			}
+			for _, row := range report.Rows {
+				if len(row) != len(report.Header) {
+					t.Fatalf("row %v does not match header %v", row, report.Header)
+				}
+			}
+			var buf bytes.Buffer
+			report.Print(&buf)
+			if !strings.Contains(buf.String(), exp.ID) {
+				t.Fatal("printed report lacks its ID")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig10"); !ok {
+		t.Fatal("fig10 missing from registry")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+// TestFig10ShapeHolds asserts the paper's headline: file-based counters are
+// orders of magnitude faster than the platform counter.
+func TestFig10ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured experiment")
+	}
+	report, err := Fig10(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := make(map[string]float64)
+	for _, row := range report.Rows {
+		rates[row[0]] = parseRate(t, row[1])
+	}
+	platform := rates["(a) platform counter"]
+	if platform <= 0 || platform > 100 {
+		t.Fatalf("platform counter rate %v implausible", platform)
+	}
+	for _, name := range []string{"(b) file, native", "(c) file, SGX (mmap)", "(d) + encrypted FS", "(e) + Palæmon strict"} {
+		if rates[name] < 1000*platform {
+			t.Fatalf("%s rate %.0f not orders of magnitude above platform %.0f", name, rates[name], platform)
+		}
+	}
+}
+
+// TestFig9ShapeHolds asserts the Fig 9 ceilings order: Native >> SGX-no-
+// attest >= Palaemon > IAS.
+func TestFig9ShapeHolds(t *testing.T) {
+	report, err := Fig9(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := make(map[string]float64)
+	for _, row := range report.Rows {
+		rate := parseRate(t, row[2])
+		if rate > best[row[0]] {
+			best[row[0]] = rate
+		}
+	}
+	if !(best["Native"] > best["SGX w/o attestation"] &&
+		best["SGX w/o attestation"] >= best["Palæmon"] &&
+		best["Palæmon"] > best["IAS"]) {
+		t.Fatalf("fig9 ordering broken: %+v", best)
+	}
+}
+
+// TestFig8ShapeHolds asserts PALÆMON attestation is about an order of
+// magnitude faster than IAS.
+func TestFig8ShapeHolds(t *testing.T) {
+	report, err := Fig8(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make(map[string]time.Duration)
+	for _, row := range report.Rows {
+		totals[row[0]] = parseDur(t, row[5])
+	}
+	if totals["Palæmon"]*5 > totals["IAS (US)"] {
+		t.Fatalf("palaemon %v not ~10x faster than IAS US %v", totals["Palæmon"], totals["IAS (US)"])
+	}
+	if totals["IAS (EU)"] < totals["IAS (US)"] {
+		t.Fatalf("EU %v faster than US %v", totals["IAS (EU)"], totals["IAS (US)"])
+	}
+}
+
+func parseRate(t *testing.T, s string) float64 {
+	t.Helper()
+	mult := 1.0
+	s = strings.TrimSuffix(s, "/s")
+	if strings.HasSuffix(s, "k") {
+		mult, s = 1e3, strings.TrimSuffix(s, "k")
+	} else if strings.HasSuffix(s, "M") {
+		mult, s = 1e6, strings.TrimSuffix(s, "M")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse rate %q: %v", s, err)
+	}
+	return v * mult
+}
+
+func parseDur(t *testing.T, s string) time.Duration {
+	t.Helper()
+	d, err := time.ParseDuration(strings.ReplaceAll(s, "µ", "u"))
+	if err != nil {
+		t.Fatalf("parse duration %q: %v", s, err)
+	}
+	return d
+}

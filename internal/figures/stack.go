@@ -1,0 +1,106 @@
+package figures
+
+import (
+	"context"
+	"crypto/tls"
+	"os"
+	"time"
+
+	"palaemon/internal/ca"
+	"palaemon/internal/core"
+	"palaemon/internal/sgx"
+	"palaemon/internal/simnet"
+)
+
+// localStack is an in-process PALÆMON deployment for micro experiments.
+type localStack struct {
+	platform *sgx.Platform
+	inst     *core.Instance
+	dir      string
+}
+
+func newLocalStack() (*localStack, error) {
+	model := sgx.DefaultCostModel()
+	model.CounterInterval = 0 // experiment setup time, not the subject
+	platform, err := sgx.NewPlatform(sgx.Options{Model: model})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "palaemon-fig")
+	if err != nil {
+		return nil, err
+	}
+	inst, err := core.Open(core.Options{Platform: platform, DataDir: dir})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return &localStack{platform: platform, inst: inst, dir: dir}, nil
+}
+
+func (s *localStack) close() {
+	_ = s.inst.Shutdown(context.Background())
+	os.RemoveAll(s.dir)
+}
+
+// httpStack adds the CA and HTTPS endpoint for full-wire experiments.
+type httpStack struct {
+	*localStack
+	auth       *ca.Authority
+	server     *core.Server
+	client     *core.Client
+	certHolder *tls.Certificate
+}
+
+func newHTTPStack() (*httpStack, error) {
+	base, err := newLocalStack()
+	if err != nil {
+		return nil, err
+	}
+	auth, err := ca.New(base.platform, ca.Config{
+		TrustedMREs:  []sgx.Measurement{base.inst.MRE()},
+		CertValidity: time.Hour,
+	})
+	if err != nil {
+		base.close()
+		return nil, err
+	}
+	server, err := core.Serve(base.inst, core.ServerOptions{Authority: auth})
+	if err != nil {
+		auth.Close()
+		base.close()
+		return nil, err
+	}
+	cert, _, err := core.NewClientCertificate("figures")
+	if err != nil {
+		server.Close()
+		auth.Close()
+		base.close()
+		return nil, err
+	}
+	s := &httpStack{localStack: base, auth: auth, server: server}
+	s.client = core.NewClient(core.ClientOptions{
+		BaseURL:     server.URL(),
+		Roots:       auth.Root().Pool(),
+		Certificate: cert,
+	})
+	s.certHolder = cert
+	return s, nil
+}
+
+// clientWithProfile returns a client at the given network distance sharing
+// the stack's certificate identity.
+func (s *httpStack) clientWithProfile(profile simnet.Profile) *core.Client {
+	return core.NewClient(core.ClientOptions{
+		BaseURL:     s.server.URL(),
+		Roots:       s.auth.Root().Pool(),
+		Certificate: s.certHolder,
+		Profile:     profile,
+	})
+}
+
+func (s *httpStack) close() {
+	s.server.Close()
+	s.auth.Close()
+	s.localStack.close()
+}

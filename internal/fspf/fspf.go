@@ -1,0 +1,382 @@
+// Package fspf implements the file-system protection file: the transparent
+// encrypted, integrity- and freshness-protected file system the SCONE
+// runtime mounts inside the TEE (§III-D, §IV-A).
+//
+// Every file is encrypted per 4 kB block with AES-256-GCM under the volume
+// key. A Merkle tree across the per-file roots yields the volume tag; any
+// change to any file changes the tag, so comparing the expected tag (stored
+// at PALÆMON) with the actual tag detects both tampering and rollback. The
+// volume can be marshalled to untrusted storage and later re-opened against
+// an expected tag.
+package fspf
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/merkle"
+)
+
+// BlockSize is the encryption granule.
+const BlockSize = 4096
+
+// Tag is the volume freshness tag: the Merkle root across all files.
+type Tag [32]byte
+
+// String renders the tag as hex.
+func (t Tag) String() string { return fmt.Sprintf("%x", t[:]) }
+
+// IsZero reports an unset tag.
+func (t Tag) IsZero() bool { return t == Tag{} }
+
+var (
+	// ErrNotExist reports a missing file.
+	ErrNotExist = errors.New("fspf: file does not exist")
+	// ErrTagMismatch reports a freshness/integrity violation: the actual
+	// volume tag differs from the expected tag (rollback or tampering).
+	ErrTagMismatch = errors.New("fspf: volume tag mismatch (rollback or tampering detected)")
+	// ErrCorrupt reports ciphertext that failed authentication.
+	ErrCorrupt = errors.New("fspf: block failed authentication")
+	// ErrClosed reports use of a closed handle.
+	ErrClosed = errors.New("fspf: handle is closed")
+)
+
+// file is one protected file: encrypted blocks plus its subtree root.
+type file struct {
+	blocks   [][]byte // sealed blocks
+	size     int
+	leafHash merkle.Hash // root of the file's own block tree
+}
+
+// Volume is an encrypted, tagged file system. It is safe for concurrent use.
+type Volume struct {
+	mu    sync.RWMutex
+	key   cryptoutil.Key
+	files map[string]*file
+	// order is the sorted file list backing the volume Merkle tree; index
+	// into the tree equals index into order.
+	order []string
+	tree  *merkle.Tree
+	// onTag, when set, is invoked (outside the lock) after every operation
+	// that changes the tag; the runtime uses it to push expected tags to
+	// PALÆMON on close/sync/exit.
+	onTag func(Tag)
+}
+
+// CreateVolume makes an empty volume encrypted under key.
+func CreateVolume(key cryptoutil.Key) *Volume {
+	return &Volume{
+		key:   key,
+		files: make(map[string]*file),
+		tree:  merkle.NewFromHashes(nil),
+	}
+}
+
+// OnTagChange registers the tag-push callback. Passing nil clears it.
+func (v *Volume) OnTagChange(fn func(Tag)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.onTag = fn
+}
+
+// Tag returns the current volume tag.
+func (v *Volume) Tag() Tag {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.tagLocked()
+}
+
+func (v *Volume) tagLocked() Tag {
+	return Tag(v.tree.Root())
+}
+
+// blockAD binds a block's position (path, index, plaintext length) into its
+// GCM additional data so blocks cannot be swapped or truncated undetected.
+func blockAD(path string, index, size int) []byte {
+	ad := make([]byte, 0, len(path)+17)
+	ad = append(ad, path...)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(index))
+	ad = append(ad, buf[:]...)
+	binary.LittleEndian.PutUint64(buf[:], uint64(size))
+	ad = append(ad, buf[:]...)
+	return ad
+}
+
+// fileLeafHash derives the per-file Merkle leaf from path and block hashes,
+// so renaming a file (not just editing it) also changes the volume tag.
+func fileLeafHash(path string, blocks [][]byte, size int) merkle.Hash {
+	h := make([]byte, 0, 64)
+	h = append(h, []byte(path)...)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(size))
+	h = append(h, buf[:]...)
+	for _, b := range blocks {
+		d := cryptoutil.Digest(b)
+		h = append(h, d[:]...)
+	}
+	return merkle.LeafHash(h)
+}
+
+// WriteFile encrypts data under the volume key and (re)creates path.
+func (v *Volume) WriteFile(path string, data []byte) error {
+	if path == "" {
+		return errors.New("fspf: empty path")
+	}
+	nblocks := (len(data) + BlockSize - 1) / BlockSize
+	if nblocks == 0 {
+		nblocks = 1 // empty files still occupy one (empty) block
+	}
+	blocks := make([][]byte, 0, nblocks)
+	for i := 0; i < nblocks; i++ {
+		lo := i * BlockSize
+		hi := lo + BlockSize
+		if lo > len(data) {
+			lo = len(data)
+		}
+		if hi > len(data) {
+			hi = len(data)
+		}
+		sealed, err := cryptoutil.Seal(v.key, data[lo:hi], blockAD(path, i, len(data)))
+		if err != nil {
+			return fmt.Errorf("fspf: seal block %d of %s: %w", i, path, err)
+		}
+		blocks = append(blocks, sealed)
+	}
+	f := &file{blocks: blocks, size: len(data)}
+	f.leafHash = fileLeafHash(path, blocks, len(data))
+
+	v.mu.Lock()
+	v.files[path] = f
+	v.reindexLocked()
+	tag, cb := v.tagLocked(), v.onTag
+	v.mu.Unlock()
+	if cb != nil {
+		cb(tag)
+	}
+	return nil
+}
+
+// ReadFile decrypts and returns the file content, verifying every block.
+func (v *Volume) ReadFile(path string) ([]byte, error) {
+	v.mu.RLock()
+	f, ok := v.files[path]
+	v.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	out := make([]byte, 0, f.size)
+	for i, sealed := range f.blocks {
+		pt, err := cryptoutil.Open(v.key, sealed, blockAD(path, i, f.size))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s block %d", ErrCorrupt, path, i)
+		}
+		out = append(out, pt...)
+	}
+	if len(out) != f.size {
+		return nil, fmt.Errorf("%w: %s size mismatch", ErrCorrupt, path)
+	}
+	return out, nil
+}
+
+// Remove deletes a file.
+func (v *Volume) Remove(path string) error {
+	v.mu.Lock()
+	if _, ok := v.files[path]; !ok {
+		v.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	delete(v.files, path)
+	v.reindexLocked()
+	tag, cb := v.tagLocked(), v.onTag
+	v.mu.Unlock()
+	if cb != nil {
+		cb(tag)
+	}
+	return nil
+}
+
+// List returns the sorted file paths.
+func (v *Volume) List() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]string(nil), v.order...)
+}
+
+// Exists reports whether path is present.
+func (v *Volume) Exists(path string) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	_, ok := v.files[path]
+	return ok
+}
+
+// Size returns the plaintext size of path.
+func (v *Volume) Size(path string) (int, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	f, ok := v.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return f.size, nil
+}
+
+// reindexLocked rebuilds the canonical order and volume tree. Called with
+// the write lock held after any structural change.
+func (v *Volume) reindexLocked() {
+	order := make([]string, 0, len(v.files))
+	for p := range v.files {
+		order = append(order, p)
+	}
+	sort.Strings(order)
+	hashes := make([]merkle.Hash, len(order))
+	for i, p := range order {
+		hashes[i] = v.files[p].leafHash
+	}
+	v.order = order
+	v.tree = merkle.NewFromHashes(hashes)
+}
+
+// Sync invokes the tag callback with the current tag, modelling fsync: the
+// runtime pushes the expected tag to PALÆMON on every file-system sync.
+func (v *Volume) Sync() {
+	v.mu.RLock()
+	tag, cb := v.tagLocked(), v.onTag
+	v.mu.RUnlock()
+	if cb != nil {
+		cb(tag)
+	}
+}
+
+// marshalVolume is the serialised (untrusted-storage) form.
+type marshalVolume struct {
+	Files map[string]marshalFile `json:"files"`
+}
+
+type marshalFile struct {
+	Blocks [][]byte `json:"blocks"`
+	Size   int      `json:"size"`
+}
+
+// Marshal serialises the encrypted volume for untrusted storage. The output
+// reveals file names, sizes and ciphertext only.
+func (v *Volume) Marshal() ([]byte, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	mv := marshalVolume{Files: make(map[string]marshalFile, len(v.files))}
+	for p, f := range v.files {
+		mv.Files[p] = marshalFile{Blocks: f.blocks, Size: f.size}
+	}
+	return json.Marshal(mv)
+}
+
+// OpenVolume reconstructs a volume from untrusted storage and verifies its
+// tag against expected. A rollback (serving an old marshalled image) or any
+// tampering yields ErrTagMismatch. A zero expected tag skips the check
+// (used only when the caller verifies the tag itself).
+func OpenVolume(key cryptoutil.Key, raw []byte, expected Tag) (*Volume, error) {
+	var mv marshalVolume
+	if err := json.Unmarshal(raw, &mv); err != nil {
+		return nil, fmt.Errorf("fspf: parse volume: %w", err)
+	}
+	v := &Volume{key: key, files: make(map[string]*file, len(mv.Files))}
+	for p, mf := range mv.Files {
+		f := &file{blocks: mf.Blocks, size: mf.Size}
+		f.leafHash = fileLeafHash(p, mf.Blocks, mf.Size)
+		v.files[p] = f
+	}
+	v.reindexLocked()
+	if !expected.IsZero() && v.tagLocked() != expected {
+		return nil, fmt.Errorf("%w: expected %s, actual %s", ErrTagMismatch, expected, v.tagLocked())
+	}
+	return v, nil
+}
+
+// Handle is a file handle with close/sync semantics so applications (and the
+// Fig 10 counter benchmark) exercise the same open/write/close lifecycle the
+// runtime shields. Writes buffer in enclave memory; Sync and Close flush to
+// the volume, which updates the tag and triggers the tag push.
+type Handle struct {
+	mu     sync.Mutex
+	v      *Volume
+	path   string
+	buf    []byte
+	dirty  bool
+	closed bool
+}
+
+// Open returns a handle for path, creating the file if absent.
+func (v *Volume) Open(path string) (*Handle, error) {
+	var buf []byte
+	if v.Exists(path) {
+		data, err := v.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		buf = data
+	}
+	return &Handle{v: v, path: path, buf: buf}, nil
+}
+
+// Read returns the current (buffered) content.
+func (h *Handle) Read() ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	return append([]byte(nil), h.buf...), nil
+}
+
+// Write replaces the buffered content.
+func (h *Handle) Write(data []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	h.buf = append(h.buf[:0], data...)
+	h.dirty = true
+	return nil
+}
+
+// Sync flushes buffered content to the volume (tag push fires).
+func (h *Handle) Sync() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	return h.flushLocked()
+}
+
+// Close flushes and invalidates the handle (tag push fires).
+func (h *Handle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	if err := h.flushLocked(); err != nil {
+		return err
+	}
+	h.closed = true
+	return nil
+}
+
+func (h *Handle) flushLocked() error {
+	if !h.dirty {
+		return nil
+	}
+	if err := h.v.WriteFile(h.path, h.buf); err != nil {
+		return err
+	}
+	h.dirty = false
+	return nil
+}

@@ -1,0 +1,73 @@
+package ias
+
+import (
+	"errors"
+	"testing"
+
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+)
+
+func dcapSetup(t *testing.T, microcode sgx.MicrocodeLevel) (*sgx.Platform, *sgx.Enclave) {
+	t.Helper()
+	p, err := sgx.NewPlatform(sgx.Options{Clock: simclock.NewVirtual(), Microcode: microcode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(sgx.Binary{Name: "app", Code: []byte("code")}, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Destroy)
+	return p, e
+}
+
+func TestDCAPVerifyOK(t *testing.T) {
+	p, e := dcapSetup(t, sgx.MicrocodePostForeshadow)
+	v := NewDCAPVerifier()
+	v.InstallCollateral(p.ID(), p.QuotingKey(), sgx.MicrocodePostForeshadow)
+	if err := v.Verify(e.GetQuote([]byte("rd"))); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(v.Platforms()) != 1 {
+		t.Fatalf("Platforms = %v", v.Platforms())
+	}
+}
+
+func TestDCAPNoCollateral(t *testing.T) {
+	_, e := dcapSetup(t, sgx.MicrocodePostForeshadow)
+	v := NewDCAPVerifier()
+	if err := v.Verify(e.GetQuote(nil)); !errors.Is(err, ErrNoCollateral) {
+		t.Fatalf("want ErrNoCollateral, got %v", err)
+	}
+}
+
+func TestDCAPTCBOutOfDate(t *testing.T) {
+	p, e := dcapSetup(t, sgx.MicrocodePreSpectre)
+	v := NewDCAPVerifier()
+	v.InstallCollateral(p.ID(), p.QuotingKey(), sgx.MicrocodePostForeshadow)
+	if err := v.Verify(e.GetQuote(nil)); !errors.Is(err, ErrTCBOutOfDate) {
+		t.Fatalf("want ErrTCBOutOfDate, got %v", err)
+	}
+}
+
+func TestDCAPForgedQuote(t *testing.T) {
+	p, e := dcapSetup(t, sgx.MicrocodePostForeshadow)
+	v := NewDCAPVerifier()
+	v.InstallCollateral(p.ID(), p.QuotingKey(), 0)
+	q := e.GetQuote(nil)
+	q.MRE[0] ^= 1
+	if err := v.Verify(q); err == nil {
+		t.Fatal("forged quote verified")
+	}
+}
+
+func TestDCAPWrongCollateral(t *testing.T) {
+	p, e := dcapSetup(t, sgx.MicrocodePostForeshadow)
+	other, _ := dcapSetup(t, sgx.MicrocodePostForeshadow)
+	v := NewDCAPVerifier()
+	v.InstallCollateral(p.ID(), other.QuotingKey(), 0) // wrong key for platform
+	if err := v.Verify(e.GetQuote(nil)); err == nil {
+		t.Fatal("quote verified under wrong collateral")
+	}
+}

@@ -1,0 +1,172 @@
+package ias
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+	"palaemon/internal/simnet"
+)
+
+func setup(t *testing.T) (*Service, *sgx.Platform, *sgx.Enclave) {
+	t.Helper()
+	clock := simclock.NewVirtual()
+	svc, err := New(clock, 70*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sgx.NewPlatform(sgx.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.RegisterPlatform(p.ID(), p.QuotingKey())
+	e, err := p.Launch(sgx.Binary{Name: "app", Code: []byte("code")}, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Destroy)
+	return svc, p, e
+}
+
+func TestVerifyQuoteOK(t *testing.T) {
+	svc, _, e := setup(t)
+	q := e.GetQuote([]byte("rd"))
+	r, err := svc.VerifyQuote(q)
+	if err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+	if r.Status != StatusOK {
+		t.Fatalf("status %s, want OK", r.Status)
+	}
+	if r.MRE != e.MRE() {
+		t.Fatal("report MRE mismatch")
+	}
+	if err := VerifyReport(r, svc.PublicKey()); err != nil {
+		t.Fatalf("VerifyReport: %v", err)
+	}
+}
+
+func TestVerifyQuoteUnknownPlatform(t *testing.T) {
+	svc, _, e := setup(t)
+	// A second platform never registered with the service.
+	p2, err := sgx.NewPlatform(sgx.Options{Clock: simclock.NewVirtual()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := p2.Launch(sgx.Binary{Name: "x", Code: []byte("c")}, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Destroy()
+	if _, err := svc.VerifyQuote(e2.GetQuote(nil)); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("want ErrUnknownPlatform, got %v", err)
+	}
+	_ = e
+}
+
+func TestVerifyQuoteForged(t *testing.T) {
+	svc, _, e := setup(t)
+	q := e.GetQuote([]byte("rd"))
+	q.ReportData = []byte("forged")
+	r, err := svc.VerifyQuote(q)
+	if err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+	if r.Status != StatusInvalid {
+		t.Fatalf("forged quote status %s, want SIGNATURE_INVALID", r.Status)
+	}
+}
+
+func TestGroupOutOfDate(t *testing.T) {
+	clock := simclock.NewVirtual()
+	svc, err := New(clock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sgx.NewPlatform(sgx.Options{Clock: clock, Microcode: sgx.MicrocodePreSpectre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.RegisterPlatform(p.ID(), p.QuotingKey())
+	e, err := p.Launch(sgx.Binary{Code: []byte("c")}, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	r, err := svc.VerifyQuote(e.GetQuote(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusGroupOutOfDate {
+		t.Fatalf("status %s, want GROUP_OUT_OF_DATE", r.Status)
+	}
+}
+
+func TestVerifyReportRejectsTampering(t *testing.T) {
+	svc, _, e := setup(t)
+	r, err := svc.VerifyQuote(e.GetQuote(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Status = StatusOK
+	r.ID = "ias-tampered"
+	if err := VerifyReport(r, svc.PublicKey()); err == nil {
+		t.Fatal("tampered report verified")
+	}
+}
+
+func TestAttestTimingTrackerMode(t *testing.T) {
+	svc, _, e := setup(t)
+	client := NewClient(svc, simnet.IASFromEU, simclock.NewVirtual())
+	var tracker simclock.Tracker
+	report, timing, err := client.Attest(e, []byte("key-hash"), &tracker)
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	if report.Status != StatusOK {
+		t.Fatalf("status %s", report.Status)
+	}
+	// EU distance with the test's reduced 70 ms processing: the network
+	// share alone must land in the tens of milliseconds, Fig 8.
+	if timing.Total() < 100*time.Millisecond || timing.Total() > 900*time.Millisecond {
+		t.Fatalf("EU attestation total %v outside plausible range", timing.Total())
+	}
+	if tracker.Total() != timing.Total() {
+		t.Fatalf("tracker %v != timing %v", tracker.Total(), timing.Total())
+	}
+	if tracker.Phase("wait-confirmation") != timing.WaitConfirmation {
+		t.Fatal("phase accounting mismatch")
+	}
+}
+
+func TestAttestSleepsOnVirtualClock(t *testing.T) {
+	svc, _, e := setup(t)
+	clock := simclock.NewVirtual()
+	client := NewClient(svc, simnet.IASFromUS, clock)
+	start := clock.Now()
+	_, timing, err := client.Attest(e, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock.Since(start) != timing.Total() {
+		t.Fatalf("virtual clock advanced %v, want %v", clock.Since(start), timing.Total())
+	}
+}
+
+func TestEUSlowerThanUS(t *testing.T) {
+	svc, _, e := setup(t)
+	eu := NewClient(svc, simnet.IASFromEU, simclock.NewVirtual())
+	us := NewClient(svc, simnet.IASFromUS, simclock.NewVirtual())
+	var teu, tus simclock.Tracker
+	if _, _, err := eu.Attest(e, nil, &teu); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := us.Attest(e, nil, &tus); err != nil {
+		t.Fatal(err)
+	}
+	if teu.Total() <= tus.Total() {
+		t.Fatalf("EU (%v) should be slower than US (%v)", teu.Total(), tus.Total())
+	}
+}

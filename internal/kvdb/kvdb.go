@@ -1,0 +1,400 @@
+// Package kvdb is the embedded encrypted database inside the PALÆMON
+// enclave, standing in for the paper's embedded SQLite (§IV).
+//
+// The store is bucketed key/value with a write-ahead log: every update is
+// appended to the WAL as an AES-256-GCM-sealed record chained to its
+// predecessor by hash, then fsynced — which is why tag *updates* cost ~6x a
+// tag *read* in Fig 11 (left). Open replays the WAL over the last snapshot
+// and verifies the hash chain, so truncation or record reordering is
+// detected. Whole-database rollback (replacing snapshot+WAL with an older
+// consistent pair) is detected one level up by the monotonic-counter
+// protocol in internal/core (Fig 6), using the Version stored here.
+package kvdb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"palaemon/internal/cryptoutil"
+)
+
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("kvdb: key not found")
+	// ErrCorrupt reports authentication or chain verification failure.
+	ErrCorrupt = errors.New("kvdb: database corrupt or tampered")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("kvdb: database closed")
+)
+
+const (
+	snapshotFile = "snapshot.db"
+	walFile      = "wal.log"
+)
+
+// record is one WAL entry (sealed before hitting disk).
+type record struct {
+	// Op is "put", "del", or "ver".
+	Op string `json:"op"`
+	// Bucket/Key/Value carry the mutation.
+	Bucket string `json:"bucket,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Value  []byte `json:"value,omitempty"`
+	// Version carries the new version for "ver" records.
+	Version uint64 `json:"version,omitempty"`
+	// Prev is the chain hash of the predecessor record.
+	Prev [32]byte `json:"prev"`
+}
+
+// snapshot is the compacted full state.
+type snapshot struct {
+	Data    map[string]map[string][]byte `json:"data"`
+	Version uint64                       `json:"version"`
+	// Chain is the WAL hash-chain head at snapshot time.
+	Chain [32]byte `json:"chain"`
+}
+
+// Options tunes database behaviour.
+type Options struct {
+	// NoFsync disables the per-update fsync; only benchmarks measuring the
+	// non-durable path use it.
+	NoFsync bool
+}
+
+// DB is the embedded store. Safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	dir     string
+	key     cryptoutil.Key
+	data    map[string]map[string][]byte
+	version uint64
+	chain   [32]byte
+	wal     *os.File
+	opts    Options
+	closed  bool
+	// walRecords counts records since the last snapshot, for compaction.
+	walRecords int
+}
+
+// Open loads (or creates) the database in dir, encrypted under key.
+func Open(dir string, key cryptoutil.Key, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("kvdb: create dir: %w", err)
+	}
+	db := &DB{
+		dir:  dir,
+		key:  key,
+		data: make(map[string]map[string][]byte),
+		opts: opts,
+	}
+	if err := db.load(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("kvdb: open WAL: %w", err)
+	}
+	db.wal = wal
+	return db, nil
+}
+
+// load reads snapshot then replays the WAL, verifying the hash chain.
+func (db *DB) load() error {
+	snapRaw, err := os.ReadFile(filepath.Join(db.dir, snapshotFile))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh database.
+	case err != nil:
+		return fmt.Errorf("kvdb: read snapshot: %w", err)
+	default:
+		pt, err := cryptoutil.Open(db.key, snapRaw, []byte("kvdb-snapshot"))
+		if err != nil {
+			return fmt.Errorf("%w: snapshot", ErrCorrupt)
+		}
+		var snap snapshot
+		if err := json.Unmarshal(pt, &snap); err != nil {
+			return fmt.Errorf("%w: snapshot decode", ErrCorrupt)
+		}
+		db.data = snap.Data
+		if db.data == nil {
+			db.data = make(map[string]map[string][]byte)
+		}
+		db.version = snap.Version
+		db.chain = snap.Chain
+	}
+
+	walRaw, err := os.ReadFile(filepath.Join(db.dir, walFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvdb: read WAL: %w", err)
+	}
+	return db.replay(walRaw)
+}
+
+func (db *DB) replay(raw []byte) error {
+	off := 0
+	for off < len(raw) {
+		if off+4 > len(raw) {
+			return fmt.Errorf("%w: truncated WAL length", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+		if off+n > len(raw) {
+			return fmt.Errorf("%w: truncated WAL record", ErrCorrupt)
+		}
+		sealed := raw[off : off+n]
+		off += n
+		pt, err := cryptoutil.Open(db.key, sealed, []byte("kvdb-wal"))
+		if err != nil {
+			return fmt.Errorf("%w: WAL record", ErrCorrupt)
+		}
+		var rec record
+		if err := json.Unmarshal(pt, &rec); err != nil {
+			return fmt.Errorf("%w: WAL decode", ErrCorrupt)
+		}
+		if rec.Prev != db.chain {
+			return fmt.Errorf("%w: WAL chain break", ErrCorrupt)
+		}
+		db.applyLocked(rec)
+		db.chain = chainHash(db.chain, pt)
+		db.walRecords++
+	}
+	return nil
+}
+
+func chainHash(prev [32]byte, payload []byte) [32]byte {
+	buf := make([]byte, 0, len(prev)+len(payload))
+	buf = append(buf, prev[:]...)
+	buf = append(buf, payload...)
+	return cryptoutil.Digest(buf)
+}
+
+func (db *DB) applyLocked(rec record) {
+	switch rec.Op {
+	case "put":
+		b := db.data[rec.Bucket]
+		if b == nil {
+			b = make(map[string][]byte)
+			db.data[rec.Bucket] = b
+		}
+		b[rec.Key] = rec.Value
+	case "del":
+		if b := db.data[rec.Bucket]; b != nil {
+			delete(b, rec.Key)
+		}
+	case "ver":
+		db.version = rec.Version
+	}
+}
+
+// append seals a record, writes it to the WAL and (by default) fsyncs.
+// Callers hold db.mu.
+func (db *DB) appendLocked(rec record) error {
+	if db.closed {
+		return ErrClosed
+	}
+	rec.Prev = db.chain
+	pt, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("kvdb: encode record: %w", err)
+	}
+	sealed, err := cryptoutil.Seal(db.key, pt, []byte("kvdb-wal"))
+	if err != nil {
+		return fmt.Errorf("kvdb: seal record: %w", err)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(sealed)))
+	if _, err := db.wal.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("kvdb: write WAL: %w", err)
+	}
+	if _, err := db.wal.Write(sealed); err != nil {
+		return fmt.Errorf("kvdb: write WAL: %w", err)
+	}
+	if !db.opts.NoFsync {
+		if err := db.wal.Sync(); err != nil {
+			return fmt.Errorf("kvdb: fsync WAL: %w", err)
+		}
+	}
+	db.applyLocked(rec)
+	db.chain = chainHash(db.chain, pt)
+	db.walRecords++
+	return nil
+}
+
+// Put stores value under bucket/key.
+func (db *DB) Put(bucket, key string, value []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.appendLocked(record{Op: "put", Bucket: bucket, Key: key, Value: append([]byte(nil), value...)})
+}
+
+// Get returns the value under bucket/key.
+func (db *DB) Get(bucket, key string) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	b := db.data[bucket]
+	if b == nil {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, bucket, key)
+	}
+	v, ok := b[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, bucket, key)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Delete removes bucket/key (no error if absent).
+func (db *DB) Delete(bucket, key string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.appendLocked(record{Op: "del", Bucket: bucket, Key: key})
+}
+
+// Keys lists the keys in a bucket, unordered.
+func (db *DB) Keys(bucket string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	b := db.data[bucket]
+	out := make([]string, 0, len(b))
+	for k := range b {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Version returns the database version used by the rollback-protection
+// protocol (the paper's v, Fig 6).
+func (db *DB) Version() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
+}
+
+// SetVersion durably records a new version.
+func (db *DB) SetVersion(v uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.appendLocked(record{Op: "ver", Version: v})
+}
+
+// Compact writes a fresh snapshot and truncates the WAL.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	snap := snapshot{Data: db.data, Version: db.version, Chain: db.chain}
+	pt, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("kvdb: encode snapshot: %w", err)
+	}
+	sealed, err := cryptoutil.Seal(db.key, pt, []byte("kvdb-snapshot"))
+	if err != nil {
+		return fmt.Errorf("kvdb: seal snapshot: %w", err)
+	}
+	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, sealed, 0o600); err != nil {
+		return fmt.Errorf("kvdb: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("kvdb: publish snapshot: %w", err)
+	}
+	if err := db.wal.Close(); err != nil {
+		return fmt.Errorf("kvdb: close WAL: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(db.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("kvdb: truncate WAL: %w", err)
+	}
+	db.wal = wal
+	db.walRecords = 0
+	return nil
+}
+
+// WALRecords reports records since the last snapshot (compaction heuristic).
+func (db *DB) WALRecords() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.walRecords
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if err := db.wal.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
+		db.wal.Close()
+		return fmt.Errorf("kvdb: final fsync: %w", err)
+	}
+	return db.wal.Close()
+}
+
+// CopyTo writes a byte-for-byte copy of the on-disk state to dst, used by
+// tests to capture a state an attacker later "rolls back" to.
+func (db *DB) CopyTo(dst string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if err := os.MkdirAll(dst, 0o700); err != nil {
+		return err
+	}
+	for _, name := range []string{snapshotFile, walFile} {
+		src, err := os.Open(filepath.Join(db.dir, name))
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		out, err := os.Create(filepath.Join(dst, name))
+		if err != nil {
+			src.Close()
+			return err
+		}
+		if _, err := io.Copy(out, src); err != nil {
+			src.Close()
+			out.Close()
+			return err
+		}
+		src.Close()
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreFrom overwrites the on-disk state in dir with the copy at src —
+// the attacker's rollback primitive used by tests. The database must be
+// closed; reopen with Open afterwards.
+func RestoreFrom(dir, src string) error {
+	for _, name := range []string{snapshotFile, walFile} {
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if errors.Is(err, os.ErrNotExist) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o600); err != nil {
+			return err
+		}
+	}
+	return nil
+}

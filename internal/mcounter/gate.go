@@ -1,0 +1,26 @@
+package mcounter
+
+import "time"
+
+// intervalGate enforces a minimum spacing between operations, modelling the
+// NVRAM write cadence of TPM-class hardware (~100 ms between increments).
+type intervalGate struct {
+	last     time.Time
+	interval time.Duration
+}
+
+// wait blocks until the interval since the previous call has elapsed.
+// Callers hold the owning counter's lock.
+func (g *intervalGate) wait() {
+	if g.interval <= 0 {
+		g.interval = 100 * time.Millisecond
+	}
+	now := time.Now()
+	if !g.last.IsZero() {
+		if d := g.interval - now.Sub(g.last); d > 0 {
+			time.Sleep(d)
+			now = time.Now()
+		}
+	}
+	g.last = now
+}

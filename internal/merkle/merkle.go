@@ -1,0 +1,235 @@
+// Package merkle implements the hash tree used by the file-system shield.
+//
+// PALÆMON identifies the state of a protected file system by the root hash
+// ("tag") of a Merkle tree across all files (§III-D). The tree supports
+// incremental leaf updates in O(log n), membership proofs, and append, so
+// the shield can keep the tag current on every write without rehashing the
+// whole volume.
+package merkle
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the size in bytes of every node hash.
+const HashSize = sha256.Size
+
+// Hash is a single tree node digest.
+type Hash [HashSize]byte
+
+// Domain-separation prefixes: leaves and interior nodes hash differently so
+// a leaf can never be confused with an interior node (second-preimage
+// hardening, as in RFC 6962).
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+var (
+	// ErrIndexRange reports a leaf index outside the tree.
+	ErrIndexRange = errors.New("merkle: leaf index out of range")
+	// ErrEmptyTree reports an operation that needs at least one leaf.
+	ErrEmptyTree = errors.New("merkle: tree is empty")
+)
+
+// LeafHash hashes raw leaf data with the leaf domain prefix.
+func LeafHash(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(data)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// NodeHash combines two child hashes with the interior domain prefix.
+func NodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Tree is a binary Merkle tree over an ordered sequence of leaves. The
+// backing array is padded to a power of two with the all-zero hash; the
+// padding is part of the tree shape, so a tree over n leaves has a distinct
+// root from a tree over n+1 leaves even when the extra leaf is empty.
+//
+// Tree is not safe for concurrent use; callers synchronise.
+type Tree struct {
+	// nodes is a 1-indexed implicit binary heap: nodes[1] is the root,
+	// children of i are 2i and 2i+1. Leaves occupy nodes[cap2 : 2*cap2).
+	nodes []Hash
+	// cap2 is the padded leaf capacity (power of two, >= n).
+	cap2 int
+	// n is the number of live leaves.
+	n int
+}
+
+// New builds a tree over the given leaves. An empty leaf set is permitted;
+// Root then returns the hash of the empty tree.
+func New(leaves [][]byte) *Tree {
+	t := &Tree{}
+	t.rebuild(leaves)
+	return t
+}
+
+// NewFromHashes builds a tree whose leaves are already hashed. This lets the
+// file-system shield maintain a per-file subtree and feed only the file roots
+// into the volume tree.
+func NewFromHashes(leafHashes []Hash) *Tree {
+	t := &Tree{}
+	t.rebuildHashes(leafHashes)
+	return t
+}
+
+func (t *Tree) rebuild(leaves [][]byte) {
+	hashes := make([]Hash, len(leaves))
+	for i, l := range leaves {
+		hashes[i] = LeafHash(l)
+	}
+	t.rebuildHashes(hashes)
+}
+
+func (t *Tree) rebuildHashes(hashes []Hash) {
+	n := len(hashes)
+	cap2 := 1
+	for cap2 < n {
+		cap2 *= 2
+	}
+	if n == 0 {
+		cap2 = 1
+	}
+	nodes := make([]Hash, 2*cap2)
+	copy(nodes[cap2:], hashes)
+	for i := cap2 - 1; i >= 1; i-- {
+		nodes[i] = NodeHash(nodes[2*i], nodes[2*i+1])
+	}
+	t.nodes = nodes
+	t.cap2 = cap2
+	t.n = n
+}
+
+// Len returns the number of live leaves.
+func (t *Tree) Len() int { return t.n }
+
+// Root returns the current root hash (the volume "tag").
+func (t *Tree) Root() Hash {
+	if len(t.nodes) < 2 {
+		return Hash{}
+	}
+	return t.nodes[1]
+}
+
+// Update replaces the data of leaf i and recomputes the path to the root.
+func (t *Tree) Update(i int, data []byte) error {
+	return t.UpdateHash(i, LeafHash(data))
+}
+
+// UpdateHash replaces the pre-hashed leaf i and recomputes the root path.
+func (t *Tree) UpdateHash(i int, h Hash) error {
+	if i < 0 || i >= t.n {
+		return fmt.Errorf("%w: %d of %d", ErrIndexRange, i, t.n)
+	}
+	pos := t.cap2 + i
+	t.nodes[pos] = h
+	for pos > 1 {
+		pos /= 2
+		t.nodes[pos] = NodeHash(t.nodes[2*pos], t.nodes[2*pos+1])
+	}
+	return nil
+}
+
+// Append adds a new leaf, growing (and re-padding) the tree if needed, and
+// returns its index.
+func (t *Tree) Append(data []byte) int {
+	return t.AppendHash(LeafHash(data))
+}
+
+// AppendHash adds a pre-hashed leaf and returns its index.
+func (t *Tree) AppendHash(h Hash) int {
+	if t.n < t.cap2 {
+		i := t.n
+		t.n++
+		_ = t.UpdateHash(i, h) // position exists inside current padding
+		return i
+	}
+	// Grow: collect current leaf hashes, extend, rebuild.
+	hashes := make([]Hash, t.n+1)
+	copy(hashes, t.nodes[t.cap2:t.cap2+t.n])
+	hashes[t.n] = h
+	idx := t.n
+	t.rebuildHashes(hashes)
+	return idx
+}
+
+// Remove deletes leaf i by swapping in the last leaf and shrinking, matching
+// the semantics the file-system shield needs for file deletion (order of
+// remaining files is re-canonicalised by the shield itself).
+func (t *Tree) Remove(i int) error {
+	if i < 0 || i >= t.n {
+		return fmt.Errorf("%w: %d of %d", ErrIndexRange, i, t.n)
+	}
+	last := t.n - 1
+	lastHash := t.nodes[t.cap2+last]
+	if i != last {
+		if err := t.UpdateHash(i, lastHash); err != nil {
+			return err
+		}
+	}
+	// Zero the vacated slot so the padded shape stays canonical, then shrink.
+	if err := t.UpdateHash(last, Hash{}); err != nil {
+		return err
+	}
+	t.n = last
+	return nil
+}
+
+// Proof returns the sibling path for leaf i, ordered from the leaf's sibling
+// up to the root's child.
+func (t *Tree) Proof(i int) ([]Hash, error) {
+	if t.n == 0 {
+		return nil, ErrEmptyTree
+	}
+	if i < 0 || i >= t.n {
+		return nil, fmt.Errorf("%w: %d of %d", ErrIndexRange, i, t.n)
+	}
+	var proof []Hash
+	pos := t.cap2 + i
+	for pos > 1 {
+		proof = append(proof, t.nodes[pos^1])
+		pos /= 2
+	}
+	return proof, nil
+}
+
+// Verify checks a membership proof produced by Proof against a root. The
+// leaf capacity (padded power of two) of the source tree must be supplied so
+// the verifier can reconstruct the path direction bits.
+func Verify(root Hash, index, leafCapacity int, leaf Hash, proof []Hash) bool {
+	if leafCapacity <= 0 || index < 0 || index >= leafCapacity {
+		return false
+	}
+	h := leaf
+	pos := leafCapacity + index
+	for _, sib := range proof {
+		if pos == 1 {
+			return false // proof longer than the path
+		}
+		if pos%2 == 0 {
+			h = NodeHash(h, sib)
+		} else {
+			h = NodeHash(sib, h)
+		}
+		pos /= 2
+	}
+	return pos == 1 && h == root
+}
+
+// LeafCapacity exposes the padded capacity needed by Verify.
+func (t *Tree) LeafCapacity() int { return t.cap2 }

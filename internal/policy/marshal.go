@@ -1,0 +1,191 @@
+package policy
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"palaemon/internal/sgx"
+)
+
+// MarshalYAML renders the policy in the same YAML dialect Parse reads, so
+// policies survive a read-modify-write cycle through palaemonctl. Secret
+// values are included — callers expose this only to the policy's creator
+// (use Redacted first otherwise).
+func MarshalYAML(p *Policy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name: %s\n", quote(p.Name))
+
+	if len(p.Services) > 0 {
+		b.WriteString("services:\n")
+		for _, svc := range p.Services {
+			fmt.Fprintf(&b, "  - name: %s\n", quote(svc.Name))
+			if svc.ImageName != "" {
+				fmt.Fprintf(&b, "    image_name: %s\n", quote(svc.ImageName))
+			}
+			if svc.Command != "" {
+				fmt.Fprintf(&b, "    command: %s\n", quote(svc.Command))
+			}
+			if len(svc.MREnclaves) > 0 {
+				fmt.Fprintf(&b, "    mrenclaves: [%s]\n", hexList(measurementsToStrings(svc.MREnclaves)))
+			}
+			if len(svc.Platforms) > 0 {
+				items := make([]string, len(svc.Platforms))
+				for i, pl := range svc.Platforms {
+					items[i] = string(pl)
+				}
+				fmt.Fprintf(&b, "    platforms: [%s]\n", hexList(items))
+			}
+			if svc.FSPFKey != "" {
+				fmt.Fprintf(&b, "    fspf_key: %s\n", quote(svc.FSPFKey))
+			}
+			if len(svc.FSPFTags) > 0 {
+				items := make([]string, len(svc.FSPFTags))
+				for i, tg := range svc.FSPFTags {
+					items[i] = tg.String()
+				}
+				fmt.Fprintf(&b, "    fspf_tags: [%s]\n", hexList(items))
+			}
+			if svc.StrictMode {
+				b.WriteString("    strict_mode: true\n")
+			}
+			if len(svc.Environment) > 0 {
+				b.WriteString("    environment:\n")
+				for _, k := range sortedKeys(svc.Environment) {
+					fmt.Fprintf(&b, "      %s: %s\n", quote(k), quote(svc.Environment[k]))
+				}
+			}
+		}
+	}
+
+	if len(p.Secrets) > 0 {
+		b.WriteString("secrets:\n")
+		for _, sec := range p.Secrets {
+			fmt.Fprintf(&b, "  - name: %s\n", quote(sec.Name))
+			fmt.Fprintf(&b, "    type: %s\n", sec.Type)
+			if sec.Value != "" {
+				fmt.Fprintf(&b, "    value: %s\n", quote(sec.Value))
+			}
+			if sec.SizeBytes > 0 {
+				fmt.Fprintf(&b, "    size_bytes: %d\n", sec.SizeBytes)
+			}
+			if sec.ImportFrom != "" {
+				fmt.Fprintf(&b, "    import_from: %s\n", quote(sec.ImportFrom))
+			}
+			if sec.Export {
+				b.WriteString("    export: true\n")
+			}
+		}
+	}
+
+	var injections []struct {
+		service string
+		file    InjectionFile
+	}
+	for _, svc := range p.Services {
+		for _, f := range svc.InjectionFiles {
+			injections = append(injections, struct {
+				service string
+				file    InjectionFile
+			}{svc.Name, f})
+		}
+	}
+	if len(injections) > 0 {
+		b.WriteString("injection_files:\n")
+		for _, inj := range injections {
+			fmt.Fprintf(&b, "  - service: %s\n", quote(inj.service))
+			fmt.Fprintf(&b, "    path: %s\n", quote(inj.file.Path))
+			fmt.Fprintf(&b, "    template: %s\n", quote(inj.file.Template))
+		}
+	}
+
+	if !p.Board.Empty() {
+		b.WriteString("board:\n")
+		fmt.Fprintf(&b, "  threshold: %d\n", p.Board.Threshold)
+		b.WriteString("  members:\n")
+		for _, m := range p.Board.Members {
+			fmt.Fprintf(&b, "    - name: %s\n", quote(m.Name))
+			if m.URL != "" {
+				fmt.Fprintf(&b, "      url: %s\n", quote(m.URL))
+			}
+			if len(m.PublicKey) > 0 {
+				fmt.Fprintf(&b, "      public_key: %s\n", base64.StdEncoding.EncodeToString(m.PublicKey))
+			}
+			if m.Veto {
+				b.WriteString("      veto: true\n")
+			}
+		}
+	}
+
+	if len(p.Imports) > 0 {
+		b.WriteString("imports:\n")
+		for _, imp := range p.Imports {
+			fmt.Fprintf(&b, "  - policy: %s\n", quote(imp.Policy))
+			if imp.Intersect {
+				b.WriteString("    intersect: true\n")
+			}
+		}
+	}
+
+	if len(p.Exports.Secrets) > 0 || len(p.Exports.MREnclaves) > 0 || len(p.Exports.FSPFTags) > 0 {
+		b.WriteString("exports:\n")
+		if len(p.Exports.Secrets) > 0 {
+			fmt.Fprintf(&b, "  secrets: [%s]\n", hexList(p.Exports.Secrets))
+		}
+		if len(p.Exports.MREnclaves) > 0 {
+			fmt.Fprintf(&b, "  mrenclaves: [%s]\n", hexList(measurementsToStrings(p.Exports.MREnclaves)))
+		}
+		if len(p.Exports.FSPFTags) > 0 {
+			items := make([]string, len(p.Exports.FSPFTags))
+			for i, tg := range p.Exports.FSPFTags {
+				items[i] = tg.String()
+			}
+			fmt.Fprintf(&b, "  fspf_tags: [%s]\n", hexList(items))
+		}
+	}
+	return b.String()
+}
+
+func measurementsToStrings(ms []sgx.Measurement) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	return out
+}
+
+func hexList(items []string) string {
+	quoted := make([]string, len(items))
+	for i, it := range items {
+		quoted[i] = strconv.Quote(it)
+	}
+	return strings.Join(quoted, ", ")
+}
+
+// quote renders a scalar, quoting only when the plain form would not
+// survive the parser (colons, hashes, leading/trailing spaces, newlines).
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, ":#\"'\n\t[]{},") ||
+		strings.TrimSpace(s) != s ||
+		strings.HasPrefix(s, "- ") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,179 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"palaemon/internal/fspf"
+	"palaemon/internal/sgx"
+)
+
+func fullPolicy() *Policy {
+	return &Policy{
+		Name: "round-trip",
+		Services: []Service{{
+			Name:       "app",
+			ImageName:  "base",
+			Command:    "serve --key $$k --listen :8443",
+			MREnclaves: []sgx.Measurement{mre(1), mre(2)},
+			Platforms:  []sgx.PlatformID{"host-a", "host-b"},
+			FSPFKey:    strings.Repeat("ab", 32),
+			FSPFTags:   []fspf.Tag{tag(3)},
+			StrictMode: true,
+			Environment: map[string]string{
+				"KEY":     "$$k",
+				"WEIRD":   "has: colon # and hash",
+				"NEWLINE": "a\nb",
+			},
+			InjectionFiles: []InjectionFile{
+				{Path: "/etc/conf", Template: "key=$$k\nmode=prod"},
+			},
+		}},
+		Secrets: []Secret{
+			{Name: "k", Type: SecretRandom, SizeBytes: 16},
+			{Name: "fixed", Type: SecretExplicit, Value: "v: alue", Export: true},
+			{Name: "imp", Type: SecretImported, ImportFrom: "other:sec"},
+		},
+		Board: Board{
+			Threshold: 2,
+			Members: []BoardMember{
+				{Name: "alice", URL: "https://a/approve", PublicKey: []byte{1, 2, 3}, Veto: true},
+				{Name: "bob", URL: "https://b/approve", PublicKey: []byte{4, 5, 6}},
+			},
+		},
+		Imports: []Import{{Policy: "other", Intersect: true}},
+		Exports: Export{
+			Secrets:    []string{"fixed"},
+			MREnclaves: []sgx.Measurement{mre(1)},
+			FSPFTags:   []fspf.Tag{tag(3)},
+		},
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	orig := fullPolicy()
+	src := MarshalYAML(orig)
+	parsed, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(MarshalYAML):\n%s\nerror: %v", src, err)
+	}
+	if parsed.Name != orig.Name {
+		t.Fatalf("name %q", parsed.Name)
+	}
+	svc := parsed.Services[0]
+	want := orig.Services[0]
+	if svc.Command != want.Command || svc.ImageName != want.ImageName {
+		t.Fatalf("service = %+v", svc)
+	}
+	if len(svc.MREnclaves) != 2 || svc.MREnclaves[0] != mre(1) || svc.MREnclaves[1] != mre(2) {
+		t.Fatalf("mrenclaves = %v", svc.MREnclaves)
+	}
+	if len(svc.Platforms) != 2 || svc.Platforms[1] != "host-b" {
+		t.Fatalf("platforms = %v", svc.Platforms)
+	}
+	if svc.FSPFKey != want.FSPFKey || !svc.StrictMode {
+		t.Fatal("fspf key or strict mode lost")
+	}
+	if len(svc.FSPFTags) != 1 || svc.FSPFTags[0] != tag(3) {
+		t.Fatalf("tags = %v", svc.FSPFTags)
+	}
+	for k, v := range want.Environment {
+		if svc.Environment[k] != v {
+			t.Fatalf("env %q = %q, want %q", k, svc.Environment[k], v)
+		}
+	}
+	if len(svc.InjectionFiles) != 1 || svc.InjectionFiles[0].Template != want.InjectionFiles[0].Template {
+		t.Fatalf("injections = %+v", svc.InjectionFiles)
+	}
+	if len(parsed.Secrets) != 3 {
+		t.Fatalf("secrets = %+v", parsed.Secrets)
+	}
+	if parsed.Secrets[1].Value != "v: alue" || !parsed.Secrets[1].Export {
+		t.Fatalf("secret[1] = %+v", parsed.Secrets[1])
+	}
+	if parsed.Secrets[2].ImportFrom != "other:sec" {
+		t.Fatalf("secret[2] = %+v", parsed.Secrets[2])
+	}
+	if parsed.Board.Threshold != 2 || len(parsed.Board.Members) != 2 {
+		t.Fatalf("board = %+v", parsed.Board)
+	}
+	if !parsed.Board.Members[0].Veto || string(parsed.Board.Members[0].PublicKey) != "\x01\x02\x03" {
+		t.Fatalf("member[0] = %+v", parsed.Board.Members[0])
+	}
+	if len(parsed.Imports) != 1 || !parsed.Imports[0].Intersect {
+		t.Fatalf("imports = %+v", parsed.Imports)
+	}
+	if len(parsed.Exports.Secrets) != 1 || len(parsed.Exports.MREnclaves) != 1 || len(parsed.Exports.FSPFTags) != 1 {
+		t.Fatalf("exports = %+v", parsed.Exports)
+	}
+}
+
+func TestMarshalStableAcrossCycles(t *testing.T) {
+	orig := fullPolicy()
+	once := MarshalYAML(orig)
+	parsed, err := Parse(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice := MarshalYAML(parsed)
+	if once != twice {
+		t.Fatalf("marshal not stable:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+func TestMarshalMinimalPolicy(t *testing.T) {
+	p := &Policy{
+		Name:     "mini",
+		Services: []Service{{Name: "s", MREnclaves: []sgx.Measurement{mre(7)}}},
+	}
+	parsed, err := Parse(MarshalYAML(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != "mini" || len(parsed.Services) != 1 {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+}
+
+func TestQuickCommandRoundTrip(t *testing.T) {
+	// Property: any command string survives marshal->parse.
+	f := func(cmd string) bool {
+		if strings.ContainsRune(cmd, 0) {
+			return true // NUL is not representable in the dialect
+		}
+		p := &Policy{
+			Name:     "q",
+			Services: []Service{{Name: "s", MREnclaves: []sgx.Measurement{mre(1)}, Command: cmd}},
+		}
+		parsed, err := Parse(MarshalYAML(p))
+		if err != nil {
+			return false
+		}
+		return parsed.Services[0].Command == cmd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSecretValueRoundTrip(t *testing.T) {
+	f := func(value string) bool {
+		if strings.ContainsRune(value, 0) {
+			return true
+		}
+		p := &Policy{
+			Name:     "q",
+			Services: []Service{{Name: "s", MREnclaves: []sgx.Measurement{mre(1)}}},
+			Secrets:  []Secret{{Name: "v", Type: SecretExplicit, Value: value}},
+		}
+		parsed, err := Parse(MarshalYAML(p))
+		if err != nil {
+			return false
+		}
+		return parsed.Secrets[0].Value == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+package policy
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+
+	"palaemon/internal/fspf"
+	"palaemon/internal/sgx"
+	"palaemon/internal/yamllite"
+)
+
+// Parse reads a policy file in the YAML dialect of the paper's List 1.
+//
+// Example:
+//
+//	name: python_policy
+//	services:
+//	  - name: python_app
+//	    image_name: python_image
+//	    command: python /app.py -o /encrypted-output
+//	    mrenclaves: ["9f86d0..."]
+//	    platforms: ["platform-1"]
+//	    fspf_key: "ab12..."
+//	    fspf_tags: ["77aa..."]
+//	    strict_mode: true
+//	    environment:
+//	      API_KEY: $$api_key
+//	secrets:
+//	  - name: api_key
+//	    type: random
+//	  - name: db_password
+//	    type: explicit
+//	    value: hunter2
+//	    export: true
+//	injection_files:
+//	  - service: python_app
+//	    path: /etc/app.conf
+//	    template: "password=$$db_password"
+//	board:
+//	  threshold: 2
+//	  members:
+//	    - name: alice
+//	      url: https://alice.example/approve
+//	      public_key: base64...
+//	      veto: true
+//	imports:
+//	  - policy: python_image
+//	    intersect: true
+//	exports:
+//	  secrets: [db_password]
+func Parse(src string) (*Policy, error) {
+	root, err := yamllite.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Policy{}
+	p.Name = root.StrOr("", "name")
+
+	for _, svcNode := range root.Items("services") {
+		svc, err := parseService(svcNode)
+		if err != nil {
+			return nil, err
+		}
+		p.Services = append(p.Services, svc)
+	}
+
+	for _, secNode := range root.Items("secrets") {
+		sec, err := parseSecret(secNode)
+		if err != nil {
+			return nil, err
+		}
+		p.Secrets = append(p.Secrets, sec)
+	}
+
+	for _, injNode := range root.Items("injection_files") {
+		svcName := injNode.StrOr("", "service")
+		path := injNode.StrOr("", "path")
+		tmpl := injNode.StrOr("", "template")
+		if path == "" {
+			return nil, fmt.Errorf("policy: injection file without path")
+		}
+		attached := false
+		for i := range p.Services {
+			if svcName == "" || p.Services[i].Name == svcName {
+				p.Services[i].InjectionFiles = append(p.Services[i].InjectionFiles,
+					InjectionFile{Path: path, Template: tmpl})
+				attached = true
+			}
+		}
+		if !attached {
+			return nil, fmt.Errorf("policy: injection file for unknown service %q", svcName)
+		}
+	}
+
+	if root.Has("board") {
+		board, err := parseBoard(root)
+		if err != nil {
+			return nil, err
+		}
+		p.Board = board
+	}
+
+	for _, impNode := range root.Items("imports") {
+		name := impNode.StrOr("", "policy")
+		if name == "" {
+			return nil, fmt.Errorf("policy: import without policy name")
+		}
+		intersect, _ := impNode.Bool("intersect")
+		p.Imports = append(p.Imports, Import{Policy: name, Intersect: intersect})
+	}
+
+	if root.Has("exports") {
+		names, err := root.Strings("exports", "secrets")
+		if err == nil {
+			p.Exports.Secrets = names
+		}
+		if mres, err := root.Strings("exports", "mrenclaves"); err == nil {
+			for _, m := range mres {
+				mre, err := ParseMeasurement(m)
+				if err != nil {
+					return nil, err
+				}
+				p.Exports.MREnclaves = append(p.Exports.MREnclaves, mre)
+			}
+		}
+		if tags, err := root.Strings("exports", "fspf_tags"); err == nil {
+			for _, tg := range tags {
+				tag, err := ParseTag(tg)
+				if err != nil {
+					return nil, err
+				}
+				p.Exports.FSPFTags = append(p.Exports.FSPFTags, tag)
+			}
+		}
+	}
+
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseService(node *yamllite.Value) (Service, error) {
+	svc := Service{
+		Name:      node.StrOr("", "name"),
+		ImageName: node.StrOr("", "image_name"),
+		Command:   node.StrOr("", "command"),
+		FSPFKey:   node.StrOr("", "fspf_key"),
+	}
+	if svc.Name == "" {
+		return Service{}, fmt.Errorf("policy: service without name")
+	}
+	mres, err := node.Strings("mrenclaves")
+	if err != nil {
+		return Service{}, fmt.Errorf("policy: service %s: %w", svc.Name, err)
+	}
+	for _, m := range mres {
+		mre, err := ParseMeasurement(m)
+		if err != nil {
+			return Service{}, fmt.Errorf("policy: service %s: %w", svc.Name, err)
+		}
+		svc.MREnclaves = append(svc.MREnclaves, mre)
+	}
+	if platforms, err := node.Strings("platforms"); err == nil {
+		for _, pl := range platforms {
+			svc.Platforms = append(svc.Platforms, sgx.PlatformID(pl))
+		}
+	}
+	if tags, err := node.Strings("fspf_tags"); err == nil {
+		for _, tg := range tags {
+			tag, err := ParseTag(tg)
+			if err != nil {
+				return Service{}, fmt.Errorf("policy: service %s: %w", svc.Name, err)
+			}
+			svc.FSPFTags = append(svc.FSPFTags, tag)
+		}
+	}
+	if strict, err := node.Bool("strict_mode"); err == nil {
+		svc.StrictMode = strict
+	}
+	if env, err := node.Get("environment"); err == nil && env.Kind == yamllite.KindMap {
+		svc.Environment = make(map[string]string, len(env.Keys))
+		for _, k := range env.Keys {
+			svc.Environment[k] = env.Map[k].Scalar
+		}
+	}
+	return svc, nil
+}
+
+func parseSecret(node *yamllite.Value) (Secret, error) {
+	sec := Secret{
+		Name:       node.StrOr("", "name"),
+		Type:       SecretType(node.StrOr(string(SecretRandom), "type")),
+		Value:      node.StrOr("", "value"),
+		ImportFrom: node.StrOr("", "import_from"),
+	}
+	if sec.Name == "" {
+		return Secret{}, fmt.Errorf("policy: secret without name")
+	}
+	switch sec.Type {
+	case SecretExplicit, SecretRandom, SecretImported:
+	default:
+		return Secret{}, fmt.Errorf("policy: secret %s: unknown type %q", sec.Name, sec.Type)
+	}
+	if n, err := node.Int("size_bytes"); err == nil {
+		sec.SizeBytes = n
+	}
+	if exp, err := node.Bool("export"); err == nil {
+		sec.Export = exp
+	}
+	return sec, nil
+}
+
+func parseBoard(root *yamllite.Value) (Board, error) {
+	var b Board
+	if n, err := root.Int("board", "threshold"); err == nil {
+		b.Threshold = n
+	}
+	for _, m := range root.Items("board", "members") {
+		member := BoardMember{
+			Name: m.StrOr("", "name"),
+			URL:  m.StrOr("", "url"),
+		}
+		if keyB64 := m.StrOr("", "public_key"); keyB64 != "" {
+			key, err := base64.StdEncoding.DecodeString(keyB64)
+			if err != nil {
+				return Board{}, fmt.Errorf("policy: board member %s: bad public key: %w", member.Name, err)
+			}
+			member.PublicKey = key
+		}
+		if veto, err := m.Bool("veto"); err == nil {
+			member.Veto = veto
+		}
+		b.Members = append(b.Members, member)
+	}
+	if b.Threshold == 0 && len(b.Members) > 0 {
+		// Default convention: all members must approve (§II-A).
+		b.Threshold = len(b.Members)
+	}
+	return b, nil
+}
+
+// ParseMeasurement parses a hex MRENCLAVE.
+func ParseMeasurement(s string) (sgx.Measurement, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != 32 {
+		return sgx.Measurement{}, fmt.Errorf("policy: invalid MRENCLAVE %q", s)
+	}
+	var m sgx.Measurement
+	copy(m[:], raw)
+	return m, nil
+}
+
+// ParseTag parses a hex file-system tag.
+func ParseTag(s string) (fspf.Tag, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != 32 {
+		return fspf.Tag{}, fmt.Errorf("policy: invalid tag %q", s)
+	}
+	var t fspf.Tag
+	copy(t[:], raw)
+	return t, nil
+}

@@ -1,0 +1,361 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"palaemon/internal/fspf"
+	"palaemon/internal/sgx"
+)
+
+func mre(b byte) sgx.Measurement {
+	var m sgx.Measurement
+	m[0] = b
+	return m
+}
+
+func tag(b byte) fspf.Tag {
+	var t fspf.Tag
+	t[0] = b
+	return t
+}
+
+func validPolicy() *Policy {
+	return &Policy{
+		Name: "p",
+		Services: []Service{{
+			Name:       "app",
+			MREnclaves: []sgx.Measurement{mre(1)},
+		}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validPolicy().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Policy)
+		want error
+	}{
+		{"no name", func(p *Policy) { p.Name = " " }, ErrNoName},
+		{"no services", func(p *Policy) { p.Services = nil }, ErrNoServices},
+		{"no mre", func(p *Policy) { p.Services[0].MREnclaves = nil }, ErrNoMRE},
+		{"dup service", func(p *Policy) { p.Services = append(p.Services, p.Services[0]) }, ErrDupService},
+		{"dup secret", func(p *Policy) {
+			p.Secrets = []Secret{{Name: "s", Type: SecretRandom}, {Name: "s", Type: SecretRandom}}
+		}, ErrDupSecret},
+		{"bad import", func(p *Policy) {
+			p.Secrets = []Secret{{Name: "s", Type: SecretImported, ImportFrom: "nocolon"}}
+		}, ErrBadImport},
+		{"unknown export", func(p *Policy) { p.Exports.Secrets = []string{"ghost"} }, ErrUnknownSecret},
+		{"threshold high", func(p *Policy) {
+			p.Board = Board{Members: []BoardMember{{Name: "a"}}, Threshold: 2}
+		}, ErrBadThreshold},
+		{"threshold zero", func(p *Policy) {
+			p.Board = Board{Members: []BoardMember{{Name: "a"}}, Threshold: 0}
+		}, ErrBadThreshold},
+	}
+	for _, tc := range cases {
+		p := validPolicy()
+		tc.mut(p)
+		if err := p.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMaterializeSecrets(t *testing.T) {
+	p := validPolicy()
+	p.Secrets = []Secret{
+		{Name: "rand1", Type: SecretRandom},
+		{Name: "rand2", Type: SecretRandom, SizeBytes: 16},
+		{Name: "fixed", Type: SecretExplicit, Value: "keep"},
+		{Name: "preset", Type: SecretRandom, Value: "already"},
+	}
+	if err := p.MaterializeSecrets(); err != nil {
+		t.Fatal(err)
+	}
+	vals := p.SecretValues()
+	if len(vals["rand1"]) != 64 { // 32 bytes hex
+		t.Fatalf("rand1 = %q", vals["rand1"])
+	}
+	if len(vals["rand2"]) != 32 { // 16 bytes hex
+		t.Fatalf("rand2 = %q", vals["rand2"])
+	}
+	if vals["fixed"] != "keep" || vals["preset"] != "already" {
+		t.Fatal("explicit/preset values were overwritten")
+	}
+	if vals["rand1"] == vals["rand2"] {
+		t.Fatal("random secrets collided")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	secrets := map[string]string{"db_password": "hunter2", "key": "K"}
+	cases := []struct{ in, want string }{
+		{"password=$$db_password", "password=hunter2"},
+		{"$$key$$key", "KK"},
+		{"no vars here", "no vars here"},
+		{"unknown $$nope stays", "unknown $$nope stays"},
+		{"$$", "$$"},
+		{"price in $$$key", "price in $K"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := Substitute(tc.in, secrets); got != tc.want {
+			t.Errorf("Substitute(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPermittedChecks(t *testing.T) {
+	svc := &Service{
+		Name:       "s",
+		MREnclaves: []sgx.Measurement{mre(1), mre(2)},
+		Platforms:  []sgx.PlatformID{"host-a"},
+		FSPFTags:   []fspf.Tag{tag(9)},
+	}
+	if !svc.PermittedMRE(mre(2)) || svc.PermittedMRE(mre(3)) {
+		t.Fatal("PermittedMRE wrong")
+	}
+	if !svc.PermittedPlatform("host-a") || svc.PermittedPlatform("host-b") {
+		t.Fatal("PermittedPlatform wrong")
+	}
+	svc.Platforms = nil
+	if !svc.PermittedPlatform("anything") {
+		t.Fatal("empty platform list should permit any platform")
+	}
+	if !svc.PermittedTag(tag(9)) || svc.PermittedTag(tag(8)) {
+		t.Fatal("PermittedTag wrong")
+	}
+	svc.FSPFTags = nil
+	if !svc.PermittedTag(fspf.Tag{}) || svc.PermittedTag(tag(1)) {
+		t.Fatal("empty tag list should permit only the fresh (zero) tag")
+	}
+}
+
+func TestIntersections(t *testing.T) {
+	a := []sgx.Measurement{mre(1), mre(2), mre(3)}
+	b := []sgx.Measurement{mre(3), mre(2)}
+	got := IntersectMREs(a, b)
+	if len(got) != 2 || got[0] != mre(2) || got[1] != mre(3) {
+		t.Fatalf("IntersectMREs = %v", got)
+	}
+	if len(IntersectMREs(a, nil)) != 0 {
+		t.Fatal("intersection with empty should be empty")
+	}
+	ta := []fspf.Tag{tag(1), tag(2)}
+	tb := []fspf.Tag{tag(2), tag(9)}
+	gt := IntersectTags(ta, tb)
+	if len(gt) != 1 || gt[0] != tag(2) {
+		t.Fatalf("IntersectTags = %v", gt)
+	}
+}
+
+func TestApplyImports(t *testing.T) {
+	app := validPolicy()
+	app.Services[0].MREnclaves = []sgx.Measurement{mre(1), mre(2), mre(3)}
+	app.Services[0].FSPFTags = []fspf.Tag{tag(1), tag(2)}
+	app.Imports = []Import{{Policy: "image", Intersect: true}}
+
+	image := &Policy{
+		Name: "image",
+		Exports: Export{
+			MREnclaves: []sgx.Measurement{mre(2), mre(3)},
+			FSPFTags:   []fspf.Tag{tag(2)},
+		},
+	}
+	if err := app.ApplyImports(map[string]*Policy{"image": image}); err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Services[0].MREnclaves) != 2 {
+		t.Fatalf("MREs after intersect = %v", app.Services[0].MREnclaves)
+	}
+	if len(app.Services[0].FSPFTags) != 1 || app.Services[0].FSPFTags[0] != tag(2) {
+		t.Fatalf("tags after intersect = %v", app.Services[0].FSPFTags)
+	}
+
+	// Image provider withdraws mre(2) (vulnerability found): combination
+	// disappears from the app automatically on re-resolution (§III-E).
+	image.Exports.MREnclaves = []sgx.Measurement{mre(3)}
+	if err := app.ApplyImports(map[string]*Policy{"image": image}); err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Services[0].MREnclaves) != 1 || app.Services[0].MREnclaves[0] != mre(3) {
+		t.Fatalf("MREs after withdrawal = %v", app.Services[0].MREnclaves)
+	}
+
+	if err := app.ApplyImports(map[string]*Policy{}); err == nil {
+		t.Fatal("import of unknown policy succeeded")
+	}
+}
+
+func TestResolveImportedSecrets(t *testing.T) {
+	exporter := &Policy{
+		Name:    "image",
+		Secrets: []Secret{{Name: "shared", Type: SecretExplicit, Value: "v1", Export: true}},
+		Exports: Export{Secrets: []string{"shared"}},
+	}
+	p := validPolicy()
+	p.Secrets = []Secret{{Name: "local_shared", Type: SecretImported, ImportFrom: "image:shared"}}
+	if err := p.ResolveImportedSecrets(map[string]*Policy{"image": exporter}); err != nil {
+		t.Fatal(err)
+	}
+	if p.SecretValues()["local_shared"] != "v1" {
+		t.Fatal("imported secret value not copied")
+	}
+
+	// Importing a non-exported secret must fail.
+	p2 := validPolicy()
+	p2.Secrets = []Secret{{Name: "x", Type: SecretImported, ImportFrom: "image:private"}}
+	if err := p2.ResolveImportedSecrets(map[string]*Policy{"image": exporter}); err == nil {
+		t.Fatal("non-exported secret was importable")
+	}
+}
+
+func TestRedactedAndClone(t *testing.T) {
+	p := validPolicy()
+	p.Secrets = []Secret{{Name: "s", Type: SecretExplicit, Value: "topsecret"}}
+	p.Services[0].FSPFKey = "aa"
+	red := p.Redacted()
+	if red.Secrets[0].Value != "" || red.Services[0].FSPFKey != "" {
+		t.Fatal("Redacted leaked values")
+	}
+	if p.Secrets[0].Value != "topsecret" {
+		t.Fatal("Redacted mutated the original")
+	}
+	cl := p.Clone()
+	cl.Services[0].MREnclaves[0] = mre(99)
+	cl.Secrets[0].Value = "changed"
+	if p.Services[0].MREnclaves[0] == mre(99) || p.Secrets[0].Value == "changed" {
+		t.Fatal("Clone is shallow")
+	}
+}
+
+func TestQuickSubstituteNoPanicAndStable(t *testing.T) {
+	secrets := map[string]string{"a": "1", "bb": "22"}
+	f := func(s string) bool {
+		out := Substitute(s, secrets)
+		// Substitution is idempotent when values contain no variables.
+		return Substitute(out, secrets) == out || strings.Contains(s, "$$")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFullPolicy(t *testing.T) {
+	m := mre(7)
+	src := `
+name: demo
+services:
+  - name: app
+    image_name: base
+    command: serve --key $$api_key
+    mrenclaves: ["` + m.String() + `"]
+    platforms: ["host-1", "host-2"]
+    strict_mode: true
+    environment:
+      API_KEY: $$api_key
+      MODE: production
+secrets:
+  - name: api_key
+    type: random
+    size_bytes: 16
+  - name: db_password
+    type: explicit
+    value: hunter2
+    export: true
+injection_files:
+  - service: app
+    path: /etc/app.conf
+    template: "password=$$db_password"
+imports:
+  - policy: base
+    intersect: true
+exports:
+  secrets: [db_password]
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Name != "demo" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	svc := p.Services[0]
+	if !svc.StrictMode {
+		t.Fatal("strict_mode lost")
+	}
+	if svc.Environment["MODE"] != "production" {
+		t.Fatalf("environment = %v", svc.Environment)
+	}
+	if len(svc.Platforms) != 2 || svc.Platforms[1] != "host-2" {
+		t.Fatalf("platforms = %v", svc.Platforms)
+	}
+	if svc.MREnclaves[0] != m {
+		t.Fatal("mrenclave mismatch")
+	}
+	if len(svc.InjectionFiles) != 1 || svc.InjectionFiles[0].Path != "/etc/app.conf" {
+		t.Fatalf("injection files = %+v", svc.InjectionFiles)
+	}
+	if len(p.Secrets) != 2 || p.Secrets[0].SizeBytes != 16 {
+		t.Fatalf("secrets = %+v", p.Secrets)
+	}
+	if len(p.Imports) != 1 || !p.Imports[0].Intersect {
+		t.Fatalf("imports = %+v", p.Imports)
+	}
+	if len(p.Exports.Secrets) != 1 {
+		t.Fatalf("exports = %+v", p.Exports)
+	}
+}
+
+func TestParseBoardDefaults(t *testing.T) {
+	m := mre(1)
+	src := `
+name: p
+services:
+  - name: app
+    mrenclaves: ["` + m.String() + `"]
+board:
+  members:
+    - name: alice
+      url: https://a/approve
+    - name: bob
+      url: https://b/approve
+      veto: true
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default threshold: all members (§II-A convention).
+	if p.Board.Threshold != 2 {
+		t.Fatalf("threshold = %d, want 2", p.Board.Threshold)
+	}
+	if !p.Board.Members[1].Veto {
+		t.Fatal("veto flag lost")
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	cases := []string{
+		"name: p\n", // no services
+		"name: p\nservices:\n  - name: app\n    mrenclaves: [\"zz\"]\n",   // bad hex
+		"name: p\nservices:\n  - name: app\n    mrenclaves: [\"abcd\"]\n", // short hex
+		"name: p\nservices:\n  - mrenclaves: [\"" + mre(1).String() + "\"]\n",
+		"name: p\nservices:\n  - name: app\n    mrenclaves: [\"" + mre(1).String() + "\"]\ninjection_files:\n  - service: ghost\n    path: /f\n",
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: Parse accepted invalid policy", i)
+		}
+	}
+}

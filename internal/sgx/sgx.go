@@ -1,0 +1,686 @@
+// Package sgx simulates the Intel SGX platform features PALÆMON depends on.
+//
+// There is no SGX hardware in this environment, so the package provides a
+// faithful functional substitute (see DESIGN.md §2): SHA-256 enclave
+// measurement producing an MRENCLAVE, an enclave page cache (EPC) of
+// configurable size with add/measure/evict/bookkeeping costs calibrated to
+// the paper's Table II, a single driver lock serialising EPC (de)allocation
+// (the Fig 9 scalability cliff), per-platform sealing keys, a local quoting
+// enclave that binds report data to the MRENCLAVE, platform monotonic
+// counters rate-limited to one increment per 50 ms (§IV-D), and microcode
+// levels that change enclave-exit cost (pre-Spectre 0x58 versus
+// post-Foreshadow 0x8e, Fig 14).
+package sgx
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/simclock"
+)
+
+// PageSize is the SGX enclave page granule.
+const PageSize = 4096
+
+// MeasurementChunk is the EEXTEND granule: SGX measures enclave contents in
+// 256-byte chunks, which is why measurement is an order of magnitude slower
+// than page addition (Table II).
+const MeasurementChunk = 256
+
+// Measurement is an MRENCLAVE: the SHA-256 digest of the enclave's measured
+// code and initialised data.
+type Measurement [32]byte
+
+// String renders the measurement as hex for policies and logs.
+func (m Measurement) String() string { return fmt.Sprintf("%x", m[:]) }
+
+// IsZero reports whether the measurement is unset.
+func (m Measurement) IsZero() bool { return m == Measurement{} }
+
+// PlatformID identifies one CPU/host; policies may restrict applications to
+// a set of permitted platforms (§III-A).
+type PlatformID string
+
+// MicrocodeLevel selects the CPU microcode revision, which determines
+// whether the L1 cache is flushed on enclave exit (L1TF mitigation).
+type MicrocodeLevel int
+
+// Microcode revisions evaluated in Fig 14.
+const (
+	// MicrocodePreSpectre is revision 0x58: no L1 flush on exit.
+	MicrocodePreSpectre MicrocodeLevel = iota + 1
+	// MicrocodePostForeshadow is revision 0x8e: flushes L1 on every enclave
+	// exit, costing roughly 30% on syscall-heavy workloads (§V-C).
+	MicrocodePostForeshadow
+)
+
+// String names the revision the way the paper does.
+func (m MicrocodeLevel) String() string {
+	switch m {
+	case MicrocodePreSpectre:
+		return "0x58 (pre-Spectre)"
+	case MicrocodePostForeshadow:
+		return "0x8e (post-Foreshadow)"
+	default:
+		return fmt.Sprintf("MicrocodeLevel(%d)", int(m))
+	}
+}
+
+// CostModel holds the calibrated hardware constants. Throughputs come from
+// the paper's Table II; the syscall and paging costs are chosen so the
+// macro-benchmarks reproduce the paper's relative overheads.
+type CostModel struct {
+	// AdditionMBps is EADD throughput (copy a page into the EPC).
+	AdditionMBps float64
+	// MeasurementMBps is EEXTEND throughput (hash 256-byte chunks).
+	MeasurementMBps float64
+	// EvictionMBps is EWB throughput (encrypt a page out of the EPC).
+	EvictionMBps float64
+	// BookkeepingMBps is the allocator/zeroing path.
+	BookkeepingMBps float64
+	// SyscallBase is the in-enclave cost of shielding one system call
+	// (argument copy + checks).
+	SyscallBase time.Duration
+	// L1FlushCost is the extra exit cost under post-Foreshadow microcode.
+	L1FlushCost time.Duration
+	// PageFault is the cost of one EPC page fault (evict + reload) once the
+	// working set exceeds the EPC.
+	PageFault time.Duration
+	// CounterInterval is the minimum spacing between platform monotonic
+	// counter increments (~50 ms, §IV-D).
+	CounterInterval time.Duration
+	// CounterWearLimit is the number of increments before the counter
+	// hardware wears out (paper cites 300k–1.4M for TPM-class NVRAM).
+	CounterWearLimit uint64
+}
+
+// DefaultCostModel returns the Table II calibration.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		AdditionMBps:     2853,
+		MeasurementMBps:  148,
+		EvictionMBps:     1219,
+		BookkeepingMBps:  1292,
+		SyscallBase:      600 * time.Nanosecond,
+		L1FlushCost:      900 * time.Nanosecond,
+		PageFault:        8 * time.Microsecond,
+		CounterInterval:  50 * time.Millisecond,
+		CounterWearLimit: 1_400_000,
+	}
+}
+
+// perBytes converts a MB/s figure into a duration for n bytes.
+func perBytes(mbps float64, n int) time.Duration {
+	if mbps <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / (mbps * 1e6) * float64(time.Second))
+}
+
+var (
+	// ErrEPCExhausted reports that an allocation exceeded physical EPC and
+	// swapping is disabled.
+	ErrEPCExhausted = errors.New("sgx: enclave page cache exhausted")
+	// ErrCounterWear reports a worn-out monotonic counter.
+	ErrCounterWear = errors.New("sgx: monotonic counter worn out")
+	// ErrSealedCorrupt reports sealed-storage authentication failure.
+	ErrSealedCorrupt = errors.New("sgx: sealed blob failed authentication")
+	// ErrWrongPlatform reports unsealing on a different platform.
+	ErrWrongPlatform = errors.New("sgx: sealed blob bound to another platform")
+)
+
+// Options configures a Platform.
+type Options struct {
+	// ID names the platform; generated if empty.
+	ID PlatformID
+	// EPCBytes is the usable enclave page cache size (paper: 128 MB
+	// reserved, ~93 MB usable; we default to 128 MB usable for clarity).
+	EPCBytes int64
+	// Microcode selects the revision; defaults to post-Foreshadow.
+	Microcode MicrocodeLevel
+	// Clock supplies time; defaults to the wall clock.
+	Clock simclock.Clock
+	// Model supplies hardware constants; defaults to DefaultCostModel.
+	Model CostModel
+}
+
+// Platform is one simulated SGX-capable host.
+type Platform struct {
+	id        PlatformID
+	microcode MicrocodeLevel
+	clock     simclock.Clock
+	model     CostModel
+
+	// driverMu is the single kernel-driver lock serialising EPC page
+	// (de)allocation. The paper traced the Fig 9 throughput collapse of
+	// parallel enclave starts to exactly this lock.
+	driverMu sync.Mutex
+	epcBytes int64
+	epcUsed  int64
+
+	sealKey    cryptoutil.Key
+	quoteKey   *cryptoutil.Signer
+	countersMu sync.Mutex
+	counters   map[string]*PlatformCounter
+}
+
+// NewPlatform constructs a platform.
+func NewPlatform(opts Options) (*Platform, error) {
+	if opts.ID == "" {
+		k, err := cryptoutil.NewKey()
+		if err != nil {
+			return nil, err
+		}
+		opts.ID = PlatformID(fmt.Sprintf("platform-%x", k[:6]))
+	}
+	if opts.EPCBytes == 0 {
+		opts.EPCBytes = 128 << 20
+	}
+	if opts.Microcode == 0 {
+		opts.Microcode = MicrocodePostForeshadow
+	}
+	if opts.Clock == nil {
+		opts.Clock = simclock.Wall{}
+	}
+	if opts.Model == (CostModel{}) {
+		opts.Model = DefaultCostModel()
+	}
+	sealKey, err := cryptoutil.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	signer, err := cryptoutil.NewSigner()
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{
+		id:        opts.ID,
+		microcode: opts.Microcode,
+		clock:     opts.Clock,
+		model:     opts.Model,
+		epcBytes:  opts.EPCBytes,
+		sealKey:   sealKey,
+		quoteKey:  signer,
+		counters:  make(map[string]*PlatformCounter),
+	}, nil
+}
+
+// MustNewPlatform panics on entropy failure; for initialisation and tests.
+func MustNewPlatform(opts Options) *Platform {
+	p, err := NewPlatform(opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ID returns the platform identifier.
+func (p *Platform) ID() PlatformID { return p.id }
+
+// Microcode returns the active microcode revision.
+func (p *Platform) Microcode() MicrocodeLevel { return p.microcode }
+
+// Model returns the platform's cost model.
+func (p *Platform) Model() CostModel { return p.model }
+
+// Clock returns the platform's time source.
+func (p *Platform) Clock() simclock.Clock { return p.clock }
+
+// QuotingKey returns the public key of the platform's quoting enclave, which
+// verifiers (IAS, PALÆMON) use to check quotes.
+func (p *Platform) QuotingKey() ed25519.PublicKey { return p.quoteKey.Public }
+
+// EPCBytes returns the configured EPC capacity.
+func (p *Platform) EPCBytes() int64 { return p.epcBytes }
+
+// EPCUsed returns the bytes currently resident in the EPC.
+func (p *Platform) EPCUsed() int64 {
+	p.driverMu.Lock()
+	defer p.driverMu.Unlock()
+	return p.epcUsed
+}
+
+// Binary is an enclave image: the measured code plus initialised data.
+type Binary struct {
+	// Name labels the binary in logs and reports.
+	Name string
+	// Code is the measured content; its SHA-256 stream is the MRENCLAVE.
+	Code []byte
+}
+
+// Measure computes the binary's MRENCLAVE without launching it, the way a
+// software provider computes the value to put into a security policy.
+func (b Binary) Measure() Measurement {
+	h := sha256.New()
+	var chunk [MeasurementChunk]byte
+	var off [8]byte
+	for i := 0; i < len(b.Code); i += MeasurementChunk {
+		end := i + MeasurementChunk
+		if end > len(b.Code) {
+			end = len(b.Code)
+		}
+		// Each EEXTEND hashes a 256-byte chunk together with its offset, so
+		// content relocation changes the measurement.
+		copy(chunk[:], make([]byte, MeasurementChunk))
+		copy(chunk[:], b.Code[i:end])
+		binary.LittleEndian.PutUint64(off[:], uint64(i))
+		h.Write(off[:])
+		h.Write(chunk[:])
+	}
+	var m Measurement
+	copy(m[:], h.Sum(nil))
+	return m
+}
+
+// StartupBreakdown reports where enclave launch time went (Fig 7).
+type StartupBreakdown struct {
+	// Addition is the EADD time for all pages.
+	Addition time.Duration
+	// Measurement is the EEXTEND time for measured pages only.
+	Measurement time.Duration
+	// Eviction is the EWB time for pages beyond the EPC.
+	Eviction time.Duration
+	// Bookkeeping is allocation and zeroing.
+	Bookkeeping time.Duration
+}
+
+// Total sums all components.
+func (b StartupBreakdown) Total() time.Duration {
+	return b.Addition + b.Measurement + b.Eviction + b.Bookkeeping
+}
+
+// LaunchOptions controls enclave creation.
+type LaunchOptions struct {
+	// HeapBytes is the unmeasured heap added at launch.
+	HeapBytes int64
+	// MeasureAllPages measures heap pages too — the naive loader from
+	// Fig 7's right-hand bars. PALÆMON's loader measures only code.
+	MeasureAllPages bool
+	// AllowPaging permits the enclave to exceed the EPC by evicting pages
+	// (with the associated cost); if false, launch fails when over EPC.
+	AllowPaging bool
+}
+
+// Enclave is a launched TEE instance.
+type Enclave struct {
+	platform  *Platform
+	binary    Binary
+	mre       Measurement
+	sizeBytes int64
+	breakdown StartupBreakdown
+	paging    bool
+
+	mu       sync.Mutex
+	torn     bool
+	exits    uint64
+	faults   uint64
+	workSet  int64
+	heapUsed int64
+}
+
+// Launch creates an enclave for the binary. It performs the real
+// measurement (SHA-256 over the code) while holding the EPC driver lock for
+// the allocation phase, and returns the modelled startup breakdown.
+func (p *Platform) Launch(bin Binary, opts LaunchOptions) (*Enclave, error) {
+	codeBytes := int64(len(bin.Code))
+	total := codeBytes + opts.HeapBytes
+	pages := (total + PageSize - 1) / PageSize
+	sizeBytes := pages * PageSize
+
+	// Phase 1: allocate EPC pages under the single driver lock. This is the
+	// serial section responsible for the Fig 9 collapse.
+	p.driverMu.Lock()
+	resident := sizeBytes
+	evicted := int64(0)
+	if p.epcUsed+sizeBytes > p.epcBytes {
+		if !opts.AllowPaging {
+			p.driverMu.Unlock()
+			return nil, fmt.Errorf("%w: need %d, used %d of %d",
+				ErrEPCExhausted, sizeBytes, p.epcUsed, p.epcBytes)
+		}
+		over := p.epcUsed + sizeBytes - p.epcBytes
+		evicted = over
+		resident = sizeBytes - over
+		if resident < 0 {
+			resident = 0
+		}
+	}
+	p.epcUsed += resident
+	p.driverMu.Unlock()
+
+	// Phase 2: the real measurement work (outside the driver lock, as on
+	// real hardware where EEXTEND runs on the launching core).
+	mre := bin.Measure()
+
+	measured := codeBytes
+	if opts.MeasureAllPages {
+		measured = sizeBytes
+	}
+	bd := StartupBreakdown{
+		Addition:    perBytes(p.model.AdditionMBps, int(sizeBytes)),
+		Measurement: perBytes(p.model.MeasurementMBps, int(measured)),
+		Eviction:    perBytes(p.model.EvictionMBps, int(evicted)),
+		Bookkeeping: perBytes(p.model.BookkeepingMBps, int(sizeBytes)),
+	}
+
+	return &Enclave{
+		platform:  p,
+		binary:    bin,
+		mre:       mre,
+		sizeBytes: sizeBytes,
+		breakdown: bd,
+		paging:    opts.AllowPaging,
+		workSet:   sizeBytes,
+	}, nil
+}
+
+// Destroy releases the enclave's EPC pages.
+func (e *Enclave) Destroy() {
+	e.mu.Lock()
+	if e.torn {
+		e.mu.Unlock()
+		return
+	}
+	e.torn = true
+	size := e.sizeBytes
+	e.mu.Unlock()
+
+	p := e.platform
+	p.driverMu.Lock()
+	p.epcUsed -= size
+	if p.epcUsed < 0 {
+		p.epcUsed = 0
+	}
+	p.driverMu.Unlock()
+}
+
+// MRE returns the enclave's measurement.
+func (e *Enclave) MRE() Measurement { return e.mre }
+
+// Platform returns the hosting platform.
+func (e *Enclave) Platform() *Platform { return e.platform }
+
+// Startup returns the launch cost breakdown.
+func (e *Enclave) Startup() StartupBreakdown { return e.breakdown }
+
+// SizeBytes returns the enclave size (code + heap, page aligned).
+func (e *Enclave) SizeBytes() int64 { return e.sizeBytes }
+
+// ExitCost returns the modelled cost of one enclave exit (OCALL): the
+// shielding base cost plus, under post-Foreshadow microcode, the L1 flush.
+func (e *Enclave) ExitCost() time.Duration {
+	c := e.platform.model.SyscallBase
+	if e.platform.microcode == MicrocodePostForeshadow {
+		c += e.platform.model.L1FlushCost
+	}
+	return c
+}
+
+// ChargeSyscalls accounts for n shielded system calls and returns the
+// modelled cost; callers in wall-clock mode sleep on it, the figure harness
+// adds it to a Tracker.
+func (e *Enclave) ChargeSyscalls(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	e.mu.Lock()
+	e.exits += uint64(n)
+	e.mu.Unlock()
+	return time.Duration(n) * e.ExitCost()
+}
+
+// ChargeAccess models touching `touched` bytes of a resident working set of
+// `workingSet` bytes and returns the EPC paging cost. While the working set
+// fits the EPC the access is free; beyond it, each touched page faults with
+// probability (workingSet-EPC)/workingSet — uniform access over the set —
+// at the model's per-fault cost. This produces both Fig 15's constant
+// per-request Vault overhead and Fig 17d's gradual decay as the buffer pool
+// outgrows the EPC.
+func (e *Enclave) ChargeAccess(touched, workingSet int64) time.Duration {
+	if touched <= 0 || workingSet <= 0 {
+		return 0
+	}
+	e.mu.Lock()
+	if workingSet > e.workSet {
+		e.workSet = workingSet
+	}
+	e.mu.Unlock()
+
+	p := e.platform
+	p.driverMu.Lock()
+	epc := p.epcBytes
+	p.driverMu.Unlock()
+	if workingSet <= epc {
+		return 0
+	}
+	overFrac := float64(workingSet-epc) / float64(workingSet)
+	touchedPages := (touched + PageSize - 1) / PageSize
+	faults := int64(float64(touchedPages)*overFrac + 1)
+	e.mu.Lock()
+	e.faults += uint64(faults)
+	e.mu.Unlock()
+	// Every EPC fault is an asynchronous enclave exit; under the
+	// post-Foreshadow microcode each exit additionally flushes the L1 and
+	// the re-entry TLB work grows — the paper measures ~30% loss on
+	// paging-heavy services between the two revisions (Fig 14, §V-C).
+	perFault := p.model.PageFault
+	if p.microcode == MicrocodePostForeshadow {
+		perFault += p.model.L1FlushCost + p.model.PageFault/2
+	}
+	return time.Duration(faults) * perFault
+}
+
+// ChargeWorkingSet models a full scan over a working set of the given size
+// (every page touched once): the worst-case access pattern, used by
+// workloads that stream their whole state per operation.
+func (e *Enclave) ChargeWorkingSet(bytes int64) time.Duration {
+	return e.ChargeAccess(bytes, bytes)
+}
+
+// Stats reports cumulative exit and fault counters.
+func (e *Enclave) Stats() (exits, faults uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.exits, e.faults
+}
+
+// Quote is a local attestation quote: the quoting enclave's signature over
+// the MRENCLAVE, platform identity, and caller-chosen report data (here: the
+// hash of the application's ephemeral TLS public key, §IV-A).
+type Quote struct {
+	// MRE is the attested enclave measurement.
+	MRE Measurement `json:"mre"`
+	// Platform identifies the host.
+	Platform PlatformID `json:"platform"`
+	// Microcode is the host's microcode revision, letting verifiers refuse
+	// vulnerable platforms (§II-A anticipates deactivating vulnerable
+	// instances).
+	Microcode MicrocodeLevel `json:"microcode"`
+	// ReportData binds caller data (e.g. a TLS key hash) into the quote.
+	ReportData []byte `json:"report_data"`
+	// QuotingKey is the platform quoting enclave's public key.
+	QuotingKey []byte `json:"quoting_key"`
+	// Signature is the quoting enclave's Ed25519 signature.
+	Signature []byte `json:"signature"`
+}
+
+// signedBytes is the canonical byte string covered by the quote signature.
+func (q Quote) signedBytes() []byte {
+	payload := struct {
+		MRE        Measurement    `json:"mre"`
+		Platform   PlatformID     `json:"platform"`
+		Microcode  MicrocodeLevel `json:"microcode"`
+		ReportData []byte         `json:"report_data"`
+	}{q.MRE, q.Platform, q.Microcode, q.ReportData}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		// Marshalling fixed struct of plain types cannot fail.
+		panic(err)
+	}
+	return raw
+}
+
+// GetQuote asks the platform's quoting enclave for a quote binding
+// reportData to this enclave's measurement (EREPORT + quoting enclave).
+func (e *Enclave) GetQuote(reportData []byte) Quote {
+	q := Quote{
+		MRE:        e.mre,
+		Platform:   e.platform.id,
+		Microcode:  e.platform.microcode,
+		ReportData: append([]byte(nil), reportData...),
+		QuotingKey: append([]byte(nil), e.platform.quoteKey.Public...),
+	}
+	q.Signature = e.platform.quoteKey.Sign(q.signedBytes())
+	return q
+}
+
+// VerifyQuote checks a quote under a known quoting key. Verifiers that
+// learned the key out of band (the PALÆMON CA, a peer instance) use this
+// directly; everyone else goes through the IAS-style service.
+func VerifyQuote(q Quote, quotingKey ed25519.PublicKey) error {
+	if !cryptoutil.Verify(quotingKey, q.signedBytes(), q.Signature) {
+		return errors.New("sgx: quote signature invalid")
+	}
+	return nil
+}
+
+// sealedEnvelope is the JSON wrapper for sealed blobs.
+type sealedEnvelope struct {
+	Platform PlatformID `json:"platform"`
+	MRE      string     `json:"mre,omitempty"`
+	Blob     []byte     `json:"blob"`
+}
+
+// Seal encrypts data so only enclaves on this platform can recover it
+// (MRSIGNER-style sealing). PALÆMON uses sealed storage for its identity
+// keys across restarts (§IV-B).
+func (p *Platform) Seal(data []byte) ([]byte, error) {
+	return p.seal(data, Measurement{})
+}
+
+// SealToMRE additionally binds the blob to a specific enclave measurement
+// (MRENCLAVE-style sealing): a different binary on the same platform cannot
+// unseal it.
+func (p *Platform) SealToMRE(data []byte, mre Measurement) ([]byte, error) {
+	return p.seal(data, mre)
+}
+
+func (p *Platform) seal(data []byte, mre Measurement) ([]byte, error) {
+	key := p.sealKey
+	ad := []byte(p.id)
+	env := sealedEnvelope{Platform: p.id}
+	if !mre.IsZero() {
+		key = key.Derive("mre:" + mre.String())
+		env.MRE = mre.String()
+		ad = append(ad, mre[:]...)
+	}
+	blob, err := cryptoutil.Seal(key, data, ad)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal: %w", err)
+	}
+	env.Blob = blob
+	return json.Marshal(env)
+}
+
+// Unseal recovers a platform-sealed blob.
+func (p *Platform) Unseal(sealed []byte) ([]byte, error) {
+	return p.unseal(sealed, Measurement{})
+}
+
+// UnsealWithMRE recovers an MRE-bound blob for the given measurement.
+func (p *Platform) UnsealWithMRE(sealed []byte, mre Measurement) ([]byte, error) {
+	return p.unseal(sealed, mre)
+}
+
+func (p *Platform) unseal(sealed []byte, mre Measurement) ([]byte, error) {
+	var env sealedEnvelope
+	if err := json.Unmarshal(sealed, &env); err != nil {
+		return nil, fmt.Errorf("sgx: parse sealed envelope: %w", err)
+	}
+	if env.Platform != p.id {
+		return nil, fmt.Errorf("%w: sealed on %q, this is %q", ErrWrongPlatform, env.Platform, p.id)
+	}
+	key := p.sealKey
+	ad := []byte(p.id)
+	if env.MRE != "" || !mre.IsZero() {
+		if env.MRE != mre.String() {
+			return nil, fmt.Errorf("%w: blob bound to MRE %s", ErrSealedCorrupt, env.MRE)
+		}
+		key = key.Derive("mre:" + mre.String())
+		ad = append(ad, mre[:]...)
+	}
+	data, err := cryptoutil.Open(key, env.Blob, ad)
+	if err != nil {
+		return nil, ErrSealedCorrupt
+	}
+	return data, nil
+}
+
+// PlatformCounter is a hardware monotonic counter: increments are
+// rate-limited (about 20/s at best; we model the 50 ms interval the paper
+// reports) and the NVRAM wears out after a bounded number of writes.
+type PlatformCounter struct {
+	platform *Platform
+	name     string
+
+	mu       sync.Mutex
+	value    uint64
+	writes   uint64
+	lastIncr time.Time
+}
+
+// Counter returns (creating if needed) the named platform counter.
+func (p *Platform) Counter(name string) *PlatformCounter {
+	p.countersMu.Lock()
+	defer p.countersMu.Unlock()
+	c, ok := p.counters[name]
+	if !ok {
+		c = &PlatformCounter{platform: p, name: name}
+		p.counters[name] = c
+	}
+	return c
+}
+
+// Value reads the counter without incrementing.
+func (c *PlatformCounter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+// Increment bumps the counter, blocking until the hardware interval has
+// elapsed since the previous increment, and returns the new value.
+func (c *PlatformCounter) Increment() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	model := c.platform.model
+	if model.CounterWearLimit > 0 && c.writes >= model.CounterWearLimit {
+		return 0, fmt.Errorf("%w after %d writes", ErrCounterWear, c.writes)
+	}
+	clock := c.platform.clock
+	now := clock.Now()
+	if !c.lastIncr.IsZero() {
+		wait := model.CounterInterval - now.Sub(c.lastIncr)
+		if wait > 0 {
+			clock.Sleep(wait)
+		}
+	}
+	c.lastIncr = clock.Now()
+	c.value++
+	c.writes++
+	return c.value, nil
+}
+
+// Writes reports total increments, for wear accounting tests.
+func (c *PlatformCounter) Writes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}

@@ -1,0 +1,377 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"palaemon/internal/simclock"
+)
+
+func testPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(Options{Clock: simclock.NewVirtual()})
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	return p
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	bin := Binary{Name: "app", Code: bytes.Repeat([]byte{0xAB}, 80<<10)}
+	if bin.Measure() != bin.Measure() {
+		t.Fatal("measurement not deterministic")
+	}
+	other := Binary{Name: "app", Code: append(bytes.Repeat([]byte{0xAB}, 80<<10), 1)}
+	if bin.Measure() == other.Measure() {
+		t.Fatal("different code produced the same MRE")
+	}
+}
+
+func TestMeasurePositionSensitive(t *testing.T) {
+	// EEXTEND binds the chunk offset: moving content must change the MRE.
+	a := Binary{Code: append([]byte{1}, make([]byte, 512)...)}
+	b := Binary{Code: append(make([]byte, 256), append([]byte{1}, make([]byte, 256)...)...)}
+	if a.Measure() == b.Measure() {
+		t.Fatal("relocated content kept the same MRE")
+	}
+}
+
+func TestLaunchAndMRE(t *testing.T) {
+	p := testPlatform(t)
+	bin := Binary{Name: "app", Code: bytes.Repeat([]byte{1}, 8<<10)}
+	e, err := p.Launch(bin, LaunchOptions{HeapBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	defer e.Destroy()
+	if e.MRE() != bin.Measure() {
+		t.Fatal("enclave MRE differs from offline measurement")
+	}
+	if e.SizeBytes() < 8<<10+1<<20 {
+		t.Fatalf("size %d below code+heap", e.SizeBytes())
+	}
+	if p.EPCUsed() != e.SizeBytes() {
+		t.Fatalf("EPC used %d, want %d", p.EPCUsed(), e.SizeBytes())
+	}
+	e.Destroy()
+	if p.EPCUsed() != 0 {
+		t.Fatalf("EPC not released: %d", p.EPCUsed())
+	}
+}
+
+func TestLaunchEPCExhaustion(t *testing.T) {
+	p, err := NewPlatform(Options{EPCBytes: 1 << 20, Clock: simclock.NewVirtual()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := Binary{Name: "big", Code: make([]byte, 4096)}
+	if _, err := p.Launch(bin, LaunchOptions{HeapBytes: 2 << 20}); !errors.Is(err, ErrEPCExhausted) {
+		t.Fatalf("want ErrEPCExhausted, got %v", err)
+	}
+	// With paging allowed, launch succeeds and charges eviction time.
+	e, err := p.Launch(bin, LaunchOptions{HeapBytes: 2 << 20, AllowPaging: true})
+	if err != nil {
+		t.Fatalf("Launch with paging: %v", err)
+	}
+	defer e.Destroy()
+	if e.Startup().Eviction <= 0 {
+		t.Fatal("no eviction cost charged for over-EPC launch")
+	}
+}
+
+func TestStartupBreakdownShape(t *testing.T) {
+	p := testPlatform(t)
+	bin := Binary{Name: "tiny", Code: make([]byte, 80<<10)} // 80 kB per Fig 7
+	small, err := p.Launch(bin, LaunchOptions{HeapBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallBD := small.Startup()
+	small.Destroy()
+
+	big, err := p.Launch(bin, LaunchOptions{HeapBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigBD := big.Startup()
+	big.Destroy()
+
+	// PALÆMON loader measures only code: measurement time is independent of
+	// heap size, while addition/bookkeeping grow.
+	if smallBD.Measurement != bigBD.Measurement {
+		t.Fatal("measurement time depends on heap size for code-only loader")
+	}
+	if bigBD.Addition <= smallBD.Addition {
+		t.Fatal("addition time did not grow with enclave size")
+	}
+
+	// Naive loader measures all pages: measurement dominates at 64 MB
+	// (148 MB/s vs 2853 MB/s).
+	naive, err := p.Launch(bin, LaunchOptions{HeapBytes: 64 << 20, MeasureAllPages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveBD := naive.Startup()
+	naive.Destroy()
+	if naiveBD.Measurement <= naiveBD.Addition {
+		t.Fatal("naive loader: measurement should dominate addition")
+	}
+	if naiveBD.Measurement <= bigBD.Measurement {
+		t.Fatal("naive loader should measure more than code-only loader")
+	}
+}
+
+func TestConcurrentLaunchSerialisesOnDriverLock(t *testing.T) {
+	p := testPlatform(t)
+	bin := Binary{Name: "app", Code: make([]byte, 4096)}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := p.Launch(bin, LaunchOptions{HeapBytes: 1 << 20})
+			if err != nil {
+				errs <- err
+				return
+			}
+			e.Destroy()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent launch: %v", err)
+	}
+	if p.EPCUsed() != 0 {
+		t.Fatalf("EPC leak: %d", p.EPCUsed())
+	}
+}
+
+func TestQuoteVerify(t *testing.T) {
+	p := testPlatform(t)
+	e, err := p.Launch(Binary{Name: "a", Code: []byte("code")}, LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	q := e.GetQuote([]byte("tls-key-hash"))
+	if err := VerifyQuote(q, p.QuotingKey()); err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+	// Tampered report data must fail.
+	q2 := q
+	q2.ReportData = []byte("evil")
+	if err := VerifyQuote(q2, p.QuotingKey()); err == nil {
+		t.Fatal("tampered quote verified")
+	}
+	// Wrong quoting key must fail.
+	p2 := testPlatform(t)
+	if err := VerifyQuote(q, p2.QuotingKey()); err == nil {
+		t.Fatal("quote verified under wrong platform key")
+	}
+}
+
+func TestSealUnseal(t *testing.T) {
+	p := testPlatform(t)
+	data := []byte("identity keys")
+	sealed, err := p.Seal(data)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	out, err := p.Unseal(sealed)
+	if err != nil {
+		t.Fatalf("Unseal: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("seal round trip mismatch")
+	}
+	// Another platform cannot unseal (different sealing key + ID check).
+	p2 := testPlatform(t)
+	if _, err := p2.Unseal(sealed); err == nil {
+		t.Fatal("foreign platform unsealed the blob")
+	}
+}
+
+func TestSealToMRE(t *testing.T) {
+	p := testPlatform(t)
+	mreA := Binary{Code: []byte("A")}.Measure()
+	mreB := Binary{Code: []byte("B")}.Measure()
+	sealed, err := p.SealToMRE([]byte("secret"), mreA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.UnsealWithMRE(sealed, mreA); err != nil {
+		t.Fatalf("UnsealWithMRE: %v", err)
+	}
+	if _, err := p.UnsealWithMRE(sealed, mreB); err == nil {
+		t.Fatal("different MRE unsealed the blob")
+	}
+	if _, err := p.Unseal(sealed); err == nil {
+		t.Fatal("platform-scope unseal of MRE-bound blob succeeded")
+	}
+}
+
+func TestSealRejectsTampering(t *testing.T) {
+	p := testPlatform(t)
+	sealed, err := p.Seal([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed[len(sealed)-2] ^= 0xFF
+	if _, err := p.Unseal(sealed); err == nil {
+		t.Fatal("tampered sealed blob accepted")
+	}
+}
+
+func TestPlatformCounterRateLimitVirtual(t *testing.T) {
+	clock := simclock.NewVirtual()
+	p, err := NewPlatform(Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Counter("db")
+	start := clock.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Increment(); err != nil {
+			t.Fatalf("Increment: %v", err)
+		}
+	}
+	elapsed := clock.Since(start)
+	// Four gaps of 50 ms are enforced between five increments.
+	if elapsed < 4*p.Model().CounterInterval {
+		t.Fatalf("virtual elapsed %v, want >= %v", elapsed, 4*p.Model().CounterInterval)
+	}
+	if c.Value() != 5 {
+		t.Fatalf("value %d, want 5", c.Value())
+	}
+}
+
+func TestPlatformCounterWear(t *testing.T) {
+	model := DefaultCostModel()
+	model.CounterWearLimit = 3
+	model.CounterInterval = 0
+	p, err := NewPlatform(Options{Clock: simclock.NewVirtual(), Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Counter("wear")
+	for i := 0; i < 3; i++ {
+		if _, err := c.Increment(); err != nil {
+			t.Fatalf("Increment %d: %v", i, err)
+		}
+	}
+	if _, err := c.Increment(); !errors.Is(err, ErrCounterWear) {
+		t.Fatalf("want ErrCounterWear, got %v", err)
+	}
+}
+
+func TestExitCostMicrocode(t *testing.T) {
+	clock := simclock.NewVirtual()
+	pre, err := NewPlatform(Options{Clock: clock, Microcode: MicrocodePreSpectre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := NewPlatform(Options{Clock: clock, Microcode: MicrocodePostForeshadow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := Binary{Code: []byte("x")}
+	e1, err := pre.Launch(bin, LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Destroy()
+	e2, err := post.Launch(bin, LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Destroy()
+	if e2.ExitCost() <= e1.ExitCost() {
+		t.Fatal("post-Foreshadow exit not more expensive than pre-Spectre")
+	}
+}
+
+func TestChargeWorkingSet(t *testing.T) {
+	p, err := NewPlatform(Options{EPCBytes: 1 << 20, Clock: simclock.NewVirtual()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(Binary{Code: []byte("x")}, LaunchOptions{AllowPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	if d := e.ChargeWorkingSet(512 << 10); d != 0 {
+		t.Fatalf("within-EPC working set charged %v", d)
+	}
+	if d := e.ChargeWorkingSet(4 << 20); d <= 0 {
+		t.Fatal("over-EPC working set charged nothing")
+	}
+	small := e.ChargeWorkingSet(2 << 20)
+	large := e.ChargeWorkingSet(16 << 20)
+	if large <= small {
+		t.Fatal("paging cost not increasing in working-set size")
+	}
+}
+
+func TestChargeSyscalls(t *testing.T) {
+	p := testPlatform(t)
+	e, err := p.Launch(Binary{Code: []byte("x")}, LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	if e.ChargeSyscalls(0) != 0 {
+		t.Fatal("zero syscalls charged")
+	}
+	d10 := e.ChargeSyscalls(10)
+	if d10 != 10*e.ExitCost() {
+		t.Fatalf("10 syscalls cost %v, want %v", d10, 10*e.ExitCost())
+	}
+	exits, _ := e.Stats()
+	if exits != 10 {
+		t.Fatalf("exit count %d, want 10", exits)
+	}
+}
+
+func TestQuickSealRoundTrip(t *testing.T) {
+	p := testPlatform(t)
+	f := func(data []byte) bool {
+		sealed, err := p.Seal(data)
+		if err != nil {
+			return false
+		}
+		out, err := p.Unseal(sealed)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatformCounterWallClockSpacing(t *testing.T) {
+	model := DefaultCostModel()
+	model.CounterInterval = 20 * time.Millisecond
+	p, err := NewPlatform(Options{Model: model}) // wall clock
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Counter("wall")
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Increment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 2*model.CounterInterval {
+		t.Fatalf("wall elapsed %v, want >= %v", elapsed, 2*model.CounterInterval)
+	}
+}

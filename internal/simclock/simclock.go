@@ -1,0 +1,159 @@
+// Package simclock abstracts time so that the same code can run against the
+// wall clock (production, macro-benchmarks) or against a virtual clock
+// (deterministic unit tests and figure harnesses).
+//
+// The package also provides a latency Tracker used by the figure harness to
+// account for modelled delays (WAN round trips, hardware page costs) without
+// actually sleeping, which keeps experiment regeneration fast and
+// deterministic.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the repository.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep pauses the caller for d. A virtual clock advances instantly.
+	Sleep(d time.Duration)
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Wall is the real clock. The zero value is ready to use.
+type Wall struct{}
+
+var _ Clock = Wall{}
+
+// Now returns time.Now.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (Wall) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Since returns time.Since(t).
+func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Virtual is a deterministic clock that advances only when Sleep or Advance
+// is called. It is safe for concurrent use; concurrent sleepers each advance
+// the shared instant, which is sufficient for the single-logical-timeline
+// simulations used in this repository.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock starting at a fixed epoch so simulation
+// output is reproducible.
+func NewVirtual() *Virtual {
+	return &Virtual{now: time.Date(2020, time.June, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current virtual instant.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep advances the virtual clock by d and returns immediately.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now = v.now.Add(d)
+}
+
+// Since returns the virtual time elapsed since t.
+func (v *Virtual) Since(t time.Time) time.Duration {
+	return v.Now().Sub(t)
+}
+
+// Advance moves the clock forward by d (alias of Sleep, for readability in
+// tests that drive the clock rather than wait on it).
+func (v *Virtual) Advance(d time.Duration) { v.Sleep(d) }
+
+// SleepPrecise sleeps d on the clock. For wall clocks and sub-millisecond
+// durations it busy-waits instead: OS timer granularity (~1 ms) would
+// otherwise inflate microsecond-scale modelled hardware costs a
+// thousandfold, destroying every ratio the cost model is calibrated for.
+func SleepPrecise(c Clock, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if _, ok := c.(Wall); ok && d < time.Millisecond {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			// burn, like the modelled hardware would
+		}
+		return
+	}
+	c.Sleep(d)
+}
+
+// Tracker accumulates modelled latency for one logical operation. It is the
+// mechanism by which the figure harness charges WAN round trips and hardware
+// costs without wall-clock sleeps. The zero value is ready to use.
+type Tracker struct {
+	mu    sync.Mutex
+	total time.Duration
+	parts map[string]time.Duration
+}
+
+// Add charges d to the tracker under the given phase label.
+func (t *Tracker) Add(phase string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.parts == nil {
+		t.parts = make(map[string]time.Duration, 4)
+	}
+	t.parts[phase] += d
+	t.total += d
+}
+
+// Total returns the accumulated latency.
+func (t *Tracker) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Phase returns the latency accumulated under a single phase label.
+func (t *Tracker) Phase(name string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.parts[name]
+}
+
+// Phases returns a copy of all per-phase accumulations.
+func (t *Tracker) Phases() map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.parts))
+	for k, v := range t.parts {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears the tracker for reuse.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total = 0
+	t.parts = nil
+}

@@ -1,0 +1,101 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualAdvancesOnSleep(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	v.Sleep(3 * time.Second)
+	if got := v.Since(start); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+	v.Advance(time.Second)
+	if got := v.Since(start); got != 4*time.Second {
+		t.Fatalf("Since = %v, want 4s", got)
+	}
+}
+
+func TestVirtualIgnoresNonPositive(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+	if v.Since(start) != 0 {
+		t.Fatal("non-positive sleep advanced the clock")
+	}
+}
+
+func TestVirtualDeterministicEpoch(t *testing.T) {
+	if !NewVirtual().Now().Equal(NewVirtual().Now()) {
+		t.Fatal("virtual clocks start at different epochs")
+	}
+}
+
+func TestVirtualConcurrentSleep(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Sleep(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := v.Since(start); got != 50*time.Millisecond {
+		t.Fatalf("concurrent sleeps advanced %v, want 50ms", got)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	w := Wall{}
+	start := w.Now()
+	w.Sleep(5 * time.Millisecond)
+	if w.Since(start) < 5*time.Millisecond {
+		t.Fatal("wall sleep returned early")
+	}
+	w.Sleep(-time.Hour) // must not block
+}
+
+func TestTrackerAccumulates(t *testing.T) {
+	var tr Tracker
+	tr.Add("net", 10*time.Millisecond)
+	tr.Add("net", 5*time.Millisecond)
+	tr.Add("cpu", 1*time.Millisecond)
+	tr.Add("neg", -time.Second) // clamped to zero
+	if tr.Total() != 16*time.Millisecond {
+		t.Fatalf("Total = %v, want 16ms", tr.Total())
+	}
+	if tr.Phase("net") != 15*time.Millisecond {
+		t.Fatalf("Phase(net) = %v", tr.Phase("net"))
+	}
+	phases := tr.Phases()
+	if len(phases) != 3 {
+		t.Fatalf("Phases = %v", phases)
+	}
+	tr.Reset()
+	if tr.Total() != 0 || tr.Phase("net") != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	var tr Tracker
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Add("p", time.Microsecond)
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 100*time.Microsecond {
+		t.Fatalf("Total = %v, want 100µs", tr.Total())
+	}
+}

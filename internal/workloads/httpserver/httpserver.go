@@ -1,0 +1,167 @@
+// Package httpserver implements the nginx-like static web server of
+// Fig 17(a): GET requests for 67 kB files (the average web page size cited
+// by the paper), served in five variants — native, PALÆMON EMU/HW (PALÆMON
+// injects the TLS certificate and private key), and EMU/HW "+shield" where
+// every file additionally lives in the encrypted file-system shield.
+package httpserver
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fspf"
+	"palaemon/internal/workloads/wenv"
+)
+
+// DefaultFileSize matches the paper's 67 kB average page size.
+const DefaultFileSize = 67 << 10
+
+// Errors.
+var (
+	ErrNotFound = errors.New("httpserver: file not found")
+	ErrRequest  = errors.New("httpserver: malformed request")
+)
+
+// Server is one web-server instance.
+type Server struct {
+	env *wenv.Env
+
+	// plain holds unencrypted content (native and non-shield variants).
+	mu    sync.RWMutex
+	plain map[string][]byte
+	// shield holds encrypted content when the file shield is enabled.
+	shield *fspf.Volume
+	// tlsKey performs real record crypto modelling TLS termination with
+	// the PALÆMON-injected private key.
+	tlsKey cryptoutil.Key
+	useTLS bool
+	// workingSet is charged against the EPC per request in HW mode.
+	workingSet int64
+}
+
+// Options configures a server.
+type Options struct {
+	// Env is the execution environment.
+	Env *wenv.Env
+	// EncryptFiles serves documents out of the encrypted shield.
+	EncryptFiles bool
+	// TLS performs record crypto per request (all PALÆMON variants; the
+	// native baseline in the paper also runs TLS, via certificates on
+	// disk).
+	TLS bool
+}
+
+// New creates a server.
+func New(opts Options) (*Server, error) {
+	if opts.Env == nil {
+		opts.Env = wenv.Native()
+	}
+	s := &Server{env: opts.Env, plain: make(map[string][]byte), useTLS: opts.TLS}
+	if opts.EncryptFiles {
+		key, err := cryptoutil.NewKey()
+		if err != nil {
+			return nil, err
+		}
+		s.shield = fspf.CreateVolume(key)
+	}
+	if opts.TLS {
+		key, err := cryptoutil.NewKey()
+		if err != nil {
+			return nil, err
+		}
+		s.tlsKey = key
+	}
+	return s, nil
+}
+
+// Publish installs a document.
+func (s *Server) Publish(path string, content []byte) error {
+	s.mu.Lock()
+	s.workingSet += int64(len(content))
+	s.mu.Unlock()
+	if s.shield != nil {
+		return s.shield.WriteFile(path, content)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.plain[path] = append([]byte(nil), content...)
+	return nil
+}
+
+// PublishCorpus installs n files of the given size under /doc-<i>.
+func (s *Server) PublishCorpus(n, size int) error {
+	body := make([]byte, size)
+	for i := range body {
+		body[i] = byte('a' + i%26)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Publish(CorpusPath(i), body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CorpusPath names the i-th corpus document.
+func CorpusPath(i int) string { return fmt.Sprintf("/doc-%d", i) }
+
+// Get serves one GET request and returns the response body.
+func (s *Server) Get(rawRequest string) ([]byte, error) {
+	// Parse the request line (real work).
+	line, _, _ := strings.Cut(rawRequest, "\r\n")
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "GET" {
+		return nil, ErrRequest
+	}
+	path := fields[1]
+
+	// Socket read/write plus streaming a 67 kB body through the shield;
+	// encrypted files add block-read interposition.
+	syscalls := 4
+	if s.shield != nil {
+		syscalls += 4
+	}
+	s.env.ChargeSyscalls(syscalls)
+	s.mu.RLock()
+	ws := s.workingSet
+	s.mu.RUnlock()
+	// One GET streams one document out of a resident corpus.
+	s.env.ChargeAccess(DefaultFileSize, ws)
+
+	var body []byte
+	if s.shield != nil {
+		data, err := s.shield.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		body = data
+	} else {
+		s.mu.RLock()
+		data, ok := s.plain[path]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		body = data
+	}
+
+	// TLS record processing of the response (real crypto).
+	if s.useTLS {
+		sealed, err := cryptoutil.Seal(s.tlsKey, body, nil)
+		if err != nil {
+			return nil, err
+		}
+		if body, err = cryptoutil.Open(s.tlsKey, sealed, nil); err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
+}
+
+// EncodeGet builds a GET request for path.
+func EncodeGet(path string) string {
+	return "GET " + path + " HTTP/1.1\r\nHost: bench\r\n\r\n"
+}

@@ -1,0 +1,106 @@
+package httpserver
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+	"palaemon/internal/workloads/wenv"
+)
+
+func TestPublishAndGet(t *testing.T) {
+	for _, encrypt := range []bool{false, true} {
+		s, err := New(Options{EncryptFiles: encrypt, TLS: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := bytes.Repeat([]byte("page"), 100)
+		if err := s.Publish("/index.html", body); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get(EncodeGet("/index.html"))
+		if err != nil {
+			t.Fatalf("encrypt=%v Get: %v", encrypt, err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("encrypt=%v body mismatch", encrypt)
+		}
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(EncodeGet("/missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestMalformedRequest(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []string{"", "POST /x HTTP/1.1\r\n\r\n", "GET\r\n"} {
+		if _, err := s.Get(req); !errors.Is(err, ErrRequest) {
+			t.Errorf("Get(%q) = %v, want ErrRequest", req, err)
+		}
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PublishCorpus(10, DefaultFileSize); err != nil {
+		t.Fatal(err)
+	}
+	body, err := s.Get(EncodeGet(CorpusPath(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != DefaultFileSize {
+		t.Fatalf("corpus file size %d, want %d", len(body), DefaultFileSize)
+	}
+}
+
+func TestShieldChargesMoreSyscalls(t *testing.T) {
+	clock := simclock.NewVirtual()
+	p, err := sgx.NewPlatform(sgx.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newServer := func(shield bool, tr *simclock.Tracker) *Server {
+		e, err := p.Launch(sgx.Binary{Name: "nginx", Code: []byte("n")}, sgx.LaunchOptions{AllowPaging: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Destroy)
+		s, err := New(Options{Env: wenv.HW(e).WithTracker(tr), EncryptFiles: shield, TLS: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Publish("/f", bytes.Repeat([]byte{1}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	var trPlain, trShield simclock.Tracker
+	plain := newServer(false, &trPlain)
+	shield := newServer(true, &trShield)
+	if _, err := plain.Get(EncodeGet("/f")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shield.Get(EncodeGet("/f")); err != nil {
+		t.Fatal(err)
+	}
+	if trShield.Phase("syscalls") <= trPlain.Phase("syscalls") {
+		t.Fatalf("shield syscalls %v <= plain %v",
+			trShield.Phase("syscalls"), trPlain.Phase("syscalls"))
+	}
+}

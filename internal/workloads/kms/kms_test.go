@@ -1,0 +1,176 @@
+package kms
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+	"palaemon/internal/workloads/wenv"
+)
+
+func newServer(t *testing.T, flavor Flavor, env *wenv.Env) *Server {
+	t.Helper()
+	s, err := New(Options{Flavor: flavor, Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for _, flavor := range []Flavor{FlavorBarbican, FlavorBarbiE, FlavorVault} {
+		s := newServer(t, flavor, nil)
+		if err := s.Put(EncodePut("root", "db-pass", []byte("hunter2"))); err != nil {
+			t.Fatalf("%s Put: %v", flavor, err)
+		}
+		resp, err := s.Get(EncodeGet("root", "db-pass"))
+		if err != nil {
+			t.Fatalf("%s Get: %v", flavor, err)
+		}
+		var out struct {
+			Name  string `json:"name"`
+			Value []byte `json:"value"`
+		}
+		if err := json.Unmarshal(resp, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Value, []byte("hunter2")) {
+			t.Fatalf("%s value = %q", flavor, out.Value)
+		}
+	}
+}
+
+func TestVaultTokenAuth(t *testing.T) {
+	s := newServer(t, FlavorVault, nil)
+	if err := s.Put(EncodePut("wrong", "k", []byte("v"))); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("wrong token put: %v", err)
+	}
+	if err := s.Put(EncodePut("root", "k", []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(EncodeGet("wrong", "k")); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("wrong token get: %v", err)
+	}
+}
+
+func TestBarbicanIgnoresToken(t *testing.T) {
+	s := newServer(t, FlavorBarbican, nil)
+	if err := s.Put(EncodePut("", "k", []byte("v"))); err != nil {
+		t.Fatalf("tokenless put: %v", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := newServer(t, FlavorBarbican, nil)
+	if _, err := s.Get(EncodeGet("", "ghost")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	s := newServer(t, FlavorVault, nil)
+	if err := s.Put([]byte("not json")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("bad json put: %v", err)
+	}
+	if _, err := s.Get([]byte("{")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("bad json get: %v", err)
+	}
+	if err := s.Put(EncodePut("root", "", []byte("v"))); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("empty name: %v", err)
+	}
+}
+
+func TestUnknownFlavor(t *testing.T) {
+	if _, err := New(Options{Flavor: Flavor(99)}); err == nil {
+		t.Fatal("unknown flavor accepted")
+	}
+}
+
+func TestHWModeCharges(t *testing.T) {
+	p, err := sgx.NewPlatform(sgx.Options{Clock: simclock.NewVirtual()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(sgx.Binary{Name: "kms", Code: []byte("barbican")}, sgx.LaunchOptions{AllowPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Destroy()
+	var tr simclock.Tracker
+	env := wenv.HW(e).WithTracker(&tr)
+	s := newServer(t, FlavorBarbican, env)
+	if err := s.Put(EncodePut("", "k", []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Phase("syscalls") <= 0 {
+		t.Fatal("HW KMS charged no syscalls")
+	}
+	// Barbican's working set exceeds a tiny EPC → paging charge.
+	small, err := sgx.NewPlatform(sgx.Options{Clock: simclock.NewVirtual(), EPCBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := small.Launch(sgx.Binary{Name: "kms", Code: []byte("b")}, sgx.LaunchOptions{AllowPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Destroy()
+	var tr2 simclock.Tracker
+	s2 := newServer(t, FlavorVault, wenv.HW(e2).WithTracker(&tr2))
+	if err := s2.Put(EncodePut("root", "k", []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Phase("paging") <= 0 {
+		t.Fatal("over-EPC Vault charged no paging")
+	}
+}
+
+func TestBarbiEFewerExits(t *testing.T) {
+	clock := simclock.NewVirtual()
+	p, err := sgx.NewPlatform(sgx.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBarbican, err := p.Launch(sgx.Binary{Name: "barbican", Code: []byte("b")}, sgx.LaunchOptions{AllowPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eBarbican.Destroy()
+	eBarbiE, err := p.Launch(sgx.Binary{Name: "barbie", Code: []byte("e")}, sgx.LaunchOptions{AllowPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eBarbiE.Destroy()
+
+	var trA, trB simclock.Tracker
+	full := newServer(t, FlavorBarbican, wenv.HW(eBarbican).WithTracker(&trA))
+	barbiE := newServer(t, FlavorBarbiE, wenv.HW(eBarbiE).WithTracker(&trB))
+	for i := 0; i < 10; i++ {
+		if err := full.Put(EncodePut("", "k", []byte("v"))); err != nil {
+			t.Fatal(err)
+		}
+		if err := barbiE.Put(EncodePut("", "k", []byte("v"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exitsFull, _ := eBarbican.Stats()
+	exitsBarbiE, _ := eBarbiE.Stats()
+	if exitsBarbiE >= exitsFull {
+		t.Fatalf("BarbiE exits %d >= Barbican exits %d", exitsBarbiE, exitsFull)
+	}
+}
+
+func TestFlavorString(t *testing.T) {
+	for f, want := range map[Flavor]string{
+		FlavorBarbican: "Barbican",
+		FlavorBarbiE:   "BarbiE",
+		FlavorVault:    "Vault",
+	} {
+		if f.String() != want {
+			t.Fatalf("String() = %q, want %q", f.String(), want)
+		}
+	}
+}

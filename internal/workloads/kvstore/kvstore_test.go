@@ -1,0 +1,139 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"palaemon/internal/simclock"
+	"palaemon/internal/workloads/wenv"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Serve(EncodeSet("k1", []byte("value-1")))
+	if err != nil || string(resp) != "STORED\r\n" {
+		t.Fatalf("set: %q, %v", resp, err)
+	}
+	resp, err = c.Serve(EncodeGet("k1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(resp, []byte("value-1")) {
+		t.Fatalf("get: %q", resp)
+	}
+	resp, err = c.Serve([]byte("delete k1\r\n"))
+	if err != nil || string(resp) != "DELETED\r\n" {
+		t.Fatalf("delete: %q, %v", resp, err)
+	}
+	resp, err = c.Serve(EncodeGet("k1"))
+	if err != nil || string(resp) != "END\r\n" {
+		t.Fatalf("get after delete: %q, %v", resp, err)
+	}
+	resp, err = c.Serve([]byte("delete k1\r\n"))
+	if err != nil || string(resp) != "NOT_FOUND\r\n" {
+		t.Fatalf("double delete: %q, %v", resp, err)
+	}
+}
+
+func TestOverwriteAdjustsMemory(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Serve(EncodeSet("k", bytes.Repeat([]byte{1}, 100))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Serve(EncodeSet("k", bytes.Repeat([]byte{2}, 10))); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Serve([]byte("stats\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp), "curr_items 1") {
+		t.Fatalf("stats: %q", resp)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(Options{MemLimitBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill past the limit with 100-byte values.
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("key-%02d", i)
+		if _, err := c.Serve(EncodeSet(key, bytes.Repeat([]byte{byte(i)}, 100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() >= 20 {
+		t.Fatalf("no eviction: %d items", c.Len())
+	}
+	// Oldest keys must be gone; newest present.
+	resp, err := c.Serve(EncodeGet("key-00"))
+	if err != nil || string(resp) != "END\r\n" {
+		t.Fatalf("evicted key still present: %q, %v", resp, err)
+	}
+	resp, err = c.Serve(EncodeGet("key-19"))
+	if err != nil || !bytes.Contains(resp, []byte("VALUE")) {
+		t.Fatalf("newest key missing: %q, %v", resp, err)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		[]byte("bogus k\r\n"),
+		[]byte("no crlf"),
+		[]byte("set k 0 0\r\nxx\r\n"),       // arity
+		[]byte("set k 0 0 9999\r\nxx\r\n"),  // bad length
+		[]byte("get\r\n"),                   // arity
+		[]byte("\r\n"),                      // empty
+		[]byte("set k 0 0 notnum\r\nx\r\n"), // NaN length
+	}
+	for _, req := range cases {
+		if _, err := c.Serve(req); !errors.Is(err, ErrProtocol) {
+			t.Errorf("Serve(%q) = %v, want protocol error", req, err)
+		}
+	}
+}
+
+func TestTLSVariantsStillCorrect(t *testing.T) {
+	for _, stunnel := range []bool{false, true} {
+		c, err := New(Options{TLS: true, Stunnel: stunnel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Serve(EncodeSet("k", []byte("v"))); err != nil {
+			t.Fatalf("stunnel=%v set: %v", stunnel, err)
+		}
+		resp, err := c.Serve(EncodeGet("k"))
+		if err != nil || !bytes.Contains(resp, []byte("v")) {
+			t.Fatalf("stunnel=%v get: %q, %v", stunnel, resp, err)
+		}
+	}
+}
+
+func TestStunnelCharges(t *testing.T) {
+	var tr simclock.Tracker
+	c, err := New(Options{TLS: true, Stunnel: true, Env: wenv.Native().WithTracker(&tr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Serve(EncodeGet("k")); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Phase("stunnel") <= 0 {
+		t.Fatal("stunnel hop not charged")
+	}
+}

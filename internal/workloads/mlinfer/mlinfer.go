@@ -1,0 +1,279 @@
+// Package mlinfer reproduces the production use case of §VI: an online
+// service converting handwritten documents to digital data with a Python
+// inference engine. The company encrypts its engine code and models with
+// the file-system shield; customers encrypt their input images the same
+// way; neither shares keys with the other — a dedicated security policy at
+// PALÆMON holds the access control, and attestation gates key release.
+//
+// The paper measures 323 ms per image natively versus 1202 ms under
+// PALÆMON (3.7x), acceptable for the production SLA of 1.5 s. The pipeline
+// here does real work (matrix multiplication over real decrypted model
+// weights) so the same comparison can be measured rather than asserted.
+package mlinfer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"palaemon/internal/fspf"
+	"palaemon/internal/workloads/wenv"
+)
+
+// Errors.
+var (
+	ErrShape = errors.New("mlinfer: dimension mismatch")
+)
+
+// Model is a stack of dense layers.
+type Model struct {
+	// Layers hold row-major weight matrices; layer i maps a vector of
+	// Cols(i) to Rows(i).
+	layers []matrix
+}
+
+type matrix struct {
+	rows, cols int
+	w          []float32
+}
+
+// NewModel builds a deterministic model with the given layer sizes, e.g.
+// NewModel(784, 256, 128, 10).
+func NewModel(sizes ...int) (*Model, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("%w: need at least input and output size", ErrShape)
+	}
+	m := &Model{}
+	seed := uint64(0xC0FFEE)
+	for i := 1; i < len(sizes); i++ {
+		rows, cols := sizes[i], sizes[i-1]
+		w := make([]float32, rows*cols)
+		for j := range w {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			w[j] = float32(int64(seed>>33)%2048-1024) / 4096
+		}
+		m.layers = append(m.layers, matrix{rows: rows, cols: cols, w: w})
+	}
+	return m, nil
+}
+
+// InputSize returns the expected input vector length.
+func (m *Model) InputSize() int { return m.layers[0].cols }
+
+// OutputSize returns the output vector length.
+func (m *Model) OutputSize() int { return m.layers[len(m.layers)-1].rows }
+
+// SizeBytes returns the in-memory weight footprint.
+func (m *Model) SizeBytes() int64 {
+	var n int64
+	for _, l := range m.layers {
+		n += int64(len(l.w)) * 4
+	}
+	return n
+}
+
+// Marshal serialises the model for shield storage.
+func (m *Model) Marshal() []byte {
+	size := 4
+	for _, l := range m.layers {
+		size += 8 + len(l.w)*4
+	}
+	buf := make([]byte, 0, size)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(m.layers)))
+	buf = append(buf, u32[:]...)
+	for _, l := range m.layers {
+		binary.LittleEndian.PutUint32(u32[:], uint32(l.rows))
+		buf = append(buf, u32[:]...)
+		binary.LittleEndian.PutUint32(u32[:], uint32(l.cols))
+		buf = append(buf, u32[:]...)
+		for _, f := range l.w {
+			binary.LittleEndian.PutUint32(u32[:], math.Float32bits(f))
+			buf = append(buf, u32[:]...)
+		}
+	}
+	return buf
+}
+
+// UnmarshalModel reverses Marshal.
+func UnmarshalModel(raw []byte) (*Model, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("%w: short model", ErrShape)
+	}
+	n := int(binary.LittleEndian.Uint32(raw))
+	raw = raw[4:]
+	m := &Model{}
+	for i := 0; i < n; i++ {
+		if len(raw) < 8 {
+			return nil, fmt.Errorf("%w: truncated layer header", ErrShape)
+		}
+		rows := int(binary.LittleEndian.Uint32(raw))
+		cols := int(binary.LittleEndian.Uint32(raw[4:]))
+		raw = raw[8:]
+		if rows <= 0 || cols <= 0 || len(raw) < rows*cols*4 {
+			return nil, fmt.Errorf("%w: truncated weights", ErrShape)
+		}
+		w := make([]float32, rows*cols)
+		for j := range w {
+			w[j] = math.Float32frombits(binary.LittleEndian.Uint32(raw[j*4:]))
+		}
+		raw = raw[rows*cols*4:]
+		m.layers = append(m.layers, matrix{rows: rows, cols: cols, w: w})
+	}
+	return m, nil
+}
+
+// Infer runs the forward pass (real floating-point work).
+func (m *Model) Infer(input []float32) ([]float32, error) {
+	if len(input) != m.InputSize() {
+		return nil, fmt.Errorf("%w: input %d, want %d", ErrShape, len(input), m.InputSize())
+	}
+	vec := input
+	for _, l := range m.layers {
+		out := make([]float32, l.rows)
+		for r := 0; r < l.rows; r++ {
+			var sum float32
+			row := l.w[r*l.cols : (r+1)*l.cols]
+			for c, x := range vec {
+				sum += row[c] * x
+			}
+			// ReLU keeps the pipeline non-linear like the real engine.
+			if sum > 0 {
+				out[r] = sum
+			}
+		}
+		vec = out
+	}
+	return vec, nil
+}
+
+// Pipeline is the deployed inference service: engine + model in the
+// company's shield volume, customer images in the customer's volume,
+// separate keys (the §VI trust split).
+type Pipeline struct {
+	env *wenv.Env
+	// companyVol holds engine code + model, encrypted under the company
+	// key (nil in native mode: everything plaintext in memory).
+	companyVol *fspf.Volume
+	// customerVol holds input images under the customer key.
+	customerVol *fspf.Volume
+	// model is the decrypted, loaded model.
+	model *Model
+	// plainImages backs the native (shield-less) configuration.
+	plainImages map[string][]byte
+}
+
+// PipelineOptions wires the pipeline.
+type PipelineOptions struct {
+	// Env is the execution environment.
+	Env *wenv.Env
+	// Model is the trained model.
+	Model *Model
+	// CompanyVol / CustomerVol are the two shield volumes; both nil runs
+	// the native (plaintext) configuration.
+	CompanyVol  *fspf.Volume
+	CustomerVol *fspf.Volume
+}
+
+// NewPipeline deploys the service. In shielded configurations the model is
+// stored encrypted in the company volume and loaded (decrypted) through the
+// shield, as in the production deployment.
+func NewPipeline(opts PipelineOptions) (*Pipeline, error) {
+	if opts.Env == nil {
+		opts.Env = wenv.Native()
+	}
+	if opts.Model == nil {
+		return nil, errors.New("mlinfer: model required")
+	}
+	p := &Pipeline{
+		env:         opts.Env,
+		companyVol:  opts.CompanyVol,
+		customerVol: opts.CustomerVol,
+		plainImages: make(map[string][]byte),
+	}
+	if p.companyVol != nil {
+		if err := p.companyVol.WriteFile("/engine/model.bin", opts.Model.Marshal()); err != nil {
+			return nil, err
+		}
+		raw, err := p.companyVol.ReadFile("/engine/model.bin")
+		if err != nil {
+			return nil, err
+		}
+		m, err := UnmarshalModel(raw)
+		if err != nil {
+			return nil, err
+		}
+		p.model = m
+	} else {
+		p.model = opts.Model
+	}
+	return p, nil
+}
+
+// SubmitImage stores a customer image (encrypted under the customer key in
+// shielded mode).
+func (p *Pipeline) SubmitImage(name string, pixels []float32) error {
+	raw := make([]byte, len(pixels)*4)
+	for i, f := range pixels {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(f))
+	}
+	if p.customerVol != nil {
+		return p.customerVol.WriteFile("/images/"+name, raw)
+	}
+	// Native: the image sits in plain storage; model it as a shield-less
+	// volume write into company memory.
+	if p.companyVol != nil {
+		return p.companyVol.WriteFile("/images/"+name, raw)
+	}
+	p.plainImages[name] = raw
+	return nil
+}
+
+// Process runs inference on a stored image: load (decrypting in shielded
+// mode), forward pass, and result write-back into the customer volume.
+func (p *Pipeline) Process(name string) ([]float32, error) {
+	// Key release and file I/O exit the enclave; the Python engine's heap
+	// (interpreter + weights + activations, roughly 4x the weight bytes)
+	// is the resident set, of which each inference streams a model-sized
+	// slice (weights are walked once per forward pass).
+	p.env.ChargeSyscalls(6)
+	p.env.ChargeAccess(p.model.SizeBytes()/8, 4*p.model.SizeBytes())
+
+	var raw []byte
+	var err error
+	switch {
+	case p.customerVol != nil:
+		raw, err = p.customerVol.ReadFile("/images/" + name)
+	case p.companyVol != nil:
+		raw, err = p.companyVol.ReadFile("/images/" + name)
+	default:
+		var ok bool
+		raw, ok = p.plainImages[name]
+		if !ok {
+			err = fspf.ErrNotExist
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mlinfer: load image %s: %w", name, err)
+	}
+	pixels := make([]float32, len(raw)/4)
+	for i := range pixels {
+		pixels[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	out, err := p.model.Infer(pixels)
+	if err != nil {
+		return nil, err
+	}
+	// Result returns encrypted to the customer.
+	resRaw := make([]byte, len(out)*4)
+	for i, f := range out {
+		binary.LittleEndian.PutUint32(resRaw[i*4:], math.Float32bits(f))
+	}
+	if p.customerVol != nil {
+		if err := p.customerVol.WriteFile("/results/"+name, resRaw); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package mlinfer
+
+import (
+	"math"
+	"testing"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fspf"
+)
+
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(64, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testInput(n int) []float32 {
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(i%7) / 7
+	}
+	return in
+}
+
+func TestModelShapes(t *testing.T) {
+	m := testModel(t)
+	if m.InputSize() != 64 || m.OutputSize() != 8 {
+		t.Fatalf("shapes %d/%d", m.InputSize(), m.OutputSize())
+	}
+	if _, err := NewModel(10); err == nil {
+		t.Fatal("single-size model accepted")
+	}
+	if _, err := m.Infer(make([]float32, 3)); err == nil {
+		t.Fatal("wrong input size accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m := testModel(t)
+	m2, err := UnmarshalModel(m.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalModel: %v", err)
+	}
+	in := testInput(64)
+	a, err := m.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m2.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > 1e-6 {
+			t.Fatalf("output %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	for _, raw := range [][]byte{nil, {1}, {1, 0, 0, 0, 5, 0}} {
+		if _, err := UnmarshalModel(raw); err == nil {
+			t.Fatalf("UnmarshalModel(%v) succeeded", raw)
+		}
+	}
+}
+
+func TestNativePipeline(t *testing.T) {
+	p, err := NewPipeline(PipelineOptions{Model: testModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitImage("doc-1", testInput(64)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Process("doc-1")
+	if err != nil {
+		t.Fatalf("Process: %v", err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("output size %d", len(out))
+	}
+}
+
+func TestShieldedPipelineMatchesNative(t *testing.T) {
+	model := testModel(t)
+	native, err := NewPipeline(PipelineOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	companyVol := fspf.CreateVolume(cryptoutil.MustNewKey())
+	customerVol := fspf.CreateVolume(cryptoutil.MustNewKey())
+	shielded, err := NewPipeline(PipelineOptions{
+		Model:       model,
+		CompanyVol:  companyVol,
+		CustomerVol: customerVol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInput(64)
+	if err := native.SubmitImage("d", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := shielded.SubmitImage("d", in); err != nil {
+		t.Fatal(err)
+	}
+	a, err := native.Process("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shielded.Process("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > 1e-5 {
+			t.Fatalf("shielded output differs at %d", i)
+		}
+	}
+	// The result landed encrypted in the customer volume.
+	if !customerVol.Exists("/results/d") {
+		t.Fatal("result not stored in customer volume")
+	}
+	// The model stays in the company volume, NOT the customer's.
+	if customerVol.Exists("/engine/model.bin") {
+		t.Fatal("model leaked into customer volume")
+	}
+}
+
+func TestMissingImage(t *testing.T) {
+	p, err := NewPipeline(PipelineOptions{Model: testModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Process("ghost"); err == nil {
+		t.Fatal("processed missing image")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	// The customer cannot read the company volume without the company key:
+	// marshalled company volume opened under the customer key fails.
+	model := testModel(t)
+	companyKey := cryptoutil.MustNewKey()
+	companyVol := fspf.CreateVolume(companyKey)
+	if _, err := NewPipeline(PipelineOptions{Model: model, CompanyVol: companyVol}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := companyVol.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen, err := fspf.OpenVolume(cryptoutil.MustNewKey(), raw, fspf.Tag{})
+	if err != nil {
+		return // structure check failed: fine
+	}
+	if _, err := stolen.ReadFile("/engine/model.bin"); err == nil {
+		t.Fatal("customer key decrypted the company model")
+	}
+}

@@ -1,0 +1,307 @@
+// Package sqldb implements the MariaDB-like storage engine of Fig 17(d): a
+// page-based table store with a buffer pool and encryption at rest, driven
+// by a TPC-C-like new-order transaction mix while the buffer pool sweeps
+// 8–512 MB.
+//
+// The figure's shape comes from two competing effects the engine
+// reproduces: a larger buffer pool means fewer disk reads (native
+// throughput rises), but in hardware mode a pool beyond the EPC faults
+// pages in and out of the enclave (throughput falls).
+package sqldb
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/workloads/wenv"
+)
+
+// PageSize is the InnoDB-flavoured page granule.
+const PageSize = 16 << 10
+
+// ErrNoRow reports a missing row.
+var ErrNoRow = errors.New("sqldb: row not found")
+
+// Engine is the storage engine.
+type Engine struct {
+	env *wenv.Env
+
+	// disk is the encrypted at-rest page store.
+	diskMu sync.RWMutex
+	disk   map[uint64][]byte
+
+	// pool is the buffer pool: decrypted pages resident in memory.
+	poolMu    sync.Mutex
+	pool      map[uint64]*list.Element
+	poolOrder *list.List
+	poolLimit int // pages
+	hits      uint64
+	misses    uint64
+
+	key cryptoutil.Key
+	// diskCost models one storage read/write (the paper's "hardware I/O"
+	// floor for small pools).
+	diskCost time.Duration
+	// rowsPerPage fixes row placement.
+	rowsPerPage int
+}
+
+type poolEntry struct {
+	pageID uint64
+	data   []byte
+	dirty  bool
+}
+
+// Options configures an engine.
+type Options struct {
+	// Env is the execution environment.
+	Env *wenv.Env
+	// BufferPoolBytes sizes the pool (default 128 MB).
+	BufferPoolBytes int64
+	// DiskCost models one page I/O (default 80 µs).
+	DiskCost time.Duration
+}
+
+// New creates an engine with encryption at rest enabled (the paper
+// configures MariaDB's data-at-rest encryption and injects the key via
+// PALÆMON).
+func New(opts Options) (*Engine, error) {
+	if opts.Env == nil {
+		opts.Env = wenv.Native()
+	}
+	if opts.BufferPoolBytes <= 0 {
+		opts.BufferPoolBytes = 128 << 20
+	}
+	if opts.DiskCost <= 0 {
+		opts.DiskCost = 80 * time.Microsecond
+	}
+	key, err := cryptoutil.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		env:         opts.Env,
+		disk:        make(map[uint64][]byte),
+		pool:        make(map[uint64]*list.Element),
+		poolOrder:   list.New(),
+		poolLimit:   int(opts.BufferPoolBytes / PageSize),
+		key:         key,
+		diskCost:    opts.DiskCost,
+		rowsPerPage: PageSize / 256,
+	}, nil
+}
+
+// PoolStats reports buffer-pool hits and misses.
+func (e *Engine) PoolStats() (hits, misses uint64) {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	return e.hits, e.misses
+}
+
+// pageOf maps a row to its page and intra-page slot.
+func (e *Engine) pageOf(rowID uint64) (uint64, int) {
+	return rowID / uint64(e.rowsPerPage), int(rowID%uint64(e.rowsPerPage)) * 256
+}
+
+// fetchPage returns the decrypted page, via the pool.
+func (e *Engine) fetchPage(pageID uint64, forWrite bool) ([]byte, error) {
+	e.poolMu.Lock()
+	if el, ok := e.pool[pageID]; ok {
+		e.hits++
+		e.poolOrder.MoveToFront(el)
+		pe := el.Value.(*poolEntry)
+		if forWrite {
+			pe.dirty = true
+		}
+		data := pe.data
+		e.poolMu.Unlock()
+		// Touching one pool page: in HW mode the pool is enclave heap, so
+		// an over-EPC pool faults with the over-fraction probability.
+		e.env.ChargeAccess(PageSize, int64(e.poolLimit)*PageSize)
+		return data, nil
+	}
+	e.misses++
+	e.poolMu.Unlock()
+
+	// Miss: disk read + decrypt (real AES-GCM) outside the pool lock.
+	e.env.Charge("disk", e.diskCost)
+	e.env.ChargeSyscalls(1)
+	e.diskMu.RLock()
+	sealed, ok := e.disk[pageID]
+	e.diskMu.RUnlock()
+	var data []byte
+	if ok {
+		pt, err := cryptoutil.Open(e.key, sealed, pageAD(pageID))
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: page %d corrupt: %w", pageID, err)
+		}
+		data = pt
+	} else {
+		data = make([]byte, PageSize)
+	}
+
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	if el, ok := e.pool[pageID]; ok {
+		// Raced with another loader; use theirs.
+		pe := el.Value.(*poolEntry)
+		if forWrite {
+			pe.dirty = true
+		}
+		return pe.data, nil
+	}
+	el := e.poolOrder.PushFront(&poolEntry{pageID: pageID, data: data, dirty: forWrite})
+	e.pool[pageID] = el
+	for len(e.pool) > e.poolLimit && e.poolOrder.Len() > 0 {
+		victim := e.poolOrder.Back()
+		pe := victim.Value.(*poolEntry)
+		e.poolOrder.Remove(victim)
+		delete(e.pool, pe.pageID)
+		if pe.dirty {
+			if err := e.writeBack(pe); err != nil {
+				return nil, err
+			}
+		}
+	}
+	e.env.ChargeAccess(PageSize, int64(e.poolLimit)*PageSize)
+	return data, nil
+}
+
+// writeBack encrypts and persists a dirty page. Called with poolMu held
+// (eviction path); the crypto is real work.
+func (e *Engine) writeBack(pe *poolEntry) error {
+	sealed, err := cryptoutil.Seal(e.key, pe.data, pageAD(pe.pageID))
+	if err != nil {
+		return fmt.Errorf("sqldb: seal page %d: %w", pe.pageID, err)
+	}
+	e.env.Charge("disk", e.diskCost)
+	e.diskMu.Lock()
+	e.disk[pe.pageID] = sealed
+	e.diskMu.Unlock()
+	return nil
+}
+
+func pageAD(pageID uint64) []byte {
+	var ad [8]byte
+	binary.LittleEndian.PutUint64(ad[:], pageID)
+	return ad[:]
+}
+
+// WriteRow stores a 256-byte row.
+func (e *Engine) WriteRow(rowID uint64, row []byte) error {
+	if len(row) > 256 {
+		return fmt.Errorf("sqldb: row too large (%d)", len(row))
+	}
+	pageID, off := e.pageOf(rowID)
+	page, err := e.fetchPage(pageID, true)
+	if err != nil {
+		return err
+	}
+	e.poolMu.Lock()
+	copy(page[off:off+256], make([]byte, 256))
+	copy(page[off:], row)
+	e.poolMu.Unlock()
+	return nil
+}
+
+// ReadRow returns the row's stored bytes (trailing zeros trimmed by caller).
+func (e *Engine) ReadRow(rowID uint64) ([]byte, error) {
+	pageID, off := e.pageOf(rowID)
+	page, err := e.fetchPage(pageID, false)
+	if err != nil {
+		return nil, err
+	}
+	e.poolMu.Lock()
+	row := append([]byte(nil), page[off:off+256]...)
+	e.poolMu.Unlock()
+	empty := true
+	for _, b := range row {
+		if b != 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return nil, fmt.Errorf("%w: %d", ErrNoRow, rowID)
+	}
+	return row, nil
+}
+
+// Flush writes all dirty pages back.
+func (e *Engine) Flush() error {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	for el := e.poolOrder.Front(); el != nil; el = el.Next() {
+		pe := el.Value.(*poolEntry)
+		if !pe.dirty {
+			continue
+		}
+		if err := e.writeBack(pe); err != nil {
+			return err
+		}
+		pe.dirty = false
+	}
+	return nil
+}
+
+// --- TPC-C-like workload -----------------------------------------------------
+
+// TPCC drives a new-order-dominated transaction mix over the engine.
+type TPCC struct {
+	engine *Engine
+	// rows is the table cardinality.
+	rows uint64
+	// state advances a deterministic PRNG so runs are reproducible.
+	state uint64
+}
+
+// NewTPCC loads `rows` rows and returns the driver.
+func NewTPCC(engine *Engine, rows uint64) (*TPCC, error) {
+	t := &TPCC{engine: engine, rows: rows, state: 0x9E3779B97F4A7C15}
+	row := make([]byte, 128)
+	for i := uint64(0); i < rows; i++ {
+		binary.LittleEndian.PutUint64(row, i)
+		row[16] = byte('A' + i%26) // customer district marker
+		if err := engine.WriteRow(i, row); err != nil {
+			return nil, err
+		}
+	}
+	if err := engine.Flush(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// next is a splitmix64 step.
+func (t *TPCC) next() uint64 {
+	t.state += 0x9E3779B97F4A7C15
+	z := t.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// NewOrder executes one transaction: ~10 item reads plus 3 writes across
+// random pages, matching TPC-C's new-order access pattern.
+func (t *TPCC) NewOrder() error {
+	for i := 0; i < 10; i++ {
+		rowID := t.next() % t.rows
+		if _, err := t.engine.ReadRow(rowID); err != nil && !errors.Is(err, ErrNoRow) {
+			return err
+		}
+	}
+	row := make([]byte, 64)
+	for i := 0; i < 3; i++ {
+		rowID := t.next() % t.rows
+		binary.LittleEndian.PutUint64(row, rowID)
+		if err := t.engine.WriteRow(rowID, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Package wenv carries the execution environment shared by the macro
+// benchmark workloads: the runtime mode (Native/EMU/HW), the hosting
+// enclave, and the cost-accounting sink (sleep on a clock, or charge a
+// tracker in harness mode).
+package wenv
+
+import (
+	"time"
+
+	"palaemon/internal/runtime"
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+)
+
+// Env is the environment a workload request executes in.
+type Env struct {
+	// Mode selects Native/EMU/HW semantics.
+	Mode runtime.Mode
+	// Enclave hosts HW-mode executions (nil otherwise).
+	Enclave *sgx.Enclave
+	// Clock sleeps modelled costs; defaults to wall clock.
+	Clock simclock.Clock
+	// Tracker, when set, accumulates modelled costs instead of sleeping.
+	Tracker *simclock.Tracker
+}
+
+// Native returns a plain environment.
+func Native() *Env { return &Env{Mode: runtime.ModeNative, Clock: simclock.Wall{}} }
+
+// EMU returns a shield-in-emulation environment.
+func EMU() *Env { return &Env{Mode: runtime.ModeEMU, Clock: simclock.Wall{}} }
+
+// HW returns a hardware-mode environment on the given enclave.
+func HW(e *sgx.Enclave) *Env {
+	return &Env{Mode: runtime.ModeHW, Enclave: e, Clock: e.Platform().Clock()}
+}
+
+// WithTracker returns a copy charging the tracker instead of sleeping.
+func (e *Env) WithTracker(t *simclock.Tracker) *Env {
+	cp := *e
+	cp.Tracker = t
+	return &cp
+}
+
+// clock returns the effective clock.
+func (e *Env) clock() simclock.Clock {
+	if e.Clock == nil {
+		return simclock.Wall{}
+	}
+	return e.Clock
+}
+
+// apply sinks a modelled duration.
+func (e *Env) apply(phase string, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if e.Tracker != nil {
+		e.Tracker.Add(phase, d)
+		return
+	}
+	simclock.SleepPrecise(e.clock(), d)
+}
+
+// softShieldPerSyscall is the SCONE-style software interposition cost per
+// shielded system call (argument copy + checks, §V-C "syscall shield"). It
+// applies in BOTH EMU and HW modes — the paper's EMU numbers sit close to
+// HW precisely because most of the overhead is the shield itself, with
+// hardware adding only exit and paging costs on top.
+const softShieldPerSyscall = 2 * time.Microsecond
+
+// ChargeSyscalls accounts for n shielded system calls: software shield cost
+// in EMU and HW, plus the hardware exit cost (and L1 flush under
+// post-Foreshadow microcode) in HW.
+func (e *Env) ChargeSyscalls(n int) {
+	if n <= 0 || e.Mode == runtime.ModeNative || e.Mode == 0 {
+		return
+	}
+	d := time.Duration(n) * softShieldPerSyscall
+	if e.Mode == runtime.ModeHW && e.Enclave != nil {
+		d += e.Enclave.ChargeSyscalls(n)
+	}
+	e.apply("syscalls", d)
+}
+
+// ChargeWorkingSet accounts for a full scan over a working set (HW mode
+// only): every page of the set is touched once.
+func (e *Env) ChargeWorkingSet(bytes int64) {
+	if e.Mode != runtime.ModeHW || e.Enclave == nil || bytes <= 0 {
+		return
+	}
+	e.apply("paging", e.Enclave.ChargeWorkingSet(bytes))
+}
+
+// ChargeAccess accounts for touching `touched` bytes of a resident working
+// set of `workingSet` bytes (HW mode only).
+func (e *Env) ChargeAccess(touched, workingSet int64) {
+	if e.Mode != runtime.ModeHW || e.Enclave == nil {
+		return
+	}
+	e.apply("paging", e.Enclave.ChargeAccess(touched, workingSet))
+}
+
+// Charge sinks a mode-independent modelled cost (disk seek, proxy hop).
+func (e *Env) Charge(phase string, d time.Duration) { e.apply(phase, d) }
+
+// InEnclave reports whether requests execute inside a TEE.
+func (e *Env) InEnclave() bool { return e.Mode == runtime.ModeHW && e.Enclave != nil }

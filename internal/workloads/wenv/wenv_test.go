@@ -1,0 +1,123 @@
+package wenv
+
+import (
+	"testing"
+	"time"
+
+	"palaemon/internal/runtime"
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+)
+
+func hwTestEnv(t *testing.T, epc int64) *Env {
+	t.Helper()
+	opts := sgx.Options{Clock: simclock.NewVirtual()}
+	if epc > 0 {
+		opts.EPCBytes = epc
+	}
+	p, err := sgx.NewPlatform(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(sgx.Binary{Name: "w", Code: []byte("w")}, sgx.LaunchOptions{AllowPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Destroy)
+	return HW(e)
+}
+
+func TestNativeChargesNothing(t *testing.T) {
+	var tr simclock.Tracker
+	env := Native().WithTracker(&tr)
+	env.ChargeSyscalls(100)
+	env.ChargeAccess(1<<20, 1<<30)
+	env.ChargeWorkingSet(1 << 30)
+	if tr.Total() != 0 {
+		t.Fatalf("native charged %v", tr.Total())
+	}
+}
+
+func TestEMUChargesSoftShieldOnly(t *testing.T) {
+	var tr simclock.Tracker
+	env := EMU().WithTracker(&tr)
+	env.ChargeSyscalls(4)
+	if tr.Phase("syscalls") != 4*softShieldPerSyscall {
+		t.Fatalf("EMU syscalls = %v, want %v", tr.Phase("syscalls"), 4*softShieldPerSyscall)
+	}
+	env.ChargeAccess(1<<20, 1<<30) // no hardware: no paging
+	if tr.Phase("paging") != 0 {
+		t.Fatalf("EMU charged paging %v", tr.Phase("paging"))
+	}
+}
+
+func TestHWChargesShieldPlusExit(t *testing.T) {
+	var tr simclock.Tracker
+	env := hwTestEnv(t, 0).WithTracker(&tr)
+	env.ChargeSyscalls(4)
+	want := 4*softShieldPerSyscall + 4*env.Enclave.ExitCost()
+	if tr.Phase("syscalls") != want {
+		t.Fatalf("HW syscalls = %v, want %v", tr.Phase("syscalls"), want)
+	}
+}
+
+func TestHWPagingOnlyPastEPC(t *testing.T) {
+	var tr simclock.Tracker
+	env := hwTestEnv(t, 1<<20).WithTracker(&tr)
+	env.ChargeAccess(64<<10, 512<<10) // fits EPC
+	if tr.Phase("paging") != 0 {
+		t.Fatalf("within-EPC access charged %v", tr.Phase("paging"))
+	}
+	env.ChargeAccess(64<<10, 16<<20) // way past EPC
+	if tr.Phase("paging") <= 0 {
+		t.Fatal("over-EPC access charged nothing")
+	}
+}
+
+func TestChargeGenericCost(t *testing.T) {
+	var tr simclock.Tracker
+	env := Native().WithTracker(&tr)
+	env.Charge("disk", 3*time.Millisecond)
+	env.Charge("disk", -time.Second) // ignored
+	if tr.Phase("disk") != 3*time.Millisecond {
+		t.Fatalf("disk = %v", tr.Phase("disk"))
+	}
+}
+
+func TestInEnclave(t *testing.T) {
+	if Native().InEnclave() || EMU().InEnclave() {
+		t.Fatal("non-HW env claims enclave")
+	}
+	if !hwTestEnv(t, 0).InEnclave() {
+		t.Fatal("HW env denies enclave")
+	}
+	broken := &Env{Mode: runtime.ModeHW} // HW without enclave
+	if broken.InEnclave() {
+		t.Fatal("enclave-less HW env claims enclave")
+	}
+	broken.ChargeSyscalls(5) // must not panic; charges shield only
+}
+
+func TestWithTrackerCopies(t *testing.T) {
+	var tr simclock.Tracker
+	base := EMU()
+	tracked := base.WithTracker(&tr)
+	tracked.ChargeSyscalls(1)
+	if tr.Total() == 0 {
+		t.Fatal("tracked env did not charge tracker")
+	}
+	if base.Tracker != nil {
+		t.Fatal("WithTracker mutated the base env")
+	}
+}
+
+func TestVirtualClockSleepPath(t *testing.T) {
+	clock := simclock.NewVirtual()
+	env := hwTestEnv(t, 0)
+	env.Clock = clock
+	start := clock.Now()
+	env.ChargeSyscalls(10)
+	if clock.Since(start) <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}

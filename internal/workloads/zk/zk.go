@@ -1,0 +1,313 @@
+// Package zk implements the ZooKeeper-like coordination service of
+// Fig 17(b,c): a replicated key/value namespace over a ZAB-style atomic
+// broadcast. Reads are served locally by any replica; writes flow through
+// the leader, which broadcasts proposals and commits on a quorum of acks
+// (the paper's "execution of consensus via TLS", which is why the shielded
+// variant loses on writes but wins on reads — TLS termination inside the
+// enclave beats the native stunnel proxy for read-mostly traffic).
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/workloads/wenv"
+)
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("zk: znode not found")
+	ErrNotLeader = errors.New("zk: not the leader")
+	ErrNoQuorum  = errors.New("zk: no quorum of acks")
+)
+
+// proposal is one ZAB broadcast unit.
+type proposal struct {
+	zxid  uint64
+	key   string
+	value []byte
+	del   bool
+}
+
+// node is one replica.
+type node struct {
+	id  int
+	env *wenv.Env
+
+	mu    sync.RWMutex
+	data  map[string][]byte
+	zxid  uint64
+	alive bool
+}
+
+// Ensemble is a replicated service of 2f+1 nodes (three in the paper).
+type Ensemble struct {
+	nodes []*node
+	// leader index.
+	leader int
+	// linkCost models one inter-server message (serialisation + network
+	// stack); TLS variants add record crypto per message.
+	linkCost time.Duration
+	tlsKey   cryptoutil.Key
+	useTLS   bool
+	// stunnelHop applies to the native variant's per-message proxy.
+	stunnelHop time.Duration
+
+	mu   sync.Mutex
+	next uint64
+}
+
+// Options configures an ensemble.
+type Options struct {
+	// Nodes is the replica count (default 3).
+	Nodes int
+	// Envs supplies one environment per node; a single entry is shared.
+	Envs []*wenv.Env
+	// TLS enables record crypto on inter-server and client links.
+	TLS bool
+	// Stunnel adds the out-of-process TLS proxy hop (native variant).
+	Stunnel bool
+	// LinkCost overrides the per-message network cost (default 30 µs).
+	LinkCost time.Duration
+}
+
+// New creates an ensemble with node 0 as leader.
+func New(opts Options) (*Ensemble, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 3
+	}
+	if opts.Nodes%2 == 0 {
+		return nil, fmt.Errorf("zk: even ensemble size %d", opts.Nodes)
+	}
+	if opts.LinkCost <= 0 {
+		opts.LinkCost = 30 * time.Microsecond
+	}
+	e := &Ensemble{leader: 0, linkCost: opts.LinkCost, useTLS: opts.TLS}
+	if opts.Stunnel {
+		e.stunnelHop = 5 * time.Microsecond
+	}
+	if opts.TLS {
+		key, err := cryptoutil.NewKey()
+		if err != nil {
+			return nil, err
+		}
+		e.tlsKey = key
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		env := wenv.Native()
+		if len(opts.Envs) == 1 {
+			env = opts.Envs[0]
+		} else if i < len(opts.Envs) {
+			env = opts.Envs[i]
+		}
+		e.nodes = append(e.nodes, &node{
+			id:    i,
+			env:   env,
+			data:  make(map[string][]byte),
+			alive: true,
+		})
+	}
+	return e, nil
+}
+
+// Size returns the replica count.
+func (e *Ensemble) Size() int { return len(e.nodes) }
+
+// message models one inter-server exchange: link cost, optional stunnel
+// hop, optional TLS record crypto (real AES-GCM over the payload), and
+// enclave exits on both ends.
+func (e *Ensemble) message(from, to *node, payload []byte) error {
+	from.env.Charge("link", e.linkCost)
+	if e.stunnelHop > 0 {
+		from.env.Charge("stunnel", e.stunnelHop)
+	}
+	if e.useTLS {
+		sealed, err := cryptoutil.Seal(e.tlsKey, payload, nil)
+		if err != nil {
+			return err
+		}
+		if _, err := cryptoutil.Open(e.tlsKey, sealed, nil); err != nil {
+			return err
+		}
+	}
+	// A TLS record through the shield costs several interposed calls on
+	// each endpoint (read, decrypt buffers in, process, write) — this is
+	// why consensus-heavy writes lose under the shield while local reads
+	// do not (Fig 17b/c).
+	from.env.ChargeSyscalls(4)
+	to.env.ChargeSyscalls(4)
+	return nil
+}
+
+// Set writes a key through the leader: propose to all followers, commit on
+// quorum ack, apply everywhere (Fig 17c's "setsingle").
+func (e *Ensemble) Set(key string, value []byte) error {
+	return e.replicate(proposal{key: key, value: append([]byte(nil), value...)})
+}
+
+// Delete removes a key through the leader.
+func (e *Ensemble) Delete(key string) error {
+	return e.replicate(proposal{key: key, del: true})
+}
+
+func (e *Ensemble) replicate(p proposal) error {
+	leader := e.nodes[e.leader]
+	leader.mu.RLock()
+	leaderAlive := leader.alive
+	leader.mu.RUnlock()
+	if !leaderAlive {
+		return ErrNotLeader
+	}
+
+	e.mu.Lock()
+	e.next++
+	p.zxid = e.next
+	e.mu.Unlock()
+
+	payload := encodeProposal(p)
+	// Phase 1: broadcast proposal, collect acks.
+	acks := 1 // leader acks implicitly
+	for _, f := range e.nodes {
+		if f.id == leader.id {
+			continue
+		}
+		f.mu.RLock()
+		alive := f.alive
+		f.mu.RUnlock()
+		if !alive {
+			continue
+		}
+		if err := e.message(leader, f, payload); err != nil {
+			return err
+		}
+		if err := e.message(f, leader, []byte("ack")); err != nil {
+			return err
+		}
+		acks++
+	}
+	if acks <= len(e.nodes)/2 {
+		return fmt.Errorf("%w: %d of %d", ErrNoQuorum, acks, len(e.nodes))
+	}
+	// Phase 2: commit everywhere (one more message per follower).
+	for _, f := range e.nodes {
+		if f.id != leader.id {
+			f.mu.RLock()
+			alive := f.alive
+			f.mu.RUnlock()
+			if !alive {
+				continue
+			}
+			if err := e.message(leader, f, []byte("commit")); err != nil {
+				return err
+			}
+		}
+		f.apply(p)
+	}
+	return nil
+}
+
+func encodeProposal(p proposal) []byte {
+	buf := make([]byte, 0, len(p.key)+len(p.value)+16)
+	buf = append(buf, p.key...)
+	buf = append(buf, 0)
+	buf = append(buf, p.value...)
+	return buf
+}
+
+func (n *node) apply(p proposal) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return
+	}
+	if p.del {
+		delete(n.data, p.key)
+	} else {
+		n.data[p.key] = p.value
+	}
+	n.zxid = p.zxid
+}
+
+// Get serves a read from the chosen replica — no consensus, which is why
+// shielded reads keep up with (and beat stunnel-fronted) native reads.
+func (e *Ensemble) Get(replica int, key string) ([]byte, error) {
+	n := e.nodes[replica%len(e.nodes)]
+	n.env.ChargeSyscalls(2) // client socket in/out — no consensus
+	if e.stunnelHop > 0 {
+		n.env.Charge("stunnel", 2*e.stunnelHop)
+	}
+	n.mu.RLock()
+	value, ok := n.data[key]
+	zxidCopy := n.zxid
+	n.mu.RUnlock()
+	_ = zxidCopy
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if e.useTLS {
+		sealed, err := cryptoutil.Seal(e.tlsKey, value, nil)
+		if err != nil {
+			return nil, err
+		}
+		if value, err = cryptoutil.Open(e.tlsKey, sealed, nil); err != nil {
+			return nil, err
+		}
+	}
+	return append([]byte(nil), value...), nil
+}
+
+// Kill marks a replica dead (failure injection).
+func (e *Ensemble) Kill(replica int) {
+	n := e.nodes[replica%len(e.nodes)]
+	n.mu.Lock()
+	n.alive = false
+	n.mu.Unlock()
+}
+
+// Revive brings a replica back and catches it up from the leader.
+func (e *Ensemble) Revive(replica int) {
+	n := e.nodes[replica%len(e.nodes)]
+	leader := e.nodes[e.leader]
+	leader.mu.RLock()
+	snapshot := make(map[string][]byte, len(leader.data))
+	for k, v := range leader.data {
+		snapshot[k] = v
+	}
+	zx := leader.zxid
+	leader.mu.RUnlock()
+	n.mu.Lock()
+	n.alive = true
+	n.data = snapshot
+	n.zxid = zx
+	n.mu.Unlock()
+}
+
+// Consistent reports whether all live replicas hold identical data.
+func (e *Ensemble) Consistent() bool {
+	leader := e.nodes[e.leader]
+	leader.mu.RLock()
+	want := leader.data
+	leader.mu.RUnlock()
+	for _, n := range e.nodes {
+		n.mu.RLock()
+		alive := n.alive
+		same := len(n.data) == len(want)
+		if same {
+			for k, v := range want {
+				got, ok := n.data[k]
+				if !ok || string(got) != string(v) {
+					same = false
+					break
+				}
+			}
+		}
+		n.mu.RUnlock()
+		if alive && !same {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package zk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"palaemon/internal/simclock"
+	"palaemon/internal/workloads/wenv"
+)
+
+func newEnsemble(t *testing.T, opts Options) *Ensemble {
+	t.Helper()
+	if opts.LinkCost == 0 {
+		opts.LinkCost = 1 // keep tests fast
+	}
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSetGetAcrossReplicas(t *testing.T) {
+	e := newEnsemble(t, Options{})
+	if err := e.Set("/config/db", []byte("mysql://10.0.0.1")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	for r := 0; r < e.Size(); r++ {
+		v, err := e.Get(r, "/config/db")
+		if err != nil {
+			t.Fatalf("Get replica %d: %v", r, err)
+		}
+		if !bytes.Equal(v, []byte("mysql://10.0.0.1")) {
+			t.Fatalf("replica %d value %q", r, v)
+		}
+	}
+	if !e.Consistent() {
+		t.Fatal("ensemble inconsistent after write")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	e := newEnsemble(t, Options{})
+	if err := e.Set("/x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Get(1, "/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+}
+
+func TestQuorumWithOneFailure(t *testing.T) {
+	e := newEnsemble(t, Options{Nodes: 3})
+	e.Kill(2)
+	if err := e.Set("/survives", []byte("yes")); err != nil {
+		t.Fatalf("write with f=1 failure: %v", err)
+	}
+	v, err := e.Get(1, "/survives")
+	if err != nil || string(v) != "yes" {
+		t.Fatalf("read after failure: %q, %v", v, err)
+	}
+}
+
+func TestNoQuorumWithMajorityDown(t *testing.T) {
+	e := newEnsemble(t, Options{Nodes: 3})
+	e.Kill(1)
+	e.Kill(2)
+	if err := e.Set("/lost", []byte("x")); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("write without quorum: %v", err)
+	}
+}
+
+func TestLeaderDeadRefusesWrites(t *testing.T) {
+	e := newEnsemble(t, Options{Nodes: 3})
+	e.Kill(0)
+	if err := e.Set("/x", []byte("v")); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("dead leader accepted write: %v", err)
+	}
+}
+
+func TestReviveCatchesUp(t *testing.T) {
+	e := newEnsemble(t, Options{Nodes: 3})
+	e.Kill(2)
+	for i := 0; i < 5; i++ {
+		if err := e.Set("/k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Revive(2)
+	if !e.Consistent() {
+		t.Fatal("revived replica not caught up")
+	}
+	v, err := e.Get(2, "/k")
+	if err != nil || v[0] != 4 {
+		t.Fatalf("revived read = %v, %v", v, err)
+	}
+}
+
+func TestEvenEnsembleRejected(t *testing.T) {
+	if _, err := New(Options{Nodes: 4}); err == nil {
+		t.Fatal("even ensemble accepted")
+	}
+}
+
+func TestWritesCostMoreThanReads(t *testing.T) {
+	var tr simclock.Tracker
+	env := wenv.Native().WithTracker(&tr)
+	e := newEnsemble(t, Options{Nodes: 3, Envs: []*wenv.Env{env}, LinkCost: 100})
+	if err := e.Set("/k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	writeCost := tr.Total()
+	tr.Reset()
+	if _, err := e.Get(0, "/k"); err != nil {
+		t.Fatal(err)
+	}
+	readCost := tr.Total()
+	if writeCost <= readCost {
+		t.Fatalf("consensus write (%v) not costlier than local read (%v)", writeCost, readCost)
+	}
+}
+
+func TestTLSVariant(t *testing.T) {
+	e := newEnsemble(t, Options{TLS: true, Stunnel: true})
+	if err := e.Set("/tls", []byte("secure")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Get(0, "/tls")
+	if err != nil || string(v) != "secure" {
+		t.Fatalf("TLS get: %q, %v", v, err)
+	}
+}

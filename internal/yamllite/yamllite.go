@@ -1,0 +1,526 @@
+// Package yamllite parses the subset of YAML used by PALÆMON security
+// policies (the paper's List 1): nested mappings and sequences by
+// indentation, inline flow lists, quoted and plain scalars, and comments.
+//
+// It intentionally supports nothing else (no anchors, no multi-document
+// streams, no block scalars) — a small, auditable parser matters for a
+// service whose behaviour must depend only on its measurement (§IV-B).
+package yamllite
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a parsed YAML node: one of Map, List, or Scalar.
+type Value struct {
+	// Kind discriminates the union.
+	Kind Kind
+	// Scalar holds the raw scalar text (unquoted).
+	Scalar string
+	// List holds sequence items.
+	List []*Value
+	// Map holds mapping entries; Keys preserves declaration order.
+	Map  map[string]*Value
+	Keys []string
+}
+
+// Kind enumerates node types.
+type Kind int
+
+// Node kinds.
+const (
+	KindScalar Kind = iota + 1
+	KindList
+	KindMap
+)
+
+// ParseError reports a syntax problem with its line number.
+type ParseError struct {
+	// Line is the 1-based source line.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("yamllite: line %d: %s", e.Line, e.Msg)
+}
+
+// ErrNotFound reports a missing lookup path.
+var ErrNotFound = errors.New("yamllite: path not found")
+
+type line struct {
+	num    int
+	indent int
+	text   string // content with indentation stripped
+}
+
+// Parse parses a document into its root mapping or sequence.
+func Parse(src string) (*Value, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return &Value{Kind: KindMap, Map: map[string]*Value{}}, nil
+	}
+	p := &parser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, &ParseError{Line: p.lines[p.pos].num, Msg: "unexpected content after document"}
+	}
+	return v, nil
+}
+
+func splitLines(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		content := stripComment(raw)
+		trimmed := strings.TrimRight(content, " \t")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
+			indent++
+		}
+		if strings.HasPrefix(trimmed[indent:], "\t") {
+			return nil, &ParseError{Line: i + 1, Msg: "tab indentation is not allowed"}
+		}
+		out = append(out, line{num: i + 1, indent: indent, text: trimmed[indent:]})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing # comment that is not inside quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble {
+				// A comment starts at line start or after whitespace.
+				if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+					return s[:i]
+				}
+			}
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+// parseBlock parses consecutive lines at exactly the given indent into a map
+// or list.
+func (p *parser) parseBlock(indent int) (*Value, error) {
+	if p.pos >= len(p.lines) {
+		return nil, &ParseError{Line: 0, Msg: "unexpected end of document"}
+	}
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func (p *parser) parseMap(indent int) (*Value, error) {
+	v := &Value{Kind: KindMap, Map: map[string]*Value{}}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, &ParseError{Line: ln.num, Msg: "unexpected indentation"}
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, &ParseError{Line: ln.num, Msg: "sequence item inside mapping"}
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := v.Map[key]; dup {
+			return nil, &ParseError{Line: ln.num, Msg: fmt.Sprintf("duplicate key %q", key)}
+		}
+		p.pos++
+		var child *Value
+		if rest == "" {
+			// Nested block (or empty value when the next line dedents).
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				child, err = p.parseBlock(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				child = &Value{Kind: KindScalar, Scalar: ""}
+			}
+		} else {
+			child, err = parseInline(rest, ln.num)
+			if err != nil {
+				return nil, err
+			}
+		}
+		v.Map[key] = child
+		v.Keys = append(v.Keys, key)
+	}
+	return v, nil
+}
+
+func (p *parser) parseList(indent int) (*Value, error) {
+	v := &Value{Kind: KindList}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || (!strings.HasPrefix(ln.text, "- ") && ln.text != "-") {
+			if ln.indent >= indent && ln.text != "-" && !strings.HasPrefix(ln.text, "- ") && ln.indent == indent {
+				return nil, &ParseError{Line: ln.num, Msg: "mapping key inside sequence"}
+			}
+			break
+		}
+		rest := strings.TrimPrefix(ln.text, "-")
+		rest = strings.TrimPrefix(rest, " ")
+		if rest == "" {
+			// Item is a nested block on following lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				v.List = append(v.List, &Value{Kind: KindScalar, Scalar: ""})
+				continue
+			}
+			child, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			v.List = append(v.List, child)
+			continue
+		}
+		if isKeyStart(rest) {
+			// "- name: x" starts an inline mapping whose further keys sit
+			// two-plus spaces deeper on following lines.
+			item, err := p.parseInlineMapItem(ln, rest, indent)
+			if err != nil {
+				return nil, err
+			}
+			v.List = append(v.List, item)
+			continue
+		}
+		child, err := parseInline(rest, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		v.List = append(v.List, child)
+		p.pos++
+	}
+	return v, nil
+}
+
+// parseInlineMapItem handles "- key: value" list items with continuation
+// keys on deeper lines.
+func (p *parser) parseInlineMapItem(first line, rest string, indent int) (*Value, error) {
+	item := &Value{Kind: KindMap, Map: map[string]*Value{}}
+	key, val, err := splitKey(line{num: first.num, text: rest})
+	if err != nil {
+		return nil, err
+	}
+	p.pos++
+	var child *Value
+	if val == "" {
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent+2 {
+			child, err = p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			child = &Value{Kind: KindScalar, Scalar: ""}
+		}
+	} else {
+		child, err = parseInline(val, first.num)
+		if err != nil {
+			return nil, err
+		}
+	}
+	item.Map[key] = child
+	item.Keys = append(item.Keys, key)
+
+	// Continuation keys of this item are indented deeper than the dash.
+	contIndent := -1
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent <= indent {
+			break
+		}
+		if contIndent == -1 {
+			contIndent = ln.indent
+		}
+		if ln.indent != contIndent {
+			break
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			break
+		}
+		k2, v2, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := item.Map[k2]; dup {
+			return nil, &ParseError{Line: ln.num, Msg: fmt.Sprintf("duplicate key %q", k2)}
+		}
+		p.pos++
+		var c2 *Value
+		if v2 == "" {
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > contIndent {
+				c2, err = p.parseBlock(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				c2 = &Value{Kind: KindScalar, Scalar: ""}
+			}
+		} else {
+			c2, err = parseInline(v2, ln.num)
+			if err != nil {
+				return nil, err
+			}
+		}
+		item.Map[k2] = c2
+		item.Keys = append(item.Keys, k2)
+	}
+	return item, nil
+}
+
+// isKeyStart reports whether a fragment begins with "key:" (making a list
+// item an inline mapping).
+func isKeyStart(s string) bool {
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") || strings.HasPrefix(s, "[") {
+		return false
+	}
+	idx := strings.Index(s, ":")
+	if idx <= 0 {
+		return false
+	}
+	return idx == len(s)-1 || s[idx+1] == ' '
+}
+
+// splitKey splits "key: value" returning the unquoted key and raw value.
+func splitKey(ln line) (string, string, error) {
+	idx := -1
+	inSingle, inDouble := false, false
+	for i := 0; i < len(ln.text); i++ {
+		switch ln.text[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case ':':
+			if !inSingle && !inDouble && (i == len(ln.text)-1 || ln.text[i+1] == ' ') {
+				idx = i
+			}
+		}
+		if idx >= 0 {
+			break
+		}
+	}
+	if idx < 0 {
+		return "", "", &ParseError{Line: ln.num, Msg: "expected 'key: value'"}
+	}
+	key := strings.TrimSpace(ln.text[:idx])
+	key = unquote(key)
+	if key == "" {
+		return "", "", &ParseError{Line: ln.num, Msg: "empty key"}
+	}
+	return key, strings.TrimSpace(ln.text[idx+1:]), nil
+}
+
+// parseInline parses a scalar or flow list appearing after "key: ".
+func parseInline(s string, lineNum int) (*Value, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, &ParseError{Line: lineNum, Msg: "unterminated flow list"}
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		v := &Value{Kind: KindList}
+		if inner == "" {
+			return v, nil
+		}
+		items, err := splitFlow(inner, lineNum)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			v.List = append(v.List, &Value{Kind: KindScalar, Scalar: unquote(strings.TrimSpace(it))})
+		}
+		return v, nil
+	}
+	return &Value{Kind: KindScalar, Scalar: unquote(s)}, nil
+}
+
+// splitFlow splits "a, b, c" respecting quotes.
+func splitFlow(s string, lineNum int) ([]string, error) {
+	var out []string
+	start := 0
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case ',':
+			if !inSingle && !inDouble {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inSingle || inDouble {
+		return nil, &ParseError{Line: lineNum, Msg: "unterminated quote in flow list"}
+	}
+	out = append(out, s[start:])
+	return out, nil
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			if s[0] == '"' {
+				if u, err := strconv.Unquote(s); err == nil {
+					return u
+				}
+			}
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// --- Accessors -------------------------------------------------------------
+
+// Get walks a path of map keys and returns the node.
+func (v *Value) Get(path ...string) (*Value, error) {
+	cur := v
+	for _, k := range path {
+		if cur == nil || cur.Kind != KindMap {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, strings.Join(path, "."))
+		}
+		next, ok := cur.Map[k]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, strings.Join(path, "."))
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Str returns the scalar at path, or "" with ErrNotFound.
+func (v *Value) Str(path ...string) (string, error) {
+	n, err := v.Get(path...)
+	if err != nil {
+		return "", err
+	}
+	if n.Kind != KindScalar {
+		return "", fmt.Errorf("yamllite: %s is not a scalar", strings.Join(path, "."))
+	}
+	return n.Scalar, nil
+}
+
+// StrOr returns the scalar at path or a default.
+func (v *Value) StrOr(def string, path ...string) string {
+	s, err := v.Str(path...)
+	if err != nil {
+		return def
+	}
+	return s
+}
+
+// Int returns the integer scalar at path.
+func (v *Value) Int(path ...string) (int, error) {
+	s, err := v.Str(path...)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("yamllite: %s: %w", strings.Join(path, "."), err)
+	}
+	return n, nil
+}
+
+// Bool returns the boolean scalar at path.
+func (v *Value) Bool(path ...string) (bool, error) {
+	s, err := v.Str(path...)
+	if err != nil {
+		return false, err
+	}
+	switch strings.ToLower(s) {
+	case "true", "yes", "on":
+		return true, nil
+	case "false", "no", "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("yamllite: %s: not a boolean: %q", strings.Join(path, "."), s)
+}
+
+// Strings returns the list of scalars at path.
+func (v *Value) Strings(path ...string) ([]string, error) {
+	n, err := v.Get(path...)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind == KindScalar {
+		if n.Scalar == "" {
+			return nil, nil
+		}
+		return []string{n.Scalar}, nil
+	}
+	if n.Kind != KindList {
+		return nil, fmt.Errorf("yamllite: %s is not a list", strings.Join(path, "."))
+	}
+	out := make([]string, 0, len(n.List))
+	for _, it := range n.List {
+		if it.Kind != KindScalar {
+			return nil, fmt.Errorf("yamllite: %s contains non-scalar items", strings.Join(path, "."))
+		}
+		out = append(out, it.Scalar)
+	}
+	return out, nil
+}
+
+// Items returns the list nodes at path (empty when the path is absent).
+func (v *Value) Items(path ...string) []*Value {
+	n, err := v.Get(path...)
+	if err != nil || n.Kind != KindList {
+		return nil
+	}
+	return n.List
+}
+
+// Has reports whether path exists.
+func (v *Value) Has(path ...string) bool {
+	_, err := v.Get(path...)
+	return err == nil
+}

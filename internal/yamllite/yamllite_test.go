@@ -1,0 +1,242 @@
+package yamllite
+
+import (
+	"strings"
+	"testing"
+)
+
+const paperPolicy = `
+name: python_policy
+services:
+  - name: python_app
+    image_name: python_image
+    command: python /app.py -o /encrypted-output
+    mrenclaves: ["$PYTHON_MRENCLAVE"]
+    platforms: ["$PLATFORM_ID"]
+    pwd: /
+    fspf_path: /fspf.pb
+    fspf_key: "$PALAEMON_FSPF_KEY"
+    fspf_tag: "$PALAEMON_FSPF_TAG"
+images:
+  - name: python_image
+    volumes:
+      - name: encrypted_output_volume
+        path: /encrypted-output
+volumes:
+  # an encrypted volume will
+  # be automatically generated
+  - name: encrypted_output_volume
+    # export encrypted volume to output policy
+    export: output_policy
+`
+
+func TestParsePaperPolicy(t *testing.T) {
+	v, err := Parse(paperPolicy)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := v.StrOr("", "name"); got != "python_policy" {
+		t.Fatalf("name = %q", got)
+	}
+	services := v.Items("services")
+	if len(services) != 1 {
+		t.Fatalf("services = %d, want 1", len(services))
+	}
+	svc := services[0]
+	if got := svc.StrOr("", "command"); got != "python /app.py -o /encrypted-output" {
+		t.Fatalf("command = %q", got)
+	}
+	mres, err := svc.Strings("mrenclaves")
+	if err != nil || len(mres) != 1 || mres[0] != "$PYTHON_MRENCLAVE" {
+		t.Fatalf("mrenclaves = %v, %v", mres, err)
+	}
+	images := v.Items("images")
+	if len(images) != 1 {
+		t.Fatalf("images = %d", len(images))
+	}
+	vols := images[0].Items("volumes")
+	if len(vols) != 1 || vols[0].StrOr("", "path") != "/encrypted-output" {
+		t.Fatalf("image volumes = %+v", vols)
+	}
+	outVols := v.Items("volumes")
+	if len(outVols) != 1 || outVols[0].StrOr("", "export") != "output_policy" {
+		t.Fatalf("volumes = %+v", outVols)
+	}
+}
+
+func TestScalarTypes(t *testing.T) {
+	v, err := Parse("count: 42\nflag: true\noff: no\nquoted: \"a: b # c\"\nsingle: 'x y'\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := v.Int("count"); err != nil || n != 42 {
+		t.Fatalf("Int = %d, %v", n, err)
+	}
+	if b, err := v.Bool("flag"); err != nil || !b {
+		t.Fatalf("Bool = %v, %v", b, err)
+	}
+	if b, err := v.Bool("off"); err != nil || b {
+		t.Fatalf("Bool(off) = %v, %v", b, err)
+	}
+	if s, _ := v.Str("quoted"); s != "a: b # c" {
+		t.Fatalf("quoted = %q", s)
+	}
+	if s, _ := v.Str("single"); s != "x y" {
+		t.Fatalf("single = %q", s)
+	}
+	if _, err := v.Int("flag"); err == nil {
+		t.Fatal("Int of boolean succeeded")
+	}
+	if _, err := v.Bool("count"); err == nil {
+		t.Fatal("Bool of number succeeded")
+	}
+}
+
+func TestComments(t *testing.T) {
+	v, err := Parse("# full line\nkey: value # trailing\nurl: http://x/#anchor\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := v.Str("key"); s != "value" {
+		t.Fatalf("key = %q", s)
+	}
+	// '#' without preceding space is not a comment.
+	if s, _ := v.Str("url"); s != "http://x/#anchor" {
+		t.Fatalf("url = %q", s)
+	}
+}
+
+func TestFlowList(t *testing.T) {
+	v, err := Parse(`items: [a, "b, with comma", 'c']` + "\nempty: []\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := v.Strings("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b, with comma", "c"}
+	if len(items) != 3 {
+		t.Fatalf("items = %v", items)
+	}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Fatalf("items = %v, want %v", items, want)
+		}
+	}
+	empty, err := v.Strings("empty")
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty = %v, %v", empty, err)
+	}
+}
+
+func TestNestedMaps(t *testing.T) {
+	src := `
+outer:
+  inner:
+    leaf: deep
+  sibling: s
+`
+	v, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := v.Str("outer", "inner", "leaf"); err != nil || s != "deep" {
+		t.Fatalf("leaf = %q, %v", s, err)
+	}
+	if s, _ := v.Str("outer", "sibling"); s != "s" {
+		t.Fatalf("sibling = %q", s)
+	}
+	if v.Has("outer", "missing") {
+		t.Fatal("Has returned true for missing path")
+	}
+}
+
+func TestListOfScalars(t *testing.T) {
+	src := `
+names:
+  - alice
+  - bob
+  - "carol x"
+`
+	v, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := v.Strings("names")
+	if err != nil || len(names) != 3 || names[2] != "carol x" {
+		t.Fatalf("names = %v, %v", names, err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab indent":       "a:\n\tb: c",
+		"no colon":         "just a line",
+		"duplicate key":    "a: 1\na: 2",
+		"unterminated":     "x: [a, b",
+		"empty key":        ": v",
+		"dup in list item": "l:\n  - a: 1\n    a: 2",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := Parse("ok: 1\nbroken line\n")
+	var pe *ParseError
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q lacks line number", err)
+	}
+	_ = pe
+}
+
+func TestEmptyDocument(t *testing.T) {
+	v, err := Parse("\n# only comments\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != KindMap || len(v.Map) != 0 {
+		t.Fatalf("empty doc = %+v", v)
+	}
+}
+
+func TestEmptyValue(t *testing.T) {
+	v, err := Parse("a:\nb: x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := v.Str("a"); err != nil || s != "" {
+		t.Fatalf("a = %q, %v", s, err)
+	}
+}
+
+func TestStringsOnScalar(t *testing.T) {
+	v, err := Parse("one: single\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := v.Strings("one")
+	if err != nil || len(ss) != 1 || ss[0] != "single" {
+		t.Fatalf("Strings(scalar) = %v, %v", ss, err)
+	}
+}
+
+func TestKeyOrderPreserved(t *testing.T) {
+	v, err := Parse("b: 1\na: 2\nc: 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b", "a", "c"}
+	for i, k := range v.Keys {
+		if k != want[i] {
+			t.Fatalf("Keys = %v, want %v", v.Keys, want)
+		}
+	}
+}

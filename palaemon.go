@@ -1,0 +1,320 @@
+// Package palaemon is the public API of the PALÆMON trust management
+// service reproduction (Gregor et al., "Trust Management as a Service:
+// Enabling Trusted Execution in the Face of Byzantine Stakeholders",
+// DSN 2020).
+//
+// The facade wires the subsystems into three roles:
+//
+//   - Deployment: an operator (possibly untrusted, §III-B) starts a
+//     PALÆMON instance inside a TEE with StartService, which attests the
+//     instance to the PALÆMON CA and exposes the REST/TLS API.
+//   - Client: stakeholders connect with Connect, attest the instance (via
+//     the CA-signed TLS certificate or explicitly via the IAS-style
+//     report), and manage security policies guarded by policy boards.
+//   - Application: workloads start under the SCONE-like runtime with
+//     RunApp, which attests the application binary, mounts the encrypted
+//     file-system shield, injects secrets, and keeps PALÆMON's expected
+//     tags current for rollback protection.
+//
+// See the examples/ directory for complete scenarios and DESIGN.md for the
+// architecture and experiment map.
+package palaemon
+
+import (
+	"context"
+	"crypto/tls"
+	"fmt"
+	"time"
+
+	"palaemon/internal/board"
+	"palaemon/internal/ca"
+	"palaemon/internal/core"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fspf"
+	"palaemon/internal/ias"
+	"palaemon/internal/policy"
+	"palaemon/internal/runtime"
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+	"palaemon/internal/simnet"
+)
+
+// Re-exported core types, so callers need only this package for common use.
+type (
+	// Policy is a PALÆMON security policy (§III-A).
+	Policy = policy.Policy
+	// Service is one application entry within a policy.
+	Service = policy.Service
+	// Secret is a named secret declaration.
+	Secret = policy.Secret
+	// Board is a policy board definition (§III-C).
+	Board = policy.Board
+	// BoardMember is one stakeholder on a board.
+	BoardMember = policy.BoardMember
+	// InjectionFile maps a path to a secret-bearing template.
+	InjectionFile = policy.InjectionFile
+	// AppConfig is the configuration released to an attested application.
+	AppConfig = core.AppConfig
+	// Tag is a file-system freshness tag.
+	Tag = fspf.Tag
+	// Measurement is an MRENCLAVE.
+	Measurement = sgx.Measurement
+	// Binary is a measured application binary.
+	Binary = sgx.Binary
+	// Platform is a (simulated) SGX host.
+	Platform = sgx.Platform
+	// Mode selects Native/EMU/HW execution.
+	Mode = runtime.Mode
+	// App is a running shielded application.
+	App = runtime.App
+	// Client talks to a PALÆMON instance over REST/TLS.
+	Client = core.Client
+	// ClientID is a client-certificate fingerprint identity.
+	ClientID = core.ClientID
+	// ApprovalFunc is a board member's decision logic.
+	ApprovalFunc = board.ApprovalFunc
+	// ApprovalRequest is the change description board members decide on.
+	ApprovalRequest = board.Request
+	// PolicyImport declares consumption of another policy's exports.
+	PolicyImport = policy.Import
+	// PolicyExport declares what other policies may consume.
+	PolicyExport = policy.Export
+)
+
+// Execution modes re-exported from the runtime.
+const (
+	ModeNative = runtime.ModeNative
+	ModeEMU    = runtime.ModeEMU
+	ModeHW     = runtime.ModeHW
+)
+
+// Secret type constants.
+const (
+	SecretExplicit = policy.SecretExplicit
+	SecretRandom   = policy.SecretRandom
+	SecretImported = policy.SecretImported
+)
+
+// NewPlatform creates a simulated SGX platform with default calibration.
+func NewPlatform() (*Platform, error) {
+	return sgx.NewPlatform(sgx.Options{})
+}
+
+// NewFastPlatform creates a platform whose monotonic counter has no rate
+// limit; examples and tests use it to avoid 50 ms startup stalls.
+func NewFastPlatform() (*Platform, error) {
+	model := sgx.DefaultCostModel()
+	model.CounterInterval = 0
+	return sgx.NewPlatform(sgx.Options{Model: model})
+}
+
+// Deployment is a full PALÆMON deployment: instance, CA, IAS, HTTP server.
+type Deployment struct {
+	// Platform hosts every enclave of the deployment.
+	Platform *Platform
+	// Instance is the running TMS.
+	Instance *core.Instance
+	// Authority is the PALÆMON CA.
+	Authority *ca.Authority
+	// IAS is the attestation verification service.
+	IAS *ias.Service
+	// Server is the REST/TLS endpoint.
+	Server *core.Server
+}
+
+// DeploymentOptions configures StartService.
+type DeploymentOptions struct {
+	// Platform defaults to a fresh fast platform.
+	Platform *Platform
+	// DataDir stores the encrypted database (required).
+	DataDir string
+	// Evaluator reaches policy-board approval services.
+	Evaluator *board.Evaluator
+	// Recover acknowledges a fail-over after a crash (§IV-D).
+	Recover bool
+}
+
+// StartService starts a managed PALÆMON instance: it launches the enclave,
+// runs the Fig 6 startup protocol, attests the instance to a fresh PALÆMON
+// CA and IAS, and opens the REST/TLS endpoint.
+func StartService(opts DeploymentOptions) (*Deployment, error) {
+	p := opts.Platform
+	if p == nil {
+		fresh, err := NewFastPlatform()
+		if err != nil {
+			return nil, err
+		}
+		p = fresh
+	}
+	iasSvc, err := ias.New(p.Clock(), 70*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	iasSvc.RegisterPlatform(p.ID(), p.QuotingKey())
+
+	inst, err := core.Open(core.Options{
+		Platform:  p,
+		DataDir:   opts.DataDir,
+		Evaluator: opts.Evaluator,
+		Recover:   opts.Recover,
+	})
+	if err != nil {
+		return nil, err
+	}
+	authority, err := ca.New(p, ca.Config{
+		TrustedMREs:  []sgx.Measurement{inst.MRE()},
+		CertValidity: 24 * time.Hour,
+	})
+	if err != nil {
+		inst.Shutdown(context.Background())
+		return nil, err
+	}
+	server, err := core.Serve(inst, core.ServerOptions{Authority: authority, IAS: iasSvc})
+	if err != nil {
+		inst.Shutdown(context.Background())
+		authority.Close()
+		return nil, err
+	}
+	return &Deployment{
+		Platform:  p,
+		Instance:  inst,
+		Authority: authority,
+		IAS:       iasSvc,
+		Server:    server,
+	}, nil
+}
+
+// URL returns the instance endpoint.
+func (d *Deployment) URL() string { return d.Server.URL() }
+
+// Close gracefully shuts the deployment down (Fig 6 drain included).
+func (d *Deployment) Close() error {
+	if err := d.Server.Close(); err != nil {
+		return err
+	}
+	if err := d.Instance.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	d.Authority.Close()
+	return nil
+}
+
+// ConnectOptions configures a client connection.
+type ConnectOptions struct {
+	// Name labels the client certificate.
+	Name string
+	// Profile models the network distance (Fig 12); loopback by default.
+	Profile simnet.Profile
+}
+
+// Connect creates a client with a fresh self-signed certificate, trusting
+// the deployment's CA root (the TLS attestation path, §IV-B). It returns
+// the client and its certificate identity.
+func (d *Deployment) Connect(opts ConnectOptions) (*Client, ClientID, error) {
+	if opts.Name == "" {
+		opts.Name = "client"
+	}
+	cert, id, err := core.NewClientCertificate(opts.Name)
+	if err != nil {
+		return nil, ClientID{}, err
+	}
+	cli := core.NewClient(core.ClientOptions{
+		BaseURL:     d.Server.URL(),
+		Roots:       d.Authority.Root().Pool(),
+		Certificate: cert,
+		Profile:     opts.Profile,
+	})
+	return cli, id, nil
+}
+
+// ConnectUntrusted returns a client that does NOT trust the CA and must use
+// explicit attestation (Client.VerifyInstance) before relying on the
+// instance.
+func (d *Deployment) ConnectUntrusted() *Client {
+	return core.NewClient(core.ClientOptions{BaseURL: d.Server.URL()})
+}
+
+// NewClientCertificate mints a standalone client certificate.
+func NewClientCertificate(name string) (*tls.Certificate, ClientID, error) {
+	return core.NewClientCertificate(name)
+}
+
+// RunAppOptions configures RunApp.
+type RunAppOptions struct {
+	// Binary is the application to run (its MRE must be in the policy).
+	Binary Binary
+	// PolicyName / ServiceName select the policy entry.
+	PolicyName  string
+	ServiceName string
+	// Mode selects Native/EMU/HW (default HW).
+	Mode Mode
+	// Image restores the encrypted volume from untrusted storage.
+	Image []byte
+	// HeapBytes sizes the enclave heap.
+	HeapBytes int64
+}
+
+// RunApp starts an application under the SCONE-like runtime against this
+// deployment, performing attestation and shield setup (§IV-A).
+func (d *Deployment) RunApp(ctx context.Context, opts RunAppOptions) (*App, error) {
+	return runtime.Start(ctx, runtime.Options{
+		Platform:    d.Platform,
+		Binary:      opts.Binary,
+		PolicyName:  opts.PolicyName,
+		ServiceName: opts.ServiceName,
+		TMS:         &core.Local{Inst: d.Instance},
+		Mode:        opts.Mode,
+		Image:       opts.Image,
+		HeapBytes:   opts.HeapBytes,
+	})
+}
+
+// NewBoard starts n approval services with the given decision functions and
+// returns the board definition (threshold = all members, the paper's
+// practical convention) plus an evaluator and a cleanup function.
+func NewBoard(names []string, decisions []board.ApprovalFunc) (Board, *board.Evaluator, func(), error) {
+	if len(names) != len(decisions) {
+		return Board{}, nil, nil, fmt.Errorf("palaemon: %d names for %d decisions", len(names), len(decisions))
+	}
+	approvalCA, err := cryptoutil.NewCertAuthority("Palaemon Approval Root", 24*time.Hour)
+	if err != nil {
+		return Board{}, nil, nil, err
+	}
+	var b Board
+	var members []*board.Member
+	cleanup := func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}
+	for i, name := range names {
+		m, err := board.NewMember(name, board.WithDecision(decisions[i]))
+		if err != nil {
+			cleanup()
+			return Board{}, nil, nil, err
+		}
+		if _, err := m.Serve(approvalCA); err != nil {
+			cleanup()
+			return Board{}, nil, nil, err
+		}
+		members = append(members, m)
+		b.Members = append(b.Members, m.Descriptor(false))
+	}
+	b.Threshold = len(names)
+	return b, board.NewEvaluator(approvalCA, 5*time.Second), cleanup, nil
+}
+
+// ApproveAll / RejectAll re-export the stock decision functions.
+var (
+	ApproveAll = board.ApproveAll
+	RejectAll  = board.RejectAll
+)
+
+// ParsePolicy parses the YAML policy dialect of the paper's List 1.
+func ParsePolicy(src string) (*Policy, error) { return policy.Parse(src) }
+
+// MeasureBinary computes a binary's MRENCLAVE for use in policies.
+func MeasureBinary(b Binary) Measurement { return b.Measure() }
+
+// Clock re-exports the wall clock for callers that parameterise time.
+func Clock() simclock.Clock { return simclock.Wall{} }
