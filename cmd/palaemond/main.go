@@ -24,14 +24,16 @@ func main() {
 
 func run() error {
 	var (
-		dataDir = flag.String("data", "./palaemon-data", "encrypted database directory")
-		recover = flag.Bool("recover", false, "acknowledge fail-over after a crash (v < c)")
+		dataDir     = flag.String("data", "./palaemon-data", "encrypted database directory")
+		recover     = flag.Bool("recover", false, "acknowledge fail-over after a crash (v < c)")
+		groupCommit = flag.Bool("group-commit", false, "batch concurrent database writers into one fsync")
 	)
 	flag.Parse()
 
 	dep, err := palaemon.StartService(palaemon.DeploymentOptions{
-		DataDir: *dataDir,
-		Recover: *recover,
+		DataDir:     *dataDir,
+		Recover:     *recover,
+		GroupCommit: *groupCommit,
 	})
 	if err != nil {
 		return err

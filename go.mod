@@ -1,0 +1,3 @@
+module palaemon
+
+go 1.24

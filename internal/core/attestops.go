@@ -4,11 +4,13 @@ import (
 	"crypto/ed25519"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"palaemon/internal/attest"
 	"palaemon/internal/cryptoutil"
 	"palaemon/internal/fspf"
+	"palaemon/internal/kvdb"
 	"palaemon/internal/policy"
 )
 
@@ -54,8 +56,41 @@ func (i *Instance) AttestApplication(ev attest.Evidence, quotingKey ed25519.Publ
 	if err := attest.VerifyBinding(ev, quotingKey); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
 	}
+	// The policy-dependent part runs optimistically: board-free reads,
+	// then a locked revision recheck before anything is stored. A benign
+	// race — a concurrent first attestation minting the volume key, or a
+	// policy update landing mid-flight — surfaces as ErrConflict and is
+	// retried against the fresh policy.
+	// The bound scales with the policy's service count because conflicts
+	// are per-policy, not per-service: every sibling service's first
+	// attestation bumps the shared revision via its key mint, so booting
+	// a many-service policy concurrently can invalidate one attempt once
+	// per sibling (and again in the post-mint recheck window).
+	attempts := 8
+	if pol, err := i.getPolicy(ev.PolicyName); err == nil {
+		if n := 4 + 2*len(pol.Services); n > attempts {
+			attempts = n
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		cfg, err := i.attestOnce(ev)
+		if err == nil {
+			return cfg, nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// attestOnce is one optimistic attestation attempt against the current
+// stored policy revision.
+func (i *Instance) attestOnce(ev attest.Evidence) (*AppConfig, error) {
 	// (ii) the policy must exist and permit the MRE.
-	p, err := i.resolvePolicy(ev.PolicyName)
+	p, deps, err := i.resolvePolicy(ev.PolicyName)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
 	}
@@ -71,40 +106,11 @@ func (i *Instance) AttestApplication(ev attest.Evidence, quotingKey ed25519.Publ
 		return nil, fmt.Errorf("%w: %v", ErrAttestation, attest.ErrPlatformNotPermitted)
 	}
 
-	// Strict mode: refuse restart unless the previous execution exited
-	// cleanly (pushed its final tag), §III-D.
-	rec, err := i.tagRecordFor(ev.PolicyName, ev.ServiceName)
-	if err != nil {
-		return nil, err
-	}
-	if svc.StrictMode && rec.Epoch > 0 && !rec.CleanExit {
-		return nil, fmt.Errorf("%w: policy %s service %s", ErrStrictRestart, ev.PolicyName, ev.ServiceName)
-	}
-
-	// The expected tag: prefer the live record (kept current by pushes),
-	// fall back to the policy's permitted tags.
-	var expected fspf.Tag
-	if rec.Tag != "" {
-		parsed, err := policy.ParseTag(rec.Tag)
-		if err != nil {
-			return nil, fmt.Errorf("core: stored tag corrupt: %w", err)
-		}
-		expected = parsed
-	} else if len(svc.FSPFTags) > 0 {
-		expected = svc.FSPFTags[0]
-	}
-	if !expected.IsZero() && !svc.PermittedTag(expected) && len(svc.FSPFTags) > 0 {
-		// The stored tag drifted outside the policy's permitted set; a
-		// policy update (board-approved) is required to accept it.
-		return nil, fmt.Errorf("%w: stored tag not permitted by policy", ErrAttestation)
-	}
-
 	// Build the released configuration.
 	secrets := p.SecretValues()
 	cfg := &AppConfig{
 		Command:     policy.Substitute(svc.Command, secrets),
 		Environment: make(map[string]string, len(svc.Environment)),
-		ExpectedTag: expected,
 		Secrets:     secrets,
 		StrictMode:  svc.StrictMode,
 	}
@@ -117,6 +123,22 @@ func (i *Instance) AttestApplication(ev attest.Evidence, quotingKey ed25519.Publ
 			cfg.InjectionFiles[f.Path] = policy.Substitute(f.Template, secrets)
 		}
 	}
+	// Advisory pre-validation of the tag record (the authoritative pass
+	// runs under the tag lock below): a request that will be refused —
+	// strict-mode restart, corrupt or non-permitted stored tag — must not
+	// first mint and persist a volume key; a rejected request may not
+	// mutate the stored policy.
+	if rec, err := i.tagRecordFor(ev.PolicyName, ev.ServiceName); err != nil {
+		return nil, err
+	} else if _, err := validateTagRecord(svc, rec, ev.PolicyName, ev.ServiceName); err != nil {
+		return nil, err
+	}
+
+	// expectRev tracks the stored revision this attestation is valid
+	// against; the FSPF mint below advances it, and the locked recheck
+	// before the tag bump invalidates the whole attestation if the policy
+	// was updated, deleted, or deleted-and-recreated in the meantime.
+	expectRev := p.Revision
 	if svc.FSPFKey != "" {
 		key, err := cryptoutil.KeyFromHex(svc.FSPFKey)
 		if err != nil {
@@ -124,24 +146,64 @@ func (i *Instance) AttestApplication(ev attest.Evidence, quotingKey ed25519.Publ
 		}
 		cfg.FSPFKey = key
 	} else {
-		// First execution: mint the volume key and persist it in the
-		// stored policy so restarts decrypt the same volume.
-		key, err := cryptoutil.NewKey()
+		// First execution: mint the volume key and persist it in the stored
+		// policy so restarts decrypt the same volume. The per-policy lock
+		// makes the mint atomic — of two racing first attestations, one
+		// mints and the other adopts the stored key (policy lock strictly
+		// before tag lock, per the stripedRW ordering discipline).
+		key, rev, err := i.mintFSPFKey(ev.PolicyName, ev.ServiceName, p.Revision, p.CreateID)
 		if err != nil {
 			return nil, err
 		}
 		cfg.FSPFKey = key
-		stored, err := i.getPolicy(ev.PolicyName)
+		expectRev = rev
+	}
+
+	// Tag-record sequence: strict-mode check, expected-tag selection, and
+	// the epoch bump happen atomically under the per-service tag lock, so a
+	// concurrent attestation cannot interleave between check and bump. The
+	// policy read lock (taken first, per the stripedRW ordering discipline)
+	// excludes a concurrent DeletePolicy, which would otherwise finish its
+	// tag cleanup and then have this attest recreate an orphan record.
+	pmu := i.policyLocks.rlock(ev.PolicyName)
+	defer pmu.RUnlock()
+	check, err := i.getPolicy(ev.PolicyName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	if check.Revision != expectRev || check.CreateID != p.CreateID {
+		// Updated, or deleted and recreated (the CreateID catches the
+		// recreation even when revisions and creator line up), since we
+		// resolved it: the secrets and services above are stale.
+		return nil, fmt.Errorf("%w: %w", ErrAttestation,
+			fmt.Errorf("%w: policy %s changed during attestation", ErrConflict, ev.PolicyName))
+	}
+	// The released secrets may also come from imported exporter policies;
+	// a rotation there between resolve and release must invalidate this
+	// attempt too.
+	for depName, ver := range deps {
+		dep, err := i.getPolicy(depName)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
 		}
-		if s, ok := stored.FindService(ev.ServiceName); ok {
-			s.FSPFKey = key.Hex()
-		}
-		if err := i.putPolicy(stored); err != nil {
-			return nil, err
+		if dep.Revision != ver.Revision || dep.CreateID != ver.CreateID {
+			return nil, fmt.Errorf("%w: %w", ErrAttestation,
+				fmt.Errorf("%w: imported policy %s changed during attestation", ErrConflict, depName))
 		}
 	}
+	tmu := i.tagLocks.lock(tagKey(ev.PolicyName, ev.ServiceName))
+	defer tmu.Unlock()
+
+	// Authoritative tag-record validation (strict mode, expected tag).
+	rec, err := i.tagRecordFor(ev.PolicyName, ev.ServiceName)
+	if err != nil {
+		return nil, err
+	}
+	expected, err := validateTagRecord(svc, rec, ev.PolicyName, ev.ServiceName)
+	if err != nil {
+		return nil, err
+	}
+	cfg.ExpectedTag = expected
 
 	// Open a tag-push session for this execution.
 	tokenKey, err := cryptoutil.NewKey()
@@ -158,15 +220,84 @@ func (i *Instance) AttestApplication(ev attest.Evidence, quotingKey ed25519.Publ
 	cfg.Epoch = rec.Epoch
 	cfg.SessionToken = token
 
-	i.mu.Lock()
-	i.sessions[token] = &session{
+	i.sessions.put(token, &session{
 		policyName:  ev.PolicyName,
 		serviceName: ev.ServiceName,
 		sessionKey:  append([]byte(nil), ev.SessionKey...),
 		epoch:       rec.Epoch,
-	}
-	i.mu.Unlock()
+	})
 	return cfg, nil
+}
+
+// validateTagRecord runs the §III-D gates for one attestation: the
+// strict-mode restart refusal, and selection/validation of the expected
+// file-system tag (live record first, then the policy's permitted set).
+func validateTagRecord(svc *policy.Service, rec tagRecord, policyName, serviceName string) (fspf.Tag, error) {
+	// Strict mode: refuse restart unless the previous execution exited
+	// cleanly (pushed its final tag), §III-D.
+	if svc.StrictMode && rec.Epoch > 0 && !rec.CleanExit {
+		return fspf.Tag{}, fmt.Errorf("%w: policy %s service %s", ErrStrictRestart, policyName, serviceName)
+	}
+	var expected fspf.Tag
+	if rec.Tag != "" {
+		parsed, err := policy.ParseTag(rec.Tag)
+		if err != nil {
+			return fspf.Tag{}, fmt.Errorf("core: stored tag corrupt: %w", err)
+		}
+		expected = parsed
+	} else if len(svc.FSPFTags) > 0 {
+		expected = svc.FSPFTags[0]
+	}
+	if !expected.IsZero() && !svc.PermittedTag(expected) && len(svc.FSPFTags) > 0 {
+		// The stored tag drifted outside the policy's permitted set; a
+		// policy update (board-approved) is required to accept it.
+		return fspf.Tag{}, fmt.Errorf("%w: stored tag not permitted by policy", ErrAttestation)
+	}
+	return expected, nil
+}
+
+// mintFSPFKey persists a fresh volume key for the service. The mint bumps
+// the stored Revision so every optimistic revision recheck (policy CRUD
+// approvals, the attest recheck) observes that the content changed —
+// otherwise a concurrent update would silently discard the key and strand
+// the volume encrypted under it. Any deviation from the expected revision
+// (including a racing attestation having minted first) is ErrConflict:
+// the caller re-resolves and retries, adopting whatever the store now
+// holds. Returns the key and the revision the store is now at.
+func (i *Instance) mintFSPFKey(policyName, serviceName string, expectRev, createID uint64) (cryptoutil.Key, uint64, error) {
+	mu := i.policyLocks.lock(policyName)
+	defer mu.Unlock()
+	stored, err := i.getPolicy(policyName)
+	if err != nil {
+		return cryptoutil.Key{}, 0, err
+	}
+	if stored.CreateID != createID {
+		return cryptoutil.Key{}, 0, fmt.Errorf("%w: %w", ErrAttestation,
+			fmt.Errorf("%w: policy %s recreated during attestation", ErrConflict, policyName))
+	}
+	s, ok := stored.FindService(serviceName)
+	if !ok {
+		return cryptoutil.Key{}, 0, fmt.Errorf("%w: unknown service %q", ErrAttestation, serviceName)
+	}
+	if stored.Revision != expectRev || s.FSPFKey != "" {
+		// The policy moved since it was resolved — a racing attestation
+		// minted the key, or an update (possibly carrying an explicit key
+		// and new secrets) landed. Either way this attempt's configuration
+		// is stale; the caller retries against the fresh policy rather
+		// than guessing which fields changed.
+		return cryptoutil.Key{}, 0, fmt.Errorf("%w: %w", ErrAttestation,
+			fmt.Errorf("%w: policy %s changed during attestation", ErrConflict, policyName))
+	}
+	key, err := cryptoutil.NewKey()
+	if err != nil {
+		return cryptoutil.Key{}, 0, err
+	}
+	s.FSPFKey = key.Hex()
+	stored.Revision++
+	if err := i.putPolicy(stored); err != nil {
+		return cryptoutil.Key{}, 0, err
+	}
+	return key, stored.Revision, nil
 }
 
 // PushTag stores a new expected tag for the session's service. The runtime
@@ -185,22 +316,27 @@ func (i *Instance) NotifyExit(token string, tag fspf.Tag) error {
 	// Exit notifications are accepted during drain: a terminating PALÆMON
 	// still lets applications hand off their final tags (Fig 6's "existing
 	// requests are still processed").
-	i.mu.RLock()
-	closed := i.closed
-	i.mu.RUnlock()
-	if closed {
-		return ErrDraining
+	if err := i.beginExit(); err != nil {
+		return err
 	}
-	i.inflight.Add(1)
-	defer i.inflight.Done()
+	defer i.end()
 	return i.pushTag(token, tag, true)
 }
 
 func (i *Instance) pushTag(token string, tag fspf.Tag, exit bool) error {
-	i.mu.RLock()
-	sess, ok := i.sessions[token]
-	i.mu.RUnlock()
+	sess, ok := i.sessions.get(token)
 	if !ok {
+		return ErrStaleTag
+	}
+	// The per-service tag lock makes the epoch check and the tag write one
+	// atomic step: a zombie cannot pass the check while its successor's
+	// attestation is bumping the epoch.
+	tmu := i.tagLocks.lock(tagKey(sess.policyName, sess.serviceName))
+	defer tmu.Unlock()
+	// Re-check membership under the lock: a reset/delete may have purged
+	// the session (and restarted the epoch) between the lookup above and
+	// the lock, and a successor's fresh epoch could collide with ours.
+	if _, ok := i.sessions.get(token); !ok {
 		return ErrStaleTag
 	}
 	rec, err := i.tagRecordFor(sess.policyName, sess.serviceName)
@@ -221,9 +357,7 @@ func (i *Instance) pushTag(token string, tag fspf.Tag, exit bool) error {
 		return err
 	}
 	if exit {
-		i.mu.Lock()
-		delete(i.sessions, token)
-		i.mu.Unlock()
+		i.sessions.delete(token)
 	}
 	return nil
 }
@@ -246,12 +380,17 @@ func (i *Instance) ExpectedTag(policyName, serviceName string) (fspf.Tag, error)
 
 func tagKey(policyName, serviceName string) string { return policyName + "\x00" + serviceName }
 
+// tagRecordFor reads the stored record; callers needing read-modify-write
+// atomicity hold the per-service tag lock.
 func (i *Instance) tagRecordFor(policyName, serviceName string) (tagRecord, error) {
-	i.mu.RLock()
 	raw, err := i.db.Get(bucketTags, tagKey(policyName, serviceName))
-	i.mu.RUnlock()
-	if err != nil {
+	if errors.Is(err, kvdb.ErrNotFound) {
 		return tagRecord{}, nil // fresh record
+	}
+	if err != nil {
+		// Closed or poisoned database: unknown state must not read as a
+		// clean first run (the strict-mode gate keys off Epoch/CleanExit).
+		return tagRecord{}, fmt.Errorf("core: read tag record: %w", err)
 	}
 	var rec tagRecord
 	if err := json.Unmarshal(raw, &rec); err != nil {
@@ -265,8 +404,6 @@ func (i *Instance) putTagRecord(policyName, serviceName string, rec tagRecord) e
 	if err != nil {
 		return fmt.Errorf("core: encode tag record: %w", err)
 	}
-	i.mu.Lock()
-	defer i.mu.Unlock()
 	if err := i.db.Put(bucketTags, tagKey(policyName, serviceName), raw); err != nil {
 		return fmt.Errorf("core: store tag record: %w", err)
 	}

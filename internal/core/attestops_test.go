@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/sgx"
+)
+
+// TestMintBumpsRevision proves the FSPF key mint advances the stored
+// revision, so the optimistic revision rechecks (policy CRUD, attest) can
+// detect it — a concurrent update must not silently discard the volume key.
+func TestMintBumpsRevision(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	bin := appBinary()
+	if err := inst.CreatePolicy(ctx, clientA(), testPolicy("mint", bin.Measure())); err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+
+	attestOnce := func() *AppConfig {
+		t.Helper()
+		session := cryptoutil.MustNewSigner()
+		cfg, err := inst.AttestApplication(attest.NewEvidence(enclave, "mint", "app", session.Public), p.QuotingKey())
+		if err != nil {
+			t.Fatalf("AttestApplication: %v", err)
+		}
+		return cfg
+	}
+
+	first := attestOnce()
+	got, err := inst.ReadPolicy(ctx, clientA(), "mint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Revision != 2 {
+		t.Fatalf("revision after mint = %d, want 2", got.Revision)
+	}
+	svc, _ := got.FindService("app")
+	if svc.FSPFKey == "" {
+		t.Fatal("minted key not persisted")
+	}
+
+	// Second attestation adopts the stored key and does not bump again.
+	second := attestOnce()
+	if second.FSPFKey != first.FSPFKey {
+		t.Fatal("restart did not adopt the minted volume key")
+	}
+	got2, err := inst.ReadPolicy(ctx, clientA(), "mint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Revision != 2 {
+		t.Fatalf("revision after second attest = %d, want 2", got2.Revision)
+	}
+}
+
+// TestConcurrentFirstAttestationsShareKey races first attestations: exactly
+// one mints, the others adopt the same stored key.
+func TestConcurrentFirstAttestationsShareKey(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	bin := appBinary()
+	if err := inst.CreatePolicy(ctx, clientA(), testPolicy("race", bin.Measure())); err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+
+	const n = 8
+	keys := make([]cryptoutil.Key, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			session := cryptoutil.MustNewSigner()
+			cfg, err := inst.AttestApplication(attest.NewEvidence(enclave, "race", "app", session.Public), p.QuotingKey())
+			if err != nil {
+				t.Errorf("attest %d: %v", w, err)
+				return
+			}
+			keys[w] = cfg.FSPFKey
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < n; w++ {
+		if keys[w] != keys[0] {
+			t.Fatalf("attestation %d got a different volume key", w)
+		}
+	}
+}
+
+// TestAttestAfterDeleteRefused proves an attestation cannot resurrect state
+// for a deleted policy: delete completes, then attest fails cleanly and no
+// tag record is left behind.
+func TestAttestAfterDeleteRefused(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	bin := appBinary()
+	if err := inst.CreatePolicy(ctx, clientA(), testPolicy("gone", bin.Measure())); err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	if err := inst.DeletePolicy(ctx, clientA(), "gone"); err != nil {
+		t.Fatal(err)
+	}
+	session := cryptoutil.MustNewSigner()
+	if _, err := inst.AttestApplication(attest.NewEvidence(enclave, "gone", "app", session.Public), p.QuotingKey()); err == nil {
+		t.Fatal("attestation of deleted policy succeeded")
+	}
+	if raw, err := inst.db.Get(bucketTags, tagKey("gone", "app")); err == nil {
+		t.Fatalf("orphan tag record left behind: %q", raw)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"palaemon/internal/attest"
@@ -26,11 +27,14 @@ import (
 // against the PALÆMON CA root) and explicit (fetch the IAS report, verify
 // it, check the MRE, and challenge the identity key).
 type Client struct {
-	base    string
-	http    *http.Client
-	profile simnet.Profile
-	clock   simclock.Clock
-	seq     uint64
+	base      string
+	http      *http.Client
+	transport *http.Transport
+	profile   simnet.Profile
+	clock     simclock.Clock
+	// seq numbers requests for the network model; atomic because one
+	// client may be shared by many stakeholder goroutines.
+	seq atomic.Uint64
 }
 
 // ClientOptions configures a client.
@@ -49,9 +53,18 @@ type ClientOptions struct {
 	Clock simclock.Clock
 	// Timeout bounds each request.
 	Timeout time.Duration
+	// MaxIdleConns caps the pooled keep-alive connections (default 64).
+	MaxIdleConns int
+	// IdleConnTimeout evicts idle pooled connections (default 90s).
+	IdleConnTimeout time.Duration
+	// DisableKeepAlives forces one TLS handshake per request — only the
+	// connection-cost ablation (DESIGN.md §5) wants this.
+	DisableKeepAlives bool
 }
 
-// NewClient constructs a client.
+// NewClient constructs a client. The underlying transport pools keep-alive
+// connections, so a stakeholder issuing many requests pays the TLS
+// handshake once, not per call — essential for the hot paths of Fig 11.
 func NewClient(opts ClientOptions) *Client {
 	tlsCfg := &tls.Config{MinVersion: tls.VersionTLS13}
 	if opts.Roots != nil {
@@ -71,16 +84,37 @@ func NewClient(opts ClientOptions) *Client {
 	if opts.Profile.Name == "" {
 		opts.Profile = simnet.Loopback
 	}
+	if opts.MaxIdleConns <= 0 {
+		opts.MaxIdleConns = 64
+	}
+	if opts.IdleConnTimeout <= 0 {
+		opts.IdleConnTimeout = 90 * time.Second
+	}
+	transport := &http.Transport{
+		TLSClientConfig: tlsCfg,
+		// The client talks to one instance, so the per-host pool is the
+		// whole pool: size them identically.
+		MaxIdleConns:        opts.MaxIdleConns,
+		MaxIdleConnsPerHost: opts.MaxIdleConns,
+		IdleConnTimeout:     opts.IdleConnTimeout,
+		TLSHandshakeTimeout: 10 * time.Second,
+		DisableKeepAlives:   opts.DisableKeepAlives,
+	}
 	return &Client{
 		base: opts.BaseURL,
 		http: &http.Client{
-			Transport: &http.Transport{TLSClientConfig: tlsCfg},
+			Transport: transport,
 			Timeout:   opts.Timeout,
 		},
-		profile: opts.Profile,
-		clock:   opts.Clock,
+		transport: transport,
+		profile:   opts.Profile,
+		clock:     opts.Clock,
 	}
 }
+
+// CloseIdle drops pooled connections; call when a stakeholder is done with
+// the instance for a while.
+func (c *Client) CloseIdle() { c.transport.CloseIdleConnections() }
 
 // NewClientCertificate mints a self-signed client certificate; its
 // fingerprint becomes the client's identity at the instance (§IV-E).
@@ -104,8 +138,7 @@ func NewClientCertificate(commonName string) (*tls.Certificate, ClientID, error)
 
 // charge models the WAN round trip for one request/response pair.
 func (c *Client) charge(reqBytes, respBytes int, tracker *simclock.Tracker) {
-	c.seq++
-	d := c.profile.RoundTrip(reqBytes, respBytes, c.seq)
+	d := c.profile.RoundTrip(reqBytes, respBytes, c.seq.Add(1))
 	if tracker != nil {
 		tracker.Add("network", d)
 		return
@@ -168,6 +201,8 @@ func remoteError(status int, msg string) error {
 		sentinel = ErrAccessDenied
 	case http.StatusConflict:
 		sentinel = ErrPolicyExists
+	case http.StatusPreconditionFailed:
+		sentinel = ErrConflict
 	case http.StatusUnauthorized:
 		sentinel = ErrAttestation
 	case http.StatusServiceUnavailable:

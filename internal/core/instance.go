@@ -62,6 +62,9 @@ var (
 	ErrStaleTag = errors.New("core: tag push from stale session")
 	// ErrDraining reports an instance that is shutting down.
 	ErrDraining = errors.New("core: instance is draining")
+	// ErrConflict reports that a policy changed concurrently between board
+	// approval and the store — the caller should re-read and retry.
+	ErrConflict = errors.New("core: policy changed concurrently")
 )
 
 // Options configures an Instance.
@@ -87,6 +90,9 @@ type Options struct {
 	// DBNoFsync disables per-update fsync (benchmarks of the non-durable
 	// path only).
 	DBNoFsync bool
+	// DBGroupCommit batches concurrent WAL writers into one fsync
+	// (kvdb group commit) — the high-throughput multi-stakeholder mode.
+	DBGroupCommit bool
 }
 
 // identity is the sealed instance identity (§IV-B): the Ed25519 key pair the
@@ -122,6 +128,12 @@ type tagRecord struct {
 }
 
 // Instance is one running PALÆMON service.
+//
+// Concurrency: the database is internally synchronised, so the instance
+// holds no global data lock. Lifecycle flags sit behind stateMu; attested
+// sessions live in a striped table; and read-modify-write sequences are
+// serialised per entity by striped locks (per policy name, per service tag
+// record), so independent stakeholders never contend.
 type Instance struct {
 	platform *sgx.Platform
 	enclave  *sgx.Enclave
@@ -129,15 +141,31 @@ type Instance struct {
 	signer   *cryptoutil.Signer
 	counter  mcounter.Counter
 	eval     *board.Evaluator
-
-	mu       sync.RWMutex
 	db       *kvdb.DB
-	sessions map[string]*session
+
+	// stateMu guards only draining/closed.
+	stateMu  sync.RWMutex
 	draining bool
 	closed   bool
 
-	// inflight tracks requests during drain.
-	inflight sync.WaitGroup
+	// sessions holds live attested application sessions, striped by token.
+	sessions *sessionTable
+	// policyLocks serialises per-policy-name read-modify-write (create
+	// existence check, update revision bump, FSPF key mint).
+	policyLocks stripedRW
+	// tagLocks serialises per-(policy,service) tag-record sequences (epoch
+	// bump at attestation, stale-push check). Taken after policyLocks where
+	// both are needed.
+	tagLocks stripedRW
+
+	// inflight counts requests for the Fig 6 drain. A plain counter with a
+	// condition variable rather than a WaitGroup: exit notifications are
+	// admitted while draining, and WaitGroup forbids Add racing a Wait at
+	// zero. Arrivals increment under stateMu.RLock, so Shutdown can hold
+	// stateMu to shut the door and then wait out the stragglers.
+	inflightMu   sync.Mutex
+	inflightCond *sync.Cond
+	inflight     int
 }
 
 // DefaultBinary is the simulated PALÆMON enclave binary.
@@ -181,7 +209,7 @@ func Open(opts Options) (*Instance, error) {
 		return nil, err
 	}
 
-	db, err := kvdb.Open(opts.DataDir, id.DBKey, kvdb.Options{NoFsync: opts.DBNoFsync})
+	db, err := kvdb.Open(opts.DataDir, id.DBKey, kvdb.Options{NoFsync: opts.DBNoFsync, GroupCommit: opts.DBGroupCommit})
 	if err != nil {
 		enclave.Destroy()
 		return nil, fmt.Errorf("core: open database: %w", err)
@@ -197,8 +225,9 @@ func Open(opts Options) (*Instance, error) {
 		counter:  counter,
 		eval:     opts.Evaluator,
 		db:       db,
-		sessions: make(map[string]*session),
+		sessions: newSessionTable(),
 	}
+	inst.inflightCond = sync.NewCond(&inst.inflightMu)
 
 	if err := inst.startupProtocol(opts.Recover); err != nil {
 		db.Close()
@@ -247,35 +276,73 @@ func (i *Instance) startupProtocol(recover bool) error {
 // Shutdown drains in-flight requests, persists v = c, and closes the
 // database — after which a restart passes the startup check again.
 func (i *Instance) Shutdown(ctx context.Context) error {
-	i.mu.Lock()
+	i.stateMu.Lock()
 	if i.closed {
-		i.mu.Unlock()
+		i.stateMu.Unlock()
 		return nil
 	}
 	i.draining = true
-	i.mu.Unlock()
+	i.stateMu.Unlock()
 
-	done := make(chan struct{})
-	go func() {
-		i.inflight.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		return fmt.Errorf("core: drain: %w", ctx.Err())
+	// waitQuiesce blocks (bounded by ctx) until no request is in flight.
+	// On ctx expiry the helper goroutine lingers until the count next hits
+	// zero, then exits.
+	waitQuiesce := func() error {
+		done := make(chan struct{})
+		go func() {
+			i.inflightMu.Lock()
+			for i.inflight > 0 {
+				i.inflightCond.Wait()
+			}
+			i.inflightMu.Unlock()
+			close(done)
+		}()
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("core: drain: %w", ctx.Err())
+		}
 	}
-
-	i.mu.Lock()
-	defer i.mu.Unlock()
+	// Exit notifications are admitted during drain, so stragglers can keep
+	// arriving while the count drains. Holding stateMu blocks new arrivals
+	// (begin increments under stateMu.RLock); if any slipped in before the
+	// lock, release and wait again — each wait stays ctx-bounded so a
+	// wedged exit cannot hang Shutdown while it holds the lock.
+	for {
+		i.stateMu.Lock()
+		if i.closed {
+			i.stateMu.Unlock()
+			return nil
+		}
+		i.inflightMu.Lock()
+		n := i.inflight
+		i.inflightMu.Unlock()
+		if n == 0 {
+			break
+		}
+		i.stateMu.Unlock()
+		if err := waitQuiesce(); err != nil {
+			return err
+		}
+	}
+	defer i.stateMu.Unlock()
+	// From here on resources are released even when a step fails: a failed
+	// graceful shutdown degrades to crash semantics (restart needs
+	// explicit recovery), but the WAL fd and the group-commit committer
+	// goroutine must never leak behind a permanently-draining instance.
 	c, err := i.counter.Value()
 	if err != nil {
+		i.releaseLocked()
 		return fmt.Errorf("core: read counter at shutdown: %w", err)
 	}
 	if err := i.db.SetVersion(c); err != nil {
+		i.releaseLocked()
 		return fmt.Errorf("core: persist version: %w", err)
 	}
 	if err := i.db.Close(); err != nil {
+		i.closed = true
+		i.enclave.Destroy()
 		return fmt.Errorf("core: close database: %w", err)
 	}
 	i.closed = true
@@ -283,11 +350,19 @@ func (i *Instance) Shutdown(ctx context.Context) error {
 	return nil
 }
 
+// releaseLocked force-releases the database and enclave after a failed
+// graceful shutdown; callers hold stateMu.
+func (i *Instance) releaseLocked() {
+	i.closed = true
+	_ = i.db.Close()
+	i.enclave.Destroy()
+}
+
 // Abort simulates a crash: the enclave disappears without updating v. A
 // subsequent Open fails the v == c check unless Recover is acknowledged.
 func (i *Instance) Abort() {
-	i.mu.Lock()
-	defer i.mu.Unlock()
+	i.stateMu.Lock()
+	defer i.stateMu.Unlock()
 	if i.closed {
 		return
 	}
@@ -297,17 +372,32 @@ func (i *Instance) Abort() {
 }
 
 // begin registers a request; it fails when draining.
-func (i *Instance) begin() error {
-	i.mu.RLock()
-	defer i.mu.RUnlock()
-	if i.draining || i.closed {
+func (i *Instance) begin() error { return i.beginRequest(false) }
+
+// beginExit registers an exit notification, which drain still admits
+// (Fig 6: "existing requests are still processed").
+func (i *Instance) beginExit() error { return i.beginRequest(true) }
+
+func (i *Instance) beginRequest(allowDraining bool) error {
+	i.stateMu.RLock()
+	defer i.stateMu.RUnlock()
+	if i.closed || (i.draining && !allowDraining) {
 		return ErrDraining
 	}
-	i.inflight.Add(1)
+	i.inflightMu.Lock()
+	i.inflight++
+	i.inflightMu.Unlock()
 	return nil
 }
 
-func (i *Instance) end() { i.inflight.Done() }
+func (i *Instance) end() {
+	i.inflightMu.Lock()
+	i.inflight--
+	if i.inflight == 0 {
+		i.inflightCond.Broadcast()
+	}
+	i.inflightMu.Unlock()
+}
 
 // PublicKey returns the instance identity key (stable across restarts on
 // the same platform, §IV-B).

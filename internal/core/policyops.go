@@ -2,10 +2,15 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"strings"
 
 	"palaemon/internal/board"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/kvdb"
 	"palaemon/internal/policy"
 )
 
@@ -25,20 +30,25 @@ func (i *Instance) CreatePolicy(ctx context.Context, client ClientID, p *policy.
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	i.mu.RLock()
-	_, err := i.db.Get(bucketPolicies, p.Name)
-	i.mu.RUnlock()
-	if err == nil {
-		return fmt.Errorf("%w: %s", ErrPolicyExists, p.Name)
+	// Cheap pre-check so an obviously duplicate name skips board traffic.
+	if err := i.policyNameFree(p.Name); err != nil {
+		return err
 	}
 
 	stored := p.Clone()
 	stored.CreatorCertFingerprint = [32]byte(client)
 	stored.Revision = 1
+	createID, err := cryptoutil.NewKey()
+	if err != nil {
+		return err
+	}
+	stored.CreateID = binary.LittleEndian.Uint64(createID[:8])
 	if err := stored.MaterializeSecrets(); err != nil {
 		return err
 	}
 
+	// Board approval runs outside any stripe lock: a slow approver must
+	// not stall unrelated policies that collide on the stripe.
 	if err := i.approve(ctx, stored.Board, board.Request{
 		PolicyName: stored.Name,
 		Operation:  "create",
@@ -47,7 +57,28 @@ func (i *Instance) CreatePolicy(ctx context.Context, client ClientID, p *policy.
 	}); err != nil {
 		return err
 	}
+	// The per-name lock plus recheck makes the store atomic: of two racing
+	// creates of one name, exactly one wins.
+	mu := i.policyLocks.lock(p.Name)
+	defer mu.Unlock()
+	if err := i.policyNameFree(p.Name); err != nil {
+		return err
+	}
 	return i.putPolicy(stored)
+}
+
+// policyNameFree reports nil when no policy holds the name. A closed or
+// poisoned database is an error, not a free name.
+func (i *Instance) policyNameFree(name string) error {
+	_, err := i.db.Get(bucketPolicies, name)
+	switch {
+	case err == nil:
+		return fmt.Errorf("%w: %s", ErrPolicyExists, name)
+	case errors.Is(err, kvdb.ErrNotFound):
+		return nil
+	default:
+		return fmt.Errorf("core: check policy name: %w", err)
+	}
 }
 
 // ReadPolicy returns the policy with secrets, to its creator only, after
@@ -72,6 +103,18 @@ func (i *Instance) ReadPolicy(ctx context.Context, client ClientID, name string)
 		Digest:     board.DigestPolicy(p),
 	}); err != nil {
 		return nil, err
+	}
+	// Optimistic validation instead of holding a stripe lock across the
+	// approval: the board approved revision N; if the policy moved on, the
+	// decision is stale and the caller retries.
+	cur, err := i.getPolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	if cur.Revision != p.Revision || cur.CreateID != p.CreateID {
+		// Updated, or deleted and recreated (Revision restarts at 1 on
+		// recreation; the CreateID is what catches that case).
+		return nil, fmt.Errorf("%w: %s changed during read approval", ErrConflict, name)
 	}
 	return p, nil
 }
@@ -99,9 +142,13 @@ func (i *Instance) UpdatePolicy(ctx context.Context, client ClientID, next *poli
 	stored := next.Clone()
 	stored.CreatorCertFingerprint = cur.CreatorCertFingerprint
 	stored.Revision = cur.Revision + 1
+	stored.CreateID = cur.CreateID
 	if err := stored.MaterializeSecrets(); err != nil {
 		return err
 	}
+	// The CURRENT board approves the new content (§III-C), outside the
+	// stripe lock; the revision recheck below invalidates the decision if
+	// the policy moved underneath the approval.
 	if err := i.approve(ctx, cur.Board, board.Request{
 		PolicyName: stored.Name,
 		Operation:  "update",
@@ -109,6 +156,15 @@ func (i *Instance) UpdatePolicy(ctx context.Context, client ClientID, next *poli
 		Digest:     board.DigestPolicy(stored),
 	}); err != nil {
 		return err
+	}
+	mu := i.policyLocks.lock(next.Name)
+	defer mu.Unlock()
+	check, err := i.getPolicy(next.Name)
+	if err != nil {
+		return err
+	}
+	if check.Revision != cur.Revision || check.CreateID != cur.CreateID {
+		return fmt.Errorf("%w: %s rev %d -> %d during update approval", ErrConflict, next.Name, cur.Revision, check.Revision)
 	}
 	return i.putPolicy(stored)
 }
@@ -135,21 +191,50 @@ func (i *Instance) DeletePolicy(ctx context.Context, client ClientID, name strin
 	}); err != nil {
 		return err
 	}
-	i.mu.Lock()
-	defer i.mu.Unlock()
+	mu := i.policyLocks.lock(name)
+	defer mu.Unlock()
+	check, err := i.getPolicy(name)
+	if err != nil {
+		return err
+	}
+	if check.Revision != cur.Revision || check.CreateID != cur.CreateID {
+		return fmt.Errorf("%w: %s changed during delete approval", ErrConflict, name)
+	}
+	// Tag records go first so a mid-loop failure leaves the policy record
+	// in place and the delete retryable; removing the policy first would
+	// strand orphaned tag state behind ErrPolicyNotFound. The wipe scans
+	// by key prefix rather than the final revision's service list, so
+	// records of services removed by earlier updates go too.
+	prefix := name + "\x00"
+	tagKeys, err := i.db.Keys(bucketTags)
+	if err != nil {
+		return fmt.Errorf("core: list tags: %w", err)
+	}
+	for _, k := range tagKeys {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		tmu := i.tagLocks.lock(k)
+		err := i.db.Delete(bucketTags, k)
+		tmu.Unlock()
+		if err != nil {
+			return fmt.Errorf("core: delete tags: %w", err)
+		}
+	}
 	if err := i.db.Delete(bucketPolicies, name); err != nil {
 		return fmt.Errorf("core: delete policy: %w", err)
 	}
-	if err := i.db.Delete(bucketTags, name); err != nil {
-		return fmt.Errorf("core: delete tags: %w", err)
-	}
+	// Sessions of the deleted policy die with it: tag epochs restart at 0
+	// on recreation, so a surviving zombie session could otherwise collide
+	// with a successor's epoch and clobber its expected tags.
+	i.sessions.purge(func(s *session) bool { return s.policyName == name })
 	return nil
 }
 
-// ListPolicyNames lists stored policy names (names are not secret).
-func (i *Instance) ListPolicyNames() []string {
-	i.mu.RLock()
-	defer i.mu.RUnlock()
+// ListPolicyNames lists stored policy names (names are not secret). The
+// error surfaces a closed or poisoned database — an instance with no
+// policies and a broken one must not answer alike.
+func (i *Instance) ListPolicyNames() ([]string, error) {
 	return i.db.Keys(bucketPolicies)
 }
 
@@ -205,11 +290,30 @@ func (i *Instance) ResetService(ctx context.Context, client ClientID, policyName
 	}); err != nil {
 		return err
 	}
-	i.mu.Lock()
-	defer i.mu.Unlock()
+	// Approval ran outside the locks; re-validate under the policy lock so
+	// the check and the tag wipe are atomic against concurrent mutation
+	// (policy lock before tag lock, per the stripedRW ordering discipline).
+	mu := i.policyLocks.rlock(policyName)
+	defer mu.RUnlock()
+	check, err := i.getPolicy(policyName)
+	if err != nil {
+		return err
+	}
+	if check.Revision != p.Revision || check.CreateID != p.CreateID {
+		return fmt.Errorf("%w: %s changed during reset approval", ErrConflict, policyName)
+	}
+	tmu := i.tagLocks.lock(tagKey(policyName, serviceName))
+	defer tmu.Unlock()
 	if err := i.db.Delete(bucketTags, tagKey(policyName, serviceName)); err != nil {
 		return fmt.Errorf("core: reset service: %w", err)
 	}
+	// The epoch restarts; sessions from the pre-reset execution must not
+	// collide with the next execution's epoch. Purged under the tag lock:
+	// released, a concurrent attestation could register a fresh session
+	// between the wipe and the purge, and we would strand it.
+	i.sessions.purge(func(s *session) bool {
+		return s.policyName == policyName && s.serviceName == serviceName
+	})
 	return nil
 }
 
@@ -231,13 +335,13 @@ func (i *Instance) approve(ctx context.Context, b policy.Board, req board.Reques
 	return nil
 }
 
+// putPolicy stores a policy; callers needing read-modify-write atomicity
+// hold the per-name policy lock (the database is internally synchronised).
 func (i *Instance) putPolicy(p *policy.Policy) error {
 	raw, err := json.Marshal(p)
 	if err != nil {
 		return fmt.Errorf("core: encode policy: %w", err)
 	}
-	i.mu.Lock()
-	defer i.mu.Unlock()
 	if err := i.db.Put(bucketPolicies, p.Name, raw); err != nil {
 		return fmt.Errorf("core: store policy: %w", err)
 	}
@@ -245,11 +349,14 @@ func (i *Instance) putPolicy(p *policy.Policy) error {
 }
 
 func (i *Instance) getPolicy(name string) (*policy.Policy, error) {
-	i.mu.RLock()
 	raw, err := i.db.Get(bucketPolicies, name)
-	i.mu.RUnlock()
-	if err != nil {
+	if errors.Is(err, kvdb.ErrNotFound) {
 		return nil, fmt.Errorf("%w: %s", ErrPolicyNotFound, name)
+	}
+	if err != nil {
+		// Closed or poisoned database: the instance is unhealthy, which is
+		// not the same as the policy not existing.
+		return nil, fmt.Errorf("core: read policy %s: %w", name, err)
 	}
 	var p policy.Policy
 	if err := json.Unmarshal(raw, &p); err != nil {
@@ -259,28 +366,39 @@ func (i *Instance) getPolicy(name string) (*policy.Policy, error) {
 }
 
 // resolvePolicy loads a policy and resolves its imports (intersections and
-// imported secrets) against the instance's stored policies.
-func (i *Instance) resolvePolicy(name string) (*policy.Policy, error) {
+// imported secrets) against the instance's stored policies. The second
+// return value snapshots each exporter's (Revision, CreateID) so callers
+// releasing resolved secrets can detect that an exporter moved — e.g. a
+// board rotating a leaked secret — between resolution and release.
+func (i *Instance) resolvePolicy(name string) (*policy.Policy, map[string]policyVersion, error) {
 	p, err := i.getPolicy(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(p.Imports) == 0 {
-		return p, nil
+		return p, nil, nil
 	}
 	exporters := make(map[string]*policy.Policy, len(p.Imports))
+	deps := make(map[string]policyVersion, len(p.Imports))
 	for _, imp := range p.Imports {
 		exp, err := i.getPolicy(imp.Policy)
 		if err != nil {
-			return nil, fmt.Errorf("core: resolve import %q: %w", imp.Policy, err)
+			return nil, nil, fmt.Errorf("core: resolve import %q: %w", imp.Policy, err)
 		}
 		exporters[imp.Policy] = exp
+		deps[imp.Policy] = policyVersion{Revision: exp.Revision, CreateID: exp.CreateID}
 	}
 	if err := p.ApplyImports(exporters); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := p.ResolveImportedSecrets(exporters); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return p, nil
+	return p, deps, nil
+}
+
+// policyVersion identifies one stored state of a policy.
+type policyVersion struct {
+	Revision uint64
+	CreateID uint64
 }

@@ -179,11 +179,14 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusForbidden
 	case errors.Is(err, ErrPolicyExists):
 		status = http.StatusConflict
+	case errors.Is(err, ErrConflict):
+		status = http.StatusPreconditionFailed
 	case errors.Is(err, ErrAttestation), errors.Is(err, ErrStrictRestart), errors.Is(err, ErrStaleTag):
 		status = http.StatusUnauthorized
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, policy.ErrNoName), errors.Is(err, policy.ErrNoServices),
+	case errors.Is(err, policy.ErrNoName), errors.Is(err, policy.ErrBadName),
+		errors.Is(err, policy.ErrNoServices),
 		errors.Is(err, policy.ErrNoMRE), errors.Is(err, policy.ErrBadThreshold):
 		status = http.StatusBadRequest
 	}

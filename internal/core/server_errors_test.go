@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"palaemon/internal/sgx"
+)
+
+// rawHTTPClient builds an HTTP client with (optionally) a client
+// certificate, for sending requests the typed Client cannot produce —
+// malformed bodies, missing certificates.
+func rawHTTPClient(t *testing.T, s *stack, withCert bool) *http.Client {
+	t.Helper()
+	cfg := &tls.Config{MinVersion: tls.VersionTLS13, RootCAs: s.auth.Root().Pool()}
+	if withCert {
+		cert, _, err := NewClientCertificate("raw")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Certificates = []tls.Certificate{*cert}
+	}
+	return &http.Client{Transport: &http.Transport{TLSClientConfig: cfg}}
+}
+
+// TestServerHandlerErrorPaths is the table-driven sweep of the REST error
+// mapping: unauthenticated clients, malformed JSON, unknown policies.
+func TestServerHandlerErrorPaths(t *testing.T) {
+	s := newStack(t)
+	authed := rawHTTPClient(t, s, true)
+	bare := rawHTTPClient(t, s, false)
+
+	mre := sgx.Binary{Name: "app", Code: []byte("v1")}.Measure()
+	marshalPolicy := func(name string) string {
+		raw, err := json.Marshal(testPolicy(name, mre))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	cases := []struct {
+		name       string
+		client     *http.Client
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		// Unauthenticated client ID: no certificate presented at all.
+		{"create without cert", bare, "POST", "/policies", `{"name":"x"}`, http.StatusForbidden},
+		{"read without cert", bare, "GET", "/policies/x", "", http.StatusForbidden},
+		{"update without cert", bare, "PUT", "/policies/x", `{"name":"x"}`, http.StatusForbidden},
+		{"delete without cert", bare, "DELETE", "/policies/x", "", http.StatusForbidden},
+		{"secrets without cert", bare, "POST", "/policies/x/secrets", `{}`, http.StatusForbidden},
+
+		// Malformed JSON bodies.
+		{"create bad json", authed, "POST", "/policies", `{"name":`, http.StatusBadRequest},
+		{"update bad json", authed, "PUT", "/policies/x", `not-json`, http.StatusBadRequest},
+		{"secrets bad json", authed, "POST", "/policies/x/secrets", `]`, http.StatusBadRequest},
+		{"attest bad json", authed, "POST", "/attest", `{{`, http.StatusBadRequest},
+		{"tags bad json", authed, "POST", "/tags", `"`, http.StatusBadRequest},
+		{"exit bad json", authed, "POST", "/exit", `nope{`, http.StatusBadRequest},
+		{"challenge bad json", authed, "POST", "/challenge", `[`, http.StatusBadRequest},
+
+		// Unknown policy.
+		{"read unknown policy", authed, "GET", "/policies/no-such", "", http.StatusNotFound},
+		{"update unknown policy", authed, "PUT", "/policies/no-such", marshalPolicy("no-such"), http.StatusNotFound},
+		{"delete unknown policy", authed, "DELETE", "/policies/no-such", "", http.StatusNotFound},
+		{"secrets unknown policy", authed, "POST", "/policies/no-such/secrets", `{}`, http.StatusNotFound},
+
+		// Name mismatch between path and body.
+		{"update name mismatch", authed, "PUT", "/policies/a", marshalPolicy("b"), http.StatusBadRequest},
+
+		// Invalid policy content (validation errors map to 400).
+		{"create invalid policy", authed, "POST", "/policies", `{"name":""}`, http.StatusBadRequest},
+
+		// Stale/unknown session token.
+		{"push unknown token", authed, "POST", "/tags", `{"token":"nope","tag":[0]}`, http.StatusUnauthorized},
+		{"exit unknown token", authed, "POST", "/exit", `{"token":"nope","tag":[0]}`, http.StatusUnauthorized},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, s.server.URL()+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := tc.client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d; body %s", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if !strings.Contains(string(raw), "error") {
+				t.Fatalf("error body missing: %s", raw)
+			}
+		})
+	}
+}
+
+// TestServerExitedInstance proves every endpoint reports 503/ErrDraining
+// once the instance has been shut down underneath a live server.
+func TestServerExitedInstance(t *testing.T) {
+	s := newStack(t)
+	cli, _ := s.client(t, "owner")
+	ctx := context.Background()
+
+	bin := sgx.Binary{Name: "app", Code: []byte("v1")}
+	if err := cli.CreatePolicy(ctx, testPolicy("pre-exit", bin.Measure())); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the instance; the HTTP server stays up.
+	if err := s.inst.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cli.CreatePolicy(ctx, testPolicy("post-exit", bin.Measure())); !errors.Is(err, ErrDraining) {
+		t.Fatalf("create after exit: %v", err)
+	}
+	if _, err := cli.ReadPolicy(ctx, "pre-exit"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("read after exit: %v", err)
+	}
+	if err := cli.UpdatePolicy(ctx, testPolicy("pre-exit", bin.Measure())); !errors.Is(err, ErrDraining) {
+		t.Fatalf("update after exit: %v", err)
+	}
+	if err := cli.DeletePolicy(ctx, "pre-exit"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("delete after exit: %v", err)
+	}
+	if _, err := cli.FetchSecrets(ctx, "pre-exit", nil, nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("secrets after exit: %v", err)
+	}
+	if err := cli.PushTag(ctx, "token", [32]byte{1}, nil); !errors.Is(err, ErrDraining) {
+		// PushTag on a drained instance must refuse before the token check.
+		t.Fatalf("push after exit: %v", err)
+	}
+}

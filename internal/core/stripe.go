@@ -1,0 +1,120 @@
+package core
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// lockStripes is the shard count for striped locks and the session table.
+// 32 stripes keep independent stakeholders (distinct policy names, distinct
+// sessions) off each other's locks while bounding memory; collisions only
+// cost unnecessary serialisation, never correctness.
+const lockStripes = 32
+
+func stripeFor(key string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum32() % lockStripes
+}
+
+// stripedRW is a set of RW locks sharded by key. It serialises
+// read-modify-write sequences on the same logical entity (one policy name,
+// one service tag record) without a global lock: operations on different
+// entities proceed in parallel.
+//
+// Lock-ordering discipline: code that needs both a policy lock and a tag
+// lock must take the policy lock first (see AttestApplication and
+// ResetService); no code path holds two locks from the same stripedRW.
+type stripedRW struct {
+	shards [lockStripes]sync.RWMutex
+}
+
+func (s *stripedRW) lock(key string) *sync.RWMutex {
+	mu := &s.shards[stripeFor(key)]
+	mu.Lock()
+	return mu
+}
+
+func (s *stripedRW) rlock(key string) *sync.RWMutex {
+	mu := &s.shards[stripeFor(key)]
+	mu.RLock()
+	return mu
+}
+
+// sessionTable is the striped map of live attested application sessions,
+// keyed by session token. Tag pushes from independent applications touch
+// different shards and never contend.
+type sessionTable struct {
+	shards [lockStripes]sessionShard
+}
+
+type sessionShard struct {
+	mu sync.RWMutex
+	m  map[string]*session
+}
+
+func newSessionTable() *sessionTable {
+	t := &sessionTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*session)
+	}
+	return t
+}
+
+func (t *sessionTable) shard(token string) *sessionShard {
+	return &t.shards[stripeFor(token)]
+}
+
+func (t *sessionTable) get(token string) (*session, bool) {
+	sh := t.shard(token)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s, ok := sh.m[token]
+	return s, ok
+}
+
+func (t *sessionTable) put(token string, s *session) {
+	sh := t.shard(token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[token] = s
+}
+
+func (t *sessionTable) delete(token string) {
+	sh := t.shard(token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.m, token)
+}
+
+// purge removes every session the predicate matches, returning how many.
+// DeletePolicy and ResetService use it so a session opened before a policy
+// was deleted/reset cannot push tags into its successor's records (the tag
+// epoch restarts at 0, so a zombie's old epoch would collide), and so the
+// table does not leak sessions for policies that no longer exist.
+func (t *sessionTable) purge(match func(*session) bool) int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for token, s := range sh.m {
+			if match(s) {
+				delete(sh.m, token)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// count reports live sessions (diagnostics and tests).
+func (t *sessionTable) count() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		n += len(t.shards[i].m)
+		t.shards[i].mu.RUnlock()
+	}
+	return n
+}

@@ -19,7 +19,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"time"
 
 	"palaemon/internal/cryptoutil"
 )
@@ -65,6 +67,40 @@ type Options struct {
 	// NoFsync disables the per-update fsync; only benchmarks measuring the
 	// non-durable path use it.
 	NoFsync bool
+	// GroupCommit batches concurrent writers into one WAL write + one fsync
+	// instead of fsyncing per record. Callers still only observe success
+	// after their record is durable; the per-record mode stays available for
+	// the durability-cost ablation (DESIGN.md §5).
+	GroupCommit bool
+	// GroupCommitMaxBatch bounds how many records one commit batch may
+	// carry; 0 means DefaultGroupCommitMaxBatch.
+	GroupCommitMaxBatch int
+	// GroupCommitDelay is the collection window the committer grants
+	// contending writers before paying the fsync: when the previous batch
+	// carried more than one record, the committer briefly sleeps so the
+	// cohort re-queues and the next fsync is amortised over all of them
+	// (cf. MySQL's binlog_group_commit_sync_delay). A solo writer never
+	// waits. 0 means DefaultGroupCommitDelay.
+	GroupCommitDelay time.Duration
+}
+
+// DefaultGroupCommitMaxBatch bounds a commit batch when Options leaves it 0.
+const DefaultGroupCommitMaxBatch = 256
+
+// DefaultGroupCommitDelay is the contention collection window when Options
+// leaves it 0 — a fraction of a typical fsync, so worst-case added latency
+// is small against the sync it amortises.
+const DefaultGroupCommitDelay = 100 * time.Microsecond
+
+// pendingCommit is one sealed record queued for the committer goroutine.
+type pendingCommit struct {
+	// framed is the length-prefixed sealed record, ready for the WAL.
+	framed []byte
+	// rec is applied to the in-memory state only after the batch is
+	// durable, so readers never observe records a crash would lose.
+	rec record
+	// done receives the batch outcome (buffered; the committer never blocks).
+	done chan error
 }
 
 // DB is the embedded store. Safe for concurrent use.
@@ -80,6 +116,29 @@ type DB struct {
 	closed  bool
 	// walRecords counts records since the last snapshot, for compaction.
 	walRecords int
+
+	// Group-commit state, all guarded by mu. pending holds records whose
+	// writers are blocked awaiting durability; committing marks a batch
+	// in flight to the WAL file; compacting stalls new enqueues so Compact
+	// can drain the queue without being starved by fresh writers; failed
+	// poisons the database after a batch write error (the chain then
+	// references records that never reached disk, so both mutation and
+	// reads are refused). commitCond is broadcast on every queue or batch
+	// transition.
+	pending       []pendingCommit
+	committing    bool
+	compacting    bool
+	stopCommit    bool
+	failed        error
+	commitCond    *sync.Cond
+	committerDone chan struct{}
+	// lastBatch is the previous batch's size; >1 signals contention and
+	// arms the GroupCommitDelay collection window.
+	lastBatch int
+	// batches/batchedRecords count committer activity for observability
+	// (average batch size = batchedRecords/batches).
+	batches        int
+	batchedRecords int
 }
 
 // Open loads (or creates) the database in dir, encrypted under key.
@@ -87,12 +146,19 @@ func Open(dir string, key cryptoutil.Key, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("kvdb: create dir: %w", err)
 	}
+	if opts.GroupCommitMaxBatch <= 0 {
+		opts.GroupCommitMaxBatch = DefaultGroupCommitMaxBatch
+	}
+	if opts.GroupCommitDelay <= 0 {
+		opts.GroupCommitDelay = DefaultGroupCommitDelay
+	}
 	db := &DB{
 		dir:  dir,
 		key:  key,
 		data: make(map[string]map[string][]byte),
 		opts: opts,
 	}
+	db.commitCond = sync.NewCond(&db.mu)
 	if err := db.load(); err != nil {
 		return nil, err
 	}
@@ -101,6 +167,10 @@ func Open(dir string, key cryptoutil.Key, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("kvdb: open WAL: %w", err)
 	}
 	db.wal = wal
+	if opts.GroupCommit {
+		db.committerDone = make(chan struct{})
+		go db.committer()
+	}
 	return db, nil
 }
 
@@ -195,27 +265,77 @@ func (db *DB) applyLocked(rec record) {
 	}
 }
 
-// append seals a record, writes it to the WAL and (by default) fsyncs.
-// Callers hold db.mu.
-func (db *DB) appendLocked(rec record) error {
+// commit seals a record onto the hash chain and makes it durable. In the
+// default mode the record is written and fsynced inline under db.mu. In
+// group-commit mode the record is chained immediately (so successors seal
+// against the right predecessor) and enqueued for the committer goroutine;
+// the caller blocks until the batch holding its record has been written
+// and fsynced, so success still implies durability, and the in-memory
+// apply happens only after the fsync, so readers never see a record a
+// crash could lose.
+func (db *DB) commit(rec record) error {
+	db.mu.Lock()
+	for db.compacting && !db.closed {
+		// Compact is draining the queue onto the old WAL; stall so the
+		// snapshot cannot be starved by a steady stream of writers.
+		db.commitCond.Wait()
+	}
 	if db.closed {
+		db.mu.Unlock()
 		return ErrClosed
+	}
+	if db.failed != nil {
+		err := db.poisonedLocked()
+		db.mu.Unlock()
+		return err
 	}
 	rec.Prev = db.chain
 	pt, err := json.Marshal(rec)
 	if err != nil {
+		db.mu.Unlock()
 		return fmt.Errorf("kvdb: encode record: %w", err)
 	}
 	sealed, err := cryptoutil.Seal(db.key, pt, []byte("kvdb-wal"))
 	if err != nil {
+		db.mu.Unlock()
 		return fmt.Errorf("kvdb: seal record: %w", err)
 	}
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(sealed)))
-	if _, err := db.wal.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("kvdb: write WAL: %w", err)
+	framed := make([]byte, 4+len(sealed))
+	binary.LittleEndian.PutUint32(framed, uint32(len(sealed)))
+	copy(framed[4:], sealed)
+
+	if !db.opts.GroupCommit {
+		err := db.writeWALLocked(framed)
+		if err == nil {
+			db.applyLocked(rec)
+			db.chain = chainHash(db.chain, pt)
+			db.walRecords++
+		} else if db.failed == nil {
+			// The record's bytes may be partially in the WAL while the
+			// chain was not advanced; a retried write would append after
+			// the orphan and read as tampered on replay. Poison, like the
+			// group-commit path.
+			db.failed = err
+		}
+		db.mu.Unlock()
+		return err
 	}
-	if _, err := db.wal.Write(sealed); err != nil {
+
+	// The chain advances at enqueue so successors seal against the right
+	// predecessor; the in-memory apply is deferred to the committer (after
+	// the fsync), so concurrent readers only ever see durable records.
+	db.chain = chainHash(db.chain, pt)
+	done := make(chan error, 1)
+	db.pending = append(db.pending, pendingCommit{framed: framed, rec: rec, done: done})
+	db.commitCond.Broadcast()
+	db.mu.Unlock()
+	return <-done
+}
+
+// writeWALLocked appends framed bytes to the WAL and (by default) fsyncs.
+// Callers hold db.mu.
+func (db *DB) writeWALLocked(framed []byte) error {
+	if _, err := db.wal.Write(framed); err != nil {
 		return fmt.Errorf("kvdb: write WAL: %w", err)
 	}
 	if !db.opts.NoFsync {
@@ -223,17 +343,122 @@ func (db *DB) appendLocked(rec record) error {
 			return fmt.Errorf("kvdb: fsync WAL: %w", err)
 		}
 	}
-	db.applyLocked(rec)
-	db.chain = chainHash(db.chain, pt)
-	db.walRecords++
 	return nil
+}
+
+// committer is the group-commit loop: it drains the pending queue, writes
+// the whole batch in one Write call, fsyncs once, and releases every waiter
+// in the batch. Records hit the file strictly in enqueue order, which is
+// also hash-chain order, so replay semantics are identical to the
+// per-record path. It exits once stopCommit is set and the queue is empty.
+func (db *DB) committer() {
+	defer close(db.committerDone)
+	for {
+		db.mu.Lock()
+		for len(db.pending) == 0 && !db.stopCommit {
+			db.commitCond.Wait()
+		}
+		if len(db.pending) == 0 {
+			db.mu.Unlock()
+			return
+		}
+		if db.lastBatch > 1 && !db.opts.NoFsync && !db.stopCommit && !db.compacting {
+			// Contention: the cohort released by the last fsync is racing
+			// to re-queue. Yield until they land (bounded by the delay
+			// budget) so this batch carries the whole cohort instead of
+			// convoying through tiny ones. Scheduler yields, not
+			// time.Sleep: timer slack would turn 100µs into ~1ms.
+			target := db.lastBatch
+			deadline := time.Now().Add(db.opts.GroupCommitDelay)
+			for len(db.pending) < target && !db.stopCommit && !db.compacting {
+				db.mu.Unlock()
+				runtime.Gosched()
+				db.mu.Lock()
+				if time.Now().After(deadline) {
+					break
+				}
+			}
+		}
+		batch := db.pending
+		if max := db.opts.GroupCommitMaxBatch; len(batch) > max {
+			db.pending = batch[max:]
+			batch = batch[:max]
+		} else {
+			db.pending = nil
+		}
+		if db.failed != nil {
+			// A previous batch never reached the WAL; appending after the
+			// hole would ack records whose chain predecessors are missing.
+			err := db.failed
+			db.commitCond.Broadcast()
+			db.mu.Unlock()
+			for _, p := range batch {
+				p.done <- err
+			}
+			continue
+		}
+		wal := db.wal
+		noFsync := db.opts.NoFsync
+		db.committing = true
+		db.lastBatch = len(batch)
+		db.batches++
+		db.batchedRecords += len(batch)
+		db.mu.Unlock()
+
+		// Write + fsync outside db.mu: readers proceed, and writers can
+		// queue the next batch while this one is on its way to disk.
+		size := 0
+		for _, p := range batch {
+			size += len(p.framed)
+		}
+		buf := make([]byte, 0, size)
+		for _, p := range batch {
+			buf = append(buf, p.framed...)
+		}
+		_, err := wal.Write(buf)
+		if err == nil && !noFsync {
+			err = wal.Sync()
+		}
+		if err != nil {
+			err = fmt.Errorf("kvdb: write WAL batch: %w", err)
+		}
+
+		db.mu.Lock()
+		db.committing = false
+		if err != nil && db.failed == nil {
+			db.failed = err
+		}
+		if err == nil {
+			for _, p := range batch {
+				db.applyLocked(p.rec)
+				db.walRecords++
+			}
+		}
+		db.commitCond.Broadcast()
+		db.mu.Unlock()
+
+		for _, p := range batch {
+			p.done <- err
+		}
+	}
+}
+
+// poisonedLocked wraps db.failed; callers hold db.mu and have checked it.
+func (db *DB) poisonedLocked() error {
+	return fmt.Errorf("kvdb: write failed earlier, database poisoned: %w", db.failed)
+}
+
+// flushLocked waits until every queued record has reached the WAL file.
+// Callers hold db.mu (the Wait releases it so the committer can progress).
+func (db *DB) flushLocked() {
+	for len(db.pending) > 0 || db.committing {
+		db.commitCond.Wait()
+	}
 }
 
 // Put stores value under bucket/key.
 func (db *DB) Put(bucket, key string, value []byte) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.appendLocked(record{Op: "put", Bucket: bucket, Key: key, Value: append([]byte(nil), value...)})
+	return db.commit(record{Op: "put", Bucket: bucket, Key: key, Value: append([]byte(nil), value...)})
 }
 
 // Get returns the value under bucket/key.
@@ -242,6 +467,12 @@ func (db *DB) Get(bucket, key string) ([]byte, error) {
 	defer db.mu.RUnlock()
 	if db.closed {
 		return nil, ErrClosed
+	}
+	if db.failed != nil {
+		// After a batch write failure the store can neither accept writes
+		// nor vouch for its chain; a half-failed instance must not keep
+		// serving as if healthy.
+		return nil, db.poisonedLocked()
 	}
 	b := db.data[bucket]
 	if b == nil {
@@ -256,21 +487,27 @@ func (db *DB) Get(bucket, key string) ([]byte, error) {
 
 // Delete removes bucket/key (no error if absent).
 func (db *DB) Delete(bucket, key string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.appendLocked(record{Op: "del", Bucket: bucket, Key: key})
+	return db.commit(record{Op: "del", Bucket: bucket, Key: key})
 }
 
-// Keys lists the keys in a bucket, unordered.
-func (db *DB) Keys(bucket string) []string {
+// Keys lists the keys in a bucket, unordered. Like Get, it refuses to
+// serve a closed or poisoned database — an empty store and a broken one
+// must not look alike.
+func (db *DB) Keys(bucket string) ([]string, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if db.failed != nil {
+		return nil, db.poisonedLocked()
+	}
 	b := db.data[bucket]
 	out := make([]string, 0, len(b))
 	for k := range b {
 		out = append(out, k)
 	}
-	return out
+	return out, nil
 }
 
 // Version returns the database version used by the rollback-protection
@@ -283,9 +520,7 @@ func (db *DB) Version() uint64 {
 
 // SetVersion durably records a new version.
 func (db *DB) SetVersion(v uint64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.appendLocked(record{Op: "ver", Version: v})
+	return db.commit(record{Op: "ver", Version: v})
 }
 
 // Compact writes a fresh snapshot and truncates the WAL.
@@ -294,6 +529,23 @@ func (db *DB) Compact() error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	// Queued records must be on the old WAL before it is truncated. The
+	// compacting flag stalls new enqueues (commit's wait loop) — the flush
+	// waits themselves release db.mu, so without the flag a steady writer
+	// stream could starve the drain forever.
+	db.compacting = true
+	defer func() {
+		db.compacting = false
+		db.commitCond.Broadcast()
+	}()
+	db.flushLocked()
+	if db.closed {
+		// Close slipped in while the flush wait released db.mu.
+		return ErrClosed
+	}
+	if db.failed != nil {
+		return fmt.Errorf("kvdb: compact after write failure: %w", db.failed)
 	}
 	snap := snapshot{Data: db.data, Version: db.version, Chain: db.chain}
 	pt, err := json.Marshal(snap)
@@ -323,6 +575,14 @@ func (db *DB) Compact() error {
 	return nil
 }
 
+// CommitStats reports how many group-commit batches ran and how many
+// records they carried; averageBatch = records/batches.
+func (db *DB) CommitStats() (batches, records int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.batches, db.batchedRecords
+}
+
 // WALRecords reports records since the last snapshot (compaction heuristic).
 func (db *DB) WALRecords() int {
 	db.mu.RLock()
@@ -333,11 +593,21 @@ func (db *DB) WALRecords() int {
 // Close flushes and closes the database.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil
 	}
 	db.closed = true
+	if db.opts.GroupCommit {
+		// The committer drains the queue (releasing any blocked writers)
+		// before it exits; wait for that outside db.mu.
+		db.stopCommit = true
+		db.commitCond.Broadcast()
+		db.mu.Unlock()
+		<-db.committerDone
+		db.mu.Lock()
+	}
+	defer db.mu.Unlock()
 	if err := db.wal.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
 		db.wal.Close()
 		return fmt.Errorf("kvdb: final fsync: %w", err)

@@ -267,12 +267,12 @@ func TestKeys(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	keys := db.Keys("bucket")
-	if len(keys) != 3 {
-		t.Fatalf("Keys = %v", keys)
+	keys, err := db.Keys("bucket")
+	if err != nil || len(keys) != 3 {
+		t.Fatalf("Keys = %v, %v", keys, err)
 	}
-	if len(db.Keys("empty")) != 0 {
-		t.Fatal("Keys of missing bucket non-empty")
+	if keys, err := db.Keys("empty"); err != nil || len(keys) != 0 {
+		t.Fatalf("Keys of missing bucket = %v, %v", keys, err)
 	}
 }
 

@@ -1,0 +1,56 @@
+// Full-stack ablation benchmarks (DESIGN.md §5): N concurrent stakeholders
+// over TLS against one instance, per-record fsync versus group commit. Run:
+//
+//	go test ./internal/stress -bench=. -benchtime=10x
+//
+// The kvdb-level ablation (BenchmarkConcurrentWriters in internal/kvdb)
+// isolates the WAL; this one shows the end-to-end effect with the HTTP,
+// TLS, attestation, and policy layers on top.
+package stress
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func benchWorkload(b *testing.B, opts Options, stakeholders int) {
+	opts.DataDir = b.TempDir()
+	h, err := New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		rep, err := h.Run(context.Background(), WorkloadOptions{
+			Stakeholders: stakeholders,
+			Iterations:   3,
+			TagPushes:    3,
+		})
+		if err != nil {
+			b.Fatalf("%v\n%s", err, rep)
+		}
+		b.ReportMetric(rep.Throughput(), "ops/sec")
+		if st, ok := rep.PerOp["push-tag"]; ok {
+			b.ReportMetric(float64(st.P95.Microseconds()), "push-p95-µs")
+		}
+	}
+}
+
+// BenchmarkStakeholders is the end-to-end durability-mode grid.
+func BenchmarkStakeholders(b *testing.B) {
+	for _, stakeholders := range []int{1, 8} {
+		for _, mode := range []struct {
+			name string
+			opts Options
+		}{
+			{"sync-per-record", Options{}},
+			{"group-commit", Options{GroupCommit: true}},
+		} {
+			b.Run(fmt.Sprintf("%s/stakeholders=%d", mode.name, stakeholders), func(b *testing.B) {
+				benchWorkload(b, mode.opts, stakeholders)
+			})
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"palaemon/internal/cryptoutil"
@@ -256,13 +257,15 @@ type TPCC struct {
 	engine *Engine
 	// rows is the table cardinality.
 	rows uint64
-	// state advances a deterministic PRNG so runs are reproducible.
-	state uint64
+	// state advances a deterministic PRNG so runs are reproducible; atomic
+	// because load generators drive NewOrder from concurrent workers.
+	state atomic.Uint64
 }
 
 // NewTPCC loads `rows` rows and returns the driver.
 func NewTPCC(engine *Engine, rows uint64) (*TPCC, error) {
-	t := &TPCC{engine: engine, rows: rows, state: 0x9E3779B97F4A7C15}
+	t := &TPCC{engine: engine, rows: rows}
+	t.state.Store(0x9E3779B97F4A7C15)
 	row := make([]byte, 128)
 	for i := uint64(0); i < rows; i++ {
 		binary.LittleEndian.PutUint64(row, i)
@@ -277,10 +280,10 @@ func NewTPCC(engine *Engine, rows uint64) (*TPCC, error) {
 	return t, nil
 }
 
-// next is a splitmix64 step.
+// next is a splitmix64 step (the atomic add keeps every concurrent caller
+// on a distinct point of the sequence).
 func (t *TPCC) next() uint64 {
-	t.state += 0x9E3779B97F4A7C15
-	z := t.state
+	z := t.state.Add(0x9E3779B97F4A7C15)
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)

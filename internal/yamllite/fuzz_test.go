@@ -1,0 +1,65 @@
+package yamllite
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary documents at the policy parser: it must
+// return a value or a *ParseError, never panic — the parser faces
+// stakeholder-supplied policy files (the paper's List 1 format).
+func FuzzParse(f *testing.F) {
+	f.Add("name: demo\nservices:\n  - name: app\n    command: run\n")
+	f.Add("key: [a, b, c]\n")
+	f.Add("a:\n  b:\n    c: 1\n")
+	f.Add("- one\n- two\n")
+	f.Add("quoted: \"hello # not a comment\"\n")
+	f.Add("# only a comment\n")
+	f.Add("\t tab indent")
+	f.Add("a: b\n  bad: indent\n")
+	f.Add(strings.Repeat("  ", 100) + "deep: value")
+	f.Add("x: 'unterminated")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		v, err := Parse(src)
+		if err != nil {
+			// Errors must be the typed ParseError (line-addressable for
+			// stakeholder diagnostics), except the document-level ones that
+			// wrap it; nothing may panic.
+			return
+		}
+		if v == nil {
+			t.Fatal("nil value with nil error")
+		}
+		// A successful parse must round-trip through the accessors without
+		// panicking on any node.
+		var walk func(n *Value)
+		walk = func(n *Value) {
+			if n == nil {
+				return
+			}
+			switch n.Kind {
+			case KindMap:
+				if len(n.Keys) != len(n.Map) {
+					t.Fatalf("map keys/entries mismatch: %d vs %d", len(n.Keys), len(n.Map))
+				}
+				for _, k := range n.Keys {
+					child, ok := n.Map[k]
+					if !ok {
+						t.Fatalf("declared key %q missing from map", k)
+					}
+					walk(child)
+				}
+			case KindList:
+				for _, item := range n.List {
+					walk(item)
+				}
+			case KindScalar:
+				// fine
+			default:
+				t.Fatalf("unknown kind %d", n.Kind)
+			}
+		}
+		walk(v)
+	})
+}

@@ -132,6 +132,9 @@ type DeploymentOptions struct {
 	Evaluator *board.Evaluator
 	// Recover acknowledges a fail-over after a crash (§IV-D).
 	Recover bool
+	// GroupCommit batches concurrent database writers into one fsync —
+	// the high-throughput mode for many concurrent stakeholders.
+	GroupCommit bool
 }
 
 // StartService starts a managed PALÆMON instance: it launches the enclave,
@@ -153,10 +156,11 @@ func StartService(opts DeploymentOptions) (*Deployment, error) {
 	iasSvc.RegisterPlatform(p.ID(), p.QuotingKey())
 
 	inst, err := core.Open(core.Options{
-		Platform:  p,
-		DataDir:   opts.DataDir,
-		Evaluator: opts.Evaluator,
-		Recover:   opts.Recover,
+		Platform:      p,
+		DataDir:       opts.DataDir,
+		Evaluator:     opts.Evaluator,
+		Recover:       opts.Recover,
+		DBGroupCommit: opts.GroupCommit,
 	})
 	if err != nil {
 		return nil, err
