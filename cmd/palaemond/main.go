@@ -25,6 +25,7 @@ func main() {
 func run() error {
 	var (
 		dataDir     = flag.String("data", "./palaemon-data", "encrypted database directory")
+		platformDir = flag.String("platform", "", "durable platform NVRAM directory (default: <data>/platform)")
 		recover     = flag.Bool("recover", false, "acknowledge fail-over after a crash (v < c)")
 		groupCommit = flag.Bool("group-commit", false, "batch concurrent database writers into one fsync")
 	)
@@ -32,18 +33,25 @@ func run() error {
 
 	dep, err := palaemon.StartService(palaemon.DeploymentOptions{
 		DataDir:     *dataDir,
+		PlatformDir: *platformDir,
 		Recover:     *recover,
 		GroupCommit: *groupCommit,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("palaemond: serving on %s\n", dep.URL())
-	fmt.Printf("palaemond: instance MRE %s\n", dep.Instance.MRE())
-	fmt.Printf("palaemond: DB epoch %d\n", dep.Instance.DBVersion())
-
+	// Install the handler before the banner goes out: a supervisor may
+	// signal as soon as it sees the endpoint line. During StartService the
+	// default disposition still applies, so a wedged startup stays
+	// interruptible.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("palaemond: serving on %s\n", dep.URL())
+	fmt.Printf("palaemond: platform %s\n", dep.Platform.ID())
+	fmt.Printf("palaemond: instance MRE %s\n", dep.Instance.MRE())
+	fmt.Printf("palaemond: IAS key %x\n", dep.IAS.PublicKey())
+	fmt.Printf("palaemond: DB epoch %d\n", dep.Instance.DBVersion())
+
 	<-stop
 	fmt.Println("palaemond: draining...")
 	if err := dep.Close(); err != nil {

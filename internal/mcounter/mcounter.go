@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -125,6 +126,11 @@ func (f *FileCounter) Increment() (uint64, error) {
 	f.value++
 	if f.writeThrough {
 		if err := f.store(); err != nil {
+			// In write-through mode the backend write IS the increment:
+			// roll the in-memory value back so a later Close does not
+			// persist a value the caller was told failed, and the next
+			// successful increment does not skip one.
+			f.value--
 			return 0, err
 		}
 	}
@@ -183,8 +189,23 @@ type OSFileBackend struct {
 
 var _ Backend = (*OSFileBackend)(nil)
 
-// Load reads the file, treating absence as an empty counter.
+// Load reads the file, treating absence as an empty counter. It takes the
+// backend lock — and reads through the held descriptor when Store has one
+// open — so a Load can never observe a concurrent Store's WriteAt half-done.
 func (b *OSFileBackend) Load() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.f != nil {
+		st, err := b.f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		raw := make([]byte, st.Size())
+		if _, err := io.ReadFull(io.NewSectionReader(b.f, 0, st.Size()), raw); err != nil {
+			return nil, err
+		}
+		return raw, nil
+	}
 	raw, err := os.ReadFile(b.Path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil

@@ -3,6 +3,7 @@ package mcounter
 import (
 	"errors"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -144,6 +145,120 @@ func TestTPMWear(t *testing.T) {
 		t.Fatalf("Value = %d, want 3", v)
 	}
 	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flakyBackend wraps a Backend and fails Store while failing is set.
+type flakyBackend struct {
+	Backend
+	mu      sync.Mutex
+	failing bool
+	errs    int
+}
+
+func (b *flakyBackend) setFailing(v bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failing = v
+}
+
+func (b *flakyBackend) Store(raw []byte) error {
+	b.mu.Lock()
+	failing := b.failing
+	if failing {
+		b.errs++
+	}
+	b.mu.Unlock()
+	if failing {
+		return errors.New("flaky: store failed")
+	}
+	return b.Backend.Store(raw)
+}
+
+func TestWriteThroughRollsBackOnStoreFailure(t *testing.T) {
+	backend := &flakyBackend{Backend: &MemBackend{}}
+	c, err := NewFileCounter(backend, WithWriteThrough())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Increment(); err != nil {
+		t.Fatal(err)
+	}
+
+	backend.setFailing(true)
+	if _, err := c.Increment(); err == nil {
+		t.Fatal("increment succeeded with failing backend")
+	}
+	if v, _ := c.Value(); v != 1 {
+		t.Fatalf("failed increment left value %d, want 1", v)
+	}
+
+	// The next successful increment must hand out 2, not 3.
+	backend.setFailing(false)
+	v, err := c.Increment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("value after recovery %d, want 2", v)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And Close must not have persisted the failed bump either.
+	c2, err := NewFileCounter(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c2.Value(); v != 2 {
+		t.Fatalf("persisted value %d, want 2", v)
+	}
+	if backend.errs == 0 {
+		t.Fatal("test never exercised the failing path")
+	}
+}
+
+func TestOSFileBackendLoadStoreConcurrent(t *testing.T) {
+	// Load must not race Store's WriteAt through the held descriptor; run
+	// both concurrently under -race and check Load only ever sees full
+	// 8-byte snapshots.
+	backend := &OSFileBackend{Path: filepath.Join(t.TempDir(), "counter")}
+	if err := backend.Store([]byte{0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 8)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf[0] = byte(i)
+			if err := backend.Store(buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		raw, err := backend.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) != 8 {
+			t.Fatalf("partial read: %d bytes", len(raw))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := backend.Sync(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,321 @@
+package sgx
+
+// Durable platform NVRAM.
+//
+// Real SGX hardware keeps the platform's root secrets (the sealing key
+// fused into the CPU, the quoting enclave's provisioned key) and the
+// monotonic counters (ME/TPM-class NVRAM) across power cycles. The
+// simulation stores the equivalent state in a single JSON file inside
+// Options.StateDir so that a second *process* on the same "machine" can
+// unseal blobs sealed by the first and continue its counters — the
+// precondition for the Fig 6 restart/rollback check working across real
+// process boundaries.
+//
+// The file is replaced atomically (temp file + rename) and carries an
+// HMAC-SHA256 over its payload, keyed by a derivation of the sealing key
+// it contains. That authenticates against accidental corruption and
+// truncation; it is NOT a defence against an adversary with access to the
+// state directory, who by construction holds every platform secret (see
+// DESIGN.md — on real hardware this state never leaves the die/NVRAM).
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/simclock"
+)
+
+// nvramFileName is the state file inside Options.StateDir.
+const nvramFileName = "platform.nvram"
+
+// nvramVersion guards the on-disk format.
+const nvramVersion = 1
+
+// ErrNVRAMCorrupt reports a platform state file that failed parsing or
+// authentication.
+var ErrNVRAMCorrupt = errors.New("sgx: platform NVRAM failed authentication")
+
+// nvramCounter is the durable face of one monotonic counter: its value and
+// the wear accounting, both of which hardware NVRAM keeps per write.
+type nvramCounter struct {
+	Value  uint64 `json:"value"`
+	Writes uint64 `json:"writes"`
+}
+
+// nvramState is the serialised platform NVRAM.
+type nvramState struct {
+	Version   int                     `json:"version"`
+	ID        PlatformID              `json:"id"`
+	Microcode MicrocodeLevel          `json:"microcode"`
+	SealKey   []byte                  `json:"seal_key"`
+	QuoteSeed []byte                  `json:"quote_seed"`
+	Counters  map[string]nvramCounter `json:"counters"`
+}
+
+// nvramEnvelope wraps the payload with its authenticator. The payload is
+// kept as raw JSON so the MAC covers the exact bytes on disk.
+type nvramEnvelope struct {
+	Payload json.RawMessage `json:"payload"`
+	MAC     []byte          `json:"mac"`
+}
+
+// nvramMAC computes the file authenticator: HMAC-SHA256 under a key derived
+// from the platform sealing key, so the MAC key never appears verbatim in
+// the file.
+func nvramMAC(sealKey cryptoutil.Key, payload []byte) []byte {
+	macKey := sealKey.Derive("platform-nvram-mac")
+	mac := hmac.New(sha256.New, macKey[:])
+	mac.Write(payload)
+	return mac.Sum(nil)
+}
+
+// OpenPlatform opens (or creates) a platform with durable NVRAM rooted at
+// opts.StateDir. The first call mints the platform identity, sealing key,
+// and quoting key pair and persists them; subsequent calls — typically from
+// a later process — restore the same platform, so sealed blobs unseal and
+// monotonic counters resume at their last written value with their wear
+// intact.
+func OpenPlatform(opts Options) (*Platform, error) {
+	if opts.StateDir == "" {
+		return nil, errors.New("sgx: OpenPlatform requires Options.StateDir")
+	}
+	if err := os.MkdirAll(opts.StateDir, 0o700); err != nil {
+		return nil, fmt.Errorf("sgx: create platform state dir: %w", err)
+	}
+	// Exclusive ownership before the first read: without it, two racing
+	// first-opens would each mint a platform and the rename loser's
+	// sealing key would be lost forever.
+	lock, err := lockStateDir(opts.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(opts.StateDir, nvramFileName)
+	raw, err := os.ReadFile(path)
+	var p *Platform
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		p, err = mintDurablePlatform(opts, path)
+	case err != nil:
+		err = fmt.Errorf("sgx: read platform NVRAM: %w", err)
+	default:
+		p, err = restorePlatform(opts, path, raw)
+	}
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	p.lockFile = lock
+	return p, nil
+}
+
+// Close releases the durable platform's state-dir lock so another process
+// (or a later open in this one) can take ownership. It persists nothing —
+// counter writes are already on disk — and is idempotent; ephemeral
+// platforms have nothing to release. After Close the NVRAM write path is
+// disabled: a stale reference can no longer overwrite a file a new owner
+// now holds, so counter increments fail (and roll back) like a powered-off
+// machine's would.
+func (p *Platform) Close() error {
+	p.persistMu.Lock()
+	defer p.persistMu.Unlock()
+	if p.lockFile == nil {
+		return nil
+	}
+	p.stateClosed = true
+	err := p.lockFile.Close()
+	p.lockFile = nil
+	return err
+}
+
+// MustOpenPlatform panics on failure; for initialisation and tests.
+func MustOpenPlatform(opts Options) *Platform {
+	p, err := OpenPlatform(opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// mintDurablePlatform creates a fresh platform and writes its NVRAM.
+func mintDurablePlatform(opts Options, path string) (*Platform, error) {
+	opts.StateDir = "" // avoid NewPlatform recursing back into OpenPlatform
+	p, err := NewPlatform(opts)
+	if err != nil {
+		return nil, err
+	}
+	p.statePath = path
+	p.nvramCounters = make(map[string]nvramCounter)
+	if err := p.persistNVRAM(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// restorePlatform rebuilds a platform from its NVRAM file.
+func restorePlatform(opts Options, path string, raw []byte) (*Platform, error) {
+	var env nvramEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNVRAMCorrupt, err)
+	}
+	var st nvramState
+	if err := json.Unmarshal(env.Payload, &st); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNVRAMCorrupt, err)
+	}
+	if st.Version != nvramVersion {
+		return nil, fmt.Errorf("sgx: platform NVRAM version %d, this build supports %d", st.Version, nvramVersion)
+	}
+	if len(st.SealKey) != cryptoutil.KeySize {
+		return nil, fmt.Errorf("%w: sealing key is %d bytes", ErrNVRAMCorrupt, len(st.SealKey))
+	}
+	var sealKey cryptoutil.Key
+	copy(sealKey[:], st.SealKey)
+	if !hmac.Equal(env.MAC, nvramMAC(sealKey, env.Payload)) {
+		return nil, ErrNVRAMCorrupt
+	}
+	if opts.ID != "" && opts.ID != st.ID {
+		return nil, fmt.Errorf("sgx: state dir holds platform %q, requested %q", st.ID, opts.ID)
+	}
+	signer, err := cryptoutil.SignerFromSeed(st.QuoteSeed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: quoting key: %v", ErrNVRAMCorrupt, err)
+	}
+
+	// Defaults mirror NewPlatform; the durable identity fields come from
+	// the file. A caller-supplied microcode level models a microcode
+	// update and is persisted below.
+	if opts.EPCBytes == 0 {
+		opts.EPCBytes = 128 << 20
+	}
+	if opts.Clock == nil {
+		opts.Clock = simclock.Wall{}
+	}
+	if opts.Model == (CostModel{}) {
+		opts.Model = DefaultCostModel()
+	}
+	microcode := st.Microcode
+	if opts.Microcode != 0 {
+		microcode = opts.Microcode
+	}
+
+	p := &Platform{
+		id:            st.ID,
+		microcode:     microcode,
+		clock:         opts.Clock,
+		model:         opts.Model,
+		epcBytes:      opts.EPCBytes,
+		sealKey:       sealKey,
+		quoteKey:      signer,
+		counters:      make(map[string]*PlatformCounter, len(st.Counters)),
+		statePath:     path,
+		nvramCounters: make(map[string]nvramCounter, len(st.Counters)),
+	}
+	for name, c := range st.Counters {
+		p.counters[name] = &PlatformCounter{
+			platform: p,
+			name:     name,
+			value:    c.Value,
+			writes:   c.Writes,
+		}
+		p.nvramCounters[name] = c
+	}
+	if microcode != st.Microcode {
+		if err := p.persistNVRAM(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// persistNVRAM writes the full platform state atomically.
+func (p *Platform) persistNVRAM() error {
+	p.persistMu.Lock()
+	defer p.persistMu.Unlock()
+	return p.persistLocked()
+}
+
+// persistLocked serialises, authenticates, and atomically replaces the state
+// file from the immutable identity fields plus the durable counter mirror.
+// Callers hold persistMu. The mirror (rather than the live counters) is the
+// source of truth for the file, so no counter lock is ever taken here —
+// which keeps the lock order a strict c.mu → persistMu and lets Increment
+// persist while holding its own counter's mutex.
+func (p *Platform) persistLocked() error {
+	st := nvramState{
+		Version:   nvramVersion,
+		ID:        p.id,
+		Microcode: p.microcode,
+		SealKey:   append([]byte(nil), p.sealKey[:]...),
+		QuoteSeed: p.quoteKey.Seed(),
+		Counters:  p.nvramCounters,
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("sgx: encode platform NVRAM: %w", err)
+	}
+	env := nvramEnvelope{Payload: payload, MAC: nvramMAC(p.sealKey, payload)}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("sgx: encode platform NVRAM envelope: %w", err)
+	}
+	tmp := p.statePath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("sgx: write platform NVRAM: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("sgx: write platform NVRAM: %w", err)
+	}
+	// The write-through contract is power-loss durability ("hardware NVRAM
+	// is durable per write"), so the bytes must be synced before the rename
+	// publishes them — rename alone only survives process death.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sgx: sync platform NVRAM: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("sgx: close platform NVRAM: %w", err)
+	}
+	if err := os.Rename(tmp, p.statePath); err != nil {
+		return fmt.Errorf("sgx: publish platform NVRAM: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(p.statePath)); err == nil {
+		// Persist the rename itself; best-effort on filesystems that
+		// reject directory fsync.
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// storeCounter is the write-through path for one counter increment: hardware
+// NVRAM is durable per write, so the new {value, writes} pair reaches disk
+// before Increment returns. A failed write rolls the mirror back so the file
+// and the (rolled-back) counter stay in agreement.
+func (p *Platform) storeCounter(name string, value, writes uint64) error {
+	if p.statePath == "" {
+		return nil
+	}
+	p.persistMu.Lock()
+	defer p.persistMu.Unlock()
+	if p.stateClosed {
+		return errors.New("sgx: platform NVRAM closed")
+	}
+	prev, had := p.nvramCounters[name]
+	p.nvramCounters[name] = nvramCounter{Value: value, Writes: writes}
+	if err := p.persistLocked(); err != nil {
+		if had {
+			p.nvramCounters[name] = prev
+		} else {
+			delete(p.nvramCounters, name)
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package sgx
+
+import (
+	"fmt"
+	"os"
+)
+
+// lockStateDir on platforms without flock falls back to creating the lock
+// file WITHOUT mutual exclusion: a concurrent open of the same state dir is
+// not detected there (see DESIGN.md §7). Single-process use — the supported
+// configuration everywhere the repo builds and runs (linux CI, unix dev
+// machines) — is unaffected.
+func lockStateDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+"/platform.lock", os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: open platform lock: %w", err)
+	}
+	return f, nil
+}

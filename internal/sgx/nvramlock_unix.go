@@ -1,0 +1,33 @@
+//go:build unix
+
+package sgx
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockStateDir takes an exclusive advisory flock on a lock file inside the
+// state dir, held for the platform's lifetime (released by Close or process
+// exit — including SIGKILL, so a crashed process never wedges the dir).
+// This is the hardware analogy: one physical machine owns its NVRAM. It
+// closes two races a shared StateDir would otherwise allow: two first-opens
+// both minting platforms (the rename loser's sealing key is lost, bricking
+// every sealed blob), and two live processes whole-file-overwriting each
+// other's counter increments — a durable counter rollback.
+func lockStateDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+"/platform.lock", os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: open platform lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, fmt.Errorf("sgx: platform state dir %s is in use by another process", dir)
+		}
+		return nil, fmt.Errorf("sgx: lock platform state dir: %w", err)
+	}
+	return f, nil
+}

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -149,6 +150,12 @@ type Options struct {
 	Clock simclock.Clock
 	// Model supplies hardware constants; defaults to DefaultCostModel.
 	Model CostModel
+	// StateDir, when set, makes the platform durable: identity, sealing
+	// key, quoting key, and monotonic counters persist in an authenticated
+	// NVRAM file so a later process restores the same platform (and can
+	// unseal what this one sealed). Empty means an ephemeral platform, as
+	// before.
+	StateDir string
 }
 
 // Platform is one simulated SGX-capable host.
@@ -169,10 +176,25 @@ type Platform struct {
 	quoteKey   *cryptoutil.Signer
 	countersMu sync.Mutex
 	counters   map[string]*PlatformCounter
+
+	// statePath is the durable NVRAM file (empty for ephemeral platforms).
+	// persistMu serialises writers of that file and guards nvramCounters
+	// (the durable mirror of the counter values last written through),
+	// lockFile (the state-dir flock held for the platform's lifetime), and
+	// stateClosed (set by Close; disables further NVRAM writes).
+	statePath     string
+	persistMu     sync.Mutex
+	nvramCounters map[string]nvramCounter
+	lockFile      *os.File
+	stateClosed   bool
 }
 
-// NewPlatform constructs a platform.
+// NewPlatform constructs a platform. With Options.StateDir set it opens (or
+// creates) a durable platform via OpenPlatform.
 func NewPlatform(opts Options) (*Platform, error) {
+	if opts.StateDir != "" {
+		return OpenPlatform(opts)
+	}
 	if opts.ID == "" {
 		k, err := cryptoutil.NewKey()
 		if err != nil {
@@ -656,26 +678,51 @@ func (c *PlatformCounter) Value() uint64 {
 }
 
 // Increment bumps the counter, blocking until the hardware interval has
-// elapsed since the previous increment, and returns the new value.
+// elapsed since the previous increment, and returns the new value. On a
+// durable platform the new {value, writes} pair is written through to NVRAM
+// before the call returns; a failed write leaves the counter unchanged.
 func (c *PlatformCounter) Increment() (uint64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	model := c.platform.model
-	if model.CounterWearLimit > 0 && c.writes >= model.CounterWearLimit {
-		return 0, fmt.Errorf("%w after %d writes", ErrCounterWear, c.writes)
-	}
 	clock := c.platform.clock
-	now := clock.Now()
-	if !c.lastIncr.IsZero() {
-		wait := model.CounterInterval - now.Sub(c.lastIncr)
-		if wait > 0 {
-			clock.Sleep(wait)
+	c.mu.Lock()
+	for {
+		if model.CounterWearLimit > 0 && c.writes >= model.CounterWearLimit {
+			writes := c.writes
+			c.mu.Unlock()
+			return 0, fmt.Errorf("%w after %d writes", ErrCounterWear, writes)
 		}
+		if c.lastIncr.IsZero() {
+			break
+		}
+		wait := model.CounterInterval - clock.Now().Sub(c.lastIncr)
+		if wait <= 0 {
+			break
+		}
+		// Sleep the hardware interval without holding the lock so
+		// Value()/Writes() readers are not blocked behind the rate limit;
+		// re-validate after reacquiring — a concurrent increment may have
+		// moved lastIncr (or worn the counter out) in the meantime.
+		c.mu.Unlock()
+		clock.Sleep(wait)
+		c.mu.Lock()
 	}
+	prevIncr := c.lastIncr
 	c.lastIncr = clock.Now()
 	c.value++
 	c.writes++
-	return c.value, nil
+	v := c.value
+	if err := c.platform.storeCounter(c.name, c.value, c.writes); err != nil {
+		// The NVRAM write is the increment; if it failed, the counter did
+		// not move — including the rate-limit timestamp, so a retry is not
+		// charged an interval for a write that never happened.
+		c.value--
+		c.writes--
+		c.lastIncr = prevIncr
+		c.mu.Unlock()
+		return 0, fmt.Errorf("sgx: counter %q write-through: %w", c.name, err)
+	}
+	c.mu.Unlock()
+	return v, nil
 }
 
 // Writes reports total increments, for wear accounting tests.

@@ -24,6 +24,7 @@ import (
 	"context"
 	"crypto/tls"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"palaemon/internal/board"
@@ -108,6 +109,17 @@ func NewFastPlatform() (*Platform, error) {
 	return sgx.NewPlatform(sgx.Options{Model: model})
 }
 
+// OpenPlatformDir opens (or creates) a durable platform rooted at dir: the
+// platform identity, sealing key, quoting key, and monotonic counters
+// persist there, so a later process restores the same platform and can
+// unseal what this one sealed (§IV-B). The counter keeps the fast (no rate
+// limit) calibration of NewFastPlatform.
+func OpenPlatformDir(dir string) (*Platform, error) {
+	model := sgx.DefaultCostModel()
+	model.CounterInterval = 0
+	return sgx.OpenPlatform(sgx.Options{StateDir: dir, Model: model})
+}
+
 // Deployment is a full PALÆMON deployment: instance, CA, IAS, HTTP server.
 type Deployment struct {
 	// Platform hosts every enclave of the deployment.
@@ -120,12 +132,23 @@ type Deployment struct {
 	IAS *ias.Service
 	// Server is the REST/TLS endpoint.
 	Server *core.Server
+
+	// ownsPlatform records that StartService opened the durable platform
+	// itself, so Close must release its state-dir lock.
+	ownsPlatform bool
 }
 
 // DeploymentOptions configures StartService.
 type DeploymentOptions struct {
-	// Platform defaults to a fresh fast platform.
+	// Platform hosts the deployment. When nil, the platform is opened
+	// durably from PlatformDir (default: <DataDir>/platform), so a process
+	// restart against the same DataDir reuses the on-disk platform — same
+	// sealing key, quoting key, and monotonic counters — instead of
+	// minting a fresh one that could not unseal the stored identity.
 	Platform *Platform
+	// PlatformDir overrides where the durable platform state lives when
+	// Platform is nil.
+	PlatformDir string
 	// DataDir stores the encrypted database (required).
 	DataDir string
 	// Evaluator reaches policy-board approval services.
@@ -142,16 +165,38 @@ type DeploymentOptions struct {
 // CA and IAS, and opens the REST/TLS endpoint.
 func StartService(opts DeploymentOptions) (*Deployment, error) {
 	p := opts.Platform
+	ownsPlatform := false
 	if p == nil {
-		fresh, err := NewFastPlatform()
-		if err != nil {
-			return nil, err
+		dir := opts.PlatformDir
+		if dir == "" && opts.DataDir != "" {
+			dir = filepath.Join(opts.DataDir, "platform")
 		}
-		p = fresh
+		if dir != "" {
+			durable, err := OpenPlatformDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			p = durable
+			ownsPlatform = true
+		} else {
+			fresh, err := NewFastPlatform()
+			if err != nil {
+				return nil, err
+			}
+			p = fresh
+		}
+	}
+	// From here on a failure must release the state-dir lock we took, or
+	// an in-process retry (e.g. with Recover set) would find it held.
+	fail := func(err error) (*Deployment, error) {
+		if ownsPlatform {
+			p.Close()
+		}
+		return nil, err
 	}
 	iasSvc, err := ias.New(p.Clock(), 70*time.Millisecond)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	iasSvc.RegisterPlatform(p.ID(), p.QuotingKey())
 
@@ -163,7 +208,7 @@ func StartService(opts DeploymentOptions) (*Deployment, error) {
 		DBGroupCommit: opts.GroupCommit,
 	})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	authority, err := ca.New(p, ca.Config{
 		TrustedMREs:  []sgx.Measurement{inst.MRE()},
@@ -171,36 +216,44 @@ func StartService(opts DeploymentOptions) (*Deployment, error) {
 	})
 	if err != nil {
 		inst.Shutdown(context.Background())
-		return nil, err
+		return fail(err)
 	}
 	server, err := core.Serve(inst, core.ServerOptions{Authority: authority, IAS: iasSvc})
 	if err != nil {
 		inst.Shutdown(context.Background())
 		authority.Close()
-		return nil, err
+		return fail(err)
 	}
 	return &Deployment{
-		Platform:  p,
-		Instance:  inst,
-		Authority: authority,
-		IAS:       iasSvc,
-		Server:    server,
+		Platform:     p,
+		Instance:     inst,
+		Authority:    authority,
+		IAS:          iasSvc,
+		Server:       server,
+		ownsPlatform: ownsPlatform,
 	}, nil
 }
 
 // URL returns the instance endpoint.
 func (d *Deployment) URL() string { return d.Server.URL() }
 
-// Close gracefully shuts the deployment down (Fig 6 drain included).
+// Close gracefully shuts the deployment down (Fig 6 drain included). Every
+// step runs even when an earlier one fails — a half-failed close must still
+// release the CA and the platform's state-dir lock, or an in-process
+// restart against the same DataDir would find the platform "in use". The
+// first error is returned.
 func (d *Deployment) Close() error {
-	if err := d.Server.Close(); err != nil {
-		return err
-	}
-	if err := d.Instance.Shutdown(context.Background()); err != nil {
-		return err
+	firstErr := d.Server.Close()
+	if err := d.Instance.Shutdown(context.Background()); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	d.Authority.Close()
-	return nil
+	if d.ownsPlatform {
+		if err := d.Platform.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // ConnectOptions configures a client connection.

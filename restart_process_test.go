@@ -1,0 +1,320 @@
+package palaemon_test
+
+// Cross-process restart: the Fig 6 rollback/restart guarantees only mean
+// something if they hold across real OS processes, not just across
+// core.Open calls inside one test binary. This test builds cmd/palaemond,
+// runs it against a durable -data dir, and checks that a second process
+// restores the same platform NVRAM and sealed identity: stable MRE and
+// identity key, surviving secrets, a crash restart refused without
+// -recover and accepted with it, and a restored quoting key that still
+// passes explicit attestation.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"palaemon"
+	"palaemon/internal/core"
+)
+
+// daemon is one running palaemond process with its parsed startup banner.
+type daemon struct {
+	cmd    *exec.Cmd
+	url    string
+	mre    string
+	iasKey []byte
+	stderr *bytes.Buffer
+	waited sync.Once
+	err    error
+}
+
+// buildPalaemond compiles cmd/palaemond once per test-binary run.
+var buildOnce sync.Once
+var builtPath string
+var buildErr error
+
+func buildPalaemond(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not available: %v", err)
+	}
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "palaemond-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtPath = filepath.Join(dir, "palaemond")
+		cmd := exec.Command("go", "build", "-o", builtPath, "./cmd/palaemond")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build ./cmd/palaemond: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtPath
+}
+
+// startDaemon launches palaemond and parses its banner; it fails the test
+// if the process does not come up within the deadline.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{cmd: exec.Command(bin, args...), stderr: &bytes.Buffer{}}
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Stderr = d.stderr
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.Process != nil {
+			_ = d.cmd.Process.Kill()
+			_ = d.wait()
+		}
+	})
+
+	type banner struct {
+		url, mre string
+		iasKey   []byte
+		err      error
+	}
+	ch := make(chan banner, 1)
+	go func() {
+		var b banner
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "palaemond: serving on "):
+				b.url = strings.TrimPrefix(line, "palaemond: serving on ")
+			case strings.HasPrefix(line, "palaemond: instance MRE "):
+				b.mre = strings.TrimPrefix(line, "palaemond: instance MRE ")
+			case strings.HasPrefix(line, "palaemond: IAS key "):
+				key, err := hex.DecodeString(strings.TrimPrefix(line, "palaemond: IAS key "))
+				if err != nil {
+					b.err = fmt.Errorf("parse IAS key: %v", err)
+					ch <- b
+					return
+				}
+				b.iasKey = key
+			case strings.HasPrefix(line, "palaemond: DB epoch "):
+				// Last banner line: the server is up. Keep draining stdout
+				// so the child never blocks on a full pipe.
+				ch <- b
+				go io.Copy(io.Discard, stdout)
+				return
+			}
+		}
+		// Reap before reading stderr: exec's copier goroutine only
+		// finishes inside Wait, and the buffer is not safe to read while
+		// it still writes.
+		_ = d.wait()
+		b.err = fmt.Errorf("palaemond exited before serving: %v\nstderr: %s", sc.Err(), d.stderr)
+		ch <- b
+	}()
+
+	select {
+	case b := <-ch:
+		if b.err != nil {
+			t.Fatal(b.err)
+		}
+		d.url, d.mre, d.iasKey = b.url, b.mre, b.iasKey
+		if d.url == "" || d.mre == "" || len(d.iasKey) == 0 {
+			t.Fatalf("incomplete banner: url=%q mre=%q ias=%d bytes", d.url, d.mre, len(d.iasKey))
+		}
+		return d
+	case <-time.After(60 * time.Second):
+		_ = d.cmd.Process.Kill()
+		_ = d.wait() // reap so the stderr buffer is quiescent before reading
+		t.Fatalf("palaemond did not start in time\nstderr: %s", d.stderr)
+		return nil
+	}
+}
+
+// wait reaps the process once and caches the result.
+func (d *daemon) wait() error {
+	d.waited.Do(func() { d.err = d.cmd.Wait() })
+	return d.err
+}
+
+// stop sends SIGTERM and expects a clean exit.
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.wait(); err != nil {
+		t.Fatalf("palaemond did not shut down cleanly: %v\nstderr: %s", err, d.stderr)
+	}
+}
+
+// kill SIGKILLs the process: the simulated crash.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = d.wait()
+}
+
+func TestCrossProcessRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs child processes")
+	}
+	bin := buildPalaemond(t)
+	data := filepath.Join(t.TempDir(), "data")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// One client certificate for the whole test: the policy is pinned to
+	// this identity, and the same stakeholder returns after each restart.
+	cert, _, err := palaemon.NewClientCertificate("restart-tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := func(url string) *core.Client {
+		return core.NewClient(core.ClientOptions{BaseURL: url, Certificate: cert})
+	}
+	attDoc := func(t *testing.T, d *daemon) *core.AttestationDoc {
+		t.Helper()
+		cli := core.NewClient(core.ClientOptions{BaseURL: d.url})
+		if err := cli.VerifyInstance(ctx, d.iasKey, []string{d.mre}); err != nil {
+			t.Fatalf("VerifyInstance: %v", err)
+		}
+		doc, err := cli.Attestation(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	// --- Run 1: mint everything, store a secret-bearing policy. ---------
+	d1 := startDaemon(t, bin, "-data", data)
+	doc1 := attDoc(t, d1)
+
+	app := palaemon.Binary{Name: "svc", Code: []byte("restart service v1")}
+	pol := &palaemon.Policy{
+		Name: "restart",
+		Services: []palaemon.Service{{
+			Name:       "svc",
+			MREnclaves: []palaemon.Measurement{palaemon.MeasureBinary(app)},
+		}},
+		Secrets: []palaemon.Secret{{Name: "k", Type: palaemon.SecretRandom}},
+	}
+	if err := client(d1.url).CreatePolicy(ctx, pol); err != nil {
+		t.Fatalf("CreatePolicy: %v", err)
+	}
+	secrets1, err := client(d1.url).FetchSecrets(ctx, "restart", []string{"k"}, nil)
+	if err != nil {
+		t.Fatalf("FetchSecrets: %v", err)
+	}
+	if secrets1["k"] == "" {
+		t.Fatal("no secret value minted")
+	}
+	d1.stop(t)
+
+	// --- Run 2: clean restart must restore platform and identity. -------
+	d2 := startDaemon(t, bin, "-data", data)
+	if d2.mre != d1.mre {
+		t.Fatalf("instance MRE changed across restart: %s -> %s", d1.mre, d2.mre)
+	}
+	// VerifyInstance inside attDoc proves the restored quoting key still
+	// verifies (report status OK) and the identity key answers challenges.
+	doc2 := attDoc(t, d2)
+	if !bytes.Equal(doc1.PublicKey, doc2.PublicKey) {
+		t.Fatal("instance identity key changed across restart: identity.sealed was not unsealed")
+	}
+	secrets2, err := client(d2.url).FetchSecrets(ctx, "restart", []string{"k"}, nil)
+	if err != nil {
+		t.Fatalf("FetchSecrets after restart: %v", err)
+	}
+	if secrets2["k"] != secrets1["k"] {
+		t.Fatal("stored secret did not survive the restart")
+	}
+
+	// --- Crash: SIGKILL leaves v < c on disk. ---------------------------
+	d2.kill(t)
+
+	// Restart without -recover is refused (crash treated as attack, §IV-D).
+	// Bound by ctx: a regression that accepts the restart would otherwise
+	// serve forever and hang the test instead of failing it.
+	refused := exec.CommandContext(ctx, bin, "-data", data)
+	var refusedErr bytes.Buffer
+	refused.Stderr = &refusedErr
+	err = refused.Run()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("crash restart exited %v, want failure\nstderr: %s", err, &refusedErr)
+	}
+	if !strings.Contains(refusedErr.String(), "monotonic counter") {
+		t.Fatalf("crash restart failed for the wrong reason: %s", &refusedErr)
+	}
+
+	// Acknowledged fail-over fast-forwards and serves again.
+	d3 := startDaemon(t, bin, "-data", data, "-recover")
+	if d3.mre != d1.mre {
+		t.Fatalf("MRE changed across recovery: %s -> %s", d1.mre, d3.mre)
+	}
+	secrets3, err := client(d3.url).FetchSecrets(ctx, "restart", []string{"k"}, nil)
+	if err != nil {
+		t.Fatalf("FetchSecrets after recovery: %v", err)
+	}
+	if secrets3["k"] != secrets1["k"] {
+		t.Fatal("stored secret did not survive the recovery")
+	}
+	d3.stop(t)
+}
+
+// TestCrossProcessPlatformOverride checks the -platform flag: two data
+// directories sharing one platform directory run on the same simulated
+// host, so blobs sealed by the first instance stay bound to that platform.
+func TestCrossProcessPlatformOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs child processes")
+	}
+	bin := buildPalaemond(t)
+	tmp := t.TempDir()
+	platformDir := filepath.Join(tmp, "platform")
+	data := filepath.Join(tmp, "data")
+
+	d1 := startDaemon(t, bin, "-data", data, "-platform", platformDir)
+	d1.stop(t)
+
+	// Same data dir, same explicit platform dir: restart succeeds.
+	d2 := startDaemon(t, bin, "-data", data, "-platform", platformDir)
+	d2.stop(t)
+
+	// Same data dir on a DIFFERENT platform: the sealed identity must not
+	// open (the blob is bound to the first platform).
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	otherPlatform := filepath.Join(tmp, "other-platform")
+	wrong := exec.CommandContext(ctx, bin, "-data", data, "-platform", otherPlatform)
+	var stderr bytes.Buffer
+	wrong.Stderr = &stderr
+	err := wrong.Run()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("foreign platform accepted the sealed identity: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "another platform") {
+		t.Fatalf("failed for the wrong reason: %s", &stderr)
+	}
+}
