@@ -2,16 +2,20 @@
 //
 // Usage:
 //
-//	benchreport               # run every experiment (full durations)
-//	benchreport -quick        # reduced durations (CI-sized)
-//	benchreport -exp fig10    # one experiment
-//	benchreport -list         # list experiment IDs
+//	benchreport                         # run every experiment (full durations)
+//	benchreport -quick                  # reduced durations (CI-sized)
+//	benchreport -exp fig10              # one experiment
+//	benchreport -exp fig8,fig12         # a comma-separated subset
+//	benchreport -json BENCH.json        # also write the reports as JSON
+//	benchreport -list                   # list experiment IDs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"palaemon/internal/figures"
 )
@@ -25,9 +29,10 @@ func main() {
 
 func run() error {
 	var (
-		expID = flag.String("exp", "", "experiment ID to run (default: all)")
-		quick = flag.Bool("quick", false, "reduced measurement windows")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		expIDs   = flag.String("exp", "", "comma-separated experiment IDs to run (default: all)")
+		quick    = flag.Bool("quick", false, "reduced measurement windows")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonPath = flag.String("json", "", "also write the reports to this file as a JSON array (perf trajectory data points)")
 	)
 	flag.Parse()
 
@@ -39,20 +44,40 @@ func run() error {
 	}
 
 	selected := figures.All()
-	if *expID != "" {
-		exp, ok := figures.ByID(*expID)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (use -list)", *expID)
+	if *expIDs != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*expIDs, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			exp, ok := figures.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, exp)
 		}
-		selected = []figures.Experiment{exp}
 	}
 
+	var reports []*figures.Report
 	for _, exp := range selected {
 		report, err := exp.Run(*quick)
 		if err != nil {
 			return fmt.Errorf("%s: %w", exp.ID, err)
 		}
 		report.Print(os.Stdout)
+		reports = append(reports, report)
+	}
+
+	if *jsonPath != "" {
+		raw, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode reports: %w", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: wrote %d report(s) to %s\n", len(reports), *jsonPath)
 	}
 	return nil
 }

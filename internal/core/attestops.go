@@ -66,9 +66,11 @@ func (i *Instance) AttestApplication(ev attest.Evidence, quotingKey ed25519.Publ
 	// attestation bumps the shared revision via its key mint, so booting
 	// a many-service policy concurrently can invalidate one attempt once
 	// per sibling (and again in the post-mint recheck window).
+	// The pre-read is a snapshot peek: warm, it costs a map lookup; cold,
+	// the decode it pays is the one attestOnce reuses immediately after.
 	attempts := 8
-	if pol, err := i.getPolicy(ev.PolicyName); err == nil {
-		if n := 4 + 2*len(pol.Services); n > attempts {
+	if snap, err := i.snapshot(ev.PolicyName); err == nil {
+		if n := 4 + 2*len(snap.pol.Services); n > attempts {
 			attempts = n
 		}
 	}
@@ -89,11 +91,15 @@ func (i *Instance) AttestApplication(ev attest.Evidence, quotingKey ed25519.Publ
 // attestOnce is one optimistic attestation attempt against the current
 // stored policy revision.
 func (i *Instance) attestOnce(ev attest.Evidence) (*AppConfig, error) {
-	// (ii) the policy must exist and permit the MRE.
-	p, deps, err := i.resolvePolicy(ev.PolicyName)
+	// (ii) the policy must exist and permit the MRE. The snapshot gives
+	// the decoded policy and its import-resolved release view (memoized
+	// per exporter-version vector) without re-decoding anything on the
+	// warm path.
+	snap, res, err := i.resolveSnapshot(ev.PolicyName)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
 	}
+	p := res.pol
 	svc, ok := p.FindService(ev.ServiceName)
 	if !ok {
 		return nil, fmt.Errorf("%w: unknown service %q", ErrAttestation, ev.ServiceName)
@@ -106,22 +112,20 @@ func (i *Instance) attestOnce(ev attest.Evidence) (*AppConfig, error) {
 		return nil, fmt.Errorf("%w: %v", ErrAttestation, attest.ErrPlatformNotPermitted)
 	}
 
-	// Build the released configuration.
-	secrets := p.SecretValues()
+	// Build the released configuration from the precompiled templates
+	// (substitution already done once for this revision). Map-valued
+	// content is copied per release, so a handler mutating its AppConfig
+	// can never reach back into the shared snapshot.
+	cs, ok := res.compiled.Service(ev.ServiceName)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown service %q", ErrAttestation, ev.ServiceName)
+	}
 	cfg := &AppConfig{
-		Command:     policy.Substitute(svc.Command, secrets),
-		Environment: make(map[string]string, len(svc.Environment)),
-		Secrets:     secrets,
-		StrictMode:  svc.StrictMode,
-	}
-	for k, v := range svc.Environment {
-		cfg.Environment[k] = policy.Substitute(v, secrets)
-	}
-	if len(svc.InjectionFiles) > 0 {
-		cfg.InjectionFiles = make(map[string]string, len(svc.InjectionFiles))
-		for _, f := range svc.InjectionFiles {
-			cfg.InjectionFiles[f.Path] = policy.Substitute(f.Template, secrets)
-		}
+		Command:        cs.Command,
+		Environment:    cs.Environment(),
+		Secrets:        res.compiled.Secrets(),
+		InjectionFiles: cs.InjectionFiles(),
+		StrictMode:     cs.StrictMode,
 	}
 	// Advisory pre-validation of the tag record (the authoritative pass
 	// runs under the tag lock below): a request that will be refused —
@@ -138,7 +142,7 @@ func (i *Instance) attestOnce(ev attest.Evidence) (*AppConfig, error) {
 	// against; the FSPF mint below advances it, and the locked recheck
 	// before the tag bump invalidates the whole attestation if the policy
 	// was updated, deleted, or deleted-and-recreated in the meantime.
-	expectRev := p.Revision
+	expectRev := snap.version.Revision
 	if svc.FSPFKey != "" {
 		key, err := cryptoutil.KeyFromHex(svc.FSPFKey)
 		if err != nil {
@@ -151,7 +155,7 @@ func (i *Instance) attestOnce(ev attest.Evidence) (*AppConfig, error) {
 		// makes the mint atomic — of two racing first attestations, one
 		// mints and the other adopts the stored key (policy lock strictly
 		// before tag lock, per the stripedRW ordering discipline).
-		key, rev, err := i.mintFSPFKey(ev.PolicyName, ev.ServiceName, p.Revision, p.CreateID)
+		key, rev, err := i.mintFSPFKey(ev.PolicyName, ev.ServiceName, snap.version.Revision, snap.version.CreateID)
 		if err != nil {
 			return nil, err
 		}
@@ -167,11 +171,14 @@ func (i *Instance) attestOnce(ev attest.Evidence) (*AppConfig, error) {
 	// tag cleanup and then have this attest recreate an orphan record.
 	pmu := i.policyLocks.rlock(ev.PolicyName)
 	defer pmu.RUnlock()
-	check, err := i.getPolicy(ev.PolicyName)
+	// Authoritative revision recheck: under the stripe lock no writer can
+	// land (writers mutate and invalidate under the write lock), so the
+	// snapshot read here IS the stored state — cached or not.
+	check, err := i.snapshotLocked(ev.PolicyName)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
 	}
-	if check.Revision != expectRev || check.CreateID != p.CreateID {
+	if check.version.Revision != expectRev || check.version.CreateID != snap.version.CreateID {
 		// Updated, or deleted and recreated (the CreateID catches the
 		// recreation even when revisions and creator line up), since we
 		// resolved it: the secrets and services above are stale.
@@ -180,13 +187,14 @@ func (i *Instance) attestOnce(ev attest.Evidence) (*AppConfig, error) {
 	}
 	// The released secrets may also come from imported exporter policies;
 	// a rotation there between resolve and release must invalidate this
-	// attempt too.
-	for depName, ver := range deps {
-		dep, err := i.getPolicy(depName)
+	// attempt too. peekVersion takes no stripe lock (we already hold this
+	// policy's, and an exporter may share the stripe).
+	for depName, ver := range res.deps {
+		depVer, err := i.peekVersion(depName)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
 		}
-		if dep.Revision != ver.Revision || dep.CreateID != ver.CreateID {
+		if depVer != ver {
 			return nil, fmt.Errorf("%w: %w", ErrAttestation,
 				fmt.Errorf("%w: imported policy %s changed during attestation", ErrConflict, depName))
 		}
@@ -267,19 +275,19 @@ func validateTagRecord(svc *policy.Service, rec tagRecord, policyName, serviceNa
 func (i *Instance) mintFSPFKey(policyName, serviceName string, expectRev, createID uint64) (cryptoutil.Key, uint64, error) {
 	mu := i.policyLocks.lock(policyName)
 	defer mu.Unlock()
-	stored, err := i.getPolicy(policyName)
+	snap, err := i.snapshotLocked(policyName)
 	if err != nil {
 		return cryptoutil.Key{}, 0, err
 	}
-	if stored.CreateID != createID {
+	if snap.version.CreateID != createID {
 		return cryptoutil.Key{}, 0, fmt.Errorf("%w: %w", ErrAttestation,
 			fmt.Errorf("%w: policy %s recreated during attestation", ErrConflict, policyName))
 	}
-	s, ok := stored.FindService(serviceName)
+	cur, ok := snap.pol.FindService(serviceName)
 	if !ok {
 		return cryptoutil.Key{}, 0, fmt.Errorf("%w: unknown service %q", ErrAttestation, serviceName)
 	}
-	if stored.Revision != expectRev || s.FSPFKey != "" {
+	if snap.version.Revision != expectRev || cur.FSPFKey != "" {
 		// The policy moved since it was resolved — a racing attestation
 		// minted the key, or an update (possibly carrying an explicit key
 		// and new secrets) landed. Either way this attempt's configuration
@@ -292,6 +300,10 @@ func (i *Instance) mintFSPFKey(policyName, serviceName string, expectRev, create
 	if err != nil {
 		return cryptoutil.Key{}, 0, err
 	}
+	// Mutate a private clone, never the cached snapshot; putPolicy
+	// invalidates the stale entry under the write lock held here.
+	stored := snap.pol.Clone()
+	s, _ := stored.FindService(serviceName)
 	s.FSPFKey = key.Hex()
 	stored.Revision++
 	if err := i.putPolicy(stored); err != nil {

@@ -93,6 +93,10 @@ type Options struct {
 	// DBGroupCommit batches concurrent WAL writers into one fsync
 	// (kvdb group commit) — the high-throughput multi-stakeholder mode.
 	DBGroupCommit bool
+	// DisablePolicyCache turns the decode-once policy snapshot cache off,
+	// re-decoding policies from the database per request — the read-path
+	// ablation baseline (DESIGN.md §8). Leave false in deployments.
+	DisablePolicyCache bool
 }
 
 // identity is the sealed instance identity (§IV-B): the Ed25519 key pair the
@@ -157,6 +161,11 @@ type Instance struct {
 	// bump at attestation, stale-push check). Taken after policyLocks where
 	// both are needed.
 	tagLocks stripedRW
+	// pcache is the decode-once policy snapshot cache (policycache.go).
+	// In-memory only: rebuilt empty by Open, so every restart — clean,
+	// crashed, or -recover — starts cold and the Fig 6 v==c check never
+	// competes with a warm cache.
+	pcache *policyCache
 
 	// inflight counts requests for the Fig 6 drain. A plain counter with a
 	// condition variable rather than a WaitGroup: exit notifications are
@@ -226,6 +235,7 @@ func Open(opts Options) (*Instance, error) {
 		eval:     opts.Evaluator,
 		db:       db,
 		sessions: newSessionTable(),
+		pcache:   newPolicyCache(!opts.DisablePolicyCache),
 	}
 	inst.inflightCond = sync.NewCond(&inst.inflightMu)
 

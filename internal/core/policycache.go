@@ -1,0 +1,370 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"palaemon/internal/kvdb"
+	"palaemon/internal/policy"
+)
+
+// This file is the read-side counterpart of the write-path scaling work
+// (WAL group commit, striped locks, DESIGN.md §6): a versioned,
+// decode-once policy cache. Every read-side hot path — application
+// attestation (Fig 8), secret retrieval (Fig 12), policy reads — used to
+// pay a kvdb.Get byte copy plus a full json.Unmarshal of the policy per
+// request, and resolvePolicy re-decoded every imported exporter on top.
+// The cache turns those into a map lookup of an immutable decoded
+// snapshot with the release templates already substituted.
+//
+// Coherence rules (DESIGN.md §8):
+//
+//   - A snapshot is populated on miss while holding the per-policy-name
+//     stripe lock (read mode suffices), and every writer — putPolicy,
+//     DeletePolicy's record removal — invalidates the entry while holding
+//     the same stripe lock in write mode, after the database accepted the
+//     mutation and before the operation acks. A populate therefore either
+//     completes strictly before the write (and is invalidated by it) or
+//     starts strictly after (and decodes the new bytes): a present entry
+//     ALWAYS equals the currently stored policy.
+//   - Because of that invariant, reading a present entry without the
+//     stripe lock is a linearizable point read — exactly the guarantee
+//     kvdb.Get gave the paths this cache replaces. The authoritative
+//     revision recheck in attestOnce additionally runs under the stripe
+//     lock, where the entry cannot be invalidated concurrently at all.
+//   - The cache lives strictly above kvdb and inside the enclave trust
+//     boundary: it holds decrypted policy state in enclave memory only,
+//     is never persisted, and is rebuilt empty by Open — so a restart,
+//     crash, or operator-acknowledged -recover always starts cold and the
+//     Fig 6 v==c rollback check never has a warm cache to disagree with.
+
+// policyVersion identifies one stored state of a policy. Revision alone is
+// not enough: a delete+recreate restarts Revision at 1, and CreateID is
+// what catches that.
+type policyVersion struct {
+	Revision uint64
+	CreateID uint64
+}
+
+// policySnapshot is one immutable decoded policy state plus its derived
+// release artefacts. Nothing in it is ever mutated after construction;
+// handlers receive copies (policy.Clone, Compiled's copying accessors).
+type policySnapshot struct {
+	// pol is the decoded stored policy. Read-only.
+	pol *policy.Policy
+	// version is pol's (Revision, CreateID).
+	version policyVersion
+	// seq is the kvdb commit sequence observed when the snapshot was
+	// decoded (diagnostics; the stripe-lock protocol, not seq, carries
+	// the coherence argument).
+	seq uint64
+	// compiled is the precompiled release view (secrets materialised,
+	// templates substituted) of the STORED policy — imported secret
+	// values are not resolved here, matching what ReadPolicy/FetchSecrets
+	// have always served.
+	compiled *policy.Compiled
+
+	// resolved memoizes import resolution for one exporter-version
+	// vector; nil until first use. For import-free policies it is set
+	// eagerly at decode time (resolution is the identity). Guarded by
+	// resolveMu for policies with imports.
+	resolveMu sync.Mutex
+	resolved  *resolvedPolicy
+}
+
+// resolvedPolicy is a memoized resolvePolicy result: the policy with
+// import intersections applied and imported secrets resolved, keyed by
+// the dependency-version vector it was resolved against.
+type resolvedPolicy struct {
+	// key encodes the exporter (name, Revision, CreateID) vector.
+	key string
+	// pol is the resolved policy. Read-only.
+	pol *policy.Policy
+	// deps snapshots each exporter's version at resolution time, so the
+	// locked recheck can detect an exporter rotating a secret between
+	// resolution and release. Nil for import-free policies.
+	deps map[string]policyVersion
+	// compiled is the release view of the RESOLVED policy (imported
+	// secret values present).
+	compiled *policy.Compiled
+}
+
+// policyCache maps policy name → decoded snapshot, striped like the locks
+// it cooperates with. Disabled mode (Options.DisablePolicyCache) keeps the
+// decode-per-request behaviour selectable for the ablation.
+type policyCache struct {
+	enabled bool
+	shards  [lockStripes]policyCacheShard
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+type policyCacheShard struct {
+	mu sync.RWMutex
+	m  map[string]*policySnapshot
+}
+
+func newPolicyCache(enabled bool) *policyCache {
+	c := &policyCache{enabled: enabled}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*policySnapshot)
+	}
+	return c
+}
+
+func (c *policyCache) get(name string) (*policySnapshot, bool) {
+	s, ok := c.peek(name)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return s, ok
+}
+
+// peek is get without touching the hit/miss counters, for re-checks that
+// are part of a lookup already counted (snapshot's post-rlock re-check —
+// otherwise every cold read would count twice).
+func (c *policyCache) peek(name string) (*policySnapshot, bool) {
+	if !c.enabled {
+		return nil, false
+	}
+	sh := &c.shards[stripeFor(name)]
+	sh.mu.RLock()
+	s, ok := sh.m[name]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+func (c *policyCache) put(name string, s *policySnapshot) {
+	if !c.enabled {
+		return
+	}
+	sh := &c.shards[stripeFor(name)]
+	sh.mu.Lock()
+	sh.m[name] = s
+	sh.mu.Unlock()
+}
+
+// invalidate drops the entry. Callers hold the per-name policy stripe
+// lock in write mode and have already applied the mutation to the
+// database — the ordering the coherence argument above depends on.
+func (c *policyCache) invalidate(name string) {
+	if !c.enabled {
+		return
+	}
+	c.invalidations.Add(1)
+	sh := &c.shards[stripeFor(name)]
+	sh.mu.Lock()
+	delete(sh.m, name)
+	sh.mu.Unlock()
+}
+
+// CacheStats reports the read-path cache counters plus the kvdb read/seq
+// counters behind them, so the cache-on/off ablation is measurable.
+type CacheStats struct {
+	// Enabled reports whether the decode-once cache is active.
+	Enabled bool
+	// Hits/Misses count snapshot lookups; a disabled cache counts every
+	// lookup as a miss.
+	Hits, Misses uint64
+	// Invalidations counts entries dropped by the write path.
+	Invalidations uint64
+	// DBReads counts kvdb Get/Keys calls (every cache hit is a db read
+	// that never happened).
+	DBReads uint64
+	// DBSeq is the kvdb commit sequence (mutations applied).
+	DBSeq uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Since returns the counter deltas relative to an earlier reading.
+func (s CacheStats) Since(prev CacheStats) CacheStats {
+	return CacheStats{
+		Enabled:       s.Enabled,
+		Hits:          s.Hits - prev.Hits,
+		Misses:        s.Misses - prev.Misses,
+		Invalidations: s.Invalidations - prev.Invalidations,
+		DBReads:       s.DBReads - prev.DBReads,
+		DBSeq:         s.DBSeq - prev.DBSeq,
+	}
+}
+
+// CacheStats reports the instance's read-path cache effectiveness.
+func (i *Instance) CacheStats() CacheStats {
+	return CacheStats{
+		Enabled:       i.pcache.enabled,
+		Hits:          i.pcache.hits.Load(),
+		Misses:        i.pcache.misses.Load(),
+		Invalidations: i.pcache.invalidations.Load(),
+		DBReads:       i.db.Reads(),
+		DBSeq:         i.db.Seq(),
+	}
+}
+
+// --- Snapshot access ---------------------------------------------------------
+
+// loadSnapshot decodes the stored policy and builds its derived release
+// artefacts. It reads the database only — no cache, no stripe locks — and
+// preserves getPolicy's error contract (ErrPolicyNotFound vs unhealthy
+// store).
+func (i *Instance) loadSnapshot(name string) (*policySnapshot, error) {
+	raw, err := i.db.Get(bucketPolicies, name)
+	if errors.Is(err, kvdb.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %s", ErrPolicyNotFound, name)
+	}
+	if err != nil {
+		// Closed or poisoned database: the instance is unhealthy, which is
+		// not the same as the policy not existing.
+		return nil, fmt.Errorf("core: read policy %s: %w", name, err)
+	}
+	seq := i.db.Seq()
+	var p policy.Policy
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, fmt.Errorf("core: decode policy %s: %w", name, err)
+	}
+	s := &policySnapshot{
+		pol:      &p,
+		version:  policyVersion{Revision: p.Revision, CreateID: p.CreateID},
+		seq:      seq,
+		compiled: policy.Compile(&p),
+	}
+	if len(p.Imports) == 0 {
+		// Import-free resolution is the identity; precompute it so the
+		// attestation fast path is a pure lookup.
+		s.resolved = &resolvedPolicy{pol: s.pol, compiled: s.compiled}
+	}
+	return s, nil
+}
+
+// snapshotLocked returns the snapshot for name, populating the cache on
+// miss. The caller holds the per-name policy stripe lock (read or write
+// mode), which is what makes the populate race-free against writers.
+func (i *Instance) snapshotLocked(name string) (*policySnapshot, error) {
+	if s, ok := i.pcache.get(name); ok {
+		return s, nil
+	}
+	s, err := i.loadSnapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	i.pcache.put(name, s)
+	return s, nil
+}
+
+// snapshot returns the snapshot for name for callers holding no policy
+// lock. The fast path reads the cache without the stripe lock (a present
+// entry always equals the stored state, see the coherence rules above); a
+// miss briefly takes the per-name read lock to populate safely. One
+// logical read counts exactly once: the post-rlock re-check is a peek.
+func (i *Instance) snapshot(name string) (*policySnapshot, error) {
+	if s, ok := i.pcache.get(name); ok {
+		return s, nil
+	}
+	mu := i.policyLocks.rlock(name)
+	defer mu.RUnlock()
+	if s, ok := i.pcache.peek(name); ok {
+		// Populated while we queued for the stripe lock.
+		return s, nil
+	}
+	s, err := i.loadSnapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	i.pcache.put(name, s)
+	return s, nil
+}
+
+// policyVersionRecord decodes just the version fields of a stored policy —
+// the cheap peek for revision rechecks that miss the cache.
+type policyVersionRecord struct {
+	Revision uint64 `json:"revision"`
+	CreateID uint64 `json:"create_id"`
+}
+
+// peekVersion returns the stored (Revision, CreateID) of name as cheaply
+// as possible: a cache lookup when warm, a two-field decode when cold. It
+// takes no stripe locks and does not populate the cache, so it is safe
+// from any locking context — including under another policy's stripe lock
+// (the import recheck in attestOnce).
+func (i *Instance) peekVersion(name string) (policyVersion, error) {
+	if s, ok := i.pcache.get(name); ok {
+		return s.version, nil
+	}
+	raw, err := i.db.Get(bucketPolicies, name)
+	if errors.Is(err, kvdb.ErrNotFound) {
+		return policyVersion{}, fmt.Errorf("%w: %s", ErrPolicyNotFound, name)
+	}
+	if err != nil {
+		return policyVersion{}, fmt.Errorf("core: read policy %s: %w", name, err)
+	}
+	var rec policyVersionRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return policyVersion{}, fmt.Errorf("core: decode policy %s: %w", name, err)
+	}
+	return policyVersion{Revision: rec.Revision, CreateID: rec.CreateID}, nil
+}
+
+// resolveSnapshot returns the snapshot of name plus its import-resolved
+// release view (intersections applied, imported secrets filled in),
+// memoized per exporter-version vector. The optimistic read contract is
+// unchanged from the decode-per-request resolvePolicy it replaces: the
+// result may be stale by the time it is used, and the locked revision
+// recheck (own version AND every dep version) is what catches that.
+func (i *Instance) resolveSnapshot(name string) (*policySnapshot, *resolvedPolicy, error) {
+	s, err := i.snapshot(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(s.pol.Imports) == 0 {
+		return s, s.resolved, nil
+	}
+
+	exporters := make(map[string]*policy.Policy, len(s.pol.Imports))
+	deps := make(map[string]policyVersion, len(s.pol.Imports))
+	var key strings.Builder
+	for _, imp := range s.pol.Imports {
+		exp, err := i.snapshot(imp.Policy)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: resolve import %q: %w", imp.Policy, err)
+		}
+		exporters[imp.Policy] = exp.pol
+		deps[imp.Policy] = exp.version
+		fmt.Fprintf(&key, "%s\x00%d\x00%d\x00", imp.Policy, exp.version.Revision, exp.version.CreateID)
+	}
+
+	s.resolveMu.Lock()
+	defer s.resolveMu.Unlock()
+	if r := s.resolved; r != nil && r.key == key.String() {
+		return s, r, nil
+	}
+	resolved := s.pol.Clone()
+	if err := resolved.ApplyImports(exporters); err != nil {
+		return nil, nil, err
+	}
+	if err := resolved.ResolveImportedSecrets(exporters); err != nil {
+		return nil, nil, err
+	}
+	r := &resolvedPolicy{
+		key:      key.String(),
+		pol:      resolved,
+		deps:     deps,
+		compiled: policy.Compile(resolved),
+	}
+	s.resolved = r
+	return s, r, nil
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/policy"
+	"palaemon/internal/sgx"
+)
+
+// genPolicy builds a policy whose content encodes a generation number, so
+// readers can check the freshness of whatever the instance releases.
+func genPolicy(name string, gen int, mres ...sgx.Measurement) *policy.Policy {
+	return &policy.Policy{
+		Name: name,
+		Services: []policy.Service{{
+			Name:       "app",
+			Command:    "serve --gen $$gen",
+			MREnclaves: mres,
+		}},
+		Secrets: []policy.Secret{{
+			Name:  "gen",
+			Type:  policy.SecretExplicit,
+			Value: strconv.Itoa(gen),
+		}},
+	}
+}
+
+// TestPolicyCacheCoherenceRace races the write path (updates, delete +
+// recreate) against the cached read paths (attestation, secret fetch) and
+// checks that no released configuration is ever staler than the newest
+// acknowledged write that preceded the read — the invariant the
+// invalidate-under-stripe-lock protocol (DESIGN.md §8) promises. Run
+// under -race it also proves the cache itself is data-race free.
+func TestPolicyCacheCoherenceRace(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	bin := appBinary()
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+
+	const name = "race"
+	if err := inst.CreatePolicy(ctx, clientA(), genPolicy(name, 1, bin.Measure())); err != nil {
+		t.Fatalf("CreatePolicy: %v", err)
+	}
+
+	// acked holds the highest generation whose write has been acknowledged.
+	var acked atomic.Int64
+	acked.Store(1)
+	done := make(chan struct{})
+	var writerErr error
+
+	const writes = 150
+	go func() {
+		defer close(done)
+		for g := 2; g <= writes; g++ {
+			var err error
+			if g%7 == 0 {
+				// Delete + recreate: Revision restarts at 1, CreateID
+				// changes — the recheck case Revision alone cannot catch.
+				if err = inst.DeletePolicy(ctx, clientA(), name); err == nil {
+					err = inst.CreatePolicy(ctx, clientA(), genPolicy(name, g, bin.Measure()))
+				}
+			} else {
+				err = inst.UpdatePolicy(ctx, clientA(), genPolicy(name, g, bin.Measure()))
+			}
+			switch {
+			case err == nil:
+				acked.Store(int64(g))
+			case errors.Is(err, ErrConflict):
+				// A racing attestation minted the FSPF key between our
+				// approval and store; benign, retry with the next gen.
+			case errors.Is(err, ErrPolicyNotFound), errors.Is(err, ErrPolicyExists):
+				// Lost a race with our own delete+recreate window.
+			default:
+				writerErr = err
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var readerErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if readerErr == nil {
+			readerErr = err
+		}
+		errMu.Unlock()
+	}
+	var attests, fetches atomic.Int64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			signer, err := cryptoutil.NewSigner()
+			if err != nil {
+				fail(err)
+				return
+			}
+			ev := attest.NewEvidence(enclave, name, "app", signer.Public)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if r%2 == 0 {
+					start := acked.Load()
+					cfg, err := inst.AttestApplication(ev, p.QuotingKey())
+					if err != nil {
+						// Conflicts and delete windows are benign; the
+						// attestation wrap hides sentinel chains for
+						// resolve failures, so ErrAttestation covers the
+						// policy-missing window too.
+						if errors.Is(err, ErrConflict) || errors.Is(err, ErrAttestation) || errors.Is(err, ErrPolicyNotFound) {
+							continue
+						}
+						fail(fmt.Errorf("attest: %w", err))
+						return
+					}
+					gen, err := strconv.Atoi(cfg.Secrets["gen"])
+					if err != nil {
+						fail(fmt.Errorf("released gen %q: %w", cfg.Secrets["gen"], err))
+						return
+					}
+					if int64(gen) < start {
+						fail(fmt.Errorf("stale release: gen %d, acked %d before the read", gen, start))
+						return
+					}
+					if want := "serve --gen " + cfg.Secrets["gen"]; cfg.Command != want {
+						fail(fmt.Errorf("compiled command %q, want %q", cfg.Command, want))
+						return
+					}
+					attests.Add(1)
+				} else {
+					start := acked.Load()
+					secrets, err := inst.FetchSecrets(ctx, clientA(), name, nil)
+					if err != nil {
+						if errors.Is(err, ErrConflict) || errors.Is(err, ErrPolicyNotFound) {
+							continue
+						}
+						fail(fmt.Errorf("fetch: %w", err))
+						return
+					}
+					gen, err := strconv.Atoi(secrets["gen"])
+					if err != nil {
+						fail(fmt.Errorf("fetched gen %q: %w", secrets["gen"], err))
+						return
+					}
+					if int64(gen) < start {
+						fail(fmt.Errorf("stale fetch: gen %d, acked %d before the read", gen, start))
+						return
+					}
+					fetches.Add(1)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if writerErr != nil {
+		t.Fatalf("writer: %v", writerErr)
+	}
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+	if attests.Load() == 0 || fetches.Load() == 0 {
+		t.Fatalf("race exercised nothing: %d attests, %d fetches", attests.Load(), fetches.Load())
+	}
+
+	// Quiesced, the released content must equal the last acknowledged
+	// write exactly (no later writer exists; FSPF mints do not touch it).
+	secrets, err := inst.FetchSecrets(ctx, clientA(), name, nil)
+	if err != nil {
+		t.Fatalf("final fetch: %v", err)
+	}
+	if got := secrets["gen"]; got != strconv.FormatInt(acked.Load(), 10) {
+		t.Fatalf("final gen %s, want %d", got, acked.Load())
+	}
+	t.Logf("attests=%d fetches=%d acked=%d stats=%+v", attests.Load(), fetches.Load(), acked.Load(), inst.CacheStats())
+}
+
+// TestPolicyCacheColdAfterRestart proves the cache never outlives the
+// Fig 6 boundary: a clean restart and an operator-acknowledged -recover
+// both start with an empty cache and still serve correct content.
+func TestPolicyCacheColdAfterRestart(t *testing.T) {
+	p := fastPlatform(t)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	inst := openInstance(t, p, dir)
+	if err := inst.CreatePolicy(ctx, clientA(), genPolicy("p", 7, appBinary().Measure())); err != nil {
+		t.Fatalf("CreatePolicy: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := inst.FetchSecrets(ctx, clientA(), "p", nil); err != nil {
+			t.Fatalf("fetch: %v", err)
+		}
+	}
+	if st := inst.CacheStats(); st.Hits == 0 {
+		t.Fatalf("warm instance recorded no hits: %+v", st)
+	}
+	if err := inst.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Clean restart: cold cache, correct content.
+	inst2 := openInstance(t, p, dir)
+	if st := inst2.CacheStats(); st.Hits != 0 || st.Misses != 0 || st.Invalidations != 0 {
+		t.Fatalf("cache not cold after restart: %+v", st)
+	}
+	secrets, err := inst2.FetchSecrets(ctx, clientA(), "p", nil)
+	if err != nil {
+		t.Fatalf("fetch after restart: %v", err)
+	}
+	if secrets["gen"] != "7" {
+		t.Fatalf("gen %q after restart", secrets["gen"])
+	}
+	st := inst2.CacheStats()
+	if st.Misses == 0 {
+		t.Fatalf("first read after restart was not a miss: %+v", st)
+	}
+
+	// Crash + operator-acknowledged recovery: cold cache again.
+	inst2.Abort()
+	inst3, err := Open(Options{Platform: p, DataDir: dir, Recover: true})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer inst3.Shutdown(ctx)
+	if st := inst3.CacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("cache not cold after -recover: %+v", st)
+	}
+	secrets, err = inst3.FetchSecrets(ctx, clientA(), "p", nil)
+	if err != nil {
+		t.Fatalf("fetch after recover: %v", err)
+	}
+	if secrets["gen"] != "7" {
+		t.Fatalf("gen %q after recover", secrets["gen"])
+	}
+}
+
+// TestPolicyCacheDisabledAblation pins the Options switch: with the cache
+// off every lookup is a miss and hits the database, and results match the
+// cached mode.
+func TestPolicyCacheDisabledAblation(t *testing.T) {
+	p := fastPlatform(t)
+	inst, err := Open(Options{Platform: p, DataDir: t.TempDir(), DisablePolicyCache: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	if err := inst.CreatePolicy(ctx, clientA(), genPolicy("p", 3, appBinary().Measure())); err != nil {
+		t.Fatalf("CreatePolicy: %v", err)
+	}
+	before := inst.CacheStats()
+	for i := 0; i < 4; i++ {
+		secrets, err := inst.FetchSecrets(ctx, clientA(), "p", nil)
+		if err != nil {
+			t.Fatalf("fetch: %v", err)
+		}
+		if secrets["gen"] != "3" {
+			t.Fatalf("gen %q", secrets["gen"])
+		}
+	}
+	st := inst.CacheStats().Since(before)
+	if st.Enabled {
+		t.Fatal("stats claim the cache is enabled")
+	}
+	if st.Hits != 0 {
+		t.Fatalf("disabled cache recorded hits: %+v", st)
+	}
+	// Every fetch decodes twice (snapshot + version recheck): 4 fetches
+	// must hit kvdb at least 8 times.
+	if st.Misses == 0 || st.DBReads < 8 {
+		t.Fatalf("disabled cache did not read through to kvdb: %+v", st)
+	}
+}
+
+// TestCacheInvalidationOnWrite pins the counter wiring: an update and a
+// delete each drop the entry (and the next read re-decodes).
+func TestCacheInvalidationOnWrite(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	if err := inst.CreatePolicy(ctx, clientA(), genPolicy("p", 1, appBinary().Measure())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.FetchSecrets(ctx, clientA(), "p", nil); err != nil {
+		t.Fatal(err)
+	}
+	before := inst.CacheStats()
+	if err := inst.UpdatePolicy(ctx, clientA(), genPolicy("p", 2, appBinary().Measure())); err != nil {
+		t.Fatal(err)
+	}
+	if st := inst.CacheStats().Since(before); st.Invalidations == 0 {
+		t.Fatalf("update did not invalidate: %+v", st)
+	}
+	secrets, err := inst.FetchSecrets(ctx, clientA(), "p", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secrets["gen"] != "2" {
+		t.Fatalf("stale gen %q after update", secrets["gen"])
+	}
+	before = inst.CacheStats()
+	if err := inst.DeletePolicy(ctx, clientA(), "p"); err != nil {
+		t.Fatal(err)
+	}
+	if st := inst.CacheStats().Since(before); st.Invalidations == 0 {
+		t.Fatalf("delete did not invalidate: %+v", st)
+	}
+	if _, err := inst.FetchSecrets(ctx, clientA(), "p", nil); !errors.Is(err, ErrPolicyNotFound) {
+		t.Fatalf("fetch after delete: %v", err)
+	}
+}

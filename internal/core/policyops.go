@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"palaemon/internal/board"
@@ -89,34 +90,49 @@ func (i *Instance) ReadPolicy(ctx context.Context, client ClientID, name string)
 	}
 	defer i.end()
 
-	p, err := i.getPolicy(name)
+	s, err := i.readGate(ctx, client, name)
 	if err != nil {
 		return nil, err
 	}
-	if p.CreatorCertFingerprint != [32]byte(client) {
+	// The caller owns the result; never hand out the cached snapshot.
+	return s.pol.Clone(), nil
+}
+
+// readGate is the two-stage read gate shared by ReadPolicy and
+// FetchSecrets: creator-certificate pinning, board approval of the read,
+// and the optimistic revision recheck. It returns the validated snapshot
+// (read-only; callers release clones or compiled copies, never the
+// snapshot itself). Callers have begun a request already.
+func (i *Instance) readGate(ctx context.Context, client ClientID, name string) (*policySnapshot, error) {
+	s, err := i.snapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	if s.pol.CreatorCertFingerprint != [32]byte(client) {
 		return nil, ErrAccessDenied
 	}
-	if err := i.approve(ctx, p.Board, board.Request{
+	if err := i.approve(ctx, s.pol.Board, board.Request{
 		PolicyName: name,
 		Operation:  "read",
-		Revision:   p.Revision,
-		Digest:     board.DigestPolicy(p),
+		Revision:   s.version.Revision,
+		Digest:     board.DigestPolicy(s.pol),
 	}); err != nil {
 		return nil, err
 	}
 	// Optimistic validation instead of holding a stripe lock across the
 	// approval: the board approved revision N; if the policy moved on, the
-	// decision is stale and the caller retries.
-	cur, err := i.getPolicy(name)
+	// decision is stale and the caller retries. A version peek suffices —
+	// the snapshot is immutable, so only its identity can go stale.
+	cur, err := i.peekVersion(name)
 	if err != nil {
 		return nil, err
 	}
-	if cur.Revision != p.Revision || cur.CreateID != p.CreateID {
+	if cur != s.version {
 		// Updated, or deleted and recreated (Revision restarts at 1 on
 		// recreation; the CreateID is what catches that case).
 		return nil, fmt.Errorf("%w: %s changed during read approval", ErrConflict, name)
 	}
-	return p, nil
+	return s, nil
 }
 
 // UpdatePolicy replaces the policy content. The caller must present the
@@ -131,25 +147,25 @@ func (i *Instance) UpdatePolicy(ctx context.Context, client ClientID, next *poli
 	if err := next.Validate(); err != nil {
 		return err
 	}
-	cur, err := i.getPolicy(next.Name)
+	cur, err := i.snapshot(next.Name)
 	if err != nil {
 		return err
 	}
-	if cur.CreatorCertFingerprint != [32]byte(client) {
+	if cur.pol.CreatorCertFingerprint != [32]byte(client) {
 		return ErrAccessDenied
 	}
 
 	stored := next.Clone()
-	stored.CreatorCertFingerprint = cur.CreatorCertFingerprint
-	stored.Revision = cur.Revision + 1
-	stored.CreateID = cur.CreateID
+	stored.CreatorCertFingerprint = cur.pol.CreatorCertFingerprint
+	stored.Revision = cur.version.Revision + 1
+	stored.CreateID = cur.version.CreateID
 	if err := stored.MaterializeSecrets(); err != nil {
 		return err
 	}
 	// The CURRENT board approves the new content (§III-C), outside the
 	// stripe lock; the revision recheck below invalidates the decision if
 	// the policy moved underneath the approval.
-	if err := i.approve(ctx, cur.Board, board.Request{
+	if err := i.approve(ctx, cur.pol.Board, board.Request{
 		PolicyName: stored.Name,
 		Operation:  "update",
 		Revision:   stored.Revision,
@@ -159,12 +175,12 @@ func (i *Instance) UpdatePolicy(ctx context.Context, client ClientID, next *poli
 	}
 	mu := i.policyLocks.lock(next.Name)
 	defer mu.Unlock()
-	check, err := i.getPolicy(next.Name)
+	check, err := i.peekVersion(next.Name)
 	if err != nil {
 		return err
 	}
-	if check.Revision != cur.Revision || check.CreateID != cur.CreateID {
-		return fmt.Errorf("%w: %s rev %d -> %d during update approval", ErrConflict, next.Name, cur.Revision, check.Revision)
+	if check != cur.version {
+		return fmt.Errorf("%w: %s rev %d -> %d during update approval", ErrConflict, next.Name, cur.version.Revision, check.Revision)
 	}
 	return i.putPolicy(stored)
 }
@@ -176,28 +192,28 @@ func (i *Instance) DeletePolicy(ctx context.Context, client ClientID, name strin
 	}
 	defer i.end()
 
-	cur, err := i.getPolicy(name)
+	cur, err := i.snapshot(name)
 	if err != nil {
 		return err
 	}
-	if cur.CreatorCertFingerprint != [32]byte(client) {
+	if cur.pol.CreatorCertFingerprint != [32]byte(client) {
 		return ErrAccessDenied
 	}
-	if err := i.approve(ctx, cur.Board, board.Request{
+	if err := i.approve(ctx, cur.pol.Board, board.Request{
 		PolicyName: name,
 		Operation:  "delete",
-		Revision:   cur.Revision,
-		Digest:     board.DigestPolicy(cur),
+		Revision:   cur.version.Revision,
+		Digest:     board.DigestPolicy(cur.pol),
 	}); err != nil {
 		return err
 	}
 	mu := i.policyLocks.lock(name)
 	defer mu.Unlock()
-	check, err := i.getPolicy(name)
+	check, err := i.peekVersion(name)
 	if err != nil {
 		return err
 	}
-	if check.Revision != cur.Revision || check.CreateID != cur.CreateID {
+	if check != cur.version {
 		return fmt.Errorf("%w: %s changed during delete approval", ErrConflict, name)
 	}
 	// Tag records go first so a mid-loop failure leaves the policy record
@@ -224,6 +240,9 @@ func (i *Instance) DeletePolicy(ctx context.Context, client ClientID, name strin
 	if err := i.db.Delete(bucketPolicies, name); err != nil {
 		return fmt.Errorf("core: delete policy: %w", err)
 	}
+	// Invalidate under the per-name write lock, after the database
+	// accepted the delete and before the ack (DESIGN.md §8).
+	i.pcache.invalidate(name)
 	// Sessions of the deleted policy die with it: tag epochs restart at 0
 	// on recreation, so a surviving zombie session could otherwise collide
 	// with a successor's epoch and clobber its expected tags.
@@ -231,28 +250,41 @@ func (i *Instance) DeletePolicy(ctx context.Context, client ClientID, name strin
 	return nil
 }
 
-// ListPolicyNames lists stored policy names (names are not secret). The
-// error surfaces a closed or poisoned database — an instance with no
-// policies and a broken one must not answer alike.
+// ListPolicyNames lists stored policy names in sorted order (names are
+// not secret; the sort keeps palaemonctl listings and tests
+// deterministic — kvdb.Keys iterates a map). The error surfaces a closed
+// or poisoned database — an instance with no policies and a broken one
+// must not answer alike.
 func (i *Instance) ListPolicyNames() ([]string, error) {
-	return i.db.Keys(bucketPolicies)
+	names, err := i.db.Keys(bucketPolicies)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // FetchSecrets returns the named secrets of a policy to its creator, after
 // board approval (the Fig 12 remote-secret-retrieval path). Empty names
-// fetch every secret.
+// fetch every secret. The same two-stage gate as ReadPolicy applies, but
+// the release comes from the decoded snapshot's precompiled secret map —
+// a copy per call (copy-on-release), never the cached map itself.
 func (i *Instance) FetchSecrets(ctx context.Context, client ClientID, policyName string, names []string) (map[string]string, error) {
-	p, err := i.ReadPolicy(ctx, client, policyName)
+	if err := i.begin(); err != nil {
+		return nil, err
+	}
+	defer i.end()
+
+	s, err := i.readGate(ctx, client, policyName)
 	if err != nil {
 		return nil, err
 	}
-	all := p.SecretValues()
 	if len(names) == 0 {
-		return all, nil
+		return s.compiled.Secrets(), nil
 	}
 	out := make(map[string]string, len(names))
 	for _, n := range names {
-		v, ok := all[n]
+		v, ok := s.compiled.Secret(n)
 		if !ok {
 			return nil, fmt.Errorf("core: policy %s has no secret %q", policyName, n)
 		}
@@ -272,21 +304,21 @@ func (i *Instance) ResetService(ctx context.Context, client ClientID, policyName
 	}
 	defer i.end()
 
-	p, err := i.getPolicy(policyName)
+	s, err := i.snapshot(policyName)
 	if err != nil {
 		return err
 	}
-	if p.CreatorCertFingerprint != [32]byte(client) {
+	if s.pol.CreatorCertFingerprint != [32]byte(client) {
 		return ErrAccessDenied
 	}
-	if _, ok := p.FindService(serviceName); !ok {
+	if _, ok := s.pol.FindService(serviceName); !ok {
 		return fmt.Errorf("%w: service %s", ErrPolicyNotFound, serviceName)
 	}
-	if err := i.approve(ctx, p.Board, board.Request{
+	if err := i.approve(ctx, s.pol.Board, board.Request{
 		PolicyName: policyName,
 		Operation:  "update",
-		Revision:   p.Revision,
-		Digest:     board.DigestPolicy(p),
+		Revision:   s.version.Revision,
+		Digest:     board.DigestPolicy(s.pol),
 	}); err != nil {
 		return err
 	}
@@ -295,11 +327,11 @@ func (i *Instance) ResetService(ctx context.Context, client ClientID, policyName
 	// (policy lock before tag lock, per the stripedRW ordering discipline).
 	mu := i.policyLocks.rlock(policyName)
 	defer mu.RUnlock()
-	check, err := i.getPolicy(policyName)
+	check, err := i.snapshotLocked(policyName)
 	if err != nil {
 		return err
 	}
-	if check.Revision != p.Revision || check.CreateID != p.CreateID {
+	if check.version != s.version {
 		return fmt.Errorf("%w: %s changed during reset approval", ErrConflict, policyName)
 	}
 	tmu := i.tagLocks.lock(tagKey(policyName, serviceName))
@@ -335,8 +367,10 @@ func (i *Instance) approve(ctx context.Context, b policy.Board, req board.Reques
 	return nil
 }
 
-// putPolicy stores a policy; callers needing read-modify-write atomicity
-// hold the per-name policy lock (the database is internally synchronised).
+// putPolicy stores a policy and invalidates its cached snapshot; callers
+// hold the per-name policy WRITE lock (every path that stores a policy is
+// a read-modify-write), which is what orders the invalidation against
+// concurrent cache populates (DESIGN.md §8).
 func (i *Instance) putPolicy(p *policy.Policy) error {
 	raw, err := json.Marshal(p)
 	if err != nil {
@@ -345,60 +379,17 @@ func (i *Instance) putPolicy(p *policy.Policy) error {
 	if err := i.db.Put(bucketPolicies, p.Name, raw); err != nil {
 		return fmt.Errorf("core: store policy: %w", err)
 	}
+	i.pcache.invalidate(p.Name)
 	return nil
 }
 
+// getPolicy returns a private mutable copy of the stored policy for
+// callers holding no policy stripe lock. Write paths that already hold
+// the per-name lock use snapshotLocked directly.
 func (i *Instance) getPolicy(name string) (*policy.Policy, error) {
-	raw, err := i.db.Get(bucketPolicies, name)
-	if errors.Is(err, kvdb.ErrNotFound) {
-		return nil, fmt.Errorf("%w: %s", ErrPolicyNotFound, name)
-	}
+	s, err := i.snapshot(name)
 	if err != nil {
-		// Closed or poisoned database: the instance is unhealthy, which is
-		// not the same as the policy not existing.
-		return nil, fmt.Errorf("core: read policy %s: %w", name, err)
+		return nil, err
 	}
-	var p policy.Policy
-	if err := json.Unmarshal(raw, &p); err != nil {
-		return nil, fmt.Errorf("core: decode policy %s: %w", name, err)
-	}
-	return &p, nil
-}
-
-// resolvePolicy loads a policy and resolves its imports (intersections and
-// imported secrets) against the instance's stored policies. The second
-// return value snapshots each exporter's (Revision, CreateID) so callers
-// releasing resolved secrets can detect that an exporter moved — e.g. a
-// board rotating a leaked secret — between resolution and release.
-func (i *Instance) resolvePolicy(name string) (*policy.Policy, map[string]policyVersion, error) {
-	p, err := i.getPolicy(name)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(p.Imports) == 0 {
-		return p, nil, nil
-	}
-	exporters := make(map[string]*policy.Policy, len(p.Imports))
-	deps := make(map[string]policyVersion, len(p.Imports))
-	for _, imp := range p.Imports {
-		exp, err := i.getPolicy(imp.Policy)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: resolve import %q: %w", imp.Policy, err)
-		}
-		exporters[imp.Policy] = exp
-		deps[imp.Policy] = policyVersion{Revision: exp.Revision, CreateID: exp.CreateID}
-	}
-	if err := p.ApplyImports(exporters); err != nil {
-		return nil, nil, err
-	}
-	if err := p.ResolveImportedSecrets(exporters); err != nil {
-		return nil, nil, err
-	}
-	return p, deps, nil
-}
-
-// policyVersion identifies one stored state of a policy.
-type policyVersion struct {
-	Revision uint64
-	CreateID uint64
+	return s.pol.Clone(), nil
 }

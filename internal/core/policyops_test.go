@@ -635,3 +635,91 @@ func TestImportedSecretsAtAttestation(t *testing.T) {
 		t.Fatalf("imported secret not delivered: %v", cfg.Environment)
 	}
 }
+
+func TestListPolicyNamesSorted(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	for _, name := range []string{"bravo", "alpha", "charlie"} {
+		if err := inst.CreatePolicy(ctx, clientA(), testPolicy(name, appBinary().Measure())); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+	}
+	names, err := inst.ListPolicyNames()
+	if err != nil {
+		t.Fatalf("ListPolicyNames: %v", err)
+	}
+	want := []string{"alpha", "bravo", "charlie"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v (kvdb.Keys is unordered; ListPolicyNames must sort)", names, want)
+		}
+	}
+}
+
+// TestImportedSecretRotationMemo pins the resolveSnapshot memoization: the
+// resolved view follows an exporter update (the dependency-version key
+// changes) without the importer's own policy changing.
+func TestImportedSecretRotationMemo(t *testing.T) {
+	p := fastPlatform(t)
+	inst := openInstance(t, p, t.TempDir())
+	defer inst.Shutdown(context.Background())
+	ctx := context.Background()
+
+	bin := appBinary()
+	exporter := &policy.Policy{
+		Name:     "exp",
+		Services: []policy.Service{{Name: "holder", MREnclaves: []sgx.Measurement{bin.Measure()}}},
+		Secrets:  []policy.Secret{{Name: "k", Type: policy.SecretExplicit, Value: "v1", Export: true}},
+		Exports:  policy.Export{Secrets: []string{"k"}},
+	}
+	if err := inst.CreatePolicy(ctx, clientB(), exporter); err != nil {
+		t.Fatal(err)
+	}
+	importer := testPolicy("imp", bin.Measure())
+	importer.Secrets = append(importer.Secrets, policy.Secret{
+		Name: "rk", Type: policy.SecretImported, ImportFrom: "exp:k",
+	})
+	importer.Services[0].Environment["RK"] = "$$rk"
+	importer.Imports = []policy.Import{{Policy: "exp"}}
+	if err := inst.CreatePolicy(ctx, clientA(), importer); err != nil {
+		t.Fatal(err)
+	}
+
+	enclave, err := p.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	attestOnceNow := func() *AppConfig {
+		t.Helper()
+		cfg, err := inst.AttestApplication(attest.NewEvidence(enclave, "imp", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	if cfg := attestOnceNow(); cfg.Environment["RK"] != "v1" {
+		t.Fatalf("before rotation: %v", cfg.Environment)
+	}
+	// Attest again so the memoized resolution is actually reused once.
+	if cfg := attestOnceNow(); cfg.Environment["RK"] != "v1" {
+		t.Fatalf("memoized resolution: %v", cfg.Environment)
+	}
+
+	// Rotate the exporter's secret (e.g. after a leak): only the exporter
+	// changes; the importer's memo key must change with it.
+	rotated := exporter.Clone()
+	rotated.Secrets[0].Value = "v2"
+	if err := inst.UpdatePolicy(ctx, clientB(), rotated); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	if cfg := attestOnceNow(); cfg.Environment["RK"] != "v2" {
+		t.Fatalf("after rotation: %v", cfg.Environment)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"palaemon/internal/cryptoutil"
@@ -116,6 +117,16 @@ type DB struct {
 	closed  bool
 	// walRecords counts records since the last snapshot, for compaction.
 	walRecords int
+	// seq counts every record ever applied this process (including WAL
+	// replay at Open; never reset by Compact). It is the cheap commit
+	// sequence read-side caches key their snapshots by: any mutation
+	// advances it, so seq(now) == seq(then) proves no write landed in
+	// between.
+	seq uint64
+	// reads counts Get/Keys lookups (observability for read-path caching:
+	// a cache hit is a db read that never happened). Atomic so readers
+	// under RLock do not race each other.
+	reads atomic.Uint64
 
 	// Group-commit state, all guarded by mu. pending holds records whose
 	// writers are blocked awaiting durability; committing marks a batch
@@ -248,6 +259,7 @@ func chainHash(prev [32]byte, payload []byte) [32]byte {
 }
 
 func (db *DB) applyLocked(rec record) {
+	db.seq++
 	switch rec.Op {
 	case "put":
 		b := db.data[rec.Bucket]
@@ -463,6 +475,7 @@ func (db *DB) Put(bucket, key string, value []byte) error {
 
 // Get returns the value under bucket/key.
 func (db *DB) Get(bucket, key string) ([]byte, error) {
+	db.reads.Add(1)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
@@ -494,6 +507,7 @@ func (db *DB) Delete(bucket, key string) error {
 // serve a closed or poisoned database — an empty store and a broken one
 // must not look alike.
 func (db *DB) Keys(bucket string) ([]string, error) {
+	db.reads.Add(1)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
@@ -574,6 +588,22 @@ func (db *DB) Compact() error {
 	db.walRecords = 0
 	return nil
 }
+
+// Seq returns the commit sequence: the count of records applied to the
+// in-memory state this process (replayed at Open or committed since).
+// In group-commit mode a record counts only once its batch is durable, so
+// a snapshot taken at Seq() == s can never contain data a crash would
+// lose. Read-side caches use it to stamp decoded snapshots.
+func (db *DB) Seq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.seq
+}
+
+// Reads reports how many Get/Keys lookups the store served — the
+// denominator for read-path cache-effectiveness accounting (a cache hit
+// is a db read that never happened).
+func (db *DB) Reads() uint64 { return db.reads.Load() }
 
 // CommitStats reports how many group-commit batches ran and how many
 // records they carried; averageBatch = records/batches.

@@ -1,0 +1,105 @@
+package policy
+
+// Compiled is the precompiled release view of one policy state: the secret
+// name→value map computed once, and every service's command line,
+// environment, and injection files with $$NAME variables already
+// substituted. The TMS hot paths (application attestation §IV-A, secret
+// retrieval Fig 12) build a Compiled once per stored revision and then
+// serve requests from it, instead of re-walking the policy and
+// re-substituting per request.
+//
+// A Compiled is immutable after Compile returns and safe for concurrent
+// use. Accessors that return maps return fresh copies (snapshot-safe), so
+// a caller mutating its release configuration can never reach back into a
+// shared snapshot.
+type Compiled struct {
+	secrets  map[string]string
+	services map[string]*CompiledService
+}
+
+// CompiledService is one service's release configuration with all secret
+// substitution done. Map-valued content is private behind copying
+// accessors; the string fields are immutable and safe to share.
+type CompiledService struct {
+	// Command is the command line with secrets substituted.
+	Command string
+	// StrictMode echoes the service's strict flag.
+	StrictMode bool
+
+	environment    map[string]string
+	injectionFiles map[string]string
+}
+
+// Compile builds the release view of p. The policy must not be mutated
+// afterwards (Compile is meant for decoded snapshots the caller treats as
+// immutable); the Compiled holds no references into p's maps — every
+// substituted value is a fresh string.
+func Compile(p *Policy) *Compiled {
+	secrets := p.SecretValues()
+	c := &Compiled{
+		secrets:  secrets,
+		services: make(map[string]*CompiledService, len(p.Services)),
+	}
+	for i := range p.Services {
+		svc := &p.Services[i]
+		cs := &CompiledService{
+			Command:     Substitute(svc.Command, secrets),
+			StrictMode:  svc.StrictMode,
+			environment: make(map[string]string, len(svc.Environment)),
+		}
+		for k, v := range svc.Environment {
+			cs.environment[k] = Substitute(v, secrets)
+		}
+		if len(svc.InjectionFiles) > 0 {
+			cs.injectionFiles = make(map[string]string, len(svc.InjectionFiles))
+			for _, f := range svc.InjectionFiles {
+				cs.injectionFiles[f.Path] = Substitute(f.Template, secrets)
+			}
+		}
+		c.services[svc.Name] = cs
+	}
+	return c
+}
+
+// Service returns the compiled release configuration of one service.
+func (c *Compiled) Service(name string) (*CompiledService, bool) {
+	cs, ok := c.services[name]
+	return cs, ok
+}
+
+// Secrets returns a fresh copy of the secret map (copy-on-release: callers
+// own the result and may mutate it freely).
+func (c *Compiled) Secrets() map[string]string {
+	return copyStringMap(c.secrets, false)
+}
+
+// Secret returns one secret value.
+func (c *Compiled) Secret(name string) (string, bool) {
+	v, ok := c.secrets[name]
+	return v, ok
+}
+
+// Environment returns a fresh copy of the substituted environment. Always
+// non-nil, matching the shape attestation has always released.
+func (s *CompiledService) Environment() map[string]string {
+	return copyStringMap(s.environment, false)
+}
+
+// InjectionFiles returns a fresh copy of the substituted injection files,
+// or nil when the service has none.
+func (s *CompiledService) InjectionFiles() map[string]string {
+	return copyStringMap(s.injectionFiles, true)
+}
+
+// copyStringMap copies m; nilEmpty selects nil (rather than an empty map)
+// for empty input.
+func copyStringMap(m map[string]string, nilEmpty bool) map[string]string {
+	if len(m) == 0 && nilEmpty {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package policy
+
+import (
+	"testing"
+
+	"palaemon/internal/sgx"
+)
+
+func compileFixture() *Policy {
+	return &Policy{
+		Name: "c",
+		Services: []Service{
+			{
+				Name:        "svc",
+				Command:     "serve --token $$token --unknown $$nope",
+				MREnclaves:  []sgx.Measurement{{1}},
+				Environment: map[string]string{"TOKEN": "$$token", "PLAIN": "x"},
+				InjectionFiles: []InjectionFile{
+					{Path: "/etc/conf", Template: "token=$$token\n"},
+				},
+				StrictMode: true,
+			},
+			{Name: "bare", MREnclaves: []sgx.Measurement{{2}}},
+		},
+		Secrets: []Secret{{Name: "token", Type: SecretExplicit, Value: "T"}},
+	}
+}
+
+func TestCompileSubstitutesOncePerService(t *testing.T) {
+	c := Compile(compileFixture())
+	cs, ok := c.Service("svc")
+	if !ok {
+		t.Fatal("svc missing")
+	}
+	if cs.Command != "serve --token T --unknown $$nope" {
+		t.Fatalf("command %q", cs.Command)
+	}
+	if !cs.StrictMode {
+		t.Fatal("strict flag lost")
+	}
+	env := cs.Environment()
+	if env["TOKEN"] != "T" || env["PLAIN"] != "x" {
+		t.Fatalf("environment %v", env)
+	}
+	files := cs.InjectionFiles()
+	if files["/etc/conf"] != "token=T\n" {
+		t.Fatalf("injection files %v", files)
+	}
+	if v, ok := c.Secret("token"); !ok || v != "T" {
+		t.Fatalf("secret lookup %q %v", v, ok)
+	}
+	if _, ok := c.Service("missing"); ok {
+		t.Fatal("phantom service")
+	}
+}
+
+func TestCompileAccessorsAreSnapshotSafe(t *testing.T) {
+	c := Compile(compileFixture())
+	cs, _ := c.Service("svc")
+
+	// Mutating any returned map must not leak back into the snapshot.
+	c.Secrets()["token"] = "tampered"
+	cs.Environment()["TOKEN"] = "tampered"
+	cs.InjectionFiles()["/etc/conf"] = "tampered"
+
+	if c.Secrets()["token"] != "T" {
+		t.Fatal("secret map aliased")
+	}
+	if cs.Environment()["TOKEN"] != "T" {
+		t.Fatal("environment map aliased")
+	}
+	if cs.InjectionFiles()["/etc/conf"] != "token=T\n" {
+		t.Fatal("injection map aliased")
+	}
+}
+
+func TestCompileEmptyShapes(t *testing.T) {
+	c := Compile(compileFixture())
+	bare, ok := c.Service("bare")
+	if !ok {
+		t.Fatal("bare missing")
+	}
+	if env := bare.Environment(); env == nil || len(env) != 0 {
+		// Attestation has always released a non-nil (possibly empty)
+		// environment; the compiled view must keep that shape.
+		t.Fatalf("environment %v", env)
+	}
+	if files := bare.InjectionFiles(); files != nil {
+		t.Fatalf("injection files %v, want nil", files)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"palaemon/internal/core"
 )
 
 // OpStats aggregates latency samples for one operation kind.
@@ -40,6 +42,10 @@ type Report struct {
 	Duration time.Duration
 	// PerOp breaks the run down by operation kind.
 	PerOp map[string]OpStats
+	// Cache holds the instance's read-path cache and kvdb read counters
+	// accumulated over this run (deltas, not process totals), so the
+	// decode-once-cache ablation is measurable rather than anecdotal.
+	Cache core.CacheStats
 }
 
 // Throughput is the aggregate successful-operation rate.
@@ -65,6 +71,10 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "  %-14s n=%-6d err=%-4d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v\n",
 			k, s.Count, s.Errors, s.Mean().Round(time.Microsecond), s.P50.Round(time.Microsecond),
 			s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+	if c := r.Cache; c.Hits+c.Misses > 0 || c.DBReads > 0 {
+		fmt.Fprintf(&b, "  policy-cache   enabled=%v hits=%d misses=%d hit-rate=%.1f%% invalidations=%d db-reads=%d db-seq=%d\n",
+			c.Enabled, c.Hits, c.Misses, 100*c.HitRate(), c.Invalidations, c.DBReads, c.DBSeq)
 	}
 	return b.String()
 }

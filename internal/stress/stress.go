@@ -5,10 +5,12 @@
 // tag updates — with per-operation latency and aggregate throughput
 // accounting.
 //
-// It serves two consumers: the -race concurrency regression tests (many
-// stakeholders against one instance must be linearizable and error-free)
-// and the group-commit ablation benchmarks (per-record fsync versus batched
-// WAL commit under concurrent load, DESIGN.md §5).
+// It serves three consumers: the -race concurrency regression tests (many
+// stakeholders against one instance must be linearizable and error-free),
+// the group-commit ablation benchmarks (per-record fsync versus batched
+// WAL commit under concurrent load, DESIGN.md §5), and the read-path
+// cache ablation (RunReadHeavy: repeated attestation and secret fetching
+// with the decode-once policy cache on versus off, DESIGN.md §8).
 package stress
 
 import (
@@ -38,6 +40,9 @@ type Options struct {
 	GroupCommit bool
 	// DBNoFsync disables fsync entirely (non-durable ablation baseline).
 	DBNoFsync bool
+	// DisablePolicyCache turns the instance's decode-once policy cache
+	// off — the read-path ablation baseline (DESIGN.md §8).
+	DisablePolicyCache bool
 	// Evaluator reaches policy boards; nil runs board-less policies.
 	Evaluator *board.Evaluator
 }
@@ -79,11 +84,12 @@ func New(opts Options) (*Harness, error) {
 	iasSvc.RegisterPlatform(p.ID(), p.QuotingKey())
 
 	inst, err := core.Open(core.Options{
-		Platform:      p,
-		DataDir:       opts.DataDir,
-		Evaluator:     opts.Evaluator,
-		DBNoFsync:     opts.DBNoFsync,
-		DBGroupCommit: opts.GroupCommit,
+		Platform:           p,
+		DataDir:            opts.DataDir,
+		Evaluator:          opts.Evaluator,
+		DBNoFsync:          opts.DBNoFsync,
+		DBGroupCommit:      opts.GroupCommit,
+		DisablePolicyCache: opts.DisablePolicyCache,
 	})
 	if err != nil {
 		return nil, err
@@ -219,6 +225,7 @@ func (h *Harness) Run(ctx context.Context, opts WorkloadOptions) (Report, error)
 		errMu.Unlock()
 	}
 	start := time.Now()
+	statsBefore := h.Instance.CacheStats()
 	for w := 0; w < opts.Stakeholders; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -228,6 +235,7 @@ func (h *Harness) Run(ctx context.Context, opts WorkloadOptions) (Report, error)
 	}
 	wg.Wait()
 	rep := rec.report(opts.Stakeholders, time.Since(start))
+	rep.Cache = h.Instance.CacheStats().Since(statsBefore)
 	return rep, firstErr
 }
 
@@ -318,4 +326,232 @@ func (h *Harness) runStakeholder(ctx context.Context, name string, opts Workload
 		return fmt.Errorf("stress: %s: %w", name, lastErr)
 	}
 	return nil
+}
+
+// --- Read-heavy scenario -----------------------------------------------------
+
+// ReadHeavyOptions shapes one RunReadHeavy: N stakeholders re-attesting
+// and fetching secrets against M shared policies while a background
+// updater rotates policy content — the Fig 8 / Fig 12 hot-loop mix the
+// decode-once policy cache targets (DESIGN.md §8).
+type ReadHeavyOptions struct {
+	// Stakeholders is the reader concurrency (default 8). All readers
+	// share one client identity: multiple clients sharing one certificate
+	// to share policies is the paper's own model (§IV-E).
+	Stakeholders int
+	// Policies is the number of distinct policies the readers cycle over
+	// (default 4).
+	Policies int
+	// Iterations is the number of attest+fetch rounds per stakeholder
+	// (default 50).
+	Iterations int
+	// FetchesPerAttest is the number of secret fetches following each
+	// attestation (default 4) — a config-refresh-heavy mix.
+	FetchesPerAttest int
+	// Secrets is the number of random secrets per policy (default 32);
+	// sizing the policy makes the per-request decode cost this scenario
+	// ablates visible.
+	Secrets int
+	// UpdatePause is the background updater's pause between UpdatePolicy
+	// calls (default 2ms); negative disables the updater.
+	UpdatePause time.Duration
+}
+
+func (o *ReadHeavyOptions) defaults() {
+	if o.Stakeholders <= 0 {
+		o.Stakeholders = 8
+	}
+	if o.Policies <= 0 {
+		o.Policies = 4
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 50
+	}
+	if o.FetchesPerAttest <= 0 {
+		o.FetchesPerAttest = 4
+	}
+	if o.Secrets <= 0 {
+		o.Secrets = 32
+	}
+	if o.UpdatePause == 0 {
+		o.UpdatePause = 2 * time.Millisecond
+	}
+}
+
+// readHeavyOwner is the shared client identity of the read-heavy run.
+var readHeavyOwner = core.ClientID{0x5e}
+
+// readHeavyPolicy builds one sizeable shared policy: many random secrets,
+// substitution-heavy command/environment, and an injection file.
+func (h *Harness) readHeavyPolicy(name string, secrets, iteration int) *policy.Policy {
+	p := &policy.Policy{
+		Name: name,
+		Services: []policy.Service{{
+			Name:        "app",
+			Command:     fmt.Sprintf("serve --iter %d --token $$secret_00 --backup $$secret_01", iteration),
+			MREnclaves:  []sgx.Measurement{h.AppBinary.Measure()},
+			Environment: map[string]string{"TOKEN": "$$secret_00", "ITER": fmt.Sprint(iteration)},
+			InjectionFiles: []policy.InjectionFile{{
+				Path:     "/etc/app/conf",
+				Template: "token=$$secret_00\nbackup=$$secret_01\niter=" + fmt.Sprint(iteration) + "\n",
+			}},
+		}},
+	}
+	for s := 0; s < secrets; s++ {
+		p.Secrets = append(p.Secrets, policy.Secret{
+			Name: fmt.Sprintf("secret_%02d", s),
+			Type: policy.SecretRandom,
+		})
+	}
+	return p
+}
+
+// RunReadHeavy drives the read-side hot paths in-process (no HTTP/TLS in
+// the way: this scenario isolates the TMS read path the policy cache
+// serves; Run covers the full-stack mix). Setup — policy creation, enclave
+// launch, a warm-up attestation per policy that mints the FSPF keys — is
+// untimed; the measured loop is attestations and secret fetches against a
+// background stream of policy updates.
+func (h *Harness) RunReadHeavy(ctx context.Context, opts ReadHeavyOptions) (Report, error) {
+	opts.defaults()
+	inst := h.Instance
+
+	// Untimed setup: M policies, one app enclave, one warm-up attestation
+	// per policy so the measured loop never pays the first-execution key
+	// mint (a write, not a read).
+	names := make([]string, opts.Policies)
+	for m := range names {
+		names[m] = fmt.Sprintf("readheavy-%d", m)
+		if err := inst.CreatePolicy(ctx, readHeavyOwner, h.readHeavyPolicy(names[m], opts.Secrets, 0)); err != nil {
+			return Report{}, fmt.Errorf("stress: create %s: %w", names[m], err)
+		}
+	}
+	enclave, err := h.Platform.Launch(h.AppBinary, sgx.LaunchOptions{})
+	if err != nil {
+		return Report{}, fmt.Errorf("stress: launch app enclave: %w", err)
+	}
+	defer enclave.Destroy()
+	for _, n := range names {
+		signer, err := cryptoutil.NewSigner()
+		if err != nil {
+			return Report{}, err
+		}
+		if _, err := inst.AttestApplication(attest.NewEvidence(enclave, n, "app", signer.Public), h.Platform.QuotingKey()); err != nil {
+			return Report{}, fmt.Errorf("stress: warm-up attest %s: %w", n, err)
+		}
+	}
+
+	rec := &recorder{}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		if err == nil || ctx.Err() != nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	start := time.Now()
+	statsBefore := inst.CacheStats()
+
+	// Background updater: rotates policy content (fresh random secrets,
+	// new revision) so the run exercises invalidation, not just a static
+	// cache. Conflicted reader attempts surface as ErrConflict and are
+	// retried inside AttestApplication; the reader loop treats any other
+	// error as fatal.
+	stopUpdater := make(chan struct{})
+	updaterDone := make(chan struct{})
+	if opts.UpdatePause >= 0 {
+		usink := rec.newSink()
+		go func() {
+			defer close(updaterDone)
+			for gen := 1; ; gen++ {
+				select {
+				case <-stopUpdater:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				name := names[gen%len(names)]
+				// A stored update carries no FSPF key, so the next
+				// attestation re-mints one (Revision++); that mint landing
+				// mid-approval surfaces as a benign ErrConflict here.
+				if err := usink.observe("update", func() error {
+					return inst.UpdatePolicy(ctx, readHeavyOwner, h.readHeavyPolicy(name, opts.Secrets, gen))
+				}); err != nil && !errors.Is(err, core.ErrConflict) {
+					fail(fmt.Errorf("stress: updater gen %d (%s): %w", gen, name, err))
+				}
+				time.Sleep(opts.UpdatePause)
+			}
+		}()
+	} else {
+		close(updaterDone)
+	}
+
+	for w := 0; w < opts.Stakeholders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sink := rec.newSink()
+			signer, err := cryptoutil.NewSigner()
+			if err != nil {
+				fail(err)
+				return
+			}
+			// One evidence bundle per (stakeholder, policy), minted
+			// untimed: the loop measures PALÆMON's verification and
+			// release path, not the driver's quote generation.
+			evs := make([]attest.Evidence, len(names))
+			for m, n := range names {
+				evs[m] = attest.NewEvidence(enclave, n, "app", signer.Public)
+			}
+			for iter := 0; iter < opts.Iterations; iter++ {
+				if ctx.Err() != nil {
+					return
+				}
+				m := (w + iter) % len(names)
+				// ErrConflict is a benign casualty of the background
+				// updater (AttestApplication's retry budget can run out
+				// under sustained churn); anything else is a real failure.
+				if err := sink.observe("attest", func() error {
+					_, err := inst.AttestApplication(evs[m], h.Platform.QuotingKey())
+					return err
+				}); err != nil && !errors.Is(err, core.ErrConflict) {
+					fail(fmt.Errorf("stress: reader %d attest %s: %w", w, names[m], err))
+					return
+				}
+				for f := 0; f < opts.FetchesPerAttest; f++ {
+					if err := sink.observe("fetch-secrets", func() error {
+						_, err := inst.FetchSecrets(ctx, readHeavyOwner, names[m], nil)
+						return err
+					}); err != nil && !errors.Is(err, core.ErrConflict) {
+						fail(fmt.Errorf("stress: reader %d fetch %s: %w", w, names[m], err))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopUpdater)
+	<-updaterDone
+
+	rep := rec.report(opts.Stakeholders, time.Since(start))
+	rep.Cache = inst.CacheStats().Since(statsBefore)
+
+	// Untimed cleanup.
+	for _, n := range names {
+		if err := inst.DeletePolicy(ctx, readHeavyOwner, n); err != nil && ctx.Err() == nil {
+			fail(fmt.Errorf("stress: delete %s: %w", n, err))
+		}
+	}
+	return rep, firstErr
 }
