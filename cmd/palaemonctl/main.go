@@ -8,7 +8,15 @@
 //	palaemonctl -url ... read <policy-name>
 //	palaemonctl -url ... delete <policy-name>
 //	palaemonctl -url ... secrets <policy-name> [secret ...]
+//	palaemonctl -url ... list
+//	palaemonctl -url ... watch <policy-name> [revision]
+//	palaemonctl -url ... batch-secrets <policy-name> [policy-name ...]
 //	palaemonctl -url ... attestation
+//
+// list, watch and batch-secrets speak the v2 wire protocol: list pages
+// through GET /v2/policies, watch long-polls board-approved updates
+// instead of polling reads, and batch-secrets retrieves secrets from many
+// policies in ONE round trip (POST /v2/batch).
 //
 // Client certificates: on first use, palaemonctl mints a self-signed client
 // certificate and stores it next to -certdir; the certificate fingerprint
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"palaemon"
 	"palaemon/internal/core"
@@ -45,7 +54,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: palaemonctl [flags] <create|read|update|delete|secrets|attestation> ...")
+		return fmt.Errorf("usage: palaemonctl [flags] <create|read|update|delete|secrets|list|watch|batch-secrets|attestation> ...")
 	}
 
 	cert, err := loadOrCreateCert(*certDir)
@@ -122,6 +131,83 @@ func run() error {
 		}
 		for name, value := range secrets {
 			fmt.Printf("%s=%s\n", name, value)
+		}
+		return nil
+	case "list":
+		if len(args) != 1 {
+			return fmt.Errorf("list takes no arguments")
+		}
+		after := ""
+		total := 0
+		for {
+			page, err := cli.ListPolicies(ctx, after, 0)
+			if err != nil {
+				return err
+			}
+			for _, name := range page.Names {
+				fmt.Println(name)
+			}
+			total = page.Total
+			if page.NextAfter == "" {
+				break
+			}
+			after = page.NextAfter
+		}
+		fmt.Fprintf(os.Stderr, "%d policies\n", total)
+		return nil
+	case "watch":
+		if len(args) != 2 && len(args) != 3 {
+			return fmt.Errorf("watch needs a policy name and optionally the last seen revision")
+		}
+		rev, createID := uint64(0), uint64(0)
+		if len(args) == 3 {
+			if _, err := fmt.Sscanf(args[2], "%d", &rev); err != nil {
+				return fmt.Errorf("revision %q: %w", args[2], err)
+			}
+		} else if pol, err := cli.ReadPolicy(ctx, args[1]); err == nil {
+			rev, createID = pol.Revision, pol.CreateID
+		}
+		fmt.Fprintf(os.Stderr, "watching %q from revision %d (long-poll; ^C to stop)\n", args[1], rev)
+		for {
+			ev, err := cli.WatchPolicy(ctx, args[1], rev, createID, 30*time.Second)
+			if err != nil {
+				return err
+			}
+			if !ev.Changed {
+				continue // window expired; re-arm
+			}
+			if ev.Deleted {
+				fmt.Printf("policy %q deleted\n", args[1])
+				return nil
+			}
+			fmt.Printf("policy %q now at revision %d\n", args[1], ev.Revision)
+			rev, createID = ev.Revision, ev.CreateID
+		}
+	case "batch-secrets":
+		if len(args) < 2 {
+			return fmt.Errorf("batch-secrets needs at least one policy name")
+		}
+		ops := make([]palaemon.BatchOp, 0, len(args)-1)
+		for _, name := range args[1:] {
+			ops = append(ops, palaemon.BatchOp{Op: palaemon.OpFetchSecrets, Policy: name})
+		}
+		results, err := cli.Batch(ctx, ops, nil)
+		if err != nil {
+			return err
+		}
+		failed := 0
+		for n, res := range results {
+			if res.Error != nil {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", args[1+n], res.Error.Message)
+				failed++
+				continue
+			}
+			for name, value := range res.Secrets {
+				fmt.Printf("%s/%s=%s\n", args[1+n], name, value)
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d policies failed", failed, len(results))
 		}
 		return nil
 	case "attestation":

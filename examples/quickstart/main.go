@@ -129,5 +129,42 @@ func run() error {
 	} else {
 		return fmt.Errorf("tampered binary was attested")
 	}
+
+	// 8. The v2 wire surface: list the stakeholder's policies, refresh a
+	//    local copy with a revision-aware conditional read (304 when
+	//    nothing changed — no policy body crosses the wire), and pull the
+	//    policy's secrets plus its expected tag in ONE round trip via the
+	//    batch endpoint.
+	page, err := client.ListPolicies(ctx, "", 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policies : %v (%d total, wire protocol v%d)\n", page.Names, page.Total, palaemon.WireVersion)
+
+	current, err := client.ReadPolicy(ctx, "quickstart")
+	if err != nil {
+		return err
+	}
+	if _, modified, err := client.ReadPolicyIfChanged(ctx, "quickstart", current.CreateID, current.Revision); err != nil {
+		return err
+	} else if modified {
+		return fmt.Errorf("conditional read reported a phantom change")
+	}
+	fmt.Println("cond read: 304 — local copy is current, no body transferred")
+
+	results, err := client.Batch(ctx, []palaemon.BatchOp{
+		{Op: palaemon.OpFetchSecrets, Policy: "quickstart"},
+		{Op: palaemon.OpReadTag, Policy: "quickstart", Service: "web"},
+	}, nil)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if res.Error != nil {
+			return fmt.Errorf("batch op failed: %s", res.Error.Message)
+		}
+	}
+	fmt.Printf("batch    : %d secrets + expected tag %.8s… in one round trip\n",
+		len(results[0].Secrets), results[1].Tag)
 	return run2.Exit(ctx)
 }

@@ -12,33 +12,14 @@ import (
 	"palaemon/internal/fspf"
 	"palaemon/internal/kvdb"
 	"palaemon/internal/policy"
+	"palaemon/internal/wire"
 )
 
 // AppConfig is the configuration PALÆMON releases to an attested
-// application (§IV-A): command line, environment, file-system keys and
-// tags, and the injection files with secrets substituted.
-type AppConfig struct {
-	// Command is the command line with secrets substituted.
-	Command string `json:"command"`
-	// Environment carries substituted environment variables.
-	Environment map[string]string `json:"environment,omitempty"`
-	// FSPFKey is the file-system shield key.
-	FSPFKey cryptoutil.Key `json:"fspf_key"`
-	// ExpectedTag is the tag the runtime must verify on volume open; zero
-	// for a fresh volume.
-	ExpectedTag fspf.Tag `json:"expected_tag"`
-	// InjectionFiles map path -> content with secrets substituted.
-	InjectionFiles map[string]string `json:"injection_files,omitempty"`
-	// Secrets carries the policy's secret values for the runtime's own
-	// variable substitution on reads.
-	Secrets map[string]string `json:"secrets,omitempty"`
-	// SessionToken authenticates subsequent tag pushes for this execution.
-	SessionToken string `json:"session_token"`
-	// Epoch is this execution's tag-push epoch.
-	Epoch uint64 `json:"epoch"`
-	// StrictMode echoes the policy's strict flag.
-	StrictMode bool `json:"strict_mode"`
-}
+// application (§IV-A). The concrete type lives in the wire contract
+// package (it IS the attestation response DTO); core re-exports it so
+// in-process callers — the runtime, the facade — need no wire import.
+type AppConfig = wire.AppConfig
 
 // AttestApplication verifies application evidence against the named policy
 // and, on success, releases the service configuration (§IV-A). The quoting

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -20,18 +22,36 @@ import (
 	"palaemon/internal/policy"
 	"palaemon/internal/simclock"
 	"palaemon/internal/simnet"
+	"palaemon/internal/wire"
 )
 
-// Client talks to a PALÆMON instance over its REST/TLS API. It implements
-// both attestation paths of §IV-B: TLS-based (verify the server certificate
-// against the PALÆMON CA root) and explicit (fetch the IAS report, verify
-// it, check the MRE, and challenge the identity key).
+// Client-side wire errors.
+var (
+	// ErrResponseTooLarge reports a response body exceeding the wire
+	// contract's 8 MiB cap (wire.MaxResponseBytes). Before this sentinel
+	// existed, oversized responses surfaced as confusing truncated-JSON
+	// decode failures.
+	ErrResponseTooLarge = errors.New("core: response exceeds the 8 MiB wire cap")
+	// ErrRequiresV2 reports a v2-only operation (list, batch, watch,
+	// conditional read) attempted on a client pinned to the legacy v1
+	// protocol.
+	ErrRequiresV2 = errors.New("core: operation requires wire protocol v2")
+)
+
+// Client talks to a PALÆMON instance over its REST/TLS API, speaking the
+// v2 wire protocol (typed DTOs, structured error envelopes) by default.
+// It implements both attestation paths of §IV-B: TLS-based (verify the
+// server certificate against the PALÆMON CA root) and explicit (fetch the
+// IAS report, verify it, check the MRE, and challenge the identity key).
 type Client struct {
 	base      string
 	http      *http.Client
 	transport *http.Transport
 	profile   simnet.Profile
 	clock     simclock.Clock
+	timeout   time.Duration
+	// v1 pins the legacy unversioned protocol (ClientOptions.ProtocolV1).
+	v1 bool
 	// seq numbers requests for the network model; atomic because one
 	// client may be shared by many stakeholder goroutines.
 	seq atomic.Uint64
@@ -60,6 +80,11 @@ type ClientOptions struct {
 	// DisableKeepAlives forces one TLS handshake per request — only the
 	// connection-cost ablation (DESIGN.md §5) wants this.
 	DisableKeepAlives bool
+	// ProtocolV1 pins the client to the legacy unversioned wire protocol
+	// (v1 paths, {"error": text} bodies, lossy status-only error
+	// mapping). Pre-v2 deployments and the compatibility regression tests
+	// use this; v2-only operations return ErrRequiresV2.
+	ProtocolV1 bool
 }
 
 // NewClient constructs a client. The underlying transport pools keep-alive
@@ -109,12 +134,22 @@ func NewClient(opts ClientOptions) *Client {
 		transport: transport,
 		profile:   opts.Profile,
 		clock:     opts.Clock,
+		timeout:   opts.Timeout,
+		v1:        opts.ProtocolV1,
 	}
 }
 
 // CloseIdle drops pooled connections; call when a stakeholder is done with
 // the instance for a while.
 func (c *Client) CloseIdle() { c.transport.CloseIdleConnections() }
+
+// ProtocolVersion reports the wire protocol generation this client speaks.
+func (c *Client) ProtocolVersion() int {
+	if c.v1 {
+		return 1
+	}
+	return wire.Version
+}
 
 // NewClientCertificate mints a self-signed client certificate; its
 // fingerprint becomes the client's identity at the instance (§IV-E).
@@ -146,41 +181,63 @@ func (c *Client) charge(reqBytes, respBytes int, tracker *simclock.Tracker) {
 	c.clock.Sleep(d)
 }
 
-// do performs a JSON request.
-func (c *Client) do(ctx context.Context, method, path string, in, out any, tracker *simclock.Tracker) error {
+// path roots an endpoint path for the selected protocol generation.
+func (c *Client) path(p string) string {
+	if c.v1 {
+		return p
+	}
+	return wire.PathPrefix + p
+}
+
+// doRaw performs one JSON exchange and returns the raw outcome; error
+// bodies are NOT decoded here (do handles that). The response read is
+// capped at the wire contract's limit and truncation is reported as
+// ErrResponseTooLarge rather than a downstream JSON decode failure.
+func (c *Client) doRaw(ctx context.Context, method, path string, in any, headers map[string]string, tracker *simclock.Tracker) (int, http.Header, []byte, error) {
 	var body []byte
 	if in != nil {
 		raw, err := json.Marshal(in)
 		if err != nil {
-			return fmt.Errorf("core: encode request: %w", err)
+			return 0, nil, nil, fmt.Errorf("core: encode request: %w", err)
 		}
 		body = raw
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("core: build request: %w", err)
+		return 0, nil, nil, fmt.Errorf("core: build request: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("core: %s %s: %w", method, path, err)
+		return 0, nil, nil, fmt.Errorf("core: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, wire.MaxResponseBytes+1))
 	if err != nil {
-		return fmt.Errorf("core: read response: %w", err)
+		return 0, nil, nil, fmt.Errorf("core: read response: %w", err)
+	}
+	if len(raw) > wire.MaxResponseBytes {
+		return 0, nil, nil, fmt.Errorf("%w: %s %s", ErrResponseTooLarge, method, path)
 	}
 	c.charge(len(body), len(raw), tracker)
-	if resp.StatusCode >= 400 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return remoteError(resp.StatusCode, e.Error)
-		}
-		return fmt.Errorf("core: %s %s: status %d", method, path, resp.StatusCode)
+	return resp.StatusCode, resp.Header, raw, nil
+}
+
+// do performs a JSON request against the selected protocol generation,
+// decoding error bodies into errors that satisfy errors.Is against the
+// core sentinels.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, tracker *simclock.Tracker) error {
+	status, _, raw, err := c.doRaw(ctx, method, c.path(path), in, nil, tracker)
+	if err != nil {
+		return err
+	}
+	if status >= 400 {
+		return c.decodeError(method, path, status, raw)
 	}
 	if out != nil {
 		if err := json.Unmarshal(raw, out); err != nil {
@@ -190,8 +247,33 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, track
 	return nil
 }
 
-// remoteError maps HTTP statuses back onto the sentinel errors so callers
-// can errors.Is across the wire.
+// decodeError reconstructs a client-side error from an error response
+// body: the v2 structured envelope when present, the legacy v1
+// {"error": text} + status mapping otherwise.
+func (c *Client) decodeError(method, path string, status int, raw []byte) error {
+	if !c.v1 {
+		var we wire.Error
+		if json.Unmarshal(raw, &we) == nil && we.Code != "" {
+			if we.Status == 0 {
+				we.Status = status
+			}
+			return errorFromWire(&we)
+		}
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return remoteError(status, e.Error)
+	}
+	return fmt.Errorf("core: %s %s: status %d", method, path, status)
+}
+
+// remoteError maps v1 HTTP statuses back onto the sentinel errors so
+// callers can errors.Is across the wire. The mapping is lossy (v1 carried
+// only the status): board rejections read back as ErrAccessDenied,
+// strict-restart and stale-tag refusals as ErrAttestation. The v2
+// envelope's code field is exact — one of the reasons v2 exists.
 func remoteError(status int, msg string) error {
 	var sentinel error
 	switch status {
@@ -208,10 +290,22 @@ func remoteError(status int, msg string) error {
 	case http.StatusServiceUnavailable:
 		sentinel = ErrDraining
 	default:
-		return errors.New(msg)
+		// Unknown status: still report the code instead of dropping it
+		// (the old default returned the bare message, losing the status).
+		return fmt.Errorf("core: remote error (HTTP %d): %s", status, msg)
 	}
 	return fmt.Errorf("%w: %s", sentinel, msg)
 }
+
+// requireV2 guards the v2-only surface.
+func (c *Client) requireV2(op string) error {
+	if c.v1 {
+		return fmt.Errorf("%w: %s", ErrRequiresV2, op)
+	}
+	return nil
+}
+
+// --- Policy CRUD -------------------------------------------------------------
 
 // CreatePolicy uploads a new policy.
 func (c *Client) CreatePolicy(ctx context.Context, p *policy.Policy) error {
@@ -227,6 +321,33 @@ func (c *Client) ReadPolicy(ctx context.Context, name string) (*policy.Policy, e
 	return &p, nil
 }
 
+// ReadPolicyIfChanged is the revision-aware read (v2): it presents the
+// known (CreateID, Revision) pair as an If-None-Match entity tag and the
+// server answers 304 — no body, no policy encode, no board round trip —
+// when the stored policy still matches. modified=false with a nil policy
+// means the caller's copy is current.
+func (c *Client) ReadPolicyIfChanged(ctx context.Context, name string, knownCreateID, knownRev uint64) (p *policy.Policy, modified bool, err error) {
+	if err := c.requireV2("conditional read"); err != nil {
+		return nil, false, err
+	}
+	headers := map[string]string{"If-None-Match": wire.ETag(knownCreateID, knownRev)}
+	status, _, raw, err := c.doRaw(ctx, http.MethodGet, c.path("/policies/"+name), nil, headers, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case status == http.StatusNotModified:
+		return nil, false, nil
+	case status >= 400:
+		return nil, false, c.decodeError(http.MethodGet, "/policies/"+name, status, raw)
+	}
+	var got policy.Policy
+	if err := json.Unmarshal(raw, &got); err != nil {
+		return nil, false, fmt.Errorf("core: decode response: %w", err)
+	}
+	return &got, true, nil
+}
+
 // UpdatePolicy replaces policy content (board approval happens server-side).
 func (c *Client) UpdatePolicy(ctx context.Context, p *policy.Policy) error {
 	return c.do(ctx, http.MethodPut, "/policies/"+p.Name, p, nil, nil)
@@ -237,21 +358,110 @@ func (c *Client) DeletePolicy(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/policies/"+name, nil, nil, nil)
 }
 
+// ListPolicies returns one page of stored policy names (v2). Empty after
+// starts at the beginning; limit<=0 uses the server default. Follow
+// PolicyList.NextAfter until it comes back empty.
+func (c *Client) ListPolicies(ctx context.Context, after string, limit int) (*wire.PolicyList, error) {
+	if err := c.requireV2("list policies"); err != nil {
+		return nil, err
+	}
+	q := url.Values{}
+	if after != "" {
+		q.Set("after", after)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/policies"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var list wire.PolicyList
+	if err := c.do(ctx, http.MethodGet, path, nil, &list, nil); err != nil {
+		return nil, err
+	}
+	return &list, nil
+}
+
+// WatchPolicy long-polls until the stored policy differs from the watched
+// version (update, key mint, delete, recreate), or the window expires
+// with Changed=false (re-arm with the same revision). sinceCreateID
+// guards the delete+recreate case (Revision restarts at 1 on recreation);
+// pass the known policy's CreateID, or 0 to compare revisions only. The
+// effective window is additionally capped below the client's own request
+// timeout so the poll completes as a response, not a transport error.
+func (c *Client) WatchPolicy(ctx context.Context, name string, sinceRev, sinceCreateID uint64, window time.Duration) (*wire.WatchResponse, error) {
+	if err := c.requireV2("watch policy"); err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		window = defaultWatchWindow
+	}
+	// Cap below the HTTP client timeout unconditionally: with a 1 s
+	// timeout, "timeout minus a second" would skip the cap entirely and
+	// every poll would die as a transport error instead of re-arming.
+	lim := c.timeout - time.Second
+	if lim <= 0 {
+		lim = c.timeout / 2
+	}
+	if window > lim {
+		window = lim
+	}
+	path := "/policies/" + name + "/watch?rev=" + strconv.FormatUint(sinceRev, 10) +
+		"&create_id=" + strconv.FormatUint(sinceCreateID, 10) +
+		"&timeout_ms=" + strconv.FormatInt(window.Milliseconds(), 10)
+	var res wire.WatchResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &res, nil); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// --- Secrets, batch ----------------------------------------------------------
+
 // FetchSecrets retrieves secret values (Fig 12). tracker, when non-nil,
 // receives the modelled network latency instead of sleeping.
 func (c *Client) FetchSecrets(ctx context.Context, policyName string, names []string, tracker *simclock.Tracker) (map[string]string, error) {
-	var out map[string]string
-	req := fetchSecretsRequest{Names: names}
+	req := wire.FetchSecretsRequest{Names: names}
+	if c.v1 {
+		var out map[string]string
+		if err := c.do(ctx, http.MethodPost, "/policies/"+policyName+"/secrets", req, &out, tracker); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	var out wire.SecretsResponse
 	if err := c.do(ctx, http.MethodPost, "/policies/"+policyName+"/secrets", req, &out, tracker); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return out.Secrets, nil
 }
+
+// Batch pipelines heterogeneous operations — secret fetches across
+// policies, policy reads, tag pushes — in ONE round trip (v2): under a
+// WAN profile the whole batch costs a single modelled RTT where
+// sequential calls pay one each (the Fig 12 collapse). Results come back
+// in op order; ops fail independently via their Error field.
+func (c *Client) Batch(ctx context.Context, ops []wire.BatchOp, tracker *simclock.Tracker) ([]wire.BatchResult, error) {
+	if err := c.requireV2("batch"); err != nil {
+		return nil, err
+	}
+	var resp wire.BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/batch", wire.BatchRequest{Ops: ops}, &resp, tracker); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(ops) {
+		return nil, fmt.Errorf("core: batch returned %d results for %d ops", len(resp.Results), len(ops))
+	}
+	return resp.Results, nil
+}
+
+// --- Attestation and tags ----------------------------------------------------
 
 // Attest submits application evidence and returns the released config.
 func (c *Client) Attest(ctx context.Context, ev attest.Evidence, quotingKey []byte, tracker *simclock.Tracker) (*AppConfig, error) {
 	var cfg AppConfig
-	req := attestRequest{Evidence: ev, QuotingKey: quotingKey}
+	req := wire.AttestRequest{Evidence: ev, QuotingKey: quotingKey}
 	if err := c.do(ctx, http.MethodPost, "/attest", req, &cfg, tracker); err != nil {
 		return nil, err
 	}
@@ -260,22 +470,22 @@ func (c *Client) Attest(ctx context.Context, ev attest.Evidence, quotingKey []by
 
 // PushTag sends an expected-tag update for an attested session.
 func (c *Client) PushTag(ctx context.Context, token string, tag fspf.Tag, tracker *simclock.Tracker) error {
-	return c.do(ctx, http.MethodPost, "/tags", tagPush{Token: token, Tag: tag}, nil, tracker)
+	return c.do(ctx, http.MethodPost, "/tags", wire.TagPush{Token: token, Tag: tag}, nil, tracker)
 }
 
 // NotifyExit reports a clean exit with the final tag.
 func (c *Client) NotifyExit(ctx context.Context, token string, tag fspf.Tag) error {
-	return c.do(ctx, http.MethodPost, "/exit", tagPush{Token: token, Tag: tag}, nil, nil)
+	return c.do(ctx, http.MethodPost, "/exit", wire.TagPush{Token: token, Tag: tag}, nil, nil)
 }
 
 // ReadTag fetches the stored expected tag for a service.
 func (c *Client) ReadTag(ctx context.Context, policyName, serviceName string, tracker *simclock.Tracker) (string, error) {
-	var out map[string]string
+	var out wire.TagResponse
 	path := "/tags/" + policyName + "/" + serviceName
 	if err := c.do(ctx, http.MethodGet, path, nil, &out, tracker); err != nil {
 		return "", err
 	}
-	return out["tag"], nil
+	return out.Tag, nil
 }
 
 // Attestation fetches the explicit-attestation document.
@@ -325,7 +535,7 @@ func (c *Client) VerifyInstance(ctx context.Context, iasPub []byte, expectedMREs
 		return err
 	}
 	var resp attest.Response
-	if err := c.do(ctx, http.MethodPost, "/challenge", challengeExchange{Challenge: ch}, &resp, nil); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/challenge", wire.ChallengeRequest{Challenge: ch}, &resp, nil); err != nil {
 		return err
 	}
 	if err := attest.VerifyResponse(ch, resp, doc.PublicKey, "palaemon-instance"); err != nil {

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fspf"
+	"palaemon/internal/sgx"
+)
+
+// v1Client mints a client pinned to the legacy unversioned wire protocol —
+// it behaves exactly like a pre-v2 binary talking to the new mux.
+func v1Client(t *testing.T, s *stack, name string) *Client {
+	t.Helper()
+	cert, _, err := NewClientCertificate(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewClient(ClientOptions{
+		BaseURL:     s.server.URL(),
+		Roots:       s.auth.Root().Pool(),
+		Certificate: cert,
+		ProtocolV1:  true,
+	})
+}
+
+// TestV1AdapterFullFlow is the v1 regression proof: an old client runs
+// the complete stakeholder+application lifecycle — CRUD, secret fetch,
+// attestation, tag pushes, exit — against the rebuilt mux and observes
+// the legacy behaviour unchanged.
+func TestV1AdapterFullFlow(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	cli := v1Client(t, s, "legacy")
+	if got := cli.ProtocolVersion(); got != 1 {
+		t.Fatalf("ProtocolVersion = %d, want 1", got)
+	}
+
+	bin := sgx.Binary{Name: "app", Code: []byte("v1")}
+	pol := testPolicy("legacy-pol", bin.Measure())
+	if err := cli.CreatePolicy(ctx, pol); err != nil {
+		t.Fatalf("v1 create: %v", err)
+	}
+	got, err := cli.ReadPolicy(ctx, "legacy-pol")
+	if err != nil || got.SecretValues()["api_token"] == "" {
+		t.Fatalf("v1 read: %v (%v)", err, got)
+	}
+	secrets, err := cli.FetchSecrets(ctx, "legacy-pol", nil, nil)
+	if err != nil || secrets["api_token"] == "" {
+		t.Fatalf("v1 fetch (bare-map shape): %v %v", secrets, err)
+	}
+	got.Services[0].Command = "serve --v1-updated"
+	if err := cli.UpdatePolicy(ctx, got); err != nil {
+		t.Fatalf("v1 update: %v", err)
+	}
+
+	// Application flow over v1 paths.
+	enclave, err := s.platform.Launch(bin, sgx.LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	session := cryptoutil.MustNewSigner()
+	cfg, err := cli.Attest(ctx, attest.NewEvidence(enclave, "legacy-pol", "app", session.Public), s.platform.QuotingKey(), nil)
+	if err != nil || cfg.SessionToken == "" {
+		t.Fatalf("v1 attest: %v", err)
+	}
+	tag := fspf.Tag{9}
+	if err := cli.PushTag(ctx, cfg.SessionToken, tag, nil); err != nil {
+		t.Fatalf("v1 push: %v", err)
+	}
+	if read, err := cli.ReadTag(ctx, "legacy-pol", "app", nil); err != nil || read != tag.String() {
+		t.Fatalf("v1 read tag: %q, %v", read, err)
+	}
+	if err := cli.NotifyExit(ctx, cfg.SessionToken, tag); err != nil {
+		t.Fatalf("v1 exit: %v", err)
+	}
+
+	// Explicit attestation still works over v1 paths.
+	if err := cli.VerifyInstance(ctx, s.iasSvc.PublicKey(), []string{s.inst.MRE().String()}); err != nil {
+		t.Fatalf("v1 explicit attestation: %v", err)
+	}
+
+	// Legacy error mapping preserved (status-only, lossy where it always
+	// was).
+	other := v1Client(t, s, "legacy-other")
+	if _, err := other.ReadPolicy(ctx, "legacy-pol"); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("v1 foreign read: %v", err)
+	}
+	if _, err := cli.ReadPolicy(ctx, "no-such"); !errors.Is(err, ErrPolicyNotFound) {
+		t.Fatalf("v1 missing read: %v", err)
+	}
+	if err := cli.CreatePolicy(ctx, testPolicy("legacy-pol", bin.Measure())); !errors.Is(err, ErrPolicyExists) {
+		t.Fatalf("v1 duplicate create: %v", err)
+	}
+
+	if err := cli.DeletePolicy(ctx, "legacy-pol"); err != nil {
+		t.Fatalf("v1 delete: %v", err)
+	}
+
+	// The v2-only surface refuses cleanly instead of hitting v1 paths
+	// that do not exist.
+	if _, err := cli.ListPolicies(ctx, "", 0); !errors.Is(err, ErrRequiresV2) {
+		t.Fatalf("v1 list = %v, want ErrRequiresV2", err)
+	}
+	if _, err := cli.Batch(ctx, nil, nil); !errors.Is(err, ErrRequiresV2) {
+		t.Fatalf("v1 batch = %v, want ErrRequiresV2", err)
+	}
+	if _, err := cli.WatchPolicy(ctx, "x", 1, 0, 0); !errors.Is(err, ErrRequiresV2) {
+		t.Fatalf("v1 watch = %v, want ErrRequiresV2", err)
+	}
+	if _, _, err := cli.ReadPolicyIfChanged(ctx, "x", 1, 1); !errors.Is(err, ErrRequiresV2) {
+		t.Fatalf("v1 conditional read = %v, want ErrRequiresV2", err)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"net/http"
+
+	"palaemon/internal/policy"
+	"palaemon/internal/wire"
+)
+
+// This file is the bidirectional mapping between the core sentinel errors
+// and the v2 structured error envelope (wire.Error). The server side
+// (wireFromError) classifies an instance error into {code, message,
+// retryable, status}; the client side (errorFromWire) reconstructs an
+// error that satisfies errors.Is against the same sentinel — so a caller
+// cannot tell from the error whether the instance was local or remote.
+//
+// The v1 status-only mapping was lossy in both directions (board
+// rejections read back as ErrAccessDenied, strict-restart and stale-tag
+// refusals as ErrAttestation, unknown statuses as bare text); the code
+// field keeps the v2 round trip exact.
+
+// sentinelCodes pairs each core sentinel with its wire code, status, and
+// retryability. Order matters for classification: more specific sentinels
+// come before the ones v1 folded them into (e.g. a conflict wrapped inside
+// an attestation failure classifies as conflict, matching v1's status
+// precedence).
+var sentinelCodes = []struct {
+	sentinel  error
+	code      string
+	status    int
+	retryable bool
+}{
+	{ErrPolicyNotFound, wire.CodePolicyNotFound, http.StatusNotFound, false},
+	{ErrBoardRejected, wire.CodeBoardRejected, http.StatusForbidden, false},
+	{ErrAccessDenied, wire.CodeAccessDenied, http.StatusForbidden, false},
+	{ErrPolicyExists, wire.CodePolicyExists, http.StatusConflict, false},
+	{ErrConflict, wire.CodeConflict, http.StatusPreconditionFailed, true},
+	{ErrStrictRestart, wire.CodeStrictRestart, http.StatusUnauthorized, false},
+	{ErrStaleTag, wire.CodeStaleTag, http.StatusUnauthorized, false},
+	{ErrAttestation, wire.CodeAttestation, http.StatusUnauthorized, false},
+	{ErrDraining, wire.CodeDraining, http.StatusServiceUnavailable, true},
+}
+
+// policyValidationSentinels are the policy.Validate failures; they map to
+// one invalid_policy code (clients fix the policy, they don't branch on
+// which field was wrong).
+var policyValidationSentinels = []error{
+	policy.ErrNoName, policy.ErrBadName, policy.ErrNoServices,
+	policy.ErrNoMRE, policy.ErrBadThreshold,
+}
+
+// wireFromError classifies err into the v2 envelope. A *wire.Error passes
+// through unchanged (handlers that already speak the envelope, e.g. batch
+// size refusal).
+func wireFromError(err error) *wire.Error {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we
+	}
+	for _, m := range sentinelCodes {
+		if errors.Is(err, m.sentinel) {
+			return wire.NewError(m.code, m.status, m.retryable, err.Error())
+		}
+	}
+	for _, s := range policyValidationSentinels {
+		if errors.Is(err, s) {
+			return wire.NewError(wire.CodeInvalidPolicy, http.StatusBadRequest, false, err.Error())
+		}
+	}
+	return wire.NewError(wire.CodeInternal, http.StatusInternalServerError, false, err.Error())
+}
+
+// codeSentinels inverts sentinelCodes for the client side.
+var codeSentinels = func() map[string]error {
+	m := make(map[string]error, len(sentinelCodes))
+	for _, e := range sentinelCodes {
+		m[e.code] = e.sentinel
+	}
+	return m
+}()
+
+// errorFromWire reconstructs a client-side error from the envelope:
+// sentinel-coded envelopes wrap the sentinel for errors.Is; anything else
+// surfaces the envelope itself, which still reports code and HTTP status
+// explicitly (the v1 default branch dropped both).
+func errorFromWire(e *wire.Error) error {
+	if e == nil {
+		return nil
+	}
+	if sentinel, ok := codeSentinels[e.Code]; ok {
+		// The message already carries the sentinel's own text (it is the
+		// server-side err.Error()), so wrap without re-prefixing.
+		return &remoteSentinelError{sentinel: sentinel, envelope: e}
+	}
+	return e
+}
+
+// remoteSentinelError is a wire envelope that unwraps to both the core
+// sentinel (errors.Is works across the wire) and the envelope itself
+// (errors.As(*wire.Error) recovers code/status/retryable).
+type remoteSentinelError struct {
+	sentinel error
+	envelope *wire.Error
+}
+
+func (e *remoteSentinelError) Error() string { return e.envelope.Message }
+
+func (e *remoteSentinelError) Unwrap() []error { return []error{e.sentinel, e.envelope} }
+
+// Retryable reports whether err is a wire-level retryable failure (an
+// optimistic-concurrency conflict or a draining instance). It works on
+// both local sentinel errors and remote envelopes.
+func Retryable(err error) bool {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we.Retryable
+	}
+	return errors.Is(err, ErrConflict) || errors.Is(err, ErrDraining)
+}
+
+// v1StatusOf keeps the legacy status mapping for the v1 adapter handlers;
+// it reuses the same classification table so the two surfaces cannot
+// drift. (v1 collapsed validation errors to 400 and everything unknown to
+// 500, which this preserves.)
+func v1StatusOf(err error) int {
+	return wireFromError(err).Status
+}

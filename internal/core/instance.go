@@ -166,6 +166,19 @@ type Instance struct {
 	// crashed, or -recover — starts cold and the Fig 6 v==c check never
 	// competes with a warm cache.
 	pcache *policyCache
+	// watchers broadcasts per-policy change notifications for the v2
+	// watch long-poll (watch.go); writers notify after invalidating the
+	// cache entry.
+	watchers *watchHub
+	// drainCh is closed when the instance starts draining (or aborts), so
+	// pending watch long-polls end promptly instead of stalling Shutdown.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	// namesMu guards the memoized sorted policy-name listing (watch.go),
+	// keyed by the kvdb commit sequence.
+	namesMu     sync.Mutex
+	namesSeq    uint64
+	namesSorted []string
 
 	// inflight counts requests for the Fig 6 drain. A plain counter with a
 	// condition variable rather than a WaitGroup: exit notifications are
@@ -236,6 +249,8 @@ func Open(opts Options) (*Instance, error) {
 		db:       db,
 		sessions: newSessionTable(),
 		pcache:   newPolicyCache(!opts.DisablePolicyCache),
+		watchers: newWatchHub(),
+		drainCh:  make(chan struct{}),
 	}
 	inst.inflightCond = sync.NewCond(&inst.inflightMu)
 
@@ -293,6 +308,9 @@ func (i *Instance) Shutdown(ctx context.Context) error {
 	}
 	i.draining = true
 	i.stateMu.Unlock()
+	// Wake pending watch long-polls: they are not counted in-flight (a
+	// 30 s poll must not stall the drain) but must observe the shutdown.
+	i.drainOnce.Do(func() { close(i.drainCh) })
 
 	// waitQuiesce blocks (bounded by ctx) until no request is in flight.
 	// On ctx expiry the helper goroutine lingers until the count next hits
@@ -377,6 +395,7 @@ func (i *Instance) Abort() {
 		return
 	}
 	i.closed = true
+	i.drainOnce.Do(func() { close(i.drainCh) })
 	_ = i.db.Close() // WAL contents remain; version is NOT advanced
 	i.enclave.Destroy()
 }

@@ -3,15 +3,20 @@ package core
 import (
 	"context"
 	"crypto/ed25519"
+	"time"
 
 	"palaemon/internal/attest"
 	"palaemon/internal/fspf"
+	"palaemon/internal/policy"
 	"palaemon/internal/simclock"
+	"palaemon/internal/wire"
 )
 
 // TMS is the surface an application runtime needs from PALÆMON. Both the
-// HTTP Client and the in-process Local adapter implement it, so runtimes and
-// benchmarks can choose between full-stack TLS and direct calls.
+// HTTP Client and the in-process Local adapter implement it, so runtimes
+// and benchmarks can choose between full-stack TLS and direct calls. v2
+// added Batch: a runtime can fold its tag push and exit notification (or
+// several shields' pushes) into one round trip.
 type TMS interface {
 	// Attest submits evidence and receives the service configuration.
 	Attest(ctx context.Context, ev attest.Evidence, quotingKey []byte, tracker *simclock.Tracker) (*AppConfig, error)
@@ -19,6 +24,9 @@ type TMS interface {
 	PushTag(ctx context.Context, token string, tag fspf.Tag, tracker *simclock.Tracker) error
 	// NotifyExit records a clean exit with the final tag.
 	NotifyExit(ctx context.Context, token string, tag fspf.Tag) error
+	// Batch pipelines heterogeneous operations in one round trip,
+	// returning one result per op in order (ops fail independently).
+	Batch(ctx context.Context, ops []wire.BatchOp, tracker *simclock.Tracker) ([]wire.BatchResult, error)
 }
 
 var (
@@ -26,10 +34,18 @@ var (
 	_ TMS = (*Local)(nil)
 )
 
-// Local adapts an Instance to the TMS interface without the network stack.
+// Local adapts an Instance to the TMS interface without the network
+// stack. It mirrors the Client's typed v2 surface (list, watch, batch,
+// revision-aware reads) so benchmarks and the facade can exercise both
+// transports interchangeably.
 type Local struct {
 	// Inst is the wrapped instance.
 	Inst *Instance
+	// ID is the client identity used for operations guarded by creator
+	// pinning (policy reads, secret fetches, watch). The zero value is a
+	// valid — if unprivileged — identity, matching a Client that presents
+	// no certificate.
+	ID ClientID
 }
 
 // Attest calls the instance directly.
@@ -45,4 +61,71 @@ func (l *Local) PushTag(_ context.Context, token string, tag fspf.Tag, _ *simclo
 // NotifyExit calls the instance directly.
 func (l *Local) NotifyExit(_ context.Context, token string, tag fspf.Tag) error {
 	return l.Inst.NotifyExit(token, tag)
+}
+
+// Batch executes the ops in order against the instance, sharing the
+// server's executor — Local and HTTP batches cannot diverge semantically.
+func (l *Local) Batch(ctx context.Context, ops []wire.BatchOp, _ *simclock.Tracker) ([]wire.BatchResult, error) {
+	return execBatch(ctx, l.Inst, l.ID, true, ops)
+}
+
+// ReadPolicy mirrors Client.ReadPolicy under the configured identity.
+func (l *Local) ReadPolicy(ctx context.Context, name string) (*policy.Policy, error) {
+	return l.Inst.ReadPolicy(ctx, l.ID, name)
+}
+
+// ReadPolicyIfChanged mirrors the Client's conditional read: it answers
+// from the cached snapshot version when the known (CreateID, Revision)
+// still matches, without cloning or re-encoding the policy.
+func (l *Local) ReadPolicyIfChanged(ctx context.Context, name string, knownCreateID, knownRev uint64) (*policy.Policy, bool, error) {
+	ver, err := l.Inst.PeekPolicyVersionFor(l.ID, name)
+	if err != nil {
+		return nil, false, err
+	}
+	if ver.CreateID == knownCreateID && ver.Revision == knownRev {
+		return nil, false, nil
+	}
+	p, err := l.Inst.ReadPolicy(ctx, l.ID, name)
+	if err != nil {
+		return nil, false, err
+	}
+	return p, true, nil
+}
+
+// FetchSecrets mirrors Client.FetchSecrets.
+func (l *Local) FetchSecrets(ctx context.Context, policyName string, names []string, _ *simclock.Tracker) (map[string]string, error) {
+	return l.Inst.FetchSecrets(ctx, l.ID, policyName, names)
+}
+
+// ListPolicies mirrors Client.ListPolicies.
+func (l *Local) ListPolicies(_ context.Context, after string, limit int) (*wire.PolicyList, error) {
+	names, total, next, err := l.Inst.ListPolicyNamesPage(after, limit)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.PolicyList{Names: names, Total: total, NextAfter: next}, nil
+}
+
+// WatchPolicy mirrors Client.WatchPolicy (same long-poll contract,
+// including the window cap and the delete+recreate guard).
+func (l *Local) WatchPolicy(ctx context.Context, name string, sinceRev, sinceCreateID uint64, window time.Duration) (*wire.WatchResponse, error) {
+	if window <= 0 {
+		window = defaultWatchWindow
+	}
+	if window > maxWatchWindow {
+		window = maxWatchWindow
+	}
+	wctx, cancel := context.WithTimeout(ctx, window)
+	defer cancel()
+	res, err := l.Inst.WatchPolicy(wctx, l.ID, name, sinceRev, sinceCreateID)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.WatchResponse{
+		Name:     name,
+		Revision: res.Version.Revision,
+		CreateID: res.Version.CreateID,
+		Changed:  res.Changed,
+		Deleted:  res.Deleted,
+	}, nil
 }

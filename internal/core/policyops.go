@@ -241,8 +241,10 @@ func (i *Instance) DeletePolicy(ctx context.Context, client ClientID, name strin
 		return fmt.Errorf("core: delete policy: %w", err)
 	}
 	// Invalidate under the per-name write lock, after the database
-	// accepted the delete and before the ack (DESIGN.md §8).
+	// accepted the delete and before the ack (DESIGN.md §8), then wake v2
+	// watchers so they observe the deletion.
 	i.pcache.invalidate(name)
+	i.watchers.notify(name)
 	// Sessions of the deleted policy die with it: tag epochs restart at 0
 	// on recreation, so a surviving zombie session could otherwise collide
 	// with a successor's epoch and clobber its expected tags.
@@ -380,6 +382,9 @@ func (i *Instance) putPolicy(p *policy.Policy) error {
 		return fmt.Errorf("core: store policy: %w", err)
 	}
 	i.pcache.invalidate(p.Name)
+	// Wake v2 watchers after the invalidation: a woken watcher re-reading
+	// the policy decodes the new bytes, never a stale cache entry.
+	i.watchers.notify(p.Name)
 	return nil
 }
 

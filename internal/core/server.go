@@ -15,9 +15,9 @@ import (
 	"palaemon/internal/attest"
 	"palaemon/internal/ca"
 	"palaemon/internal/cryptoutil"
-	"palaemon/internal/fspf"
 	"palaemon/internal/ias"
 	"palaemon/internal/policy"
+	"palaemon/internal/wire"
 )
 
 // Server exposes an Instance over the REST/TLS API (§IV-E). Two attestation
@@ -118,6 +118,10 @@ func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
 	}
 
 	mux := http.NewServeMux()
+	// v1 compatibility surface: thin adapters over the same instance ops
+	// the v2 handlers use, kept so pre-v2 clients keep working unchanged
+	// (legacy response shapes, {"error": text} bodies, status-only error
+	// mapping).
 	mux.HandleFunc("POST /policies", s.handleCreatePolicy)
 	mux.HandleFunc("GET /policies/{name}", s.handleReadPolicy)
 	mux.HandleFunc("PUT /policies/{name}", s.handleUpdatePolicy)
@@ -129,6 +133,8 @@ func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
 	mux.HandleFunc("POST /exit", s.handleExit)
 	mux.HandleFunc("GET /attestation", s.handleAttestation)
 	mux.HandleFunc("POST /challenge", s.handleChallenge)
+	// v2: the typed wire contract (serverv2.go).
+	s.registerV2(mux)
 
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	s.ln = ln
@@ -170,32 +176,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeErr renders the v1 error shape: {"error": text} plus a bare HTTP
+// status. The status comes from the same classification table the v2
+// envelope uses (errmap.go), so the two surfaces cannot drift.
 func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrPolicyNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrAccessDenied), errors.Is(err, ErrBoardRejected):
-		status = http.StatusForbidden
-	case errors.Is(err, ErrPolicyExists):
-		status = http.StatusConflict
-	case errors.Is(err, ErrConflict):
-		status = http.StatusPreconditionFailed
-	case errors.Is(err, ErrAttestation), errors.Is(err, ErrStrictRestart), errors.Is(err, ErrStaleTag):
-		status = http.StatusUnauthorized
-	case errors.Is(err, ErrDraining):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, policy.ErrNoName), errors.Is(err, policy.ErrBadName),
-		errors.Is(err, policy.ErrNoServices),
-		errors.Is(err, policy.ErrNoMRE), errors.Is(err, policy.ErrBadThreshold):
-		status = http.StatusBadRequest
-	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, v1StatusOf(err), map[string]string{"error": err.Error()})
 }
 
 func decodeBody(r *http.Request, v any) error {
 	defer r.Body.Close()
-	return json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(v)
+	// Same symmetric cap as the v2 surface and the client's response read.
+	return json.NewDecoder(io.LimitReader(r.Body, wire.MaxResponseBytes)).Decode(v)
 }
 
 func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
@@ -265,10 +256,9 @@ func (s *Server) handleDeletePolicy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
 }
 
-// fetchSecretsRequest selects secrets to retrieve.
-type fetchSecretsRequest struct {
-	Names []string `json:"names,omitempty"`
-}
+// fetchSecretsRequest selects secrets to retrieve. v1 and v2 share the
+// wire DTO (the v1 shape was already identical).
+type fetchSecretsRequest = wire.FetchSecretsRequest
 
 func (s *Server) handleFetchSecrets(w http.ResponseWriter, r *http.Request) {
 	id, ok := clientID(r)
@@ -289,12 +279,9 @@ func (s *Server) handleFetchSecrets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, secrets)
 }
 
-// attestRequest carries application evidence plus the platform quoting key
-// (simulated-platform transport of a value PALÆMON would hold already).
-type attestRequest struct {
-	Evidence   attest.Evidence `json:"evidence"`
-	QuotingKey []byte          `json:"quoting_key"`
-}
+// attestRequest carries application evidence plus the platform quoting
+// key; shared with v2 via the wire contract.
+type attestRequest = wire.AttestRequest
 
 func (s *Server) handleAttest(w http.ResponseWriter, r *http.Request) {
 	var req attestRequest
@@ -310,11 +297,8 @@ func (s *Server) handleAttest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, cfg)
 }
 
-// tagPush carries a tag update or exit notification.
-type tagPush struct {
-	Token string   `json:"token"`
-	Tag   fspf.Tag `json:"tag"`
-}
+// tagPush carries a tag update or exit notification; shared with v2.
+type tagPush = wire.TagPush
 
 func (s *Server) handlePushTag(w http.ResponseWriter, r *http.Request) {
 	var req tagPush
@@ -352,12 +336,9 @@ func (s *Server) handleExit(w http.ResponseWriter, r *http.Request) {
 }
 
 // AttestationDoc is the explicit-attestation bundle (§IV-B): the IAS report
-// binding the instance identity key to the PALÆMON MRE.
-type AttestationDoc struct {
-	Report    *ias.Report `json:"report,omitempty"`
-	PublicKey []byte      `json:"public_key"`
-	MRE       string      `json:"mre"`
-}
+// binding the instance identity key to the PALÆMON MRE. The concrete type
+// is the wire DTO, shared by v1 and v2.
+type AttestationDoc = wire.AttestationDoc
 
 func (s *Server) handleAttestation(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, AttestationDoc{
@@ -367,10 +348,9 @@ func (s *Server) handleAttestation(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// challengeExchange proves the instance holds the identity private key.
-type challengeExchange struct {
-	Challenge attest.Challenge `json:"challenge"`
-}
+// challengeExchange proves the instance holds the identity private key;
+// shared with v2.
+type challengeExchange = wire.ChallengeRequest
 
 func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
 	var req challengeExchange

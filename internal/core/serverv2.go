@@ -1,0 +1,398 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"time"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/policy"
+	"palaemon/internal/wire"
+)
+
+// This file is the v2 wire surface (DESIGN.md §9): the typed handlers
+// behind /v2/*. Everything — success payloads, errors, method and
+// content-type refusals — is expressed in the wire contract package, so
+// the server and the typed Client share one source of truth. v2 adds what
+// the scale story needs over v1: paginated listing, one-round-trip
+// batches, revision-based conditional reads (ETag/If-None-Match answered
+// from the policy cache's snapshot revision), and the watch long-poll.
+
+// Watch long-poll bounds: the default window when the client names none,
+// and the cap protecting the server from immortal polls.
+const (
+	defaultWatchWindow = 10 * time.Second
+	maxWatchWindow     = 60 * time.Second
+)
+
+// registerV2 mounts the v2 surface on the server mux. Patterns carry no
+// method: v2Route dispatches by method itself so a mismatch yields the
+// structured envelope (405 + method_not_allowed), never net/http's
+// plain-text error page.
+func (s *Server) registerV2(mux *http.ServeMux) {
+	mux.HandleFunc(wire.PathPrefix+"/policies", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodGet:  s.v2ListPolicies,
+		http.MethodPost: s.v2CreatePolicy,
+	}))
+	mux.HandleFunc(wire.PathPrefix+"/policies/{name}", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodGet:    s.v2ReadPolicy,
+		http.MethodPut:    s.v2UpdatePolicy,
+		http.MethodDelete: s.v2DeletePolicy,
+	}))
+	mux.HandleFunc(wire.PathPrefix+"/policies/{name}/secrets", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodPost: s.v2FetchSecrets,
+	}))
+	mux.HandleFunc(wire.PathPrefix+"/policies/{name}/watch", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodGet: s.v2WatchPolicy,
+	}))
+	mux.HandleFunc(wire.PathPrefix+"/batch", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodPost: s.v2Batch,
+	}))
+	mux.HandleFunc(wire.PathPrefix+"/attest", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodPost: s.v2Attest,
+	}))
+	mux.HandleFunc(wire.PathPrefix+"/tags", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodPost: s.v2PushTag,
+	}))
+	mux.HandleFunc(wire.PathPrefix+"/tags/{policy}/{service}", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodGet: s.v2ReadTag,
+	}))
+	mux.HandleFunc(wire.PathPrefix+"/exit", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodPost: s.v2Exit,
+	}))
+	mux.HandleFunc(wire.PathPrefix+"/attestation", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodGet: s.v2Attestation,
+	}))
+	mux.HandleFunc(wire.PathPrefix+"/challenge", s.v2Route(map[string]http.HandlerFunc{
+		http.MethodPost: s.v2Challenge,
+	}))
+	// Unknown v2 paths answer with the envelope, not net/http's 404 page.
+	mux.HandleFunc(wire.PathPrefix+"/", func(w http.ResponseWriter, r *http.Request) {
+		writeWireErr(w, wire.NewError(wire.CodeNotFound, http.StatusNotFound, false,
+			"core: unknown v2 path "+r.URL.Path))
+	})
+}
+
+// v2Route dispatches by method and enforces the JSON content type on
+// bodied requests, answering violations with the structured envelope.
+func (s *Server) v2Route(methods map[string]http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h, ok := methods[r.Method]
+		if !ok {
+			allowed := ""
+			for m := range methods {
+				if allowed != "" {
+					allowed += ", "
+				}
+				allowed += m
+			}
+			w.Header().Set("Allow", allowed)
+			writeWireErr(w, wire.NewError(wire.CodeMethodNotAllowed, http.StatusMethodNotAllowed, false,
+				"core: method "+r.Method+" not allowed on "+r.URL.Path))
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" && (r.Method == http.MethodPost || r.Method == http.MethodPut) {
+			if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
+				writeWireErr(w, wire.NewError(wire.CodeUnsupportedMedia, http.StatusUnsupportedMediaType, false,
+					"core: v2 request bodies must be application/json, got "+ct))
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// writeWireErr renders err as the v2 envelope.
+func writeWireErr(w http.ResponseWriter, err error) {
+	e := wireFromError(err)
+	writeJSON(w, e.Status, e)
+}
+
+// decodeBodyV2 decodes a JSON request body, classifying failures as
+// bad_request envelopes. The contract's message cap bounds request bodies
+// the same way it bounds responses.
+func decodeBodyV2(r *http.Request, v any) error {
+	defer r.Body.Close()
+	if err := json.NewDecoder(io.LimitReader(r.Body, wire.MaxResponseBytes)).Decode(v); err != nil {
+		return wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+			"core: decode request body: "+err.Error())
+	}
+	return nil
+}
+
+// clientIDV2 extracts the client certificate identity or fails with the
+// structured access_denied envelope.
+func clientIDV2(w http.ResponseWriter, r *http.Request) (ClientID, bool) {
+	id, ok := clientID(r)
+	if !ok {
+		writeWireErr(w, ErrAccessDenied)
+	}
+	return id, ok
+}
+
+// --- Policy CRUD -------------------------------------------------------------
+
+func (s *Server) v2CreatePolicy(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientIDV2(w, r)
+	if !ok {
+		return
+	}
+	var p policy.Policy
+	if err := decodeBodyV2(r, &p); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	if err := s.inst.CreatePolicy(r.Context(), id, &p); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, wire.NameResponse{Name: p.Name})
+}
+
+func (s *Server) v2ReadPolicy(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientIDV2(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	// Conditional read: when the presented ETag still matches the stored
+	// (CreateID, Revision) — answered from the policy cache's decoded
+	// snapshot — reply 304 with no body, no policy clone, no board round
+	// trip. The full read below remains the slow path.
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if ver, err := s.inst.PeekPolicyVersionFor(id, name); err == nil &&
+			wire.ETag(ver.CreateID, ver.Revision) == inm {
+			w.Header().Set("ETag", inm)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		// Mismatch or error: fall through; the authoritative read reports
+		// the policy (or the error) itself.
+	}
+	p, err := s.inst.ReadPolicy(r.Context(), id, name)
+	if err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	w.Header().Set("ETag", wire.ETag(p.CreateID, p.Revision))
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) v2UpdatePolicy(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientIDV2(w, r)
+	if !ok {
+		return
+	}
+	var p policy.Policy
+	if err := decodeBodyV2(r, &p); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	if p.Name != r.PathValue("name") {
+		writeWireErr(w, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+			"core: policy name mismatch between path and body"))
+		return
+	}
+	if err := s.inst.UpdatePolicy(r.Context(), id, &p); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.NameResponse{Name: p.Name})
+}
+
+func (s *Server) v2DeletePolicy(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientIDV2(w, r)
+	if !ok {
+		return
+	}
+	if err := s.inst.DeletePolicy(r.Context(), id, r.PathValue("name")); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.DeleteResponse{Deleted: r.PathValue("name")})
+}
+
+// --- Listing and watching ----------------------------------------------------
+
+func (s *Server) v2ListPolicies(w http.ResponseWriter, r *http.Request) {
+	if _, ok := clientIDV2(w, r); !ok {
+		return
+	}
+	q := r.URL.Query()
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeWireErr(w, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+				"core: limit must be a non-negative integer"))
+			return
+		}
+		limit = n
+	}
+	names, total, next, err := s.inst.ListPolicyNamesPage(q.Get("after"), limit)
+	if err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.PolicyList{Names: names, Total: total, NextAfter: next})
+}
+
+func (s *Server) v2WatchPolicy(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientIDV2(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	rev, err := strconv.ParseUint(q.Get("rev"), 10, 64)
+	if err != nil {
+		writeWireErr(w, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+			"core: watch requires ?rev=<last seen revision>"))
+		return
+	}
+	// create_id is optional (0 = revision-only comparison) but guards the
+	// delete+recreate-on-same-revision case when supplied.
+	var createID uint64
+	if raw := q.Get("create_id"); raw != "" {
+		createID, err = strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeWireErr(w, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+				"core: create_id must be an unsigned integer"))
+			return
+		}
+	}
+	window := defaultWatchWindow
+	if raw := q.Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms < 0 {
+			writeWireErr(w, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+				"core: timeout_ms must be a non-negative integer"))
+			return
+		}
+		window = time.Duration(ms) * time.Millisecond
+	}
+	if window > maxWatchWindow {
+		window = maxWatchWindow
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), window)
+	defer cancel()
+	name := r.PathValue("name")
+	res, err := s.inst.WatchPolicy(ctx, id, name, rev, createID)
+	if err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.WatchResponse{
+		Name:     name,
+		Revision: res.Version.Revision,
+		CreateID: res.Version.CreateID,
+		Changed:  res.Changed,
+		Deleted:  res.Deleted,
+	})
+}
+
+// --- Secrets, batch, attestation, tags ---------------------------------------
+
+func (s *Server) v2FetchSecrets(w http.ResponseWriter, r *http.Request) {
+	id, ok := clientIDV2(w, r)
+	if !ok {
+		return
+	}
+	var req wire.FetchSecretsRequest
+	if err := decodeBodyV2(r, &req); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	secrets, err := s.inst.FetchSecrets(r.Context(), id, r.PathValue("name"), req.Names)
+	if err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.SecretsResponse{Secrets: secrets})
+}
+
+func (s *Server) v2Batch(w http.ResponseWriter, r *http.Request) {
+	// Identity is optional at the envelope level: ops that release policy
+	// content check it themselves, tag ops authenticate by session token.
+	id, hasID := clientID(r)
+	var req wire.BatchRequest
+	if err := decodeBodyV2(r, &req); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	results, err := execBatch(r.Context(), s.inst, id, hasID, req.Ops)
+	if err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.BatchResponse{Results: results})
+}
+
+func (s *Server) v2Attest(w http.ResponseWriter, r *http.Request) {
+	var req wire.AttestRequest
+	if err := decodeBodyV2(r, &req); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	cfg, err := s.inst.AttestApplication(req.Evidence, req.QuotingKey)
+	if err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cfg)
+}
+
+func (s *Server) v2PushTag(w http.ResponseWriter, r *http.Request) {
+	var req wire.TagPush
+	if err := decodeBodyV2(r, &req); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	if err := s.inst.PushTag(req.Token, req.Tag); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.OKResponse{OK: true})
+}
+
+func (s *Server) v2ReadTag(w http.ResponseWriter, r *http.Request) {
+	tag, err := s.inst.ExpectedTag(r.PathValue("policy"), r.PathValue("service"))
+	if err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.TagResponse{Tag: tag.String()})
+}
+
+func (s *Server) v2Exit(w http.ResponseWriter, r *http.Request) {
+	var req wire.TagPush
+	if err := decodeBodyV2(r, &req); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	if err := s.inst.NotifyExit(req.Token, req.Tag); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.OKResponse{OK: true})
+}
+
+func (s *Server) v2Attestation(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.AttestationDoc{
+		Report:    s.iasReport,
+		PublicKey: s.inst.PublicKey(),
+		MRE:       s.inst.MRE().String(),
+	})
+}
+
+func (s *Server) v2Challenge(w http.ResponseWriter, r *http.Request) {
+	var req wire.ChallengeRequest
+	if err := decodeBodyV2(r, &req); err != nil {
+		writeWireErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, attest.Respond(req.Challenge, s.inst.signer, "palaemon-instance"))
+}

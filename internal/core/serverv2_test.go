@@ -1,0 +1,620 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"palaemon/internal/policy"
+	"palaemon/internal/sgx"
+	"palaemon/internal/simclock"
+	"palaemon/internal/simnet"
+	"palaemon/internal/wire"
+)
+
+// decodeEnvelope asserts the body is a v2 structured error envelope and
+// returns it.
+func decodeEnvelope(t *testing.T, raw []byte) *wire.Error {
+	t.Helper()
+	var e wire.Error
+	if err := json.Unmarshal(raw, &e); err != nil || e.Code == "" {
+		t.Fatalf("body is not a structured envelope: %s (err %v)", raw, err)
+	}
+	return &e
+}
+
+// TestV2MethodAndContentType proves wrong methods, wrong content types,
+// malformed bodies and unknown v2 paths all answer with the structured
+// envelope — never net/http's plain-text error pages.
+func TestV2MethodAndContentType(t *testing.T) {
+	s := newStack(t)
+	authed := rawHTTPClient(t, s, true)
+
+	cases := []struct {
+		name        string
+		method      string
+		path        string
+		body        string
+		contentType string
+		wantStatus  int
+		wantCode    string
+	}{
+		{"delete on collection", "DELETE", "/v2/policies", "", "", 405, wire.CodeMethodNotAllowed},
+		{"post on watch", "POST", "/v2/policies/x/watch", "{}", "application/json", 405, wire.CodeMethodNotAllowed},
+		{"get on batch", "GET", "/v2/batch", "", "", 405, wire.CodeMethodNotAllowed},
+		{"put on attest", "PUT", "/v2/attest", "{}", "application/json", 405, wire.CodeMethodNotAllowed},
+		{"non-json content type", "POST", "/v2/policies", "name: x", "text/plain", 415, wire.CodeUnsupportedMedia},
+		{"yaml on batch", "POST", "/v2/batch", "ops: []", "application/yaml", 415, wire.CodeUnsupportedMedia},
+		{"malformed create body", "POST", "/v2/policies", `{"name":`, "application/json", 400, wire.CodeBadRequest},
+		{"malformed batch body", "POST", "/v2/batch", `]`, "application/json", 400, wire.CodeBadRequest},
+		{"unknown v2 path", "GET", "/v2/nope", "", "", 404, wire.CodeNotFound},
+		{"watch without rev", "GET", "/v2/policies/x/watch", "", "", 400, wire.CodeBadRequest},
+		{"list with bad limit", "GET", "/v2/policies?limit=-3", "", "", 400, wire.CodeBadRequest},
+		{"invalid policy", "POST", "/v2/policies", `{"name":""}`, "application/json", 400, wire.CodeInvalidPolicy},
+		{"unknown policy", "GET", "/v2/policies/no-such", "", "", 404, wire.CodePolicyNotFound},
+		{"stale token", "POST", "/v2/tags", `{"token":"nope","tag":[0]}`, "application/json", 401, wire.CodeStaleTag},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, s.server.URL()+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.contentType != "" {
+				req.Header.Set("Content-Type", tc.contentType)
+			}
+			resp, err := authed.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d; body %s", resp.StatusCode, tc.wantStatus, raw)
+			}
+			e := decodeEnvelope(t, raw)
+			if e.Code != tc.wantCode {
+				t.Fatalf("code %q, want %q; body %s", e.Code, tc.wantCode, raw)
+			}
+			if e.Status != tc.wantStatus {
+				t.Fatalf("envelope status %d does not echo HTTP status %d", e.Status, tc.wantStatus)
+			}
+		})
+	}
+}
+
+// TestV2ErrorFidelity proves the v2 envelope round-trips sentinel classes
+// v1's status-only mapping destroyed: a board rejection reads back as
+// ErrBoardRejected (v1: ErrAccessDenied) and a stale tag as ErrStaleTag
+// (v1: ErrAttestation), while the envelope stays recoverable via
+// errors.As.
+func TestV2ErrorFidelity(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	cli, _ := s.client(t, "fidelity")
+
+	// Board-guarded policy with no evaluator configured: every operation
+	// on it is board-rejected.
+	mre := sgx.Binary{Name: "app", Code: []byte("v1")}.Measure()
+	p := testPolicy("board-pol", mre)
+	p.Board = policy.Board{
+		Members:   []policy.BoardMember{{Name: "m1", URL: "https://127.0.0.1:1"}},
+		Threshold: 1,
+	}
+	err := cli.CreatePolicy(ctx, p)
+	if !errors.Is(err, ErrBoardRejected) {
+		t.Fatalf("board rejection read back as %v, want ErrBoardRejected", err)
+	}
+	var we *wire.Error
+	if !errors.As(err, &we) {
+		t.Fatalf("envelope not recoverable from %v", err)
+	}
+	if we.Code != wire.CodeBoardRejected || we.Status != http.StatusForbidden {
+		t.Fatalf("envelope = %+v", we)
+	}
+
+	// Stale tag push.
+	err = cli.PushTag(ctx, "no-such-token", [32]byte{1}, nil)
+	if !errors.Is(err, ErrStaleTag) {
+		t.Fatalf("stale push read back as %v, want ErrStaleTag", err)
+	}
+
+	// The same failures through a v1 client demonstrate the loss the v2
+	// envelope fixes (and pin the legacy behaviour old clients rely on).
+	certV1, _, err := NewClientCertificate("fidelity-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1cli := NewClient(ClientOptions{
+		BaseURL:     s.server.URL(),
+		Roots:       s.auth.Root().Pool(),
+		Certificate: certV1,
+		ProtocolV1:  true,
+	})
+	if err := v1cli.CreatePolicy(ctx, p); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("v1 board rejection = %v, want the (lossy) ErrAccessDenied", err)
+	}
+	if err := v1cli.PushTag(ctx, "no-such-token", [32]byte{1}, nil); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("v1 stale push = %v, want the (lossy) ErrAttestation", err)
+	}
+}
+
+// TestV2ConditionalRead proves the ETag/If-None-Match contract: an
+// unchanged policy answers 304 from the cached snapshot revision (no
+// body, no re-encode), any change — update, delete+recreate — answers the
+// full policy with a fresh ETag.
+func TestV2ConditionalRead(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	cli, _ := s.client(t, "cond")
+	mre := sgx.Binary{Name: "app", Code: []byte("v1")}.Measure()
+
+	if err := cli.CreatePolicy(ctx, testPolicy("cond-pol", mre)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cli.ReadPolicy(ctx, "cond-pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unchanged: 304, no policy, no decode work.
+	statsBefore := s.inst.CacheStats()
+	got, modified, err := cli.ReadPolicyIfChanged(ctx, "cond-pol", p.CreateID, p.Revision)
+	if err != nil || modified || got != nil {
+		t.Fatalf("unchanged conditional read = (%v, %v, %v), want (nil, false, nil)", got, modified, err)
+	}
+	stats := s.inst.CacheStats().Since(statsBefore)
+	if stats.Hits == 0 {
+		t.Fatalf("304 did not come from the cached snapshot: %+v", stats)
+	}
+	if stats.DBReads != 0 {
+		t.Fatalf("304 touched the database (%d reads), want pure cache answer", stats.DBReads)
+	}
+
+	// Changed: full body with the new revision.
+	upd := p.Clone()
+	upd.Services[0].Command = "serve --updated"
+	if err := cli.UpdatePolicy(ctx, upd); err != nil {
+		t.Fatal(err)
+	}
+	got, modified, err = cli.ReadPolicyIfChanged(ctx, "cond-pol", p.CreateID, p.Revision)
+	if err != nil || !modified || got == nil {
+		t.Fatalf("changed conditional read = (%v, %v, %v)", got, modified, err)
+	}
+	if got.Revision != p.Revision+1 {
+		t.Fatalf("revision %d, want %d", got.Revision, p.Revision+1)
+	}
+
+	// A foreign client gets access_denied, not a 304 oracle.
+	other, _ := s.client(t, "cond-other")
+	if _, _, err := other.ReadPolicyIfChanged(ctx, "cond-pol", got.CreateID, got.Revision); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("foreign conditional read = %v, want ErrAccessDenied", err)
+	}
+
+	// Delete + recreate restarts Revision at 1 but changes CreateID: the
+	// stale ETag must NOT match.
+	if err := cli.DeletePolicy(ctx, "cond-pol"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.CreatePolicy(ctx, testPolicy("cond-pol", mre)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, modified, err := cli.ReadPolicyIfChanged(ctx, "cond-pol", got.CreateID, 1)
+	if err != nil || !modified || fresh == nil {
+		t.Fatalf("post-recreate conditional read = (%v, %v, %v), want full body", fresh, modified, err)
+	}
+}
+
+// TestV2ListPolicies proves the paginated listing: sorted names, total
+// count, and cursor-following until exhaustion.
+func TestV2ListPolicies(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	cli, _ := s.client(t, "lister")
+	mre := sgx.Binary{Name: "app", Code: []byte("v1")}.Measure()
+
+	want := []string{"list-a", "list-b", "list-c", "list-d", "list-e"}
+	for _, name := range want {
+		if err := cli.CreatePolicy(ctx, testPolicy(name, mre)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var all []string
+	after := ""
+	pages := 0
+	for {
+		page, err := cli.ListPolicies(ctx, after, 2)
+		if err != nil {
+			t.Fatalf("ListPolicies(%q): %v", after, err)
+		}
+		if page.Total != len(want) {
+			t.Fatalf("total %d, want %d", page.Total, len(want))
+		}
+		all = append(all, page.Names...)
+		pages++
+		if page.NextAfter == "" {
+			break
+		}
+		after = page.NextAfter
+		if pages > 10 {
+			t.Fatal("cursor did not terminate")
+		}
+	}
+	if pages < 3 {
+		t.Fatalf("expected >= 3 pages of 2, got %d", pages)
+	}
+	if fmt.Sprint(all) != fmt.Sprint(want) {
+		t.Fatalf("names %v, want %v", all, want)
+	}
+}
+
+// TestV2WatchPolicy proves the long-poll contract: timeout without a
+// change, prompt wake on update with the new revision, and the deletion
+// report.
+func TestV2WatchPolicy(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	cli, _ := s.client(t, "watcher")
+	mre := sgx.Binary{Name: "app", Code: []byte("v1")}.Measure()
+
+	if err := cli.CreatePolicy(ctx, testPolicy("watch-pol", mre)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cli.ReadPolicy(ctx, "watch-pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No change: the poll expires with Changed=false.
+	res, err := cli.WatchPolicy(ctx, "watch-pol", p.Revision, p.CreateID, 150*time.Millisecond)
+	if err != nil {
+		t.Fatalf("watch timeout path: %v", err)
+	}
+	if res.Changed {
+		t.Fatalf("unchanged watch reported a change: %+v", res)
+	}
+
+	// Concurrent update: the poll returns promptly with the new revision.
+	type watchOut struct {
+		res *wire.WatchResponse
+		err error
+	}
+	done := make(chan watchOut, 1)
+	go func() {
+		res, err := cli.WatchPolicy(ctx, "watch-pol", p.Revision, p.CreateID, 5*time.Second)
+		done <- watchOut{res, err}
+	}()
+	// Give the long-poll a moment to arm, then update through a second
+	// client (one Client is safe for concurrent use, but two mirrors the
+	// real board-approval flow).
+	time.Sleep(100 * time.Millisecond)
+	upd := p.Clone()
+	upd.Services[0].Command = "serve --watched-update"
+	if err := cli.UpdatePolicy(ctx, upd); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("watch: %v", out.err)
+		}
+		if !out.res.Changed || out.res.Deleted {
+			t.Fatalf("watch after update = %+v", out.res)
+		}
+		if out.res.Revision != p.Revision+1 {
+			t.Fatalf("watch revision %d, want %d", out.res.Revision, p.Revision+1)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("watch did not wake on update")
+	}
+
+	// Deletion wakes a watcher with Deleted=true.
+	go func() {
+		res, err := cli.WatchPolicy(ctx, "watch-pol", p.Revision+1, p.CreateID, 5*time.Second)
+		done <- watchOut{res, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if err := cli.DeletePolicy(ctx, "watch-pol"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("watch delete: %v", out.err)
+		}
+		if !out.res.Changed || !out.res.Deleted {
+			t.Fatalf("watch after delete = %+v", out.res)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("watch did not wake on delete")
+	}
+}
+
+// TestV2WatchEndsOnDrain proves a pending long-poll does not stall the
+// Fig 6 drain: Shutdown wakes the watcher with ErrDraining promptly.
+func TestV2WatchEndsOnDrain(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	cli, _ := s.client(t, "drain-watcher")
+	mre := sgx.Binary{Name: "app", Code: []byte("v1")}.Measure()
+	if err := cli.CreatePolicy(ctx, testPolicy("drain-pol", mre)); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cli.WatchPolicy(ctx, "drain-pol", 1, 0, 8*time.Second)
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	if err := s.inst.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown under pending watch: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("shutdown stalled %v behind the watch", d)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("drained watch = %v, want ErrDraining", err)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("watch survived the drain")
+	}
+}
+
+// TestV2BatchMixedOps proves one batch can mix secret fetches across
+// policies, policy reads, tag reads, and failing ops — results in order,
+// failures independent.
+func TestV2BatchMixedOps(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	cli, _ := s.client(t, "batcher")
+	mre := sgx.Binary{Name: "app", Code: []byte("v1")}.Measure()
+
+	for _, name := range []string{"b-one", "b-two"} {
+		if err := cli.CreatePolicy(ctx, testPolicy(name, mre)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := cli.Batch(ctx, []wire.BatchOp{
+		{Op: wire.OpFetchSecrets, Policy: "b-one"},
+		{Op: wire.OpReadPolicy, Policy: "b-two"},
+		{Op: wire.OpReadTag, Policy: "b-one", Service: "app"},
+		{Op: wire.OpFetchSecrets, Policy: "no-such"},
+		{Op: wire.OpPushTag, Token: "stale"},
+		{Op: "frobnicate"},
+	}, nil)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if results[0].Error != nil || results[0].Secrets["api_token"] == "" {
+		t.Fatalf("fetch result: %+v", results[0])
+	}
+	if results[1].Error != nil || results[1].Policy == nil || results[1].Policy.Name != "b-two" {
+		t.Fatalf("read result: %+v", results[1])
+	}
+	if results[2].Error != nil {
+		t.Fatalf("read_tag result: %+v", results[2])
+	}
+	if results[3].Error == nil || results[3].Error.Code != wire.CodePolicyNotFound {
+		t.Fatalf("missing-policy op: %+v", results[3])
+	}
+	if results[4].Error == nil || results[4].Error.Code != wire.CodeBadRequest {
+		t.Fatalf("tagless push op: %+v", results[4])
+	}
+	if results[5].Error == nil || results[5].Error.Code != wire.CodeBadRequest {
+		t.Fatalf("unknown op: %+v", results[5])
+	}
+
+	// Oversized batches are refused whole, with the explicit code.
+	big := make([]wire.BatchOp, wire.MaxBatchOps+1)
+	for n := range big {
+		big[n] = wire.BatchOp{Op: wire.OpReadTag, Policy: "b-one", Service: "app"}
+	}
+	_, err = cli.Batch(ctx, big, nil)
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeBatchTooLarge {
+		t.Fatalf("oversized batch = %v", err)
+	}
+}
+
+// TestV2BatchCollapsesWANRoundTrips is the Fig 12 acceptance check: under
+// a modelled intercontinental profile, fetching secrets from 4 policies
+// costs 4 round trips sequentially but ONE via /v2/batch — at least a 3×
+// reduction in modelled wall-clock.
+func TestV2BatchCollapsesWANRoundTrips(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	cert, _, err := NewClientCertificate("wan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wan := NewClient(ClientOptions{
+		BaseURL:     s.server.URL(),
+		Roots:       s.auth.Root().Pool(),
+		Certificate: cert,
+		Profile:     simnet.KM11000,
+	})
+	mre := sgx.Binary{Name: "app", Code: []byte("v1")}.Measure()
+	const policies = 4
+	names := make([]string, policies)
+	for n := range names {
+		names[n] = fmt.Sprintf("wan-%d", n)
+		if err := wan.CreatePolicy(ctx, testPolicy(names[n], mre)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sequential v1-style: one round trip per policy.
+	var seq simclock.Tracker
+	for _, name := range names {
+		if _, err := wan.FetchSecrets(ctx, name, nil, &seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Batched: all four policies in one round trip.
+	var batched simclock.Tracker
+	ops := make([]wire.BatchOp, policies)
+	for n, name := range names {
+		ops[n] = wire.BatchOp{Op: wire.OpFetchSecrets, Policy: name}
+	}
+	results, err := wan.Batch(ctx, ops, &batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, res := range results {
+		if res.Error != nil || res.Secrets["api_token"] == "" {
+			t.Fatalf("batch result %d: %+v", n, res)
+		}
+	}
+
+	if batched.Total() >= simnet.KM11000.RTT+simnet.KM11000.RTT/2 {
+		t.Fatalf("batch cost %v, want ~one %v round trip", batched.Total(), simnet.KM11000.RTT)
+	}
+	ratio := float64(seq.Total()) / float64(batched.Total())
+	if ratio < 3 {
+		t.Fatalf("sequential %v / batched %v = %.2fx, want >= 3x", seq.Total(), batched.Total(), ratio)
+	}
+	t.Logf("modelled WAN: sequential %v, batched %v (%.1fx)", seq.Total(), batched.Total(), ratio)
+}
+
+// TestClientResponseTooLarge proves the 8 MiB response cap surfaces as
+// the dedicated sentinel, not a JSON decode failure.
+func TestClientResponseTooLarge(t *testing.T) {
+	huge := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		filler := strings.Repeat("x", 1<<20)
+		fmt.Fprint(w, `{"mre": "`)
+		for i := 0; i < 9; i++ {
+			io.WriteString(w, filler)
+		}
+		fmt.Fprint(w, `"}`)
+	}))
+	defer huge.Close()
+	cli := NewClient(ClientOptions{BaseURL: huge.URL})
+	_, err := cli.Attestation(context.Background())
+	if !errors.Is(err, ErrResponseTooLarge) {
+		t.Fatalf("oversized response = %v, want ErrResponseTooLarge", err)
+	}
+}
+
+// TestRemoteErrorKeepsUnknownStatus pins the satellite fix: an error
+// status outside the v1 mapping still reports the HTTP code instead of
+// degrading to the bare message.
+func TestRemoteErrorKeepsUnknownStatus(t *testing.T) {
+	teapot := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, `{"error":"short and stout"}`)
+	}))
+	defer teapot.Close()
+	cli := NewClient(ClientOptions{BaseURL: teapot.URL, ProtocolV1: true})
+	_, err := cli.ReadPolicy(context.Background(), "x")
+	if err == nil || !strings.Contains(err.Error(), "418") || !strings.Contains(err.Error(), "short and stout") {
+		t.Fatalf("unknown-status error dropped the code: %v", err)
+	}
+}
+
+// TestV2WatchDetectsRecreate pins the delete+recreate guard: Revision
+// restarts at 1 on recreation, so a watcher armed with (rev, create_id)
+// must wake even when the recreated policy lands on the watched revision
+// number.
+func TestV2WatchDetectsRecreate(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	cli, _ := s.client(t, "recreate-watcher")
+	mre := sgx.Binary{Name: "app", Code: []byte("v1")}.Measure()
+
+	if err := cli.CreatePolicy(ctx, testPolicy("rc-pol", mre)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cli.ReadPolicy(ctx, "rc-pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type watchOut struct {
+		res *wire.WatchResponse
+		err error
+	}
+	done := make(chan watchOut, 1)
+	go func() {
+		res, err := cli.WatchPolicy(ctx, "rc-pol", p.Revision, p.CreateID, 5*time.Second)
+		done <- watchOut{res, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if err := cli.DeletePolicy(ctx, "rc-pol"); err != nil {
+		t.Fatal(err)
+	}
+	// Recreate immediately: the new policy is back at Revision 1 — the
+	// exact revision the watcher armed with.
+	if err := cli.CreatePolicy(ctx, testPolicy("rc-pol", mre)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("watch: %v", out.err)
+		}
+		// Depending on which write the watcher woke on it reports either
+		// the deletion or the recreated version — but never "unchanged".
+		if !out.res.Changed {
+			t.Fatalf("recreate on the same revision was invisible: %+v", out.res)
+		}
+		if !out.res.Deleted && out.res.CreateID == p.CreateID {
+			t.Fatalf("watch woke with the OLD CreateID: %+v", out.res)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("watch slept through delete+recreate on the same revision")
+	}
+}
+
+// TestLocalWatchCancellation pins the cancel-vs-window distinction: a
+// Local watch whose CALLER context is cancelled must surface the error
+// (not a Changed=false re-arm signal, which would busy-spin re-arm
+// loops), while a window expiry still reads as Changed=false.
+func TestLocalWatchCancellation(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	cli, id := s.client(t, "local-watcher")
+	mre := sgx.Binary{Name: "app", Code: []byte("v1")}.Measure()
+	if err := cli.CreatePolicy(ctx, testPolicy("lw-pol", mre)); err != nil {
+		t.Fatal(err)
+	}
+	local := &Local{Inst: s.inst, ID: id}
+
+	// Window expiry: Changed=false, nil error.
+	res, err := local.WatchPolicy(ctx, "lw-pol", 1, 0, 100*time.Millisecond)
+	if err != nil || res.Changed {
+		t.Fatalf("window expiry = (%+v, %v), want (Changed=false, nil)", res, err)
+	}
+
+	// Caller cancellation: the error, promptly.
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := local.WatchPolicy(cctx, "lw-pol", 1, 0, 30*time.Second)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled watch = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled watch did not return")
+	}
+}

@@ -127,6 +127,7 @@ func All() []Experiment {
 		{ID: "fig10", Title: "Monotonic counter throughput", Run: Fig10},
 		{ID: "fig11", Title: "Tag latency and secret injection overhead", Run: Fig11},
 		{ID: "fig12", Title: "Secret retrieval latency by deployment distance", Run: Fig12},
+		{ID: "fig12-batch", Title: "Batched vs sequential secret retrieval (v2 /batch)", Run: Fig12Batch},
 		{ID: "fig13", Title: "Approval service throughput/latency and geo deployments", Run: Fig13},
 		{ID: "fig14", Title: "Barbican KMS variants under two microcodes", Run: Fig14},
 		{ID: "fig15", Title: "Vault throughput/latency", Run: Fig15},

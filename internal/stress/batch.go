@@ -1,0 +1,145 @@
+package stress
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"palaemon/internal/simclock"
+	"palaemon/internal/simnet"
+	"palaemon/internal/wire"
+)
+
+// BatchFetchOptions shapes one RunBatchFetch: the WAN round-trip ablation
+// behind POST /v2/batch. A stakeholder at a modelled network distance
+// fetches the secrets of several policies — once as sequential v1-style
+// calls (one round trip each) and once as a single v2 batch (one round
+// trip total). The network cost is charged to a tracker, so the scenario
+// is deterministic and sleeps nothing.
+type BatchFetchOptions struct {
+	// Policies is the number of policies fetched per round (default 4 —
+	// the acceptance floor for the Fig 12 collapse).
+	Policies int
+	// Secrets is the number of random secrets per policy (default 8).
+	Secrets int
+	// Rounds is the number of sequential-vs-batched comparisons
+	// (default 5).
+	Rounds int
+	// Profile is the modelled network distance (default the
+	// intercontinental <=11,000 km profile, Fig 12's worst case).
+	Profile simnet.Profile
+}
+
+func (o *BatchFetchOptions) defaults() {
+	if o.Policies <= 0 {
+		o.Policies = 4
+	}
+	if o.Secrets <= 0 {
+		o.Secrets = 8
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 5
+	}
+	if o.Profile.Name == "" {
+		o.Profile = simnet.KM11000
+	}
+}
+
+// BatchFetchReport aggregates one RunBatchFetch.
+type BatchFetchReport struct {
+	// Profile names the modelled distance.
+	Profile string
+	// Policies and Rounds echo the options.
+	Policies, Rounds int
+	// Sequential/Batched are the total modelled wall-clock times (local
+	// HTTP processing + modelled WAN) across all rounds.
+	Sequential, Batched time.Duration
+	// SequentialNet/BatchedNet are the modelled network shares alone.
+	SequentialNet, BatchedNet time.Duration
+}
+
+// Speedup is the sequential/batched wall-clock ratio.
+func (r BatchFetchReport) Speedup() float64 {
+	if r.Batched <= 0 {
+		return 0
+	}
+	return float64(r.Sequential) / float64(r.Batched)
+}
+
+// String renders the report for harness logs.
+func (r BatchFetchReport) String() string {
+	return fmt.Sprintf(
+		"batch-fetch @ %s: %d policies x %d rounds\n  sequential %v (net %v)\n  batched    %v (net %v)\n  speedup    %.1fx",
+		r.Profile, r.Policies, r.Rounds,
+		r.Sequential, r.SequentialNet, r.Batched, r.BatchedNet, r.Speedup())
+}
+
+// RunBatchFetch drives the WAN batch scenario against the harness's live
+// REST/TLS server. Setup (policy creation) is untimed; each measured
+// round fetches every policy's secrets sequentially and then again as one
+// /v2/batch, accumulating local latency plus tracker-charged network
+// model for both shapes.
+func (h *Harness) RunBatchFetch(ctx context.Context, opts BatchFetchOptions) (BatchFetchReport, error) {
+	opts.defaults()
+	s, err := h.NewStakeholder("batcher")
+	if err != nil {
+		return BatchFetchReport{}, err
+	}
+	defer s.Client.CloseIdle()
+	// A second client at the modelled WAN distance, sharing the same
+	// certificate identity (the paper's shared-certificate model, §IV-E).
+	wan := h.StakeholderAt(s, opts.Profile)
+	defer wan.CloseIdle()
+
+	names := make([]string, opts.Policies)
+	ops := make([]wire.BatchOp, opts.Policies)
+	for n := range names {
+		names[n] = fmt.Sprintf("batchfetch-%d", n)
+		p := h.readHeavyPolicy(names[n], opts.Secrets, 0)
+		if err := s.Client.CreatePolicy(ctx, p); err != nil {
+			return BatchFetchReport{}, fmt.Errorf("stress: create %s: %w", names[n], err)
+		}
+		ops[n] = wire.BatchOp{Op: wire.OpFetchSecrets, Policy: names[n]}
+	}
+
+	rep := BatchFetchReport{Profile: opts.Profile.Name, Policies: opts.Policies, Rounds: opts.Rounds}
+	for round := 0; round < opts.Rounds; round++ {
+		if ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
+		var seqNet simclock.Tracker
+		start := time.Now()
+		for _, name := range names {
+			if _, err := wan.FetchSecrets(ctx, name, nil, &seqNet); err != nil {
+				return rep, fmt.Errorf("stress: sequential fetch %s: %w", name, err)
+			}
+		}
+		rep.Sequential += time.Since(start) + seqNet.Total()
+		rep.SequentialNet += seqNet.Total()
+
+		var batchNet simclock.Tracker
+		start = time.Now()
+		results, err := wan.Batch(ctx, ops, &batchNet)
+		if err != nil {
+			return rep, fmt.Errorf("stress: batch fetch: %w", err)
+		}
+		for n, res := range results {
+			if res.Error != nil {
+				return rep, fmt.Errorf("stress: batch op %d (%s): %s", n, names[n], res.Error.Message)
+			}
+			if len(res.Secrets) != opts.Secrets {
+				return rep, fmt.Errorf("stress: batch op %d returned %d secrets, want %d", n, len(res.Secrets), opts.Secrets)
+			}
+		}
+		rep.Batched += time.Since(start) + batchNet.Total()
+		rep.BatchedNet += batchNet.Total()
+	}
+
+	// Untimed cleanup.
+	for _, name := range names {
+		if err := s.Client.DeletePolicy(ctx, name); err != nil && ctx.Err() == nil {
+			return rep, fmt.Errorf("stress: delete %s: %w", name, err)
+		}
+	}
+	return rep, nil
+}

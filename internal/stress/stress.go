@@ -15,6 +15,7 @@ package stress
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"palaemon/internal/policy"
 	"palaemon/internal/sgx"
 	"palaemon/internal/simclock"
+	"palaemon/internal/simnet"
 )
 
 // Options configures the deployment under stress.
@@ -139,6 +141,9 @@ type Stakeholder struct {
 	ID core.ClientID
 	// Client is the stakeholder's pooled TLS client.
 	Client *core.Client
+	// Cert is the stakeholder's certificate, so scenarios can mint extra
+	// clients sharing the identity (e.g. at a modelled WAN distance).
+	Cert *tls.Certificate
 }
 
 // PolicyName returns the stakeholder's policy name.
@@ -156,7 +161,20 @@ func (h *Harness) NewStakeholder(name string) (*Stakeholder, error) {
 		Certificate: cert,
 		Timeout:     30 * time.Second,
 	})
-	return &Stakeholder{Name: name, ID: id, Client: cli}, nil
+	return &Stakeholder{Name: name, ID: id, Client: cli, Cert: cert}, nil
+}
+
+// StakeholderAt mints a client sharing s's certificate identity at the
+// given modelled network distance (charged to trackers by the scenarios,
+// so nothing actually sleeps).
+func (h *Harness) StakeholderAt(s *Stakeholder, profile simnet.Profile) *core.Client {
+	return core.NewClient(core.ClientOptions{
+		BaseURL:     h.Server.URL(),
+		Roots:       h.Authority.Root().Pool(),
+		Certificate: s.Cert,
+		Profile:     profile,
+		Timeout:     30 * time.Second,
+	})
 }
 
 // policyFor builds the stress policy for a stakeholder: one service

@@ -1,0 +1,74 @@
+package wire
+
+import "fmt"
+
+// Error is the structured error envelope of the v2 wire protocol. Every
+// error a v2 endpoint produces crosses the wire in this shape, so clients
+// can branch on the machine-readable Code (which `core` maps back onto its
+// sentinel errors), retry on Retryable, and still see the HTTP status the
+// server chose — v1 dropped the status on unmapped errors, which is the
+// defect this envelope exists to fix.
+type Error struct {
+	// Code is the machine-readable error class (Code* constants).
+	Code string `json:"code"`
+	// Message is the human-readable error text (the server-side
+	// err.Error(), with enclave-internal detail intact — stakeholders are
+	// authenticated principals, not anonymous internet clients).
+	Message string `json:"message"`
+	// Detail optionally carries auxiliary context (e.g. which batch op
+	// index failed, or the revision a conflict was detected at).
+	Detail string `json:"detail,omitempty"`
+	// Retryable reports that the same request may succeed if re-issued
+	// (optimistic-concurrency conflicts, draining instances).
+	Retryable bool `json:"retryable,omitempty"`
+	// Status is the HTTP status the server answered with, carried in the
+	// body so proxies rewriting status lines cannot silently detach it.
+	Status int `json:"status"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s [%s, HTTP %d]", e.Message, e.Code, e.Status)
+}
+
+// Wire error codes. The set is append-only: removing or renaming a code is
+// a protocol break.
+const (
+	// CodeBadRequest reports an undecodable or malformed request body.
+	CodeBadRequest = "bad_request"
+	// CodeInvalidPolicy reports a policy that fails validation.
+	CodeInvalidPolicy = "invalid_policy"
+	// CodeMethodNotAllowed reports a known path with the wrong HTTP method.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeUnsupportedMedia reports a request body that is not JSON.
+	CodeUnsupportedMedia = "unsupported_media_type"
+	// CodeNotFound reports an unknown v2 path.
+	CodeNotFound = "not_found"
+	// CodePolicyNotFound reports a missing policy (or service).
+	CodePolicyNotFound = "policy_not_found"
+	// CodeAccessDenied reports a client-certificate mismatch.
+	CodeAccessDenied = "access_denied"
+	// CodeBoardRejected reports a policy-board quorum failure.
+	CodeBoardRejected = "board_rejected"
+	// CodePolicyExists reports a create with a taken name.
+	CodePolicyExists = "policy_exists"
+	// CodeConflict reports an optimistic-concurrency failure; retryable.
+	CodeConflict = "conflict"
+	// CodeAttestation reports application attestation failure.
+	CodeAttestation = "attestation_failed"
+	// CodeStrictRestart reports a strict-mode restart refusal (§III-D).
+	CodeStrictRestart = "strict_restart"
+	// CodeStaleTag reports a tag push from a superseded session.
+	CodeStaleTag = "stale_tag"
+	// CodeDraining reports an instance shutting down; retryable elsewhere.
+	CodeDraining = "draining"
+	// CodeBatchTooLarge reports a batch exceeding MaxBatchOps.
+	CodeBatchTooLarge = "batch_too_large"
+	// CodeInternal reports an unclassified server-side failure.
+	CodeInternal = "internal"
+)
+
+// NewError builds an envelope.
+func NewError(code string, status int, retryable bool, message string) *Error {
+	return &Error{Code: code, Message: message, Retryable: retryable, Status: status}
+}

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fspf"
+	"palaemon/internal/ias"
+	"palaemon/internal/policy"
+	"palaemon/internal/sgx"
+)
+
+// The golden files pin the encoded form of every v2 DTO: an accidental
+// field rename, tag change, or type swap is a wire protocol break, and
+// this test is where it surfaces. Regenerate deliberately with
+//
+//	go test ./internal/wire -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenDTOs enumerates every v2 DTO with fully-populated deterministic
+// values, so the encoded form exercises every field.
+func goldenDTOs() map[string]any {
+	tag := fspf.Tag{0xaa, 0xbb, 0x01}
+	key := cryptoutil.Key{0x11, 0x22, 0x33}
+	mre := sgx.Measurement{0xde, 0xad, 0xbe, 0xef}
+	pol := &policy.Policy{
+		Name:     "golden",
+		Revision: 7,
+		CreateID: 0x1122334455667788,
+		Services: []policy.Service{{
+			Name:        "app",
+			Command:     "serve --token $$api_token",
+			MREnclaves:  []sgx.Measurement{mre},
+			Environment: map[string]string{"TOKEN": "$$api_token"},
+		}},
+		Secrets: []policy.Secret{{Name: "api_token", Type: policy.SecretExplicit, Value: "s3cr3t"}},
+	}
+	return map[string]any{
+		"error": &Error{
+			Code:      CodeConflict,
+			Message:   "core: policy changed concurrently",
+			Detail:    "op 3",
+			Retryable: true,
+			Status:    412,
+		},
+		"name_response":   &NameResponse{Name: "golden"},
+		"delete_response": &DeleteResponse{Deleted: "golden"},
+		"ok_response":     &OKResponse{OK: true},
+		"policy_list": &PolicyList{
+			Names:     []string{"alpha", "beta"},
+			Total:     5,
+			NextAfter: "beta",
+		},
+		"fetch_secrets_request": &FetchSecretsRequest{Names: []string{"api_token"}},
+		"secrets_response":      &SecretsResponse{Secrets: map[string]string{"api_token": "s3cr3t"}},
+		"watch_response": &WatchResponse{
+			Name:     "golden",
+			Revision: 8,
+			CreateID: 0x1122334455667788,
+			Changed:  true,
+		},
+		"attest_request": &AttestRequest{
+			Evidence: attest.Evidence{
+				PolicyName:  "golden",
+				ServiceName: "app",
+				SessionKey:  []byte{1, 2, 3},
+				Quote: sgx.Quote{
+					MRE:        mre,
+					Platform:   "platform-1",
+					Microcode:  sgx.MicrocodePostForeshadow,
+					ReportData: []byte{4, 5, 6},
+					QuotingKey: []byte{7, 8},
+					Signature:  []byte{9},
+				},
+			},
+			QuotingKey: []byte{7, 8},
+		},
+		"app_config": &AppConfig{
+			Command:        "serve --token s3cr3t",
+			Environment:    map[string]string{"TOKEN": "s3cr3t"},
+			FSPFKey:        key,
+			ExpectedTag:    tag,
+			InjectionFiles: map[string]string{"/etc/app.conf": "token=s3cr3t"},
+			Secrets:        map[string]string{"api_token": "s3cr3t"},
+			SessionToken:   "tok-42",
+			Epoch:          3,
+			StrictMode:     true,
+		},
+		"tag_push":     &TagPush{Token: "tok-42", Tag: tag},
+		"tag_response": &TagResponse{Tag: tag.String()},
+		"attestation_doc": &AttestationDoc{
+			Report: &ias.Report{
+				ID:         "report-1",
+				Status:     ias.StatusOK,
+				MRE:        mre,
+				Platform:   "platform-1",
+				ReportData: []byte{4, 5, 6},
+				Timestamp:  "2026-01-02T03:04:05Z",
+				Signature:  []byte{9},
+			},
+			PublicKey: []byte{1, 2, 3},
+			MRE:       mre.String(),
+		},
+		"challenge_request": &ChallengeRequest{Challenge: attest.Challenge{Nonce: []byte{1, 2, 3, 4}}},
+		"batch_request": &BatchRequest{Ops: []BatchOp{
+			{Op: OpFetchSecrets, Policy: "golden", Names: []string{"api_token"}},
+			{Op: OpReadPolicy, Policy: "golden"},
+			{Op: OpReadTag, Policy: "golden", Service: "app"},
+			{Op: OpPushTag, Token: "tok-42", Tag: &tag},
+			{Op: OpNotifyExit, Token: "tok-42", Tag: &tag},
+		}},
+		"batch_response": &BatchResponse{Results: []BatchResult{
+			{Secrets: map[string]string{"api_token": "s3cr3t"}},
+			{Policy: pol},
+			{Tag: tag.String()},
+			{OK: true},
+			{Error: NewError(CodeStaleTag, 401, false, "core: tag push from stale session")},
+		}},
+	}
+}
+
+// TestGoldenRoundTrip marshals every DTO, compares against the golden
+// file, and proves decode(encode(x)) == x.
+func TestGoldenRoundTrip(t *testing.T) {
+	for name, dto := range goldenDTOs() {
+		t.Run(name, func(t *testing.T) {
+			encoded, err := json.MarshalIndent(dto, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			encoded = append(encoded, '\n')
+			path := filepath.Join("testdata", name+".json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, encoded, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if !bytes.Equal(encoded, golden) {
+				t.Fatalf("wire encoding of %s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+					name, encoded, golden)
+			}
+			// Round trip: decode into a fresh value of the same type.
+			fresh := reflect.New(reflect.TypeOf(dto).Elem()).Interface()
+			if err := json.Unmarshal(golden, fresh); err != nil {
+				t.Fatalf("unmarshal golden: %v", err)
+			}
+			if !reflect.DeepEqual(dto, fresh) {
+				t.Fatalf("round trip of %s lost data:\n got %+v\nwant %+v", name, fresh, dto)
+			}
+		})
+	}
+}
+
+// TestETagRoundTrip pins the conditional-read tag format.
+func TestETagRoundTrip(t *testing.T) {
+	tag := ETag(0x1122334455667788, 42)
+	if tag != "\"1122334455667788-42\"" {
+		t.Fatalf("ETag format drifted: %s", tag)
+	}
+	c, r, ok := ParseETag(tag)
+	if !ok || c != 0x1122334455667788 || r != 42 {
+		t.Fatalf("ParseETag(%s) = %x, %d, %v", tag, c, r, ok)
+	}
+	for _, bad := range []string{"", "\"\"", "W/\"x\"", "\"zz-1\"", "\"1122334455667788-\"", "\"112233-42\""} {
+		if _, _, ok := ParseETag(bad); ok {
+			t.Fatalf("ParseETag accepted %q", bad)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"palaemon/internal/sgx"
 	"palaemon/internal/simclock"
 	"palaemon/internal/simnet"
+	"palaemon/internal/wire"
 )
 
 // Re-exported core types, so callers need only this package for common use.
@@ -80,6 +81,30 @@ type (
 	PolicyImport = policy.Import
 	// PolicyExport declares what other policies may consume.
 	PolicyExport = policy.Export
+	// BatchOp is one operation in a v2 batch request (one WAN round trip
+	// for many heterogeneous operations).
+	BatchOp = wire.BatchOp
+	// BatchResult is one batch operation's outcome.
+	BatchResult = wire.BatchResult
+	// PolicyList is one page of Client.ListPolicies.
+	PolicyList = wire.PolicyList
+	// WatchEvent is the outcome of a policy watch long-poll.
+	WatchEvent = wire.WatchResponse
+	// WireError is the v2 structured error envelope {code, message,
+	// detail, retryable, status}; recover it with errors.As.
+	WireError = wire.Error
+)
+
+// WireVersion is the wire protocol generation Client speaks by default.
+const WireVersion = wire.Version
+
+// Batch operation kinds, re-exported from the wire contract.
+const (
+	OpFetchSecrets = wire.OpFetchSecrets
+	OpReadPolicy   = wire.OpReadPolicy
+	OpReadTag      = wire.OpReadTag
+	OpPushTag      = wire.OpPushTag
+	OpNotifyExit   = wire.OpNotifyExit
 )
 
 // Execution modes re-exported from the runtime.
