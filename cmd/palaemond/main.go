@@ -28,14 +28,30 @@ func run() error {
 		platformDir = flag.String("platform", "", "durable platform NVRAM directory (default: <data>/platform)")
 		recover     = flag.Bool("recover", false, "acknowledge fail-over after a crash (v < c)")
 		groupCommit = flag.Bool("group-commit", false, "batch concurrent database writers into one fsync")
+
+		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant sustained request rate on /v2 (req/s, 0 = unlimited)")
+		tenantBurst   = flag.Int("tenant-burst", 0, "per-tenant burst capacity (default: ceil of -tenant-rate)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "instance-wide concurrent /v2 requests (0 = unlimited)")
 	)
 	flag.Parse()
+
+	// Admission control is enabled by any limit flag; without them the
+	// daemon serves unlimited, as before.
+	var limits *palaemon.AdmissionLimits
+	if *tenantRate > 0 || *maxConcurrent > 0 {
+		limits = &palaemon.AdmissionLimits{
+			TenantRate:    *tenantRate,
+			TenantBurst:   *tenantBurst,
+			MaxConcurrent: *maxConcurrent,
+		}
+	}
 
 	dep, err := palaemon.StartService(palaemon.DeploymentOptions{
 		DataDir:     *dataDir,
 		PlatformDir: *platformDir,
 		Recover:     *recover,
 		GroupCommit: *groupCommit,
+		Limits:      limits,
 	})
 	if err != nil {
 		return err
@@ -47,6 +63,10 @@ func run() error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	fmt.Printf("palaemond: serving on %s\n", dep.URL())
+	if limits != nil {
+		fmt.Printf("palaemond: admission limits: tenant-rate=%g req/s burst=%d max-concurrent=%d\n",
+			limits.TenantRate, limits.TenantBurst, limits.MaxConcurrent)
+	}
 	fmt.Printf("palaemond: platform %s\n", dep.Platform.ID())
 	fmt.Printf("palaemond: instance MRE %s\n", dep.Instance.MRE())
 	fmt.Printf("palaemond: IAS key %x\n", dep.IAS.PublicKey())

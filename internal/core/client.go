@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -52,6 +53,11 @@ type Client struct {
 	timeout   time.Duration
 	// v1 pins the legacy unversioned protocol (ClientOptions.ProtocolV1).
 	v1 bool
+	// Retry policy (ClientOptions.MaxRetries and friends); maxRetries == 0
+	// means every operation is single-shot.
+	maxRetries int
+	retryBase  time.Duration
+	retryMax   time.Duration
 	// seq numbers requests for the network model; atomic because one
 	// client may be shared by many stakeholder goroutines.
 	seq atomic.Uint64
@@ -85,6 +91,18 @@ type ClientOptions struct {
 	// mapping). Pre-v2 deployments and the compatibility regression tests
 	// use this; v2-only operations return ErrRequiresV2.
 	ProtocolV1 bool
+	// MaxRetries enables automatic retries: up to this many re-issues of a
+	// request that failed with a Retryable wire error (conflict, draining,
+	// resource_exhausted), after a jittered exponential backoff that
+	// honors the server's Retry-After hint. 0 (the default) disables
+	// retries. Watch long-polls never auto-retry regardless — their caller
+	// owns the re-arm loop, and auto-retrying a rejected poll would turn
+	// it into a busy spin.
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff (default 25ms).
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps a single backoff sleep (default 2s).
+	RetryMaxDelay time.Duration
 }
 
 // NewClient constructs a client. The underlying transport pools keep-alive
@@ -115,6 +133,12 @@ func NewClient(opts ClientOptions) *Client {
 	if opts.IdleConnTimeout <= 0 {
 		opts.IdleConnTimeout = 90 * time.Second
 	}
+	if opts.RetryBaseDelay <= 0 {
+		opts.RetryBaseDelay = 25 * time.Millisecond
+	}
+	if opts.RetryMaxDelay <= 0 {
+		opts.RetryMaxDelay = 2 * time.Second
+	}
 	transport := &http.Transport{
 		TLSClientConfig: tlsCfg,
 		// The client talks to one instance, so the per-host pool is the
@@ -131,11 +155,14 @@ func NewClient(opts ClientOptions) *Client {
 			Transport: transport,
 			Timeout:   opts.Timeout,
 		},
-		transport: transport,
-		profile:   opts.Profile,
-		clock:     opts.Clock,
-		timeout:   opts.Timeout,
-		v1:        opts.ProtocolV1,
+		transport:  transport,
+		profile:    opts.Profile,
+		clock:      opts.Clock,
+		timeout:    opts.Timeout,
+		v1:         opts.ProtocolV1,
+		maxRetries: opts.MaxRetries,
+		retryBase:  opts.RetryBaseDelay,
+		retryMax:   opts.RetryMaxDelay,
 	}
 }
 
@@ -230,8 +257,34 @@ func (c *Client) doRaw(ctx context.Context, method, path string, in any, headers
 
 // do performs a JSON request against the selected protocol generation,
 // decoding error bodies into errors that satisfy errors.Is against the
-// core sentinels.
+// core sentinels. With MaxRetries set, Retryable failures (conflict,
+// draining, resource_exhausted) are re-issued after a jittered
+// exponential backoff; terminal errors and transport failures return
+// immediately. Watch long-polls go through doOnce instead — see
+// WatchPolicy.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, tracker *simclock.Tracker) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.doOnce(ctx, method, path, in, out, tracker)
+		if err == nil || attempt >= c.maxRetries || !Retryable(err) {
+			return err
+		}
+		delay := c.backoff(attempt)
+		// The server's Retry-After hint floors the backoff: retrying
+		// before the tenant's bucket refills is guaranteed to fail again.
+		if hint := RetryAfter(err); hint > delay {
+			delay = hint
+		}
+		if !sleepCtx(ctx, delay) {
+			// Cancelled mid-backoff: surface both the cancellation (so
+			// errors.Is(err, context.Canceled) holds) and the last failure.
+			return errors.Join(ctx.Err(), err)
+		}
+	}
+}
+
+// doOnce is one request/response exchange with no retry policy.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any, tracker *simclock.Tracker) error {
 	status, _, raw, err := c.doRaw(ctx, method, c.path(path), in, nil, tracker)
 	if err != nil {
 		return err
@@ -245,6 +298,31 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, track
 		}
 	}
 	return nil
+}
+
+// backoff computes the jittered exponential delay for attempt (0-based):
+// uniformly random in (base·2ᵃ/2, base·2ᵃ], capped at retryMax. Full
+// determinism is not wanted here — the jitter exists to decorrelate
+// stakeholders that were rejected by the same overload spike.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.retryBase << uint(attempt)
+	if d <= 0 || d > c.retryMax { // <<-overflow guard and cap
+		d = c.retryMax
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)+1))
+}
+
+// sleepCtx sleeps for d or until ctx is done; false means cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // decodeError reconstructs a client-side error from an error response
@@ -410,8 +488,11 @@ func (c *Client) WatchPolicy(ctx context.Context, name string, sinceRev, sinceCr
 	path := "/policies/" + name + "/watch?rev=" + strconv.FormatUint(sinceRev, 10) +
 		"&create_id=" + strconv.FormatUint(sinceCreateID, 10) +
 		"&timeout_ms=" + strconv.FormatInt(window.Milliseconds(), 10)
+	// Deliberately single-shot even when MaxRetries is set: the caller
+	// owns the re-arm loop, and auto-retrying a rejected long-poll would
+	// degenerate into a busy spin against the admission layer.
 	var res wire.WatchResponse
-	if err := c.do(ctx, http.MethodGet, path, nil, &res, nil); err != nil {
+	if err := c.doOnce(ctx, http.MethodGet, path, nil, &res, nil); err != nil {
 		return nil, err
 	}
 	return &res, nil

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"net/http"
+	"time"
 
 	"palaemon/internal/policy"
 	"palaemon/internal/wire"
@@ -40,6 +41,8 @@ var sentinelCodes = []struct {
 	{ErrStaleTag, wire.CodeStaleTag, http.StatusUnauthorized, false},
 	{ErrAttestation, wire.CodeAttestation, http.StatusUnauthorized, false},
 	{ErrDraining, wire.CodeDraining, http.StatusServiceUnavailable, true},
+	{ErrResourceExhausted, wire.CodeResourceExhausted, http.StatusTooManyRequests, true},
+	{ErrPayloadTooLarge, wire.CodePayloadTooLarge, http.StatusRequestEntityTooLarge, false},
 }
 
 // policyValidationSentinels are the policy.Validate failures; they map to
@@ -109,14 +112,27 @@ func (e *remoteSentinelError) Error() string { return e.envelope.Message }
 func (e *remoteSentinelError) Unwrap() []error { return []error{e.sentinel, e.envelope} }
 
 // Retryable reports whether err is a wire-level retryable failure (an
-// optimistic-concurrency conflict or a draining instance). It works on
-// both local sentinel errors and remote envelopes.
+// optimistic-concurrency conflict, a draining instance, or an admission
+// rejection). It works on both local sentinel errors and remote
+// envelopes, so Local and HTTP callers branch identically.
 func Retryable(err error) bool {
 	var we *wire.Error
 	if errors.As(err, &we) {
 		return we.Retryable
 	}
-	return errors.Is(err, ErrConflict) || errors.Is(err, ErrDraining)
+	return errors.Is(err, ErrConflict) || errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrResourceExhausted)
+}
+
+// RetryAfter extracts the server's retry hint from err (zero when absent
+// or not an envelope): the wait admission control suggests before
+// re-issuing a Retryable request.
+func RetryAfter(err error) time.Duration {
+	var we *wire.Error
+	if errors.As(err, &we) && we.RetryAfterMS > 0 {
+		return time.Duration(we.RetryAfterMS) * time.Millisecond
+	}
+	return 0
 }
 
 // v1StatusOf keeps the legacy status mapping for the v1 adapter handlers;

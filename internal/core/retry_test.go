@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"palaemon/internal/wire"
+)
+
+// These tests drive the client's retry loop against a scripted HTTP
+// server: retryable-vs-terminal classification, the Retry-After hint,
+// context cancellation mid-backoff, and the regression pinning that watch
+// long-polls are never auto-retried.
+
+// retryClient builds a client against the scripted handler with a fast
+// backoff so the tests measure behavior, not sleeps.
+func retryClient(t *testing.T, h http.HandlerFunc, retries int) *Client {
+	t.Helper()
+	srv := httptest.NewTLSServer(h)
+	t.Cleanup(srv.Close)
+	return NewClient(ClientOptions{
+		BaseURL:        srv.URL,
+		MaxRetries:     retries,
+		RetryBaseDelay: 2 * time.Millisecond,
+		RetryMaxDelay:  20 * time.Millisecond,
+		Timeout:        10 * time.Second,
+	})
+}
+
+// writeEnvelope renders a v2 error envelope the way the real server does.
+func writeEnvelope(w http.ResponseWriter, e *wire.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+func exhaustedEnvelope(retryAfterMS int64) *wire.Error {
+	e := wire.NewError(wire.CodeResourceExhausted, http.StatusTooManyRequests, true,
+		"core: request rejected by admission control: test")
+	e.RetryAfterMS = retryAfterMS
+	return e
+}
+
+// TestRetryRetryableThenSuccess: a request rejected twice with
+// resource_exhausted succeeds on the third attempt inside the retry
+// budget, and the caller never sees the transient failures.
+func TestRetryRetryableThenSuccess(t *testing.T) {
+	var attempts atomic.Int64
+	cli := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			writeEnvelope(w, exhaustedEnvelope(1))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(wire.PolicyList{Names: []string{"a"}, Total: 1})
+	}, 3)
+
+	list, err := cli.ListPolicies(context.Background(), "", 0)
+	if err != nil {
+		t.Fatalf("retried request failed: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if list.Total != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+// TestRetryTerminalNotRetried: a terminal (non-retryable) failure returns
+// immediately — exactly one request, whatever the retry budget.
+func TestRetryTerminalNotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	cli := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		writeEnvelope(w, wire.NewError(wire.CodePolicyNotFound, http.StatusNotFound, false, "core: policy not found"))
+	}, 5)
+
+	_, err := cli.ReadPolicy(context.Background(), "missing")
+	if !errors.Is(err, ErrPolicyNotFound) {
+		t.Fatalf("terminal error = %v, want ErrPolicyNotFound", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (terminal errors must not retry)", got)
+	}
+}
+
+// TestRetryBudgetExhausted: a persistently retryable failure surfaces
+// after MaxRetries+1 attempts, still carrying the envelope and sentinel.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	cli := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		writeEnvelope(w, exhaustedEnvelope(1))
+	}, 2)
+
+	_, err := cli.ListPolicies(context.Background(), "", 0)
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("exhausted budget = %v, want ErrResourceExhausted", err)
+	}
+	if !Retryable(err) {
+		t.Fatalf("surfaced error lost retryability: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestRetryHonorsRetryAfter: the server's hint floors the backoff — the
+// retry must not fire before the hinted wait even when the configured
+// backoff is much shorter.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	const hintMS = 300
+	var attempts atomic.Int64
+	var gap atomic.Int64
+	var first atomic.Int64
+	cli := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if attempts.Add(1) == 1 {
+			first.Store(now)
+			writeEnvelope(w, exhaustedEnvelope(hintMS))
+			return
+		}
+		gap.Store(now - first.Load())
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(wire.PolicyList{})
+	}, 1)
+
+	if _, err := cli.ListPolicies(context.Background(), "", 0); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if got := time.Duration(gap.Load()); got < hintMS*time.Millisecond {
+		t.Fatalf("retry fired after %v, before the %dms Retry-After hint", got, hintMS)
+	}
+}
+
+// TestRetryCancelMidBackoff: cancelling the context while the client
+// sleeps between attempts surfaces context.Canceled promptly — no zombie
+// sleep, no extra request.
+func TestRetryCancelMidBackoff(t *testing.T) {
+	var attempts atomic.Int64
+	cli := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		writeEnvelope(w, exhaustedEnvelope(30_000)) // hint far beyond the test
+	}, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := cli.ListPolicies(ctx, "", 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled retry = %v, want context.Canceled", err)
+	}
+	// The rejection that triggered the backoff stays visible too.
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("cancelled retry dropped the last failure: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v — the backoff sleep ignored the context", elapsed)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (cancelled before any retry)", got)
+	}
+}
+
+// TestWatchNotAutoRetried is the busy-spin regression: an admission-
+// rejected watch long-poll must surface the rejection to the caller's
+// re-arm loop — exactly one request — even with a retry budget configured.
+func TestWatchNotAutoRetried(t *testing.T) {
+	var attempts atomic.Int64
+	cli := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		writeEnvelope(w, exhaustedEnvelope(1))
+	}, 5)
+
+	_, err := cli.WatchPolicy(context.Background(), "p", 1, 0, time.Second)
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("rejected watch = %v, want ErrResourceExhausted", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("watch issued %d requests, want 1 (long-polls must not auto-retry)", got)
+	}
+}

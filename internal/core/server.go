@@ -7,7 +7,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"time"
@@ -32,9 +31,24 @@ type Server struct {
 	url  string
 	done chan struct{}
 
+	// adm is the admission controller (nil without ServerOptions.Limits).
+	adm *admission
+
 	iasReport *ias.Report
 	iasPub    ed25519.PublicKey
 }
+
+// Connection-hygiene defaults (ServerOptions overrides). ReadTimeout
+// covers header AND body, so a slow-loris writer trickling a request body
+// is reaped; IdleTimeout reaps dead keep-alive connections; the write
+// budget bounds each response (the watch long-poll extends its own
+// deadline per poll window via http.ResponseController).
+const (
+	defaultReadTimeout = 30 * time.Second
+	defaultIdleTimeout = 2 * time.Minute
+	defaultWriteBudget = 30 * time.Second
+	watchDeadlineSlack = 10 * time.Second
+)
 
 // ServerOptions wires the server's PKI and attestation artefacts.
 type ServerOptions struct {
@@ -44,6 +58,20 @@ type ServerOptions struct {
 	IAS *ias.Service
 	// Addr defaults to a dynamic loopback port.
 	Addr string
+	// Limits enables the admission-control layer on the /v2 surface
+	// (per-tenant token buckets + the instance-wide concurrency gate,
+	// admission.go). Nil disables it.
+	Limits *AdmissionLimits
+	// ReadTimeout bounds reading one request, headers and body included
+	// (slow-loris protection). Default 30s; negative disables.
+	ReadTimeout time.Duration
+	// IdleTimeout reaps idle keep-alive connections. Default 2m;
+	// negative disables.
+	IdleTimeout time.Duration
+	// RequestWriteTimeout is the per-request write deadline set when a
+	// handler starts (the watch long-poll extends it by its poll window).
+	// Default 30s; negative disables.
+	RequestWriteTimeout time.Duration
 }
 
 // Serve attests the instance to the CA, obtains its TLS certificate, and
@@ -89,6 +117,9 @@ func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
 	}
 
 	s := &Server{inst: inst, done: make(chan struct{})}
+	if opts.Limits != nil {
+		s.adm = newAdmission(*opts.Limits)
+	}
 
 	if opts.IAS != nil {
 		// Obtain the explicit-attestation report once at startup, binding
@@ -136,7 +167,24 @@ func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
 	// v2: the typed wire contract (serverv2.go).
 	s.registerV2(mux)
 
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	writeBudget := timeoutOrDefault(opts.RequestWriteTimeout, defaultWriteBudget)
+	// The write deadline is per REQUEST, not per connection (http.Server's
+	// WriteTimeout would kill every watch long-poll on a reused
+	// connection): armed here when the handler starts, extended by the
+	// watch handler for its poll window.
+	var handler http.Handler = mux
+	if writeBudget > 0 {
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(writeBudget))
+			mux.ServeHTTP(w, r)
+		})
+	}
+	s.srv = &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       timeoutOrDefault(opts.ReadTimeout, defaultReadTimeout),
+		IdleTimeout:       timeoutOrDefault(opts.IdleTimeout, defaultIdleTimeout),
+	}
 	s.ln = ln
 	s.url = "https://" + ln.Addr().String()
 	go func() {
@@ -183,10 +231,45 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, v1StatusOf(err), map[string]string{"error": err.Error()})
 }
 
-func decodeBody(r *http.Request, v any) error {
+// timeoutOrDefault resolves an option: zero means the default, negative
+// disables (returns 0, which http.Server treats as "no timeout").
+func timeoutOrDefault(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	defer r.Body.Close()
-	// Same symmetric cap as the v2 surface and the client's response read.
-	return json.NewDecoder(io.LimitReader(r.Body, wire.MaxResponseBytes)).Decode(v)
+	// Same symmetric cap as the client's response read. MaxBytesReader
+	// (unlike the io.LimitReader it replaces) makes overflow an explicit
+	// error instead of silently truncating — a truncated JSON body used to
+	// surface as a misleading syntax error, or worse, decode a valid prefix.
+	// It also closes the connection so the client stops uploading.
+	body := http.MaxBytesReader(w, r.Body, wire.MaxResponseBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w (limit %d bytes)", ErrPayloadTooLarge, mbe.Limit)
+		}
+		return err
+	}
+	return nil
+}
+
+// writeDecodeErr renders a decodeBody failure on the v1 surface: oversized
+// bodies go through the shared classification (413), everything else keeps
+// the legacy bare-400 shape.
+func writeDecodeErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrPayloadTooLarge) {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 }
 
 func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
@@ -196,8 +279,8 @@ func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var p policy.Policy
-	if err := decodeBody(r, &p); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	if err := decodeBody(w, r, &p); err != nil {
+		writeDecodeErr(w, err)
 		return
 	}
 	if err := s.inst.CreatePolicy(r.Context(), id, &p); err != nil {
@@ -228,8 +311,8 @@ func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var p policy.Policy
-	if err := decodeBody(r, &p); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	if err := decodeBody(w, r, &p); err != nil {
+		writeDecodeErr(w, err)
 		return
 	}
 	if p.Name != r.PathValue("name") {
@@ -267,8 +350,8 @@ func (s *Server) handleFetchSecrets(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req fetchSecretsRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeErr(w, err)
 		return
 	}
 	secrets, err := s.inst.FetchSecrets(r.Context(), id, r.PathValue("name"), req.Names)
@@ -285,8 +368,8 @@ type attestRequest = wire.AttestRequest
 
 func (s *Server) handleAttest(w http.ResponseWriter, r *http.Request) {
 	var req attestRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeErr(w, err)
 		return
 	}
 	cfg, err := s.inst.AttestApplication(req.Evidence, req.QuotingKey)
@@ -302,8 +385,8 @@ type tagPush = wire.TagPush
 
 func (s *Server) handlePushTag(w http.ResponseWriter, r *http.Request) {
 	var req tagPush
-	if err := decodeBody(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeErr(w, err)
 		return
 	}
 	if err := s.inst.PushTag(req.Token, req.Tag); err != nil {
@@ -324,8 +407,8 @@ func (s *Server) handleReadTag(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleExit(w http.ResponseWriter, r *http.Request) {
 	var req tagPush
-	if err := decodeBody(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeErr(w, err)
 		return
 	}
 	if err := s.inst.NotifyExit(req.Token, req.Tag); err != nil {
@@ -354,8 +437,8 @@ type challengeExchange = wire.ChallengeRequest
 
 func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
 	var req challengeExchange
-	if err := decodeBody(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeErr(w, err)
 		return
 	}
 	resp := attest.Respond(req.Challenge, s.inst.signer, "palaemon-instance")

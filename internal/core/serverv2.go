@@ -3,7 +3,8 @@ package core
 import (
 	"context"
 	"encoding/json"
-	"io"
+	"errors"
+	"fmt"
 	"mime"
 	"net/http"
 	"strconv"
@@ -32,49 +33,53 @@ const (
 // registerV2 mounts the v2 surface on the server mux. Patterns carry no
 // method: v2Route dispatches by method itself so a mismatch yields the
 // structured envelope (405 + method_not_allowed), never net/http's
-// plain-text error page.
+// plain-text error page. Every route passes through the admission layer
+// (admission.go) first; the watch long-poll is rate-limited but exempt
+// from the concurrency gate, since a parked poll holding a slot for up to
+// maxWatchWindow would let idle watchers starve real work.
 func (s *Server) registerV2(mux *http.ServeMux) {
-	mux.HandleFunc(wire.PathPrefix+"/policies", s.v2Route(map[string]http.HandlerFunc{
+	mux.HandleFunc(wire.PathPrefix+"/policies", s.admit(true, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodGet:  s.v2ListPolicies,
 		http.MethodPost: s.v2CreatePolicy,
-	}))
-	mux.HandleFunc(wire.PathPrefix+"/policies/{name}", s.v2Route(map[string]http.HandlerFunc{
+	})))
+	mux.HandleFunc(wire.PathPrefix+"/policies/{name}", s.admit(true, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodGet:    s.v2ReadPolicy,
 		http.MethodPut:    s.v2UpdatePolicy,
 		http.MethodDelete: s.v2DeletePolicy,
-	}))
-	mux.HandleFunc(wire.PathPrefix+"/policies/{name}/secrets", s.v2Route(map[string]http.HandlerFunc{
+	})))
+	mux.HandleFunc(wire.PathPrefix+"/policies/{name}/secrets", s.admit(true, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodPost: s.v2FetchSecrets,
-	}))
-	mux.HandleFunc(wire.PathPrefix+"/policies/{name}/watch", s.v2Route(map[string]http.HandlerFunc{
+	})))
+	mux.HandleFunc(wire.PathPrefix+"/policies/{name}/watch", s.admit(false, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodGet: s.v2WatchPolicy,
-	}))
-	mux.HandleFunc(wire.PathPrefix+"/batch", s.v2Route(map[string]http.HandlerFunc{
+	})))
+	mux.HandleFunc(wire.PathPrefix+"/batch", s.admit(true, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodPost: s.v2Batch,
-	}))
-	mux.HandleFunc(wire.PathPrefix+"/attest", s.v2Route(map[string]http.HandlerFunc{
+	})))
+	mux.HandleFunc(wire.PathPrefix+"/attest", s.admit(true, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodPost: s.v2Attest,
-	}))
-	mux.HandleFunc(wire.PathPrefix+"/tags", s.v2Route(map[string]http.HandlerFunc{
+	})))
+	mux.HandleFunc(wire.PathPrefix+"/tags", s.admit(true, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodPost: s.v2PushTag,
-	}))
-	mux.HandleFunc(wire.PathPrefix+"/tags/{policy}/{service}", s.v2Route(map[string]http.HandlerFunc{
+	})))
+	mux.HandleFunc(wire.PathPrefix+"/tags/{policy}/{service}", s.admit(true, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodGet: s.v2ReadTag,
-	}))
-	mux.HandleFunc(wire.PathPrefix+"/exit", s.v2Route(map[string]http.HandlerFunc{
+	})))
+	mux.HandleFunc(wire.PathPrefix+"/exit", s.admit(true, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodPost: s.v2Exit,
-	}))
-	mux.HandleFunc(wire.PathPrefix+"/attestation", s.v2Route(map[string]http.HandlerFunc{
+	})))
+	mux.HandleFunc(wire.PathPrefix+"/attestation", s.admit(true, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodGet: s.v2Attestation,
-	}))
-	mux.HandleFunc(wire.PathPrefix+"/challenge", s.v2Route(map[string]http.HandlerFunc{
+	})))
+	mux.HandleFunc(wire.PathPrefix+"/challenge", s.admit(true, s.v2Route(map[string]http.HandlerFunc{
 		http.MethodPost: s.v2Challenge,
-	}))
+	})))
 	// Unknown v2 paths answer with the envelope, not net/http's 404 page.
-	mux.HandleFunc(wire.PathPrefix+"/", func(w http.ResponseWriter, r *http.Request) {
+	// Admitted too, so path probing cannot bypass the rate limit.
+	mux.HandleFunc(wire.PathPrefix+"/", s.admit(true, func(w http.ResponseWriter, r *http.Request) {
 		writeWireErr(w, wire.NewError(wire.CodeNotFound, http.StatusNotFound, false,
 			"core: unknown v2 path "+r.URL.Path))
-	})
+	}))
 }
 
 // v2Route dispatches by method and enforces the JSON content type on
@@ -113,11 +118,19 @@ func writeWireErr(w http.ResponseWriter, err error) {
 }
 
 // decodeBodyV2 decodes a JSON request body, classifying failures as
-// bad_request envelopes. The contract's message cap bounds request bodies
-// the same way it bounds responses.
-func decodeBodyV2(r *http.Request, v any) error {
+// bad_request envelopes — except overflow of the contract's symmetric
+// message cap, which MaxBytesReader reports explicitly and maps to the
+// distinct payload_too_large code (the io.LimitReader it replaces silently
+// truncated, surfacing as a misleading syntax error or even decoding a
+// valid prefix of the oversized body).
+func decodeBodyV2(w http.ResponseWriter, r *http.Request, v any) error {
 	defer r.Body.Close()
-	if err := json.NewDecoder(io.LimitReader(r.Body, wire.MaxResponseBytes)).Decode(v); err != nil {
+	body := http.MaxBytesReader(w, r.Body, wire.MaxResponseBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w (limit %d bytes)", ErrPayloadTooLarge, mbe.Limit)
+		}
 		return wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
 			"core: decode request body: "+err.Error())
 	}
@@ -142,7 +155,7 @@ func (s *Server) v2CreatePolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var p policy.Policy
-	if err := decodeBodyV2(r, &p); err != nil {
+	if err := decodeBodyV2(w, r, &p); err != nil {
 		writeWireErr(w, err)
 		return
 	}
@@ -188,7 +201,7 @@ func (s *Server) v2UpdatePolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var p policy.Policy
-	if err := decodeBodyV2(r, &p); err != nil {
+	if err := decodeBodyV2(w, r, &p); err != nil {
 		writeWireErr(w, err)
 		return
 	}
@@ -277,6 +290,10 @@ func (s *Server) v2WatchPolicy(w http.ResponseWriter, r *http.Request) {
 	if window > maxWatchWindow {
 		window = maxWatchWindow
 	}
+	// The long-poll legitimately outlives the per-request write budget
+	// armed by the server wrapper: push the deadline past this poll's
+	// window (plus slack to serialize the response).
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(window + watchDeadlineSlack))
 	ctx, cancel := context.WithTimeout(r.Context(), window)
 	defer cancel()
 	name := r.PathValue("name")
@@ -302,7 +319,7 @@ func (s *Server) v2FetchSecrets(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req wire.FetchSecretsRequest
-	if err := decodeBodyV2(r, &req); err != nil {
+	if err := decodeBodyV2(w, r, &req); err != nil {
 		writeWireErr(w, err)
 		return
 	}
@@ -319,7 +336,7 @@ func (s *Server) v2Batch(w http.ResponseWriter, r *http.Request) {
 	// content check it themselves, tag ops authenticate by session token.
 	id, hasID := clientID(r)
 	var req wire.BatchRequest
-	if err := decodeBodyV2(r, &req); err != nil {
+	if err := decodeBodyV2(w, r, &req); err != nil {
 		writeWireErr(w, err)
 		return
 	}
@@ -333,7 +350,7 @@ func (s *Server) v2Batch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) v2Attest(w http.ResponseWriter, r *http.Request) {
 	var req wire.AttestRequest
-	if err := decodeBodyV2(r, &req); err != nil {
+	if err := decodeBodyV2(w, r, &req); err != nil {
 		writeWireErr(w, err)
 		return
 	}
@@ -347,7 +364,7 @@ func (s *Server) v2Attest(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) v2PushTag(w http.ResponseWriter, r *http.Request) {
 	var req wire.TagPush
-	if err := decodeBodyV2(r, &req); err != nil {
+	if err := decodeBodyV2(w, r, &req); err != nil {
 		writeWireErr(w, err)
 		return
 	}
@@ -369,7 +386,7 @@ func (s *Server) v2ReadTag(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) v2Exit(w http.ResponseWriter, r *http.Request) {
 	var req wire.TagPush
-	if err := decodeBodyV2(r, &req); err != nil {
+	if err := decodeBodyV2(w, r, &req); err != nil {
 		writeWireErr(w, err)
 		return
 	}
@@ -390,7 +407,7 @@ func (s *Server) v2Attestation(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) v2Challenge(w http.ResponseWriter, r *http.Request) {
 	var req wire.ChallengeRequest
-	if err := decodeBodyV2(r, &req); err != nil {
+	if err := decodeBodyV2(w, r, &req); err != nil {
 		writeWireErr(w, err)
 		return
 	}

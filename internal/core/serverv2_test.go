@@ -19,6 +19,30 @@ import (
 	"palaemon/internal/wire"
 )
 
+// waitForWatchers blocks until at least n watchers are subscribed on
+// name's hub entry — the deterministic replacement for the "sleep and
+// hope the long-poll armed" synchronization the watch tests used to rely
+// on. A subscriber registers with the hub BEFORE peeking the version
+// (watchOnce), so once this returns, a mutation cannot slip past the
+// watcher unobserved.
+func waitForWatchers(t *testing.T, inst *Instance, name string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		inst.watchers.mu.Lock()
+		refs := 0
+		if e, ok := inst.watchers.entries[name]; ok {
+			refs = e.refs
+		}
+		inst.watchers.mu.Unlock()
+		if refs >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no watcher armed on %q within 5s", name)
+}
+
 // decodeEnvelope asserts the body is a v2 structured error envelope and
 // returns it.
 func decodeEnvelope(t *testing.T, raw []byte) *wire.Error {
@@ -292,10 +316,11 @@ func TestV2WatchPolicy(t *testing.T) {
 		res, err := cli.WatchPolicy(ctx, "watch-pol", p.Revision, p.CreateID, 5*time.Second)
 		done <- watchOut{res, err}
 	}()
-	// Give the long-poll a moment to arm, then update through a second
-	// client (one Client is safe for concurrent use, but two mirrors the
-	// real board-approval flow).
-	time.Sleep(100 * time.Millisecond)
+	// Wait for the long-poll to arm (the hub subscription is registered
+	// before the version peek, so an update from here on cannot be lost),
+	// then update through a second client (one Client is safe for
+	// concurrent use, but two mirrors the real board-approval flow).
+	waitForWatchers(t, s.inst, "watch-pol", 1)
 	upd := p.Clone()
 	upd.Services[0].Command = "serve --watched-update"
 	if err := cli.UpdatePolicy(ctx, upd); err != nil {
@@ -321,7 +346,7 @@ func TestV2WatchPolicy(t *testing.T) {
 		res, err := cli.WatchPolicy(ctx, "watch-pol", p.Revision+1, p.CreateID, 5*time.Second)
 		done <- watchOut{res, err}
 	}()
-	time.Sleep(100 * time.Millisecond)
+	waitForWatchers(t, s.inst, "watch-pol", 1)
 	if err := cli.DeletePolicy(ctx, "watch-pol"); err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +378,7 @@ func TestV2WatchEndsOnDrain(t *testing.T) {
 		_, err := cli.WatchPolicy(ctx, "drain-pol", 1, 0, 8*time.Second)
 		errCh <- err
 	}()
-	time.Sleep(100 * time.Millisecond)
+	waitForWatchers(t, s.inst, "drain-pol", 1)
 	start := time.Now()
 	if err := s.inst.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown under pending watch: %v", err)
@@ -553,7 +578,7 @@ func TestV2WatchDetectsRecreate(t *testing.T) {
 		res, err := cli.WatchPolicy(ctx, "rc-pol", p.Revision, p.CreateID, 5*time.Second)
 		done <- watchOut{res, err}
 	}()
-	time.Sleep(100 * time.Millisecond)
+	waitForWatchers(t, s.inst, "rc-pol", 1)
 	if err := cli.DeletePolicy(ctx, "rc-pol"); err != nil {
 		t.Fatal(err)
 	}
@@ -607,7 +632,7 @@ func TestLocalWatchCancellation(t *testing.T) {
 		_, err := local.WatchPolicy(cctx, "lw-pol", 1, 0, 30*time.Second)
 		done <- err
 	}()
-	time.Sleep(50 * time.Millisecond)
+	waitForWatchers(t, s.inst, "lw-pol", 1)
 	cancel()
 	select {
 	case err := <-done:

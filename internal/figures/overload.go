@@ -1,0 +1,83 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"palaemon/internal/core"
+	"palaemon/internal/stress"
+)
+
+// Overload regenerates the admission-control evaluation behind DESIGN.md
+// §10: one tenant floods /v2/batch while honest tenants pace their
+// requests, and the report records each tenant's client-side outcome next
+// to the server's own per-tenant accept/reject accounting. The paper has
+// no counterpart figure — this is trajectory data for the overload-safe
+// serving path, checked in CI as BENCH_pr6.json.
+func Overload(quick bool) (*Report, error) {
+	dir, err := os.MkdirTemp("", "palaemon-overload-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	limits := &core.AdmissionLimits{TenantRate: 50, TenantBurst: 10, MaxConcurrent: 32}
+	h, err := stress.New(stress.Options{DataDir: dir, Limits: limits})
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+
+	opts := stress.OverloadOptions{
+		HonestTenants:  3,
+		HonestRequests: 60,
+		HonestPause:    15 * time.Millisecond,
+		FloodWorkers:   4,
+	}
+	if quick {
+		opts.HonestRequests = 20
+		opts.HonestPause = 25 * time.Millisecond
+	}
+	rep, err := h.RunOverloadStorm(context.Background(), opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Server-side accounting keyed back to scenario names.
+	serverBy := make(map[string]core.AdmissionStats, len(rep.Server))
+	for id, st := range rep.Server {
+		serverBy[rep.Labels[id]] = st
+	}
+
+	r := &Report{
+		ID:    "overload",
+		Title: "Per-tenant admission accounting under an overload storm (DESIGN.md §10)",
+		Header: []string{
+			"Tenant", "Accepted", "Rejected", "Other",
+			"Server acc", "Server rej", "p50", "p99", "max",
+		},
+		Notes: []string{
+			fmt.Sprintf("limits: %.0f req/s per tenant (burst %d), %d concurrent; storm %v",
+				limits.TenantRate, limits.TenantBurst, limits.MaxConcurrent,
+				rep.Duration.Round(time.Millisecond)),
+			"flood: 4 unpaced workers on one certificate identity, no client retries",
+			fmt.Sprintf("honest: %d tenants pacing %d batch requests each, retry budget 3",
+				opts.HonestTenants, opts.HonestRequests),
+		},
+	}
+	for _, t := range rep.Tenants {
+		st := serverBy[t.Tenant]
+		r.Rows = append(r.Rows, []string{
+			t.Tenant,
+			fmt.Sprintf("%d", t.Accepted),
+			fmt.Sprintf("%d", t.Rejected),
+			fmt.Sprintf("%d", t.OtherErrors),
+			fmt.Sprintf("%d", st.Accepted),
+			fmt.Sprintf("%d", st.Rejected()),
+			fmtDur(t.P50), fmtDur(t.P99), fmtDur(t.Max),
+		})
+	}
+	return r, nil
+}

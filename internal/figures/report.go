@@ -136,6 +136,7 @@ func All() []Experiment {
 		{ID: "fig17bc", Title: "ZooKeeper read and write throughput", Run: Fig17bc},
 		{ID: "fig17d", Title: "MariaDB TPC-C vs buffer pool size", Run: Fig17d},
 		{ID: "usecase", Title: "Production ML inference (§VI)", Run: UseCase},
+		{ID: "overload", Title: "Admission control under an overload storm", Run: Overload},
 	}
 }
 

@@ -1,0 +1,217 @@
+package stress
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"palaemon/internal/core"
+	"palaemon/internal/wire"
+)
+
+// overloadLimits is the admission configuration the overload tests share:
+// a per-tenant rate comfortably above the honest tenants' pace (~30/s
+// each) and far below what the unpaced flood workers attempt — the gap
+// must survive -race instrumentation slowing every request ~10x, which is
+// why both the limit and the honest pace are set this low.
+func overloadLimits() *core.AdmissionLimits {
+	return &core.AdmissionLimits{
+		TenantRate:    50,
+		TenantBurst:   10,
+		MaxConcurrent: 32,
+	}
+}
+
+// runStorm boots a harness with (or without) limits and runs one storm.
+func runStorm(t *testing.T, limits *core.AdmissionLimits, opts OverloadOptions) OverloadReport {
+	t.Helper()
+	h, err := New(Options{DataDir: t.TempDir(), Limits: limits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rep, err := h.RunOverloadStorm(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("storm error: %v\n%s", err, rep)
+	}
+	return rep
+}
+
+// TestOverloadStorm is the acceptance scenario: one flooding tenant
+// hammers /v2/batch while three honest tenants pace their requests. The
+// flooder must be throttled (rejections carrying resource_exhausted,
+// retryable) while the honest tenants keep their latency SLO — p99 within
+// 2x the uncontended baseline (with a small scheduling-noise floor).
+func TestOverloadStorm(t *testing.T) {
+	storm := OverloadOptions{
+		HonestTenants:  3,
+		HonestRequests: 30,
+		HonestPause:    30 * time.Millisecond,
+		FloodWorkers:   4,
+	}
+
+	// Uncontended baseline: the same honest workload, same limits, no
+	// flood (FloodWorkers < 0).
+	baseOpts := storm
+	baseOpts.FloodWorkers = -1
+	baseline := runStorm(t, overloadLimits(), baseOpts)
+	var baseP99 time.Duration
+	for _, h := range baseline.Honest() {
+		if h.P99 > baseP99 {
+			baseP99 = h.P99
+		}
+	}
+
+	rep := runStorm(t, overloadLimits(), storm)
+	t.Logf("baseline honest p99 = %v\n%s", baseP99, rep)
+
+	// The flooder was throttled: a substantial number of rejections, and
+	// far more rejections than acceptances.
+	flood := rep.Flood()
+	if flood.Rejected < 50 {
+		t.Fatalf("flooder only rejected %d times — admission did not throttle\n%s", flood.Rejected, rep)
+	}
+	if flood.Rejected < flood.Accepted {
+		t.Fatalf("flooder accepted (%d) more than rejected (%d)\n%s", flood.Accepted, flood.Rejected, rep)
+	}
+	// Server-side accounting agrees: the flood identity carries the bulk
+	// of the rejections.
+	var floodID core.ClientID
+	for id, label := range rep.Labels {
+		if label == "flood" {
+			floodID = id
+		}
+	}
+	if st := rep.Server[floodID]; st.Rejected() == 0 {
+		t.Fatalf("server-side accounting shows no flood rejections: %+v", rep.Server)
+	}
+
+	// Honest tenants kept their SLO. The floor absorbs scheduling noise
+	// on loaded CI machines: an absolute p99 this small is healthy
+	// regardless of the ratio.
+	const noiseFloor = 50 * time.Millisecond
+	allowed := 2 * baseP99
+	if allowed < noiseFloor {
+		allowed = noiseFloor
+	}
+	for _, h := range rep.Honest() {
+		if h.Accepted < storm.HonestRequests*9/10 {
+			t.Fatalf("honest tenant %s only completed %d/%d requests\n%s", h.Tenant, h.Accepted, storm.HonestRequests, rep)
+		}
+		if h.P99 > allowed {
+			t.Fatalf("honest tenant %s p99 %v exceeds 2x baseline %v (floor %v)\n%s",
+				h.Tenant, h.P99, baseP99, noiseFloor, rep)
+		}
+	}
+}
+
+// TestOverloadRejectionEnvelope pins the wire shape of an admission
+// rejection end-to-end: resource_exhausted, HTTP 429, retryable, with a
+// positive Retry-After hint the client surfaces via core.RetryAfter.
+func TestOverloadRejectionEnvelope(t *testing.T) {
+	h, err := New(Options{DataDir: t.TempDir(), Limits: &core.AdmissionLimits{TenantRate: 1, TenantBurst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	s, err := h.NewStakeholder("envelope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Burst 1: the first request drains the bucket, the second rejects.
+	var rejection error
+	for i := 0; i < 5; i++ {
+		if _, err := s.Client.ListPolicies(ctx, "", 1); err != nil {
+			rejection = err
+			break
+		}
+	}
+	if rejection == nil {
+		t.Fatal("no rejection at rate 1/s")
+	}
+	if !core.Retryable(rejection) {
+		t.Fatalf("rejection not Retryable: %v", rejection)
+	}
+	var we *wire.Error
+	if !errors.As(rejection, &we) {
+		t.Fatalf("rejection carries no envelope: %v", rejection)
+	}
+	if we.Code != wire.CodeResourceExhausted || we.Status != 429 || !we.Retryable {
+		t.Fatalf("envelope = %+v", we)
+	}
+	if core.RetryAfter(rejection) <= 0 {
+		t.Fatalf("rejection carries no Retry-After hint: %+v", we)
+	}
+}
+
+// TestOversizedBatchBody is the acceptance check for the MaxBytesReader
+// fix: an oversized /v2/batch body must answer the 413 payload_too_large
+// envelope, not a misleading JSON decode error.
+func TestOversizedBatchBody(t *testing.T) {
+	h, err := New(Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	s, err := h.NewStakeholder("oversize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// One batch op whose policy-name filler pushes the encoded body past
+	// the 8 MiB wire cap.
+	filler := string(bytes.Repeat([]byte("x"), wire.MaxResponseBytes))
+	ops := []wire.BatchOp{{Op: wire.OpReadPolicy, Policy: filler}}
+	_, err = s.Client.Batch(ctx, ops, nil)
+	if err == nil {
+		t.Fatal("oversized batch body accepted")
+	}
+	if !errors.Is(err, core.ErrPayloadTooLarge) {
+		t.Fatalf("oversized batch = %v, want ErrPayloadTooLarge", err)
+	}
+	var we *wire.Error
+	if !errors.As(err, &we) {
+		t.Fatalf("no envelope on %v", err)
+	}
+	if we.Code != wire.CodePayloadTooLarge || we.Status != 413 || we.Retryable {
+		t.Fatalf("envelope = %+v", we)
+	}
+}
+
+// TestSlowLorisReaped proves the read-timeout defense: every trickling
+// connection is reaped within the server's ReadTimeout (plus slack) and
+// honest traffic keeps flowing throughout.
+func TestSlowLorisReaped(t *testing.T) {
+	h, err := New(Options{DataDir: t.TempDir(), ReadTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rep, err := h.RunSlowLoris(context.Background(), SlowLorisOptions{
+		Connections:  4,
+		DripInterval: 250 * time.Millisecond,
+		MaxHold:      10 * time.Second,
+		HonestProbes: 8,
+	})
+	if err != nil {
+		t.Fatalf("slow loris: %v\n%s", err, rep)
+	}
+	t.Logf("%s", rep)
+	if rep.Survived != 0 {
+		t.Fatalf("%d loris connections outlived the read timeout\n%s", rep.Survived, rep)
+	}
+	if rep.Reaped == 0 {
+		t.Fatalf("no loris connections observed\n%s", rep)
+	}
+	if rep.HonestOK == 0 {
+		t.Fatalf("honest client starved during the attack\n%s", rep)
+	}
+	if rep.MaxReapTime > 8*time.Second {
+		t.Fatalf("slowest reap %v — read timeout not enforced\n%s", rep.MaxReapTime, rep)
+	}
+}

@@ -47,6 +47,13 @@ type Options struct {
 	DisablePolicyCache bool
 	// Evaluator reaches policy boards; nil runs board-less policies.
 	Evaluator *board.Evaluator
+	// Limits enables admission control on the server's /v2 surface
+	// (per-tenant token buckets + concurrency gate) — the overload
+	// scenarios set this; nil serves without limits.
+	Limits *core.AdmissionLimits
+	// ReadTimeout overrides the server's request read timeout (slow-loris
+	// reaping); zero keeps the server default, negative disables.
+	ReadTimeout time.Duration
 }
 
 // Harness is a booted deployment plus the artefacts stakeholders need.
@@ -104,7 +111,12 @@ func New(opts Options) (*Harness, error) {
 		inst.Shutdown(context.Background())
 		return nil, err
 	}
-	server, err := core.Serve(inst, core.ServerOptions{Authority: auth, IAS: iasSvc})
+	server, err := core.Serve(inst, core.ServerOptions{
+		Authority:   auth,
+		IAS:         iasSvc,
+		Limits:      opts.Limits,
+		ReadTimeout: opts.ReadTimeout,
+	})
 	if err != nil {
 		inst.Shutdown(context.Background())
 		auth.Close()

@@ -19,11 +19,18 @@ type Error struct {
 	// index failed, or the revision a conflict was detected at).
 	Detail string `json:"detail,omitempty"`
 	// Retryable reports that the same request may succeed if re-issued
-	// (optimistic-concurrency conflicts, draining instances).
+	// (optimistic-concurrency conflicts, draining instances, admission
+	// rejections).
 	Retryable bool `json:"retryable,omitempty"`
 	// Status is the HTTP status the server answered with, carried in the
 	// body so proxies rewriting status lines cannot silently detach it.
 	Status int `json:"status"`
+	// RetryAfterMS, when non-zero, hints how many milliseconds to wait
+	// before re-issuing a Retryable request (admission control sets it to
+	// the time until the tenant's next token). The server mirrors it in
+	// the Retry-After header (whole seconds, rounded up) for generic HTTP
+	// tooling; the envelope field keeps millisecond precision.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // Error implements the error interface.
@@ -64,6 +71,14 @@ const (
 	CodeDraining = "draining"
 	// CodeBatchTooLarge reports a batch exceeding MaxBatchOps.
 	CodeBatchTooLarge = "batch_too_large"
+	// CodePayloadTooLarge reports a request body exceeding the wire cap
+	// (MaxResponseBytes — the cap is symmetric). Not retryable: the same
+	// body will be refused again.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeResourceExhausted reports an admission-control rejection: the
+	// tenant exceeded its rate limit, or the instance-wide concurrency
+	// gate is full. Retryable after the RetryAfterMS hint.
+	CodeResourceExhausted = "resource_exhausted"
 	// CodeInternal reports an unclassified server-side failure.
 	CodeInternal = "internal"
 )

@@ -50,6 +50,18 @@ func goldenDTOs() map[string]any {
 			Retryable: true,
 			Status:    412,
 		},
+		"error_resource_exhausted": &Error{
+			Code:         CodeResourceExhausted,
+			Message:      "core: request rejected by admission control: tenant rate limit exceeded",
+			Retryable:    true,
+			Status:       429,
+			RetryAfterMS: 250,
+		},
+		"error_payload_too_large": &Error{
+			Code:    CodePayloadTooLarge,
+			Message: "core: request body exceeds the 8 MiB wire cap (limit 8388608 bytes)",
+			Status:  413,
+		},
 		"name_response":   &NameResponse{Name: "golden"},
 		"delete_response": &DeleteResponse{Deleted: "golden"},
 		"ok_response":     &OKResponse{OK: true},

@@ -93,6 +93,9 @@ type (
 	// WireError is the v2 structured error envelope {code, message,
 	// detail, retryable, status}; recover it with errors.As.
 	WireError = wire.Error
+	// AdmissionLimits configures the per-tenant admission-control layer
+	// (DeploymentOptions.Limits).
+	AdmissionLimits = core.AdmissionLimits
 )
 
 // WireVersion is the wire protocol generation Client speaks by default.
@@ -183,6 +186,11 @@ type DeploymentOptions struct {
 	// GroupCommit batches concurrent database writers into one fsync —
 	// the high-throughput mode for many concurrent stakeholders.
 	GroupCommit bool
+	// Limits enables admission control on the v2 surface: per-tenant
+	// token-bucket rate limits plus a bounded instance-wide concurrency
+	// gate, keyed by the client-certificate identity. Nil serves without
+	// limits.
+	Limits *AdmissionLimits
 }
 
 // StartService starts a managed PALÆMON instance: it launches the enclave,
@@ -243,7 +251,7 @@ func StartService(opts DeploymentOptions) (*Deployment, error) {
 		inst.Shutdown(context.Background())
 		return fail(err)
 	}
-	server, err := core.Serve(inst, core.ServerOptions{Authority: authority, IAS: iasSvc})
+	server, err := core.Serve(inst, core.ServerOptions{Authority: authority, IAS: iasSvc, Limits: opts.Limits})
 	if err != nil {
 		inst.Shutdown(context.Background())
 		authority.Close()
