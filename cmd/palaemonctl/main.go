@@ -12,6 +12,11 @@
 //	palaemonctl -url ... watch <policy-name> [revision]
 //	palaemonctl -url ... batch-secrets <policy-name> [policy-name ...]
 //	palaemonctl -url ... attestation
+//	palaemonctl -ops-url http://127.0.0.1:PORT stats [prefix]
+//
+// stats talks to the daemon's plaintext operational endpoint (palaemond
+// -ops-addr) and prints its Prometheus metric lines, filtered to the
+// given name prefix (default "palaemon_").
 //
 // list, watch and batch-secrets speak the v2 wire protocol: list pages
 // through GET /v2/policies, watch long-polls board-approved updates
@@ -24,13 +29,16 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"crypto/tls"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"palaemon"
@@ -48,13 +56,26 @@ func main() {
 func run() error {
 	var (
 		url     = flag.String("url", "https://127.0.0.1:8443", "instance base URL")
+		opsURL  = flag.String("ops-url", "http://127.0.0.1:8444", "operational endpoint base URL (stats)")
 		certDir = flag.String("certdir", "./palaemonctl-certs", "client certificate directory")
 		asYAML  = flag.Bool("yaml", false, "print policies in the policy-file YAML dialect")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: palaemonctl [flags] <create|read|update|delete|secrets|list|watch|batch-secrets|attestation> ...")
+		return fmt.Errorf("usage: palaemonctl [flags] <create|read|update|delete|secrets|list|watch|batch-secrets|attestation|stats> ...")
+	}
+
+	// stats needs no client certificate: the ops endpoint is plaintext
+	// HTTP, reachable only where the operator binds it.
+	if args[0] == "stats" {
+		prefix := "palaemon_"
+		if len(args) == 2 {
+			prefix = args[1]
+		} else if len(args) > 2 {
+			return fmt.Errorf("stats takes at most one name prefix")
+		}
+		return printStats(*opsURL, prefix)
 	}
 
 	cert, err := loadOrCreateCert(*certDir)
@@ -223,6 +244,37 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// printStats scrapes the ops endpoint's /metrics and prints the metric
+// lines (comments stripped) whose family name matches prefix.
+func printStats(opsURL, prefix string) error {
+	resp, err := http.Get(opsURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	matched := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fmt.Println(line)
+		matched++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if matched == 0 {
+		return fmt.Errorf("no metrics matching prefix %q", prefix)
+	}
+	return nil
 }
 
 // loadOrCreateCert keeps a stable client identity across invocations by

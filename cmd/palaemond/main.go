@@ -3,11 +3,17 @@
 // attests itself to a PALÆMON CA, and serves the REST/TLS API until
 // interrupted — at which point it drains and persists the counter version
 // so a clean restart passes the rollback check.
+//
+// Logs are structured key=value lines on stdout (DESIGN.md §11); the
+// startup banner carries the instance identity (platform ID, MRE, IAS
+// key, DB epoch) so a supervisor can parse readiness and identity from
+// the same stream.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,8 +38,18 @@ func run() error {
 		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant sustained request rate on /v2 (req/s, 0 = unlimited)")
 		tenantBurst   = flag.Int("tenant-burst", 0, "per-tenant burst capacity (default: ceil of -tenant-rate)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "instance-wide concurrent /v2 requests (0 = unlimited)")
+
+		opsAddr   = flag.String("ops-addr", "", "plaintext operational endpoint: /metrics, /healthz, /readyz, /debug/pprof (empty = disabled)")
+		auditPath = flag.String("audit", "", "hash-chained audit log file (default: <data>/audit.log, \"off\" = disabled)")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(palaemon.NewTextLogHandler(os.Stdout, level))
 
 	// Admission control is enabled by any limit flag; without them the
 	// daemon serves unlimited, as before.
@@ -47,11 +63,15 @@ func run() error {
 	}
 
 	dep, err := palaemon.StartService(palaemon.DeploymentOptions{
-		DataDir:     *dataDir,
-		PlatformDir: *platformDir,
-		Recover:     *recover,
-		GroupCommit: *groupCommit,
-		Limits:      limits,
+		DataDir:       *dataDir,
+		PlatformDir:   *platformDir,
+		Recover:       *recover,
+		GroupCommit:   *groupCommit,
+		Limits:        limits,
+		Observability: true,
+		LogHandler:    logger.Handler(),
+		AuditPath:     *auditPath,
+		OpsAddr:       *opsAddr,
 	})
 	if err != nil {
 		return err
@@ -62,21 +82,32 @@ func run() error {
 	// interruptible.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	fmt.Printf("palaemond: serving on %s\n", dep.URL())
-	if limits != nil {
-		fmt.Printf("palaemond: admission limits: tenant-rate=%g req/s burst=%d max-concurrent=%d\n",
-			limits.TenantRate, limits.TenantBurst, limits.MaxConcurrent)
+	logger.Info("serving", "url", dep.URL())
+	if ops := dep.OpsURL(); ops != "" {
+		logger.Info("ops endpoint", "url", ops)
 	}
-	fmt.Printf("palaemond: platform %s\n", dep.Platform.ID())
-	fmt.Printf("palaemond: instance MRE %s\n", dep.Instance.MRE())
-	fmt.Printf("palaemond: IAS key %x\n", dep.IAS.PublicKey())
-	fmt.Printf("palaemond: DB epoch %d\n", dep.Instance.DBVersion())
+	if dep.Obs.Audit != nil {
+		logger.Info("audit chain", "path", dep.Obs.Audit.Path())
+	}
+	if limits != nil {
+		logger.Info("admission limits",
+			"tenant_rate", limits.TenantRate,
+			"tenant_burst", limits.TenantBurst,
+			"max_concurrent", limits.MaxConcurrent)
+	}
+	logger.Info("instance identity",
+		"platform", dep.Platform.ID(),
+		"mre", dep.Instance.MRE().String(),
+		"ias_key", fmt.Sprintf("%x", dep.IAS.PublicKey()))
+	// The DB epoch line doubles as the ready marker: everything a
+	// supervisor needs is out once it appears.
+	logger.Info("ready", "db_epoch", dep.Instance.DBVersion())
 
 	<-stop
-	fmt.Println("palaemond: draining...")
+	logger.Info("draining")
 	if err := dep.Close(); err != nil {
 		return err
 	}
-	fmt.Println("palaemond: clean shutdown (v = c)")
+	logger.Info("clean shutdown (v = c)")
 	return nil
 }

@@ -7,7 +7,10 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"palaemon"
 )
@@ -30,7 +33,14 @@ func run() error {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	dep, err := palaemon.StartService(palaemon.DeploymentOptions{DataDir: dir})
+	dep, err := palaemon.StartService(palaemon.DeploymentOptions{
+		DataDir: dir,
+		// Observability (§11): structured logs (discarded here — pass a
+		// LogHandler to keep them), RED metrics, a hash-chained audit log
+		// at <DataDir>/audit.log, and a plaintext ops listener.
+		Observability: true,
+		OpsAddr:       "127.0.0.1:0",
+	})
 	if err != nil {
 		return err
 	}
@@ -166,5 +176,26 @@ func run() error {
 	}
 	fmt.Printf("batch    : %d secrets + expected tag %.8s… in one round trip\n",
 		len(results[0].Secrets), results[1].Tag)
+
+	// 9. Operations view (§11): scrape the Prometheus endpoint — every
+	//    request above is already in the RED series — and print the audit
+	//    chain anchor an operator would ship off-host.
+	resp, err := http.Get(dep.OpsURL() + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	scrape, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(scrape), "\n") {
+		if strings.HasPrefix(line, "palaemon_requests_total") ||
+			strings.HasPrefix(line, "palaemon_attests_total") {
+			fmt.Println("metrics  :", line)
+		}
+	}
+	seq, head := dep.Obs.Audit.Head()
+	fmt.Printf("audit    : %d chained records, anchor %x…\n", seq, head[:8])
 	return run2.Exit(ctx)
 }

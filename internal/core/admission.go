@@ -178,8 +178,9 @@ func (a *admission) refill(b *tenantBucket, now time.Time) {
 // excludes them from drain accounting; holding a slot that long would let
 // idle watchers starve real work) while still charging the rate bucket.
 // A rejection returns a *wire.Error with CodeResourceExhausted,
-// Retryable=true and the RetryAfterMS hint.
-func (a *admission) acquire(ctx context.Context, id ClientID, gated bool) (release func(), werr *wire.Error) {
+// Retryable=true and the RetryAfterMS hint, plus the rejecting stage
+// ("rate" or "gate") for the audit trail.
+func (a *admission) acquire(ctx context.Context, id ClientID, gated bool) (release func(), reason string, werr *wire.Error) {
 	now := time.Now()
 	a.mu.Lock()
 	b := a.bucketFor(id, now)
@@ -190,7 +191,7 @@ func (a *admission) acquire(ctx context.Context, id ClientID, gated bool) (relea
 			// Hint: time until the bucket refills the missing fraction.
 			wait := time.Duration((1 - b.tokens) / a.limits.TenantRate * float64(time.Second))
 			a.mu.Unlock()
-			return nil, resourceExhausted(wait, "tenant rate limit exceeded")
+			return nil, "rate", resourceExhausted(wait, "tenant rate limit exceeded")
 		}
 		b.tokens--
 	}
@@ -207,11 +208,11 @@ func (a *admission) acquire(ctx context.Context, id ClientID, gated bool) (relea
 				timer.Stop()
 			case <-timer.C:
 				a.recordGateReject(id)
-				return nil, resourceExhausted(a.limits.MaxWait, "instance concurrency gate is full")
+				return nil, "gate", resourceExhausted(a.limits.MaxWait, "instance concurrency gate is full")
 			case <-ctx.Done():
 				timer.Stop()
 				a.recordGateReject(id)
-				return nil, resourceExhausted(a.limits.MaxWait, "instance concurrency gate is full")
+				return nil, "gate", resourceExhausted(a.limits.MaxWait, "instance concurrency gate is full")
 			}
 		}
 	}
@@ -223,9 +224,9 @@ func (a *admission) acquire(ctx context.Context, id ClientID, gated bool) (relea
 	a.mu.Unlock()
 
 	if gated && a.slots != nil {
-		return func() { <-a.slots }, nil
+		return func() { <-a.slots }, "", nil
 	}
-	return func() {}, nil
+	return func() {}, "", nil
 }
 
 func (a *admission) recordGateReject(id ClientID) {
@@ -279,14 +280,17 @@ func (s *Server) admit(gated bool, h http.HandlerFunc) http.HandlerFunc {
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		id, _ := clientID(r) // zero ID = shared anonymous tenant
-		release, werr := s.adm.acquire(r.Context(), id, gated)
+		release, reason, werr := s.adm.acquire(r.Context(), id, gated)
 		if werr != nil {
 			secs := (werr.RetryAfterMS + 999) / 1000
 			if secs < 1 {
 				secs = 1
 			}
 			w.Header().Set("Retry-After", fmt.Sprint(secs))
-			writeWireErr(w, werr)
+			writeWireErr(w, r, werr)
+			if s.obs != nil {
+				s.obsAdmissionReject(r.Context(), id, reason)
+			}
 			return
 		}
 		defer release()

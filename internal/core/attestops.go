@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/ed25519"
 	"encoding/hex"
 	"encoding/json"
@@ -26,7 +27,13 @@ type AppConfig = wire.AppConfig
 // key is the platform's, known to the instance (in a deployment PALÆMON
 // verifies via IAS or a cached QE identity; the trust decision is
 // identical).
-func (i *Instance) AttestApplication(ev attest.Evidence, quotingKey ed25519.PublicKey) (*AppConfig, error) {
+func (i *Instance) AttestApplication(ctx context.Context, ev attest.Evidence, quotingKey ed25519.PublicKey) (*AppConfig, error) {
+	cfg, err := i.attestApplication(ev, quotingKey)
+	i.obsAttest(ctx, ev, err)
+	return cfg, err
+}
+
+func (i *Instance) attestApplication(ev attest.Evidence, quotingKey ed25519.PublicKey) (*AppConfig, error) {
 	if err := i.begin(); err != nil {
 		return nil, err
 	}

@@ -32,7 +32,7 @@ func TestMintBumpsRevision(t *testing.T) {
 	attestOnce := func() *AppConfig {
 		t.Helper()
 		session := cryptoutil.MustNewSigner()
-		cfg, err := inst.AttestApplication(attest.NewEvidence(enclave, "mint", "app", session.Public), p.QuotingKey())
+		cfg, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "mint", "app", session.Public), p.QuotingKey())
 		if err != nil {
 			t.Fatalf("AttestApplication: %v", err)
 		}
@@ -92,7 +92,7 @@ func TestConcurrentFirstAttestationsShareKey(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			session := cryptoutil.MustNewSigner()
-			cfg, err := inst.AttestApplication(attest.NewEvidence(enclave, "race", "app", session.Public), p.QuotingKey())
+			cfg, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "race", "app", session.Public), p.QuotingKey())
 			if err != nil {
 				t.Errorf("attest %d: %v", w, err)
 				return
@@ -130,7 +130,7 @@ func TestAttestAfterDeleteRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	session := cryptoutil.MustNewSigner()
-	if _, err := inst.AttestApplication(attest.NewEvidence(enclave, "gone", "app", session.Public), p.QuotingKey()); err == nil {
+	if _, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "gone", "app", session.Public), p.QuotingKey()); err == nil {
 		t.Fatal("attestation of deleted policy succeeded")
 	}
 	if raw, err := inst.db.Get(bucketTags, tagKey("gone", "app")); err == nil {

@@ -24,6 +24,7 @@ import (
 	"palaemon/internal/cryptoutil"
 	"palaemon/internal/kvdb"
 	"palaemon/internal/mcounter"
+	"palaemon/internal/obs"
 	"palaemon/internal/sgx"
 	"palaemon/internal/simclock"
 )
@@ -97,6 +98,11 @@ type Options struct {
 	// re-decoding policies from the database per request — the read-path
 	// ablation baseline (DESIGN.md §8). Leave false in deployments.
 	DisablePolicyCache bool
+	// Obs is the observability bundle (logger, metrics registry, audit
+	// log). Nil disables instrumentation (the ablation baseline): logging
+	// and audit become no-ops and only the cache collector registration is
+	// skipped.
+	Obs *obs.Obs
 }
 
 // identity is the sealed instance identity (§IV-B): the Ed25519 key pair the
@@ -180,6 +186,11 @@ type Instance struct {
 	namesSeq    uint64
 	namesSorted []string
 
+	// obs is the observability bundle; never nil (defaults to obs.Nop()),
+	// with a nil-safe Audit inside. Core ops log at Info with the request
+	// ID from the context and append security events to the audit chain.
+	obs *obs.Obs
+
 	// inflight counts requests for the Fig 6 drain. A plain counter with a
 	// condition variable rather than a WaitGroup: exit notifications are
 	// admitted while draining, and WaitGroup forbids Add racing a Wait at
@@ -251,8 +262,12 @@ func Open(opts Options) (*Instance, error) {
 		pcache:   newPolicyCache(!opts.DisablePolicyCache),
 		watchers: newWatchHub(),
 		drainCh:  make(chan struct{}),
+		obs:      opts.Obs.Or(),
 	}
 	inst.inflightCond = sync.NewCond(&inst.inflightMu)
+	if opts.Obs != nil {
+		registerInstanceCollectors(opts.Obs.Metrics, inst)
+	}
 
 	if err := inst.startupProtocol(opts.Recover); err != nil {
 		db.Close()

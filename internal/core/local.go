@@ -49,8 +49,8 @@ type Local struct {
 }
 
 // Attest calls the instance directly.
-func (l *Local) Attest(_ context.Context, ev attest.Evidence, quotingKey []byte, _ *simclock.Tracker) (*AppConfig, error) {
-	return l.Inst.AttestApplication(ev, ed25519.PublicKey(quotingKey))
+func (l *Local) Attest(ctx context.Context, ev attest.Evidence, quotingKey []byte, _ *simclock.Tracker) (*AppConfig, error) {
+	return l.Inst.AttestApplication(ctx, ev, ed25519.PublicKey(quotingKey))
 }
 
 // PushTag calls the instance directly.

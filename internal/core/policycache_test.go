@@ -121,7 +121,7 @@ func TestPolicyCacheCoherenceRace(t *testing.T) {
 				}
 				if r%2 == 0 {
 					start := acked.Load()
-					cfg, err := inst.AttestApplication(ev, p.QuotingKey())
+					cfg, err := inst.AttestApplication(context.Background(), ev, p.QuotingKey())
 					if err != nil {
 						// Conflicts and delete windows are benign; the
 						// attestation wrap hides sentinel chains for

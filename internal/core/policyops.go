@@ -23,6 +23,16 @@ type ClientID [32]byte
 // policy's own board must approve the creation (§III-C: "Upon creation, the
 // board of the new policy must also approve the operation").
 func (i *Instance) CreatePolicy(ctx context.Context, client ClientID, p *policy.Policy) error {
+	err := i.createPolicy(ctx, client, p)
+	name := ""
+	if p != nil {
+		name = p.Name
+	}
+	i.obsMutation(ctx, "policy.create", client, name, err)
+	return err
+}
+
+func (i *Instance) createPolicy(ctx context.Context, client ClientID, p *policy.Policy) error {
 	if err := i.begin(); err != nil {
 		return err
 	}
@@ -139,6 +149,16 @@ func (i *Instance) readGate(ctx context.Context, client ClientID, name string) (
 // creator certificate, and the CURRENT board must approve the new content —
 // a malicious insider cannot first swap the board out (§III-C).
 func (i *Instance) UpdatePolicy(ctx context.Context, client ClientID, next *policy.Policy) error {
+	err := i.updatePolicy(ctx, client, next)
+	name := ""
+	if next != nil {
+		name = next.Name
+	}
+	i.obsMutation(ctx, "policy.update", client, name, err)
+	return err
+}
+
+func (i *Instance) updatePolicy(ctx context.Context, client ClientID, next *policy.Policy) error {
 	if err := i.begin(); err != nil {
 		return err
 	}
@@ -187,6 +207,12 @@ func (i *Instance) UpdatePolicy(ctx context.Context, client ClientID, next *poli
 
 // DeletePolicy removes a policy (creator certificate + current board).
 func (i *Instance) DeletePolicy(ctx context.Context, client ClientID, name string) error {
+	err := i.deletePolicy(ctx, client, name)
+	i.obsMutation(ctx, "policy.delete", client, name, err)
+	return err
+}
+
+func (i *Instance) deletePolicy(ctx context.Context, client ClientID, name string) error {
 	if err := i.begin(); err != nil {
 		return err
 	}

@@ -285,7 +285,7 @@ func TestAttestApplicationFullFlow(t *testing.T) {
 	defer enclave.Destroy()
 	session := cryptoutil.MustNewSigner()
 	ev := attest.NewEvidence(enclave, "ml", "app", session.Public)
-	cfg, err := inst.AttestApplication(ev, p.QuotingKey())
+	cfg, err := inst.AttestApplication(context.Background(), ev, p.QuotingKey())
 	if err != nil {
 		t.Fatalf("AttestApplication: %v", err)
 	}
@@ -308,7 +308,7 @@ func TestAttestApplicationFullFlow(t *testing.T) {
 
 	// Second attestation (restart) gets the SAME volume key and epoch 2.
 	ev2 := attest.NewEvidence(enclave, "ml", "app", cryptoutil.MustNewSigner().Public)
-	cfg2, err := inst.AttestApplication(ev2, p.QuotingKey())
+	cfg2, err := inst.AttestApplication(context.Background(), ev2, p.QuotingKey())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,13 +343,13 @@ func TestAttestRejections(t *testing.T) {
 	// Unknown policy.
 	badPol := good
 	badPol.PolicyName = "ghost"
-	if _, err := inst.AttestApplication(badPol, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+	if _, err := inst.AttestApplication(context.Background(), badPol, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
 		t.Fatalf("unknown policy: %v", err)
 	}
 	// Unknown service.
 	badSvc := good
 	badSvc.ServiceName = "ghost"
-	if _, err := inst.AttestApplication(badSvc, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+	if _, err := inst.AttestApplication(context.Background(), badSvc, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
 		t.Fatalf("unknown service: %v", err)
 	}
 	// Wrong MRE: different binary.
@@ -359,7 +359,7 @@ func TestAttestRejections(t *testing.T) {
 	}
 	defer evil.Destroy()
 	evilEv := attest.NewEvidence(evil, "strictpol", "app", cryptoutil.MustNewSigner().Public)
-	if _, err := inst.AttestApplication(evilEv, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+	if _, err := inst.AttestApplication(context.Background(), evilEv, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
 		t.Fatalf("wrong MRE: %v", err)
 	}
 	// Wrong platform.
@@ -370,13 +370,13 @@ func TestAttestRejections(t *testing.T) {
 	}
 	defer otherEnc.Destroy()
 	otherEv := attest.NewEvidence(otherEnc, "strictpol", "app", cryptoutil.MustNewSigner().Public)
-	if _, err := inst.AttestApplication(otherEv, other.QuotingKey()); !errors.Is(err, ErrAttestation) {
+	if _, err := inst.AttestApplication(context.Background(), otherEv, other.QuotingKey()); !errors.Is(err, ErrAttestation) {
 		t.Fatalf("wrong platform: %v", err)
 	}
 	// Stolen quote: evidence whose session key does not match report data.
 	stolen := good
 	stolen.SessionKey = cryptoutil.MustNewSigner().Public
-	if _, err := inst.AttestApplication(stolen, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+	if _, err := inst.AttestApplication(context.Background(), stolen, p.QuotingKey()); !errors.Is(err, ErrAttestation) {
 		t.Fatalf("stolen quote: %v", err)
 	}
 }
@@ -397,7 +397,7 @@ func TestTagPushAndEpochFencing(t *testing.T) {
 	}
 	defer enclave.Destroy()
 
-	cfg1, err := inst.AttestApplication(attest.NewEvidence(enclave, "tags", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+	cfg1, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "tags", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +411,7 @@ func TestTagPushAndEpochFencing(t *testing.T) {
 	}
 
 	// A second execution starts; the first session becomes a zombie.
-	cfg2, err := inst.AttestApplication(attest.NewEvidence(enclave, "tags", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+	cfg2, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "tags", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,11 +454,11 @@ func TestStrictModeRefusesUncleanRestart(t *testing.T) {
 	defer enclave.Destroy()
 
 	// First execution crashes (no exit notification).
-	if _, err := inst.AttestApplication(attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
+	if _, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
 		t.Fatal(err)
 	}
 	// Restart is refused in strict mode.
-	_, err = inst.AttestApplication(attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+	_, err = inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
 	if !errors.Is(err, ErrStrictRestart) {
 		t.Fatalf("strict restart: %v", err)
 	}
@@ -474,7 +474,7 @@ func TestStrictModeRefusesUncleanRestart(t *testing.T) {
 	if err := inst.ResetService(ctx, clientA(), "strict", "app"); err != nil {
 		t.Fatalf("ResetService: %v", err)
 	}
-	cfg, err := inst.AttestApplication(attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+	cfg, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
 	if err != nil {
 		t.Fatalf("restart after reset: %v", err)
 	}
@@ -482,7 +482,7 @@ func TestStrictModeRefusesUncleanRestart(t *testing.T) {
 	if err := inst.NotifyExit(cfg.SessionToken, fspf.Tag{5}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inst.AttestApplication(attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
+	if _, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "strict", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
 		t.Fatalf("restart after clean exit: %v", err)
 	}
 }
@@ -516,7 +516,7 @@ func TestSecureUpdateFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e2.Destroy()
-	if _, err := inst.AttestApplication(attest.NewEvidence(e2, "upd", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+	if _, err := inst.AttestApplication(context.Background(), attest.NewEvidence(e2, "upd", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); !errors.Is(err, ErrAttestation) {
 		t.Fatalf("v2 attested before update: %v", err)
 	}
 
@@ -526,7 +526,7 @@ func TestSecureUpdateFlow(t *testing.T) {
 	if err := inst.UpdatePolicy(ctx, clientA(), upd); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inst.AttestApplication(attest.NewEvidence(e2, "upd", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
+	if _, err := inst.AttestApplication(context.Background(), attest.NewEvidence(e2, "upd", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
 		t.Fatalf("v2 after update: %v", err)
 	}
 
@@ -541,7 +541,7 @@ func TestSecureUpdateFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e1.Destroy()
-	if _, err := inst.AttestApplication(attest.NewEvidence(e1, "upd", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+	if _, err := inst.AttestApplication(context.Background(), attest.NewEvidence(e1, "upd", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); !errors.Is(err, ErrAttestation) {
 		t.Fatalf("retired v1 still attests: %v", err)
 	}
 }
@@ -577,7 +577,7 @@ func TestImportIntersectionAtAttestation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e1.Destroy()
-	if _, err := inst.AttestApplication(attest.NewEvidence(e1, "pyapp", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
+	if _, err := inst.AttestApplication(context.Background(), attest.NewEvidence(e1, "pyapp", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); err != nil {
 		t.Fatalf("v1 before withdrawal: %v", err)
 	}
 
@@ -591,7 +591,7 @@ func TestImportIntersectionAtAttestation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// v1 is now automatically disallowed for the app as well.
-	if _, err := inst.AttestApplication(attest.NewEvidence(e1, "pyapp", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); !errors.Is(err, ErrAttestation) {
+	if _, err := inst.AttestApplication(context.Background(), attest.NewEvidence(e1, "pyapp", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey()); !errors.Is(err, ErrAttestation) {
 		t.Fatalf("withdrawn image version still attests: %v", err)
 	}
 }
@@ -627,7 +627,7 @@ func TestImportedSecretsAtAttestation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer enclave.Destroy()
-	cfg, err := inst.AttestApplication(attest.NewEvidence(enclave, "consumer", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+	cfg, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "consumer", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -698,7 +698,7 @@ func TestImportedSecretRotationMemo(t *testing.T) {
 	defer enclave.Destroy()
 	attestOnceNow := func() *AppConfig {
 		t.Helper()
-		cfg, err := inst.AttestApplication(attest.NewEvidence(enclave, "imp", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
+		cfg, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, "imp", "app", cryptoutil.MustNewSigner().Public), p.QuotingKey())
 		if err != nil {
 			t.Fatal(err)
 		}

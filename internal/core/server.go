@@ -15,6 +15,7 @@ import (
 	"palaemon/internal/ca"
 	"palaemon/internal/cryptoutil"
 	"palaemon/internal/ias"
+	"palaemon/internal/obs"
 	"palaemon/internal/policy"
 	"palaemon/internal/wire"
 )
@@ -33,6 +34,11 @@ type Server struct {
 
 	// adm is the admission controller (nil without ServerOptions.Limits).
 	adm *admission
+
+	// obs is the observability bundle; nil when ServerOptions.Obs was nil
+	// (the zero-overhead ablation: no middleware is installed at all, so
+	// the serving path is byte-for-byte the uninstrumented one).
+	obs *obs.Obs
 
 	iasReport *ias.Report
 	iasPub    ed25519.PublicKey
@@ -72,6 +78,11 @@ type ServerOptions struct {
 	// handler starts (the watch long-poll extends it by its poll window).
 	// Default 30s; negative disables.
 	RequestWriteTimeout time.Duration
+	// Obs enables the request-observability middleware: per-request IDs,
+	// one canonical log line per request, RED metrics per route+tenant,
+	// and audit records for admission rejections. Usually the same bundle
+	// passed to core.Open. Nil disables the middleware entirely.
+	Obs *obs.Obs
 }
 
 // Serve attests the instance to the CA, obtains its TLS certificate, and
@@ -116,9 +127,12 @@ func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
 		Leaf:        iss.Leaf,
 	}
 
-	s := &Server{inst: inst, done: make(chan struct{})}
+	s := &Server{inst: inst, done: make(chan struct{}), obs: opts.Obs}
 	if opts.Limits != nil {
 		s.adm = newAdmission(*opts.Limits)
+		if opts.Obs != nil {
+			registerAdmissionCollector(opts.Obs.Metrics, s)
+		}
 	}
 
 	if opts.IAS != nil {
@@ -179,6 +193,12 @@ func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
 			mux.ServeHTTP(w, r)
 		})
 	}
+	if s.obs != nil {
+		// Outermost, so the latency it measures covers admission and the
+		// write-deadline arming, and its ResponseWriter wrapper sees every
+		// byte (Unwrap keeps ResponseController reaching the real conn).
+		handler = s.obsHandler(handler)
+	}
 	s.srv = &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -198,6 +218,10 @@ func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
 
 // URL returns the server base URL.
 func (s *Server) URL() string { return s.url }
+
+// Done is closed once the server has stopped serving; readiness probes
+// watch it to flip unready before shutdown completes.
+func (s *Server) Done() <-chan struct{} { return s.done }
 
 // Instance returns the served instance.
 func (s *Server) Instance() *Instance { return s.inst }
@@ -226,8 +250,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeErr renders the v1 error shape: {"error": text} plus a bare HTTP
 // status. The status comes from the same classification table the v2
-// envelope uses (errmap.go), so the two surfaces cannot drift.
-func writeErr(w http.ResponseWriter, err error) {
+// envelope uses (errmap.go), so the two surfaces cannot drift. The wire
+// code lands in the request's obs state so the canonical log line and the
+// error counter label errors uniformly across both surfaces.
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	obs.RequestFrom(r.Context()).SetCode(wireFromError(err).Code)
 	writeJSON(w, v1StatusOf(err), map[string]string{"error": err.Error()})
 }
 
@@ -264,27 +291,28 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 // writeDecodeErr renders a decodeBody failure on the v1 surface: oversized
 // bodies go through the shared classification (413), everything else keeps
 // the legacy bare-400 shape.
-func writeDecodeErr(w http.ResponseWriter, err error) {
+func writeDecodeErr(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, ErrPayloadTooLarge) {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
+	obs.RequestFrom(r.Context()).SetCode(wire.CodeBadRequest)
 	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 }
 
 func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 	id, ok := clientID(r)
 	if !ok {
-		writeErr(w, ErrAccessDenied)
+		writeErr(w, r, ErrAccessDenied)
 		return
 	}
 	var p policy.Policy
 	if err := decodeBody(w, r, &p); err != nil {
-		writeDecodeErr(w, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	if err := s.inst.CreatePolicy(r.Context(), id, &p); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"name": p.Name})
@@ -293,12 +321,12 @@ func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadPolicy(w http.ResponseWriter, r *http.Request) {
 	id, ok := clientID(r)
 	if !ok {
-		writeErr(w, ErrAccessDenied)
+		writeErr(w, r, ErrAccessDenied)
 		return
 	}
 	p, err := s.inst.ReadPolicy(r.Context(), id, r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, p)
@@ -307,12 +335,12 @@ func (s *Server) handleReadPolicy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
 	id, ok := clientID(r)
 	if !ok {
-		writeErr(w, ErrAccessDenied)
+		writeErr(w, r, ErrAccessDenied)
 		return
 	}
 	var p policy.Policy
 	if err := decodeBody(w, r, &p); err != nil {
-		writeDecodeErr(w, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	if p.Name != r.PathValue("name") {
@@ -320,7 +348,7 @@ func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.inst.UpdatePolicy(r.Context(), id, &p); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"name": p.Name})
@@ -329,11 +357,11 @@ func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeletePolicy(w http.ResponseWriter, r *http.Request) {
 	id, ok := clientID(r)
 	if !ok {
-		writeErr(w, ErrAccessDenied)
+		writeErr(w, r, ErrAccessDenied)
 		return
 	}
 	if err := s.inst.DeletePolicy(r.Context(), id, r.PathValue("name")); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
@@ -346,17 +374,17 @@ type fetchSecretsRequest = wire.FetchSecretsRequest
 func (s *Server) handleFetchSecrets(w http.ResponseWriter, r *http.Request) {
 	id, ok := clientID(r)
 	if !ok {
-		writeErr(w, ErrAccessDenied)
+		writeErr(w, r, ErrAccessDenied)
 		return
 	}
 	var req fetchSecretsRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeDecodeErr(w, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	secrets, err := s.inst.FetchSecrets(r.Context(), id, r.PathValue("name"), req.Names)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, secrets)
@@ -369,12 +397,12 @@ type attestRequest = wire.AttestRequest
 func (s *Server) handleAttest(w http.ResponseWriter, r *http.Request) {
 	var req attestRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeDecodeErr(w, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
-	cfg, err := s.inst.AttestApplication(req.Evidence, req.QuotingKey)
+	cfg, err := s.inst.AttestApplication(r.Context(), req.Evidence, req.QuotingKey)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, cfg)
@@ -386,11 +414,11 @@ type tagPush = wire.TagPush
 func (s *Server) handlePushTag(w http.ResponseWriter, r *http.Request) {
 	var req tagPush
 	if err := decodeBody(w, r, &req); err != nil {
-		writeDecodeErr(w, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	if err := s.inst.PushTag(req.Token, req.Tag); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -399,7 +427,7 @@ func (s *Server) handlePushTag(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadTag(w http.ResponseWriter, r *http.Request) {
 	tag, err := s.inst.ExpectedTag(r.PathValue("policy"), r.PathValue("service"))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"tag": tag.String()})
@@ -408,11 +436,11 @@ func (s *Server) handleReadTag(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExit(w http.ResponseWriter, r *http.Request) {
 	var req tagPush
 	if err := decodeBody(w, r, &req); err != nil {
-		writeDecodeErr(w, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	if err := s.inst.NotifyExit(req.Token, req.Tag); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -438,7 +466,7 @@ type challengeExchange = wire.ChallengeRequest
 func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
 	var req challengeExchange
 	if err := decodeBody(w, r, &req); err != nil {
-		writeDecodeErr(w, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	resp := attest.Respond(req.Challenge, s.inst.signer, "palaemon-instance")

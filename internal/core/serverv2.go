@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"palaemon/internal/attest"
+	"palaemon/internal/obs"
 	"palaemon/internal/policy"
 	"palaemon/internal/wire"
 )
@@ -77,7 +78,7 @@ func (s *Server) registerV2(mux *http.ServeMux) {
 	// Unknown v2 paths answer with the envelope, not net/http's 404 page.
 	// Admitted too, so path probing cannot bypass the rate limit.
 	mux.HandleFunc(wire.PathPrefix+"/", s.admit(true, func(w http.ResponseWriter, r *http.Request) {
-		writeWireErr(w, wire.NewError(wire.CodeNotFound, http.StatusNotFound, false,
+		writeWireErr(w, r, wire.NewError(wire.CodeNotFound, http.StatusNotFound, false,
 			"core: unknown v2 path "+r.URL.Path))
 	}))
 }
@@ -96,13 +97,13 @@ func (s *Server) v2Route(methods map[string]http.HandlerFunc) http.HandlerFunc {
 				allowed += m
 			}
 			w.Header().Set("Allow", allowed)
-			writeWireErr(w, wire.NewError(wire.CodeMethodNotAllowed, http.StatusMethodNotAllowed, false,
+			writeWireErr(w, r, wire.NewError(wire.CodeMethodNotAllowed, http.StatusMethodNotAllowed, false,
 				"core: method "+r.Method+" not allowed on "+r.URL.Path))
 			return
 		}
 		if ct := r.Header.Get("Content-Type"); ct != "" && (r.Method == http.MethodPost || r.Method == http.MethodPut) {
 			if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
-				writeWireErr(w, wire.NewError(wire.CodeUnsupportedMedia, http.StatusUnsupportedMediaType, false,
+				writeWireErr(w, r, wire.NewError(wire.CodeUnsupportedMedia, http.StatusUnsupportedMediaType, false,
 					"core: v2 request bodies must be application/json, got "+ct))
 				return
 			}
@@ -111,9 +112,11 @@ func (s *Server) v2Route(methods map[string]http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// writeWireErr renders err as the v2 envelope.
-func writeWireErr(w http.ResponseWriter, err error) {
+// writeWireErr renders err as the v2 envelope, recording the code in the
+// request's obs state for the canonical log line and the error counter.
+func writeWireErr(w http.ResponseWriter, r *http.Request, err error) {
 	e := wireFromError(err)
+	obs.RequestFrom(r.Context()).SetCode(e.Code)
 	writeJSON(w, e.Status, e)
 }
 
@@ -142,7 +145,7 @@ func decodeBodyV2(w http.ResponseWriter, r *http.Request, v any) error {
 func clientIDV2(w http.ResponseWriter, r *http.Request) (ClientID, bool) {
 	id, ok := clientID(r)
 	if !ok {
-		writeWireErr(w, ErrAccessDenied)
+		writeWireErr(w, r, ErrAccessDenied)
 	}
 	return id, ok
 }
@@ -156,11 +159,11 @@ func (s *Server) v2CreatePolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	var p policy.Policy
 	if err := decodeBodyV2(w, r, &p); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	if err := s.inst.CreatePolicy(r.Context(), id, &p); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, wire.NameResponse{Name: p.Name})
@@ -188,7 +191,7 @@ func (s *Server) v2ReadPolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := s.inst.ReadPolicy(r.Context(), id, name)
 	if err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	w.Header().Set("ETag", wire.ETag(p.CreateID, p.Revision))
@@ -202,16 +205,16 @@ func (s *Server) v2UpdatePolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	var p policy.Policy
 	if err := decodeBodyV2(w, r, &p); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	if p.Name != r.PathValue("name") {
-		writeWireErr(w, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+		writeWireErr(w, r, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
 			"core: policy name mismatch between path and body"))
 		return
 	}
 	if err := s.inst.UpdatePolicy(r.Context(), id, &p); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.NameResponse{Name: p.Name})
@@ -223,7 +226,7 @@ func (s *Server) v2DeletePolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.inst.DeletePolicy(r.Context(), id, r.PathValue("name")); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.DeleteResponse{Deleted: r.PathValue("name")})
@@ -240,7 +243,7 @@ func (s *Server) v2ListPolicies(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 0 {
-			writeWireErr(w, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+			writeWireErr(w, r, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
 				"core: limit must be a non-negative integer"))
 			return
 		}
@@ -248,7 +251,7 @@ func (s *Server) v2ListPolicies(w http.ResponseWriter, r *http.Request) {
 	}
 	names, total, next, err := s.inst.ListPolicyNamesPage(q.Get("after"), limit)
 	if err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.PolicyList{Names: names, Total: total, NextAfter: next})
@@ -262,7 +265,7 @@ func (s *Server) v2WatchPolicy(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	rev, err := strconv.ParseUint(q.Get("rev"), 10, 64)
 	if err != nil {
-		writeWireErr(w, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+		writeWireErr(w, r, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
 			"core: watch requires ?rev=<last seen revision>"))
 		return
 	}
@@ -272,7 +275,7 @@ func (s *Server) v2WatchPolicy(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("create_id"); raw != "" {
 		createID, err = strconv.ParseUint(raw, 10, 64)
 		if err != nil {
-			writeWireErr(w, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+			writeWireErr(w, r, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
 				"core: create_id must be an unsigned integer"))
 			return
 		}
@@ -281,7 +284,7 @@ func (s *Server) v2WatchPolicy(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("timeout_ms"); raw != "" {
 		ms, err := strconv.Atoi(raw)
 		if err != nil || ms < 0 {
-			writeWireErr(w, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
+			writeWireErr(w, r, wire.NewError(wire.CodeBadRequest, http.StatusBadRequest, false,
 				"core: timeout_ms must be a non-negative integer"))
 			return
 		}
@@ -299,7 +302,7 @@ func (s *Server) v2WatchPolicy(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	res, err := s.inst.WatchPolicy(ctx, id, name, rev, createID)
 	if err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.WatchResponse{
@@ -320,12 +323,12 @@ func (s *Server) v2FetchSecrets(w http.ResponseWriter, r *http.Request) {
 	}
 	var req wire.FetchSecretsRequest
 	if err := decodeBodyV2(w, r, &req); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	secrets, err := s.inst.FetchSecrets(r.Context(), id, r.PathValue("name"), req.Names)
 	if err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.SecretsResponse{Secrets: secrets})
@@ -337,12 +340,12 @@ func (s *Server) v2Batch(w http.ResponseWriter, r *http.Request) {
 	id, hasID := clientID(r)
 	var req wire.BatchRequest
 	if err := decodeBodyV2(w, r, &req); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	results, err := execBatch(r.Context(), s.inst, id, hasID, req.Ops)
 	if err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.BatchResponse{Results: results})
@@ -351,12 +354,12 @@ func (s *Server) v2Batch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) v2Attest(w http.ResponseWriter, r *http.Request) {
 	var req wire.AttestRequest
 	if err := decodeBodyV2(w, r, &req); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
-	cfg, err := s.inst.AttestApplication(req.Evidence, req.QuotingKey)
+	cfg, err := s.inst.AttestApplication(r.Context(), req.Evidence, req.QuotingKey)
 	if err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, cfg)
@@ -365,11 +368,11 @@ func (s *Server) v2Attest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) v2PushTag(w http.ResponseWriter, r *http.Request) {
 	var req wire.TagPush
 	if err := decodeBodyV2(w, r, &req); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	if err := s.inst.PushTag(req.Token, req.Tag); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.OKResponse{OK: true})
@@ -378,7 +381,7 @@ func (s *Server) v2PushTag(w http.ResponseWriter, r *http.Request) {
 func (s *Server) v2ReadTag(w http.ResponseWriter, r *http.Request) {
 	tag, err := s.inst.ExpectedTag(r.PathValue("policy"), r.PathValue("service"))
 	if err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.TagResponse{Tag: tag.String()})
@@ -387,11 +390,11 @@ func (s *Server) v2ReadTag(w http.ResponseWriter, r *http.Request) {
 func (s *Server) v2Exit(w http.ResponseWriter, r *http.Request) {
 	var req wire.TagPush
 	if err := decodeBodyV2(w, r, &req); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	if err := s.inst.NotifyExit(req.Token, req.Tag); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.OKResponse{OK: true})
@@ -408,7 +411,7 @@ func (s *Server) v2Attestation(w http.ResponseWriter, r *http.Request) {
 func (s *Server) v2Challenge(w http.ResponseWriter, r *http.Request) {
 	var req wire.ChallengeRequest
 	if err := decodeBodyV2(w, r, &req); err != nil {
-		writeWireErr(w, err)
+		writeWireErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, attest.Respond(req.Challenge, s.inst.signer, "palaemon-instance"))

@@ -70,7 +70,7 @@ func Table1(quick bool) (*Report, error) {
 		return nil, err
 	}
 	defer enclave.Destroy()
-	cfg, err := stack.inst.AttestApplication(
+	cfg, err := stack.inst.AttestApplication(context.Background(),
 		attest.NewEvidence(enclave, "table1", "probe", cryptoutil.MustNewSigner().Public),
 		stack.platform.QuotingKey())
 	if err != nil {
@@ -510,7 +510,7 @@ func strictCounterSetup(stack *localStack) (*fspf.Volume, *fspf.Handle, uint64, 
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	cfg, err := stack.inst.AttestApplication(
+	cfg, err := stack.inst.AttestApplication(context.Background(),
 		attest.NewEvidence(enclave, "fig10", "counter", cryptoutil.MustNewSigner().Public),
 		stack.platform.QuotingKey())
 	if err != nil {

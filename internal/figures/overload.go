@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"palaemon/internal/core"
+	"palaemon/internal/obs"
 	"palaemon/internal/stress"
 )
 
@@ -24,7 +25,7 @@ func Overload(quick bool) (*Report, error) {
 	defer os.RemoveAll(dir)
 
 	limits := &core.AdmissionLimits{TenantRate: 50, TenantBurst: 10, MaxConcurrent: 32}
-	h, err := stress.New(stress.Options{DataDir: dir, Limits: limits})
+	h, err := stress.New(stress.Options{DataDir: dir, Limits: limits, Obs: obs.New(nil)})
 	if err != nil {
 		return nil, err
 	}
@@ -63,6 +64,7 @@ func Overload(quick bool) (*Report, error) {
 				limits.TenantRate, limits.TenantBurst, limits.MaxConcurrent,
 				rep.Duration.Round(time.Millisecond)),
 			"flood: 4 unpaced workers on one certificate identity, no client retries",
+			"latency: server-side request histogram (palaemon_request_seconds), rejections included",
 			fmt.Sprintf("honest: %d tenants pacing %d batch requests each, retry budget 3",
 				opts.HonestTenants, opts.HonestRequests),
 		},

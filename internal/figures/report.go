@@ -137,6 +137,7 @@ func All() []Experiment {
 		{ID: "fig17d", Title: "MariaDB TPC-C vs buffer pool size", Run: Fig17d},
 		{ID: "usecase", Title: "Production ML inference (§VI)", Run: UseCase},
 		{ID: "overload", Title: "Admission control under an overload storm", Run: Overload},
+		{ID: "obs-overhead", Title: "Observability layer overhead (obs on vs off)", Run: ObsOverhead},
 	}
 }
 

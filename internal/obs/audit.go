@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"palaemon/internal/merkle"
+)
+
+// AuditEvent is what instrumentation sites report: the security-relevant
+// fact, stripped of chain bookkeeping.
+type AuditEvent struct {
+	// Event names the action: "policy.create", "attest", ...
+	Event string
+	// Outcome is "ok" or "denied" (with Detail explaining why).
+	Outcome string
+	// Tenant is the acting client identity (short fingerprint), if any.
+	Tenant string
+	// Policy and Service scope the event, when applicable.
+	Policy  string
+	Service string
+	// Detail carries the denial reason or other context.
+	Detail string
+	// RequestID correlates the event with the request log line.
+	RequestID string
+}
+
+// AuditRecord is one line of the audit file: the event plus its position
+// in the hash chain. Hash must equal NodeHash(Prev, LeafHash(body)) where
+// body is the record's canonical JSON with Hash emptied — so flipping any
+// byte of any record (or of a stored hash) breaks verification, and the
+// chain head plus record count, anchored externally, detect truncation.
+type AuditRecord struct {
+	Seq       uint64 `json:"seq"`
+	Time      string `json:"time"`
+	Event     string `json:"event"`
+	Outcome   string `json:"outcome,omitempty"`
+	Tenant    string `json:"tenant,omitempty"`
+	Policy    string `json:"policy,omitempty"`
+	Service   string `json:"service,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	Prev      string `json:"prev"`
+	Hash      string `json:"hash"`
+}
+
+// chainNext computes the chain head after appending rec (whose Hash field
+// is ignored).
+func chainNext(head merkle.Hash, rec AuditRecord) (merkle.Hash, error) {
+	rec.Hash = ""
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return merkle.Hash{}, err
+	}
+	return merkle.NodeHash(head, merkle.LeafHash(body)), nil
+}
+
+// AuditLog is an append-only, hash-chained JSON-lines file. Appends are
+// serialised under a mutex; each record is written in one Write call with
+// no userspace buffering, so the on-disk tail is always a prefix of
+// whole records (a torn final line is detected as tampering/corruption).
+// Durability of the tail rides on the OS page cache — the chain is about
+// tamper evidence, not crash durability; see DESIGN.md §11.
+type AuditLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seq  uint64
+	head merkle.Hash
+	now  func() time.Time
+}
+
+// OpenAudit opens (or creates) the audit file at path, verifies the
+// existing chain, and positions new appends after it. A corrupt or
+// tampered file refuses to open — silently extending a broken chain
+// would launder the tampering.
+func OpenAudit(path string) (*AuditLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	seq, head, err := VerifyAudit(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("audit chain %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &AuditLog{f: f, path: path, seq: seq, head: head, now: time.Now}, nil
+}
+
+// Append adds one event to the chain. Nil-safe: a nil *AuditLog is
+// "auditing disabled" and appends are dropped.
+func (a *AuditLog) Append(e AuditEvent) error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec := AuditRecord{
+		Seq:       a.seq + 1,
+		Time:      a.now().UTC().Format(time.RFC3339Nano),
+		Event:     e.Event,
+		Outcome:   e.Outcome,
+		Tenant:    e.Tenant,
+		Policy:    e.Policy,
+		Service:   e.Service,
+		Detail:    e.Detail,
+		RequestID: e.RequestID,
+		Prev:      hex.EncodeToString(a.head[:]),
+	}
+	next, err := chainNext(a.head, rec)
+	if err != nil {
+		return err
+	}
+	rec.Hash = hex.EncodeToString(next[:])
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := a.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	a.seq = rec.Seq
+	a.head = next
+	return nil
+}
+
+// Head returns the current chain position: record count and head hash.
+// This is the anchor a stakeholder stores externally; CheckAudit against
+// it later proves the file was neither modified nor truncated. Nil-safe.
+func (a *AuditLog) Head() (seq uint64, head merkle.Hash) {
+	if a == nil {
+		return 0, merkle.Hash{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq, a.head
+}
+
+// Path returns the audit file path ("" when disabled). Nil-safe.
+func (a *AuditLog) Path() string {
+	if a == nil {
+		return ""
+	}
+	return a.path
+}
+
+// Close releases the file. Nil-safe.
+func (a *AuditLog) Close() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.f.Close()
+}
+
+// VerifyAudit replays the chain from r, returning the record count and
+// final head. It fails on any malformed line, sequence gap, prev/head
+// mismatch, or hash mismatch. A clean prefix of a longer chain verifies —
+// truncation is only detectable against an external anchor (CheckAudit).
+func VerifyAudit(r io.Reader) (seq uint64, head merkle.Hash, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec AuditRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return seq, head, fmt.Errorf("record %d: malformed: %v", seq+1, err)
+		}
+		if rec.Seq != seq+1 {
+			return seq, head, fmt.Errorf("record %d: sequence gap (got seq %d)", seq+1, rec.Seq)
+		}
+		if rec.Prev != hex.EncodeToString(head[:]) {
+			return seq, head, fmt.Errorf("record %d: prev hash does not match chain head", rec.Seq)
+		}
+		next, err := chainNext(head, rec)
+		if err != nil {
+			return seq, head, err
+		}
+		if rec.Hash != hex.EncodeToString(next[:]) {
+			return seq, head, fmt.Errorf("record %d: hash mismatch (record tampered)", rec.Seq)
+		}
+		seq, head = rec.Seq, next
+	}
+	if err := sc.Err(); err != nil {
+		return seq, head, err
+	}
+	return seq, head, nil
+}
+
+// VerifyAuditFile verifies the chain in the file at path.
+func VerifyAuditFile(path string) (seq uint64, head merkle.Hash, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, merkle.Hash{}, err
+	}
+	defer f.Close()
+	return VerifyAudit(f)
+}
+
+// CheckAudit verifies the file against an externally anchored head: the
+// chain must replay cleanly AND end exactly at (wantSeq, wantHead).
+// Detects modification (replay fails) and truncation/extension (head or
+// count differ).
+func CheckAudit(path string, wantSeq uint64, wantHead merkle.Hash) error {
+	seq, head, err := VerifyAuditFile(path)
+	if err != nil {
+		return err
+	}
+	if seq != wantSeq || head != wantHead {
+		return fmt.Errorf("audit chain ends at seq %d, anchor says %d: file truncated or replaced", seq, wantSeq)
+	}
+	return nil
+}

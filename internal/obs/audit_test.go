@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func appendEvents(t *testing.T, path string, n int) (seq uint64, head [32]byte) {
+	t.Helper()
+	a, err := OpenAudit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < n; i++ {
+		if err := a.Append(AuditEvent{
+			Event: "policy.create", Outcome: "ok",
+			Tenant: "aa11bb22", Policy: "p", RequestID: "req-1",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a.Head()
+}
+
+func TestAuditChainVerifies(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	seq, head := appendEvents(t, path, 5)
+	if seq != 5 {
+		t.Fatalf("seq = %d", seq)
+	}
+	gotSeq, gotHead, err := VerifyAuditFile(path)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if gotSeq != seq || gotHead != head {
+		t.Fatalf("verify = (%d, %x), anchor = (%d, %x)", gotSeq, gotHead, seq, head)
+	}
+	if err := CheckAudit(path, seq, head); err != nil {
+		t.Fatalf("CheckAudit: %v", err)
+	}
+}
+
+func TestAuditReopenExtendsChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	appendEvents(t, path, 3)
+	seq, head := appendEvents(t, path, 2) // reopen, append more
+	if seq != 5 {
+		t.Fatalf("seq after reopen = %d, want 5", seq)
+	}
+	if err := CheckAudit(path, seq, head); err != nil {
+		t.Fatalf("CheckAudit after reopen: %v", err)
+	}
+}
+
+// TestAuditDetectsTruncation drops the last record: the remaining prefix
+// still replays cleanly (append-only logs can't prevent that), but the
+// externally anchored head catches it.
+func TestAuditDetectsTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	seq, head := appendEvents(t, path, 5)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	truncated := strings.Join(lines[:4], "")
+	if err := os.WriteFile(path, []byte(truncated), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := VerifyAuditFile(path); err != nil {
+		t.Fatalf("clean prefix should still replay: %v", err)
+	}
+	if err := CheckAudit(path, seq, head); err == nil {
+		t.Fatal("CheckAudit accepted a truncated file")
+	}
+}
+
+// TestAuditDetectsBitFlip flips one byte in the middle of the file; the
+// chain replay itself must fail, no anchor needed.
+func TestAuditDetectsBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	appendEvents(t, path, 5)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the tenant value of the third record — a
+	// payload byte, so JSON still parses but the content lies.
+	idx := strings.Index(string(data), "aa11bb22")
+	idx = strings.Index(string(data[idx+1:]), "aa11bb22") + idx + 1 // 2nd record
+	data[idx] ^= 0x01
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := VerifyAuditFile(path); err == nil {
+		t.Fatal("verifier accepted a bit-flipped record")
+	}
+	// And the tampered file refuses to open for appending, so the chain
+	// cannot be silently extended over the damage.
+	if _, err := OpenAudit(path); err == nil {
+		t.Fatal("OpenAudit accepted a tampered file")
+	}
+}
+
+func TestAuditNilSafe(t *testing.T) {
+	var a *AuditLog
+	if err := a.Append(AuditEvent{Event: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if seq, _ := a.Head(); seq != 0 {
+		t.Fatal("nil head")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Path() != "" {
+		t.Fatal("nil path")
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets covers the repo's serving latencies: the warm
+// in-process paths sit around tens of microseconds, loopback HTTPS round
+// trips in the hundreds of microseconds, and the WAN profiles plus
+// overload queueing reach into seconds. Upper bounds are inclusive
+// (Prometheus `le` semantics).
+var DefaultLatencyBuckets = []time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe. Counts are per-bucket (not cumulative) atomics; the exposition
+// layer accumulates them into Prometheus' cumulative `le` form. Alongside
+// the buckets it tracks an exact running maximum, because a bucketed p99
+// cannot answer "what was the worst request" and the overload scenario
+// wants both.
+type Histogram struct {
+	uppers []time.Duration
+	counts []atomic.Uint64 // len(uppers)+1; last is the +Inf bucket
+	sum    atomic.Int64    // nanoseconds
+	max    atomic.Int64    // nanoseconds
+}
+
+func newHistogram(uppers []time.Duration) *Histogram {
+	if len(uppers) == 0 {
+		uppers = DefaultLatencyBuckets
+	}
+	return &Histogram{
+		uppers: uppers,
+		counts: make([]atomic.Uint64, len(uppers)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(h.uppers) && d > h.uppers[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Max returns the largest observed duration (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the bucket the quantile falls in. Observations in
+// the +Inf bucket resolve to the exact maximum. Returns 0 on an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c < rank || c == 0 {
+			cum += c
+			continue
+		}
+		if i == len(h.uppers) {
+			// +Inf bucket: the best point estimate is the true maximum.
+			return h.Max()
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = h.uppers[i-1]
+		}
+		hi := h.uppers[i]
+		frac := (rank - cum) / c
+		est := lo + time.Duration(frac*float64(hi-lo))
+		// Never report beyond the exact maximum (interpolation can
+		// overshoot when all observations sit low in the bucket).
+		if m := h.Max(); est > m {
+			est = m
+		}
+		return est
+	}
+	return h.Max()
+}
+
+// snapshot returns the cumulative bucket counts, total and sum for the
+// exposition layer, taken bucket-by-bucket (monotonic per bucket, not a
+// consistent cut — fine for scraping).
+func (h *Histogram) snapshot() (uppers []time.Duration, cumulative []uint64, count uint64, sum time.Duration) {
+	cumulative = make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return h.uppers, cumulative, cum, h.Sum()
+}

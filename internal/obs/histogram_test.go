@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the `le` semantics: an observation
+// exactly at a bucket's upper bound lands in that bucket (inclusive), one
+// nanosecond above spills into the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+
+	h.Observe(time.Millisecond)        // exactly at the first bound
+	h.Observe(time.Millisecond + 1)    // just above it
+	h.Observe(10 * time.Millisecond)   // exactly at the second bound
+	h.Observe(10*time.Millisecond + 1) // +Inf bucket
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to 0
+
+	want := []uint64{3, 2, 1} // le=1ms, le=10ms, +Inf (non-cumulative)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	if h.Max() != 10*time.Millisecond+1 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+
+	_, cum, count, _ := h.snapshot()
+	wantCum := []uint64{3, 5, 6}
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if count != 6 {
+		t.Fatalf("snapshot count = %d", count)
+	}
+}
+
+// TestHistogramQuantile checks the interpolated estimate stays inside the
+// bucket the quantile falls in, and that the +Inf bucket answers with the
+// exact maximum.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+
+	// 90 observations in (1ms,10ms], 10 in (10ms,100ms].
+	for i := 0; i < 90; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+
+	if q := h.Quantile(0.5); q <= time.Millisecond || q > 10*time.Millisecond {
+		t.Fatalf("p50 = %v, want inside (1ms,10ms]", q)
+	}
+	if q := h.Quantile(0.99); q <= 10*time.Millisecond || q > 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want inside (10ms,100ms]", q)
+	}
+
+	// Everything beyond the last bound: quantile reports the true max.
+	h2 := newHistogram([]time.Duration{time.Millisecond})
+	h2.Observe(3 * time.Second)
+	h2.Observe(7 * time.Second)
+	if q := h2.Quantile(0.99); q != 7*time.Second {
+		t.Fatalf("overflow quantile = %v, want exact max 7s", q)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines; under -race this doubles as the data-race check, and the
+// final count and sum must be exact regardless.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(nil)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+	var wantSum time.Duration
+	for w := 0; w < workers; w++ {
+		wantSum += time.Duration(w+1) * time.Millisecond * perWorker
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %v, want %v", got, wantSum)
+	}
+	if h.Max() != time.Duration(workers)*time.Millisecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}

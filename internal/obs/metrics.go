@@ -1,0 +1,399 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension. Keep cardinality bounded: routes and
+// wire error codes are finite sets, tenants are bounded by the admission
+// layer's MaxTenants.
+type Label struct {
+	Name, Value string
+}
+
+// L builds a Label; the short name keeps instrumentation sites readable.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Sample is one scrape-time measurement emitted by a Collector: a
+// component that already keeps its own counters (AdmissionStats,
+// CacheStats) exposes them without double accounting.
+type Sample struct {
+	// Name is the metric family name.
+	Name string
+	// Type is "counter" or "gauge".
+	Type string
+	// Help is the family help text (first sample of a family wins).
+	Help string
+	// Labels are the dimensions, in any order.
+	Labels []Label
+	// Value is the measurement.
+	Value float64
+}
+
+// Collector produces samples at scrape time.
+type Collector interface {
+	Collect() []Sample
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func() []Sample
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect() []Sample { return f() }
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family is one metric name with its type, help and live series.
+type family struct {
+	name    string
+	typ     string
+	help    string
+	buckets []time.Duration // histograms only
+	series  map[string]*series
+}
+
+// series is one label combination of a family. Exactly one of the three
+// instruments is live, matching the family type.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds metric families and scrape-time collectors. Instrument
+// lookup (Counter/Gauge/Histogram) is get-or-create and safe for
+// concurrent use; the returned instruments are lock-free atomics, so hot
+// paths pay one RLock'd map hit plus an atomic op.
+type Registry struct {
+	mu         sync.RWMutex
+	families   map[string]*family
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Describe sets the help text for a family (created on first use if
+// needed). Optional — families work without help text.
+func (r *Registry) Describe(name, typ, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, typ)
+	f.help = help
+}
+
+// DescribeHistogram sets help text and bucket bounds for a histogram
+// family. Must run before the first Histogram call for the name;
+// afterwards the buckets are frozen (existing series keep theirs).
+func (r *Registry) DescribeHistogram(name, help string, buckets []time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, typeHistogram)
+	f.help = help
+	if len(buckets) > 0 && len(f.series) == 0 {
+		f.buckets = buckets
+	}
+}
+
+// RegisterCollector adds a scrape-time sample source.
+func (r *Registry) RegisterCollector(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Counter returns the counter for the given family and labels,
+// creating both on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, typeCounter, labels).counter
+}
+
+// Gauge returns the gauge for the given family and labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, typeGauge, labels).gauge
+}
+
+// Histogram returns the histogram for the given family and labels. New
+// families default to DefaultLatencyBuckets unless DescribeHistogram ran
+// first.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.lookup(name, typeHistogram, labels).hist
+}
+
+func (r *Registry) lookup(name, typ string, labels []Label) *series {
+	key := labelKey(labels)
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if s, ok := f.series[key]; ok && f.typ == typ {
+			r.mu.RUnlock()
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, typ)
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labels: sortedLabels(labels)}
+	switch f.typ {
+	case typeCounter:
+		s.counter = &Counter{}
+	case typeGauge:
+		s.gauge = &Gauge{}
+	case typeHistogram:
+		s.hist = newHistogram(f.buckets)
+	}
+	f.series[key] = s
+	return s
+}
+
+func (r *Registry) familyLocked(name, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, typ: typ, series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		// Programming error; fail loudly rather than corrupt exposition.
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Snapshot returns every live sample (instruments and collectors) as a
+// flat list. Histograms contribute synthetic _count and _sum samples —
+// callers needing buckets should hold the *Histogram itself.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.RUnlock()
+
+	var out []Sample
+	for _, f := range fams {
+		for _, s := range f.series {
+			switch f.typ {
+			case typeCounter:
+				out = append(out, Sample{Name: f.name, Type: f.typ, Labels: s.labels, Value: float64(s.counter.Value())})
+			case typeGauge:
+				out = append(out, Sample{Name: f.name, Type: f.typ, Labels: s.labels, Value: float64(s.gauge.Value())})
+			case typeHistogram:
+				out = append(out, Sample{Name: f.name + "_count", Type: typeCounter, Labels: s.labels, Value: float64(s.hist.Count())})
+				out = append(out, Sample{Name: f.name + "_sum", Type: typeCounter, Labels: s.labels, Value: s.hist.Sum().Seconds()})
+			}
+		}
+	}
+	for _, c := range collectors {
+		out = append(out, c.Collect()...)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4), deterministically ordered: families by name,
+// series by label string. Hand-rolled on purpose — the repo takes no
+// dependencies for its serving stack.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.RUnlock()
+
+	// Collector samples grouped into synthetic families.
+	type collFam struct {
+		typ, help string
+		lines     []string
+	}
+	collFams := map[string]*collFam{}
+	for _, c := range collectors {
+		for _, s := range c.Collect() {
+			cf, ok := collFams[s.Name]
+			if !ok {
+				cf = &collFam{typ: s.Type, help: s.Help}
+				collFams[s.Name] = cf
+			}
+			cf.lines = append(cf.lines,
+				fmt.Sprintf("%s%s %s", s.Name, renderLabels(sortedLabels(s.Labels), "", 0), fmtValue(s.Value)))
+		}
+	}
+
+	names := make([]string, 0, len(fams)+len(collFams))
+	byName := map[string]*family{}
+	for _, f := range fams {
+		byName[f.name] = f
+		names = append(names, f.name)
+	}
+	for n := range collFams {
+		if _, dup := byName[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		if f, ok := byName[n]; ok {
+			writeFamily(&b, f)
+			continue
+		}
+		cf := collFams[n]
+		if cf.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, cf.help)
+		}
+		typ := cf.typ
+		if typ == "" {
+			typ = "untyped"
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", n, typ)
+		sort.Strings(cf.lines)
+		for _, l := range cf.lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeFamily(b *strings.Builder, f *family) {
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := f.series[k]
+		switch f.typ {
+		case typeCounter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, renderLabels(s.labels, "", 0), s.counter.Value())
+		case typeGauge:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, renderLabels(s.labels, "", 0), s.gauge.Value())
+		case typeHistogram:
+			uppers, cum, count, sum := s.hist.snapshot()
+			for i, u := range uppers {
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, "le", u.Seconds()), cum[i])
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, renderLabelsInf(s.labels), cum[len(cum)-1])
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, renderLabels(s.labels, "", 0), fmtValue(sum.Seconds()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, renderLabels(s.labels, "", 0), count)
+		}
+	}
+}
+
+// renderLabels renders {a="x",b="y"} with an optional trailing numeric
+// `le` label; an empty label set without `le` renders as "".
+func renderLabels(labels []Label, le string, leVal float64) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", le, fmtValue(leVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func renderLabelsInf(labels []Label) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	if len(labels) > 0 {
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"}`)
+	return b.String()
+}
+
+// fmtValue renders a float without trailing-zero noise (1 not 1.000000).
+func fmtValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := sortedLabels(labels)
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Name)
+		b.WriteByte(0x1f)
+		b.WriteString(l.Value)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+func sortedLabels(labels []Label) []Label {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	return ls
+}

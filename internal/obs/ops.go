@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// OpsOptions configures the operational listener.
+type OpsOptions struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9464" or
+	// "127.0.0.1:0" for an ephemeral port.
+	Addr string
+	// Registry backs /metrics. Required.
+	Registry *Registry
+	// Healthz reports liveness; nil means always healthy.
+	Healthz func() error
+	// Readyz reports readiness to serve; nil means always ready.
+	Readyz func() error
+}
+
+// OpsServer is the plain-HTTP operational endpoint: /metrics (Prometheus
+// text), /healthz, /readyz, and /debug/pprof. It is intentionally a
+// separate listener from the TLS API — the ops plane is for the local
+// operator (bind it to loopback or a management network), and profiling
+// endpoints must never ride on the stakeholder-facing surface.
+type OpsServer struct {
+	srv *http.Server
+	ln  net.Listener
+	url string
+}
+
+// ServeOps starts the ops listener.
+func ServeOps(o OpsOptions) (*OpsServer, error) {
+	if o.Registry == nil {
+		return nil, fmt.Errorf("obs: ops listener needs a registry")
+	}
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return nil, err
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry.WritePrometheus(w)
+	})
+	probe := func(check func() error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if check != nil {
+				if err := check(); err != nil {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		}
+	}
+	mux.HandleFunc("/healthz", probe(o.Healthz))
+	mux.HandleFunc("/readyz", probe(o.Readyz))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &OpsServer{
+		srv: &http.Server{
+			Handler: mux,
+			// pprof profile/trace captures run for tens of seconds; only
+			// bound the read side against stuck clients.
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+		ln:  ln,
+		url: "http://" + ln.Addr().String(),
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// URL returns the base URL of the listener (http://host:port).
+func (s *OpsServer) URL() string { return s.url }
+
+// Close stops the listener. Nil-safe.
+func (s *OpsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestOpsServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("palaemon_requests_total", L("route", "/v2/batch")).Add(2)
+
+	ready := errors.New("still warming up")
+	s, err := ServeOps(OpsOptions{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Readyz:   func() error { return ready },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if code, body := get(t, s.URL()+"/metrics"); code != 200 ||
+		!strings.Contains(body, `palaemon_requests_total{route="/v2/batch"} 2`) {
+		t.Fatalf("/metrics = %d\n%s", code, body)
+	}
+	if code, body := get(t, s.URL()+"/healthz"); code != 200 || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, s.URL()+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d, want 503 while not ready", code)
+	}
+	ready = nil
+	if code, _ := get(t, s.URL()+"/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d after ready", code)
+	}
+	if code, body := get(t, s.URL()+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("pprof cmdline = %d", code)
+	}
+}

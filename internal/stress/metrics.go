@@ -46,6 +46,9 @@ type Report struct {
 	// accumulated over this run (deltas, not process totals), so the
 	// decode-once-cache ablation is measurable rather than anecdotal.
 	Cache core.CacheStats
+	// Requests is the server-edge RED accounting per route, read from the
+	// observability registry; empty when the harness runs uninstrumented.
+	Requests string
 }
 
 // Throughput is the aggregate successful-operation rate.
@@ -75,6 +78,51 @@ func (r Report) String() string {
 	if c := r.Cache; c.Hits+c.Misses > 0 || c.DBReads > 0 {
 		fmt.Fprintf(&b, "  policy-cache   enabled=%v hits=%d misses=%d hit-rate=%.1f%% invalidations=%d db-reads=%d db-seq=%d\n",
 			c.Enabled, c.Hits, c.Misses, 100*c.HitRate(), c.Invalidations, c.DBReads, c.DBSeq)
+	}
+	b.WriteString(r.Requests)
+	return b.String()
+}
+
+// requestSummary renders the server-edge request accounting (requests and
+// errors per route, summed over tenants) from the observability registry.
+// Empty when the harness runs uninstrumented — the client-side percentile
+// tables above remain the only view then.
+func (h *Harness) requestSummary() string {
+	if h.Obs == nil {
+		return ""
+	}
+	type agg struct{ requests, errors float64 }
+	routes := map[string]*agg{}
+	for _, s := range h.Obs.Metrics.Snapshot() {
+		if s.Name != "palaemon_requests_total" && s.Name != "palaemon_request_errors_total" {
+			continue
+		}
+		route := ""
+		for _, l := range s.Labels {
+			if l.Name == "route" {
+				route = l.Value
+			}
+		}
+		a := routes[route]
+		if a == nil {
+			a = &agg{}
+			routes[route] = a
+		}
+		if s.Name == "palaemon_requests_total" {
+			a.requests += s.Value
+		} else {
+			a.errors += s.Value
+		}
+	}
+	names := make([]string, 0, len(routes))
+	for n := range routes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		a := routes[n]
+		fmt.Fprintf(&b, "  server-route   %-28s requests=%-6.0f errors=%.0f\n", n, a.requests, a.errors)
 	}
 	return b.String()
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"palaemon/internal/core"
+	"palaemon/internal/obs"
 	"palaemon/internal/wire"
 )
 
@@ -82,8 +83,12 @@ type TenantOutcome struct {
 	// OtherErrors counts failures that were neither success nor an
 	// admission rejection.
 	OtherErrors int
-	// P50/P99/Max are latencies over accepted requests (retries included
-	// — the honest tenant's experienced latency, not the server's).
+	// P50/P99/Max come from the server-side latency histogram for this
+	// tenant on the batch route (palaemon_request_seconds): every request
+	// the server saw, rejections included — retried attempts count
+	// individually, unlike a client-side stopwatch around the retry loop.
+	// Max is exact (tracked alongside the buckets); the percentiles are
+	// bucket-interpolated.
 	P50, P99, Max time.Duration
 }
 
@@ -143,12 +148,17 @@ func isAdmissionReject(err error) bool {
 // RunOverloadStorm drives the storm: HonestTenants well-behaved
 // stakeholders pace batch-fetch requests while one flooding tenant
 // hammers /v2/batch from FloodWorkers goroutines with no pacing and no
-// retries. The harness must have been booted with Options.Limits, or the
-// flood simply saturates the instance. The flood stops when the last
-// honest tenant finishes.
+// retries. The harness must have been booted with Options.Limits (or the
+// flood simply saturates the instance) and with Options.Obs: the
+// per-tenant latency figures come from the server's request histograms,
+// not a client-side stopwatch. The flood stops when the last honest
+// tenant finishes.
 func (h *Harness) RunOverloadStorm(ctx context.Context, opts OverloadOptions) (OverloadReport, error) {
 	opts.defaults()
 	rep := OverloadReport{Labels: make(map[core.ClientID]string)}
+	if h.Obs == nil {
+		return rep, errors.New("stress: RunOverloadStorm requires Options.Obs (latency comes from the server histograms)")
+	}
 
 	// Untimed setup: one policy per tenant, flooder included.
 	type tenant struct {
@@ -194,9 +204,10 @@ func (h *Harness) RunOverloadStorm(ctx context.Context, opts OverloadOptions) (O
 	}
 
 	// The storm. Flood workers run until the honest tenants are done.
+	// Client-side accounting covers outcomes only; latency lives in the
+	// server's histograms.
 	type outcome struct {
 		accepted, rejected, other int
-		lat                       []time.Duration
 	}
 	stormCtx, stopFlood := context.WithCancel(ctx)
 	defer stopFlood()
@@ -213,7 +224,7 @@ func (h *Harness) RunOverloadStorm(ctx context.Context, opts OverloadOptions) (O
 			mu.Unlock()
 		}
 	)
-	record := func(name string, d time.Duration, err error) {
+	record := func(name string, err error) {
 		mu.Lock()
 		defer mu.Unlock()
 		o := outcomes[name]
@@ -224,7 +235,6 @@ func (h *Harness) RunOverloadStorm(ctx context.Context, opts OverloadOptions) (O
 		switch {
 		case err == nil:
 			o.accepted++
-			o.lat = append(o.lat, d)
 		case isAdmissionReject(err):
 			o.rejected++
 		default:
@@ -238,12 +248,11 @@ func (h *Harness) RunOverloadStorm(ctx context.Context, opts OverloadOptions) (O
 		go func() {
 			defer wg.Done()
 			for stormCtx.Err() == nil {
-				t0 := time.Now()
 				_, err := flood.cli.Batch(stormCtx, flood.ops, nil)
 				if stormCtx.Err() != nil {
 					return
 				}
-				record("flood", time.Since(t0), err)
+				record("flood", err)
 			}
 		}()
 	}
@@ -259,9 +268,8 @@ func (h *Harness) RunOverloadStorm(ctx context.Context, opts OverloadOptions) (O
 					recordErr(ctx.Err())
 					return
 				}
-				t0 := time.Now()
 				_, err := t.cli.Batch(ctx, t.ops, nil)
-				record(t.name, time.Since(t0), err)
+				record(t.name, err)
 				time.Sleep(opts.HonestPause)
 			}
 		}(t)
@@ -273,6 +281,12 @@ func (h *Harness) RunOverloadStorm(ctx context.Context, opts OverloadOptions) (O
 	rep.Server = h.Server.AdmissionStats()
 
 	// Render outcomes in a stable order: honest tenants first, flood last.
+	// Latency comes from the server-edge histogram for each tenant's batch
+	// route series — the single source the /metrics endpoint also serves.
+	idByName := make(map[string]core.ClientID, len(rep.Labels))
+	for id, name := range rep.Labels {
+		idByName[name] = id
+	}
 	names := make([]string, 0, len(outcomes))
 	for n := range outcomes {
 		names = append(names, n)
@@ -280,12 +294,13 @@ func (h *Harness) RunOverloadStorm(ctx context.Context, opts OverloadOptions) (O
 	sort.Strings(names)
 	for _, n := range names {
 		o := outcomes[n]
-		sort.Slice(o.lat, func(a, b int) bool { return o.lat[a] < o.lat[b] })
 		t := TenantOutcome{Tenant: n, Accepted: o.accepted, Rejected: o.rejected, OtherErrors: o.other}
-		if len(o.lat) > 0 {
-			t.P50 = percentile(o.lat, 0.50)
-			t.P99 = percentile(o.lat, 0.99)
-			t.Max = o.lat[len(o.lat)-1]
+		hist := h.Obs.Metrics.Histogram("palaemon_request_seconds",
+			obs.L("route", wire.PathPrefix+"/batch"), obs.L("tenant", idByName[n].Short()))
+		if hist.Count() > 0 {
+			t.P50 = hist.Quantile(0.50)
+			t.P99 = hist.Quantile(0.99)
+			t.Max = hist.Max()
 		}
 		rep.Tenants = append(rep.Tenants, t)
 	}

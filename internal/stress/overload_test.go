@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"palaemon/internal/core"
+	"palaemon/internal/obs"
 	"palaemon/internal/wire"
 )
 
@@ -25,9 +26,11 @@ func overloadLimits() *core.AdmissionLimits {
 }
 
 // runStorm boots a harness with (or without) limits and runs one storm.
+// The obs bundle is mandatory: the storm's latency figures come from the
+// server-side request histograms.
 func runStorm(t *testing.T, limits *core.AdmissionLimits, opts OverloadOptions) OverloadReport {
 	t.Helper()
-	h, err := New(Options{DataDir: t.TempDir(), Limits: limits})
+	h, err := New(Options{DataDir: t.TempDir(), Limits: limits, Obs: obs.New(nil)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,6 +102,12 @@ func TestOverloadStorm(t *testing.T) {
 	for _, h := range rep.Honest() {
 		if h.Accepted < storm.HonestRequests*9/10 {
 			t.Fatalf("honest tenant %s only completed %d/%d requests\n%s", h.Tenant, h.Accepted, storm.HonestRequests, rep)
+		}
+		// The latency figures come from the server-side request histogram
+		// (palaemon_request_seconds); a zero p99 with accepted requests
+		// means the middleware never observed the tenant's series.
+		if h.P99 <= 0 {
+			t.Fatalf("honest tenant %s has no server-side latency histogram samples\n%s", h.Tenant, rep)
 		}
 		if h.P99 > allowed {
 			t.Fatalf("honest tenant %s p99 %v exceeds 2x baseline %v (floor %v)\n%s",

@@ -28,6 +28,7 @@ import (
 	"palaemon/internal/cryptoutil"
 	"palaemon/internal/fspf"
 	"palaemon/internal/ias"
+	"palaemon/internal/obs"
 	"palaemon/internal/policy"
 	"palaemon/internal/sgx"
 	"palaemon/internal/simclock"
@@ -54,6 +55,12 @@ type Options struct {
 	// ReadTimeout overrides the server's request read timeout (slow-loris
 	// reaping); zero keeps the server default, negative disables.
 	ReadTimeout time.Duration
+	// Obs installs an observability bundle (request metrics, structured
+	// logs, optional audit chain) on the instance and server. Nil serves
+	// fully uninstrumented — the ablation baseline the obs-overhead
+	// experiment compares against. The overload scenarios require it:
+	// their latency figures come from the server-side histograms.
+	Obs *obs.Obs
 }
 
 // Harness is a booted deployment plus the artefacts stakeholders need.
@@ -68,6 +75,9 @@ type Harness struct {
 	Instance *core.Instance
 	// Server is the REST/TLS endpoint.
 	Server *core.Server
+	// Obs is the observability bundle shared by instance and server; nil
+	// when the harness runs uninstrumented.
+	Obs *obs.Obs
 
 	// AppBinary is the workload binary every stress policy permits.
 	AppBinary sgx.Binary
@@ -99,6 +109,7 @@ func New(opts Options) (*Harness, error) {
 		DBNoFsync:          opts.DBNoFsync,
 		DBGroupCommit:      opts.GroupCommit,
 		DisablePolicyCache: opts.DisablePolicyCache,
+		Obs:                opts.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -116,6 +127,7 @@ func New(opts Options) (*Harness, error) {
 		IAS:         iasSvc,
 		Limits:      opts.Limits,
 		ReadTimeout: opts.ReadTimeout,
+		Obs:         opts.Obs,
 	})
 	if err != nil {
 		inst.Shutdown(context.Background())
@@ -128,6 +140,7 @@ func New(opts Options) (*Harness, error) {
 		Authority: auth,
 		Instance:  inst,
 		Server:    server,
+		Obs:       opts.Obs,
 		AppBinary: sgx.Binary{Name: "stress-app", Code: []byte("stress-workload-v1")},
 	}, nil
 }
@@ -266,6 +279,7 @@ func (h *Harness) Run(ctx context.Context, opts WorkloadOptions) (Report, error)
 	wg.Wait()
 	rep := rec.report(opts.Stakeholders, time.Since(start))
 	rep.Cache = h.Instance.CacheStats().Since(statsBefore)
+	rep.Requests = h.requestSummary()
 	return rep, firstErr
 }
 
@@ -466,7 +480,7 @@ func (h *Harness) RunReadHeavy(ctx context.Context, opts ReadHeavyOptions) (Repo
 		if err != nil {
 			return Report{}, err
 		}
-		if _, err := inst.AttestApplication(attest.NewEvidence(enclave, n, "app", signer.Public), h.Platform.QuotingKey()); err != nil {
+		if _, err := inst.AttestApplication(context.Background(), attest.NewEvidence(enclave, n, "app", signer.Public), h.Platform.QuotingKey()); err != nil {
 			return Report{}, fmt.Errorf("stress: warm-up attest %s: %w", n, err)
 		}
 	}
@@ -552,7 +566,7 @@ func (h *Harness) RunReadHeavy(ctx context.Context, opts ReadHeavyOptions) (Repo
 				// updater (AttestApplication's retry budget can run out
 				// under sustained churn); anything else is a real failure.
 				if err := sink.observe("attest", func() error {
-					_, err := inst.AttestApplication(evs[m], h.Platform.QuotingKey())
+					_, err := inst.AttestApplication(context.Background(), evs[m], h.Platform.QuotingKey())
 					return err
 				}); err != nil && !errors.Is(err, core.ErrConflict) {
 					fail(fmt.Errorf("stress: reader %d attest %s: %w", w, names[m], err))
@@ -584,4 +598,10 @@ func (h *Harness) RunReadHeavy(ctx context.Context, opts ReadHeavyOptions) (Repo
 		}
 	}
 	return rep, firstErr
+}
+
+// BenchPolicy builds a small attestable policy for benchmarks and the
+// figures harness: one service bound to AppBinary, two random secrets.
+func (h *Harness) BenchPolicy(name string) *policy.Policy {
+	return h.readHeavyPolicy(name, 2, 0)
 }

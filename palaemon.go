@@ -24,6 +24,9 @@ import (
 	"context"
 	"crypto/tls"
 	"fmt"
+	"io"
+	"log/slog"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -33,6 +36,7 @@ import (
 	"palaemon/internal/cryptoutil"
 	"palaemon/internal/fspf"
 	"palaemon/internal/ias"
+	"palaemon/internal/obs"
 	"palaemon/internal/policy"
 	"palaemon/internal/runtime"
 	"palaemon/internal/sgx"
@@ -160,7 +164,12 @@ type Deployment struct {
 	IAS *ias.Service
 	// Server is the REST/TLS endpoint.
 	Server *core.Server
+	// Obs is the deployment's observability bundle (logger, metrics
+	// registry, audit chain); nil when observability is disabled.
+	Obs *obs.Obs
 
+	// ops is the plaintext operational endpoint (nil without OpsAddr).
+	ops *obs.OpsServer
 	// ownsPlatform records that StartService opened the durable platform
 	// itself, so Close must release its state-dir lock.
 	ownsPlatform bool
@@ -191,6 +200,33 @@ type DeploymentOptions struct {
 	// gate, keyed by the client-certificate identity. Nil serves without
 	// limits.
 	Limits *AdmissionLimits
+
+	// Observability enables the unified observability layer (DESIGN.md
+	// §11): structured request logs, RED metrics, and the tamper-evident
+	// audit chain. When false the serving path carries zero
+	// instrumentation — the ablation baseline for the obs-overhead
+	// experiment.
+	Observability bool
+	// LogHandler receives the structured logs when Observability is set.
+	// Nil discards them (metrics and audit still run).
+	LogHandler LogHandler
+	// AuditPath is the hash-chained audit log file. Empty with
+	// Observability set means <DataDir>/audit.log; "off" disables the
+	// audit chain while keeping logs and metrics.
+	AuditPath string
+	// OpsAddr, when non-empty, serves the plaintext operational endpoint
+	// (/metrics, /healthz, /readyz, /debug/pprof) on that address —
+	// "127.0.0.1:0" picks a free port. Requires Observability.
+	OpsAddr string
+}
+
+// LogHandler is the slog.Handler structured logs flow into.
+type LogHandler = slog.Handler
+
+// NewTextLogHandler returns a human-readable key=value log handler at the
+// given level, for DeploymentOptions.LogHandler.
+func NewTextLogHandler(w io.Writer, level slog.Level) slog.Handler {
+	return slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
 }
 
 // StartService starts a managed PALÆMON instance: it launches the enclave,
@@ -233,14 +269,45 @@ func StartService(opts DeploymentOptions) (*Deployment, error) {
 	}
 	iasSvc.RegisterPlatform(p.ID(), p.QuotingKey())
 
+	var bundle *obs.Obs
+	if opts.Observability {
+		bundle = obs.New(opts.LogHandler)
+		switch path := opts.AuditPath; {
+		case path == "off":
+		case path == "" && opts.DataDir == "":
+		default:
+			if path == "" {
+				path = filepath.Join(opts.DataDir, "audit.log")
+			}
+			// The audit chain opens before core.Open creates DataDir.
+			if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+				return fail(err)
+			}
+			audit, err := obs.OpenAudit(path)
+			if err != nil {
+				return fail(err)
+			}
+			bundle.Audit = audit
+		}
+	} else if opts.OpsAddr != "" {
+		return fail(fmt.Errorf("palaemon: OpsAddr requires Observability"))
+	}
+	closeAudit := func() {
+		if bundle != nil {
+			bundle.Audit.Close()
+		}
+	}
+
 	inst, err := core.Open(core.Options{
 		Platform:      p,
 		DataDir:       opts.DataDir,
 		Evaluator:     opts.Evaluator,
 		Recover:       opts.Recover,
 		DBGroupCommit: opts.GroupCommit,
+		Obs:           bundle,
 	})
 	if err != nil {
+		closeAudit()
 		return fail(err)
 	}
 	authority, err := ca.New(p, ca.Config{
@@ -249,13 +316,37 @@ func StartService(opts DeploymentOptions) (*Deployment, error) {
 	})
 	if err != nil {
 		inst.Shutdown(context.Background())
+		closeAudit()
 		return fail(err)
 	}
-	server, err := core.Serve(inst, core.ServerOptions{Authority: authority, IAS: iasSvc, Limits: opts.Limits})
+	server, err := core.Serve(inst, core.ServerOptions{Authority: authority, IAS: iasSvc, Limits: opts.Limits, Obs: bundle})
 	if err != nil {
 		inst.Shutdown(context.Background())
 		authority.Close()
+		closeAudit()
 		return fail(err)
+	}
+	var opsSrv *obs.OpsServer
+	if opts.OpsAddr != "" {
+		opsSrv, err = obs.ServeOps(obs.OpsOptions{
+			Addr:     opts.OpsAddr,
+			Registry: bundle.Metrics,
+			Readyz: func() error {
+				select {
+				case <-server.Done():
+					return fmt.Errorf("server closed")
+				default:
+					return nil
+				}
+			},
+		})
+		if err != nil {
+			server.Close()
+			inst.Shutdown(context.Background())
+			authority.Close()
+			closeAudit()
+			return fail(err)
+		}
 	}
 	return &Deployment{
 		Platform:     p,
@@ -263,6 +354,8 @@ func StartService(opts DeploymentOptions) (*Deployment, error) {
 		Authority:    authority,
 		IAS:          iasSvc,
 		Server:       server,
+		Obs:          bundle,
+		ops:          opsSrv,
 		ownsPlatform: ownsPlatform,
 	}, nil
 }
@@ -270,15 +363,32 @@ func StartService(opts DeploymentOptions) (*Deployment, error) {
 // URL returns the instance endpoint.
 func (d *Deployment) URL() string { return d.Server.URL() }
 
+// OpsURL returns the operational endpoint's base URL, or "" when OpsAddr
+// was not configured.
+func (d *Deployment) OpsURL() string {
+	if d.ops == nil {
+		return ""
+	}
+	return d.ops.URL()
+}
+
 // Close gracefully shuts the deployment down (Fig 6 drain included). Every
 // step runs even when an earlier one fails — a half-failed close must still
 // release the CA and the platform's state-dir lock, or an in-process
 // restart against the same DataDir would find the platform "in use". The
 // first error is returned.
 func (d *Deployment) Close() error {
-	firstErr := d.Server.Close()
+	firstErr := d.ops.Close()
+	if err := d.Server.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	if err := d.Instance.Shutdown(context.Background()); err != nil && firstErr == nil {
 		firstErr = err
+	}
+	if d.Obs != nil {
+		if err := d.Obs.Audit.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	d.Authority.Close()
 	if d.ownsPlatform {

@@ -101,20 +101,19 @@ func startDaemon(t *testing.T, bin string, args ...string) *daemon {
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			line := sc.Text()
-			switch {
-			case strings.HasPrefix(line, "palaemond: serving on "):
-				b.url = strings.TrimPrefix(line, "palaemond: serving on ")
-			case strings.HasPrefix(line, "palaemond: instance MRE "):
-				b.mre = strings.TrimPrefix(line, "palaemond: instance MRE ")
-			case strings.HasPrefix(line, "palaemond: IAS key "):
-				key, err := hex.DecodeString(strings.TrimPrefix(line, "palaemond: IAS key "))
+			switch logAttr(line, "msg") {
+			case "serving":
+				b.url = logAttr(line, "url")
+			case "instance identity":
+				b.mre = logAttr(line, "mre")
+				key, err := hex.DecodeString(logAttr(line, "ias_key"))
 				if err != nil {
 					b.err = fmt.Errorf("parse IAS key: %v", err)
 					ch <- b
 					return
 				}
 				b.iasKey = key
-			case strings.HasPrefix(line, "palaemond: DB epoch "):
+			case "ready":
 				// Last banner line: the server is up. Keep draining stdout
 				// so the child never blocks on a full pipe.
 				ch <- b
@@ -146,6 +145,26 @@ func startDaemon(t *testing.T, bin string, args ...string) *daemon {
 		t.Fatalf("palaemond did not start in time\nstderr: %s", d.stderr)
 		return nil
 	}
+}
+
+// logAttr extracts one key=value attribute from a slog text line; quoted
+// values (those containing spaces) are unwrapped.
+func logAttr(line, key string) string {
+	idx := strings.Index(line, " "+key+"=")
+	if idx < 0 {
+		return ""
+	}
+	rest := line[idx+len(key)+2:]
+	if strings.HasPrefix(rest, `"`) {
+		if end := strings.Index(rest[1:], `"`); end >= 0 {
+			return rest[1 : 1+end]
+		}
+		return ""
+	}
+	if end := strings.IndexByte(rest, ' '); end >= 0 {
+		return rest[:end]
+	}
+	return rest
 }
 
 // wait reaps the process once and caches the result.
