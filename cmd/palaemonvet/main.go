@@ -1,0 +1,114 @@
+// Command palaemonvet is PALÆMON's invariant multichecker: it runs the
+// internal/lint analyzers (DESIGN.md §12) over the tree and fails on any
+// diagnostic that is not covered by a reasoned //palaemon:allow
+// directive.
+//
+// Two modes share the same analyzers:
+//
+//	palaemonvet ./...                      standalone multichecker
+//	go vet -vettool=$(which palaemonvet) ./...   vet-tool mode
+//
+// Standalone mode loads packages itself (go list -export) and prints an
+// aggregate summary line — diagnostics=N suppressions=M packages=K —
+// that CI publishes as a BENCH-style artifact so the suppression count
+// is tracked over time. Vet-tool mode speaks the cmd/go unitchecker
+// protocol (-V=full handshake, JSON config file per package, facts file
+// outputs), so the standard toolchain drives it incrementally and
+// caches results per package.
+//
+// Note -vettool replaces the stock vet suite rather than extending it;
+// CI therefore runs `go vet ./...` (stock passes) and palaemonvet as
+// separate steps.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"palaemon/internal/lint"
+	"palaemon/internal/lint/checkers"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (vet-tool handshake)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's analyzer flags as JSON (vet-tool handshake)")
+	jsonOut := flag.String("json", "", "standalone mode: write the summary as JSON to this file")
+	flag.Usage = usage
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+	case *flagsFlag:
+		// No analyzer-selection flags: every invariant always runs.
+		fmt.Println("[]")
+	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
+		unitcheck(flag.Arg(0))
+	default:
+		standalone(flag.Args(), *jsonOut)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: palaemonvet [-json out.json] [package pattern...]\n")
+	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which palaemonvet) ./...\n\nAnalyzers:\n")
+	for _, a := range checkers.All() {
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+	}
+}
+
+// summary is the machine-readable aggregate CI archives next to the
+// BENCH_*.json artifacts.
+type summary struct {
+	Diagnostics int `json:"diagnostics"`
+	Suppressed  int `json:"suppressions"`
+	Directives  int `json:"directives"`
+	Packages    int `json:"packages"`
+	Analyzers   int `json:"analyzers"`
+}
+
+func standalone(patterns []string, jsonOut string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "palaemonvet:", err)
+		os.Exit(1)
+	}
+	analyzers := checkers.All()
+	var sum summary
+	sum.Analyzers = len(analyzers)
+	for _, p := range pkgs {
+		res, err := lint.RunAnalyzers(analyzers, p.Fset, p.Files, p.Pkg, p.Info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palaemonvet: %s: %v\n", p.ImportPath, err)
+			os.Exit(1)
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(os.Stderr, d.String(p.Fset))
+		}
+		sum.Diagnostics += len(res.Diagnostics)
+		sum.Suppressed += res.Suppressed
+		sum.Directives += res.Directives
+		sum.Packages++
+	}
+	fmt.Printf("palaemonvet: diagnostics=%d suppressions=%d packages=%d analyzers=%d\n",
+		sum.Diagnostics, sum.Suppressed, sum.Packages, sum.Analyzers)
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "palaemonvet: write summary:", err)
+			os.Exit(1)
+		}
+	}
+	if sum.Diagnostics > 0 {
+		os.Exit(2)
+	}
+}

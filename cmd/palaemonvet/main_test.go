@@ -1,0 +1,91 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles palaemonvet into a temp dir and returns the binary
+// path. One build is shared by all subtests via testing.Main ordering.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "palaemonvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVetToolProtocol drives the built binary through the real cmd/go
+// unitchecker protocol: go vet -vettool on a clean package must succeed,
+// and on a package with a constant-time violation must fail with our
+// diagnostic.
+func TestVetToolProtocol(t *testing.T) {
+	bin := buildTool(t)
+
+	t.Run("clean package passes", func(t *testing.T) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/fsatomic")
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go vet -vettool on clean package: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("violation fails with diagnostic", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+		writeFile(t, filepath.Join(dir, "scratch.go"), `package scratch
+
+import "bytes"
+
+func check(gotMAC, wantMAC []byte) bool {
+	return bytes.Equal(gotMAC, wantMAC)
+}
+`)
+		cmd := exec.Command("go", "vet", "-vettool="+bin, ".")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("go vet passed on a constant-time violation\n%s", out)
+		}
+		if !strings.Contains(string(out), "constanttime") || !strings.Contains(string(out), "gotMAC") {
+			t.Fatalf("diagnostic missing from vet output:\n%s", out)
+		}
+	})
+}
+
+// TestStandaloneSummary runs the standalone multichecker mode over a
+// clean package and checks the summary line and JSON artifact.
+func TestStandaloneSummary(t *testing.T) {
+	bin := buildTool(t)
+	jsonOut := filepath.Join(t.TempDir(), "vet.json")
+	cmd := exec.Command(bin, "-json", jsonOut, "./internal/fsatomic")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("standalone run: %v\n%s", err, out)
+	}
+	got := string(out)
+	if !strings.Contains(got, "diagnostics=0") || !strings.Contains(got, "packages=1") {
+		t.Fatalf("summary line missing or wrong:\n%s", got)
+	}
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatalf("json artifact: %v", err)
+	}
+	if !strings.Contains(string(data), `"diagnostics": 0`) {
+		t.Fatalf("json artifact content:\n%s", data)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package main
+
+// The cmd/go vet-tool ("unitchecker") protocol, stdlib-only. When go vet
+// runs with -vettool, it drives the tool once per package:
+//
+//  1. `tool -V=full` — a version/buildID line cmd/go hashes into the
+//     action cache key (so editing the tool invalidates cached results);
+//  2. `tool <unit>.cfg` — a JSON description of one compiled package:
+//     its file list, the import → canonical-path map, and the
+//     export-data file per dependency. The tool type-checks the package
+//     from source against that export data, runs its analyzers, prints
+//     findings to stderr, writes the declared facts-file output, and
+//     exits 2 when it found anything.
+//
+// PALÆMON's analyzers exchange no cross-package facts, so the facts file
+// is written empty; dependency invocations (VetxOnly) short-circuit.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"palaemon/internal/lint"
+	"palaemon/internal/lint/checkers"
+)
+
+// vetConfig mirrors the JSON cmd/go writes for each vet unit. Unknown
+// fields are ignored on decode, which keeps the tool compatible across
+// toolchain releases.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing vet config %s: %w", cfgFile, err))
+	}
+	// The facts file is a declared output of the vet action: write it
+	// whether or not any analysis runs. Our analyzers produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency visited for facts only
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			typecheckFailed(cfg, err)
+			return
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{Importer: imp}
+	if v := cfg.GoVersion; v != "" && strings.HasPrefix(v, "go") {
+		conf.GoVersion = v
+	}
+	info := lint.NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		typecheckFailed(cfg, err)
+		return
+	}
+	res, err := lint.RunAnalyzers(checkers.All(), fset, files, pkg, info)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintln(os.Stderr, d.String(fset))
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(2)
+	}
+}
+
+func typecheckFailed(cfg vetConfig, err error) {
+	if cfg.SucceedOnTypecheckFailure {
+		return
+	}
+	fatal(fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "palaemonvet:", err)
+	os.Exit(1)
+}
+
+// printVersion emits the -V=full handshake line. The executable's own
+// hash serves as the build ID, so rebuilding the tool invalidates
+// cmd/go's cached vet results.
+func printVersion() {
+	progname, _ := os.Executable()
+	h := sha256.New()
+	if f, err := os.Open(progname); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%x\n", filepath.Base(progname), h.Sum(nil)[:16])
+}

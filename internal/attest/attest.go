@@ -13,6 +13,7 @@ package attest
 
 import (
 	"crypto/ed25519"
+	"crypto/hmac"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -67,14 +68,12 @@ func KeyHash(key []byte) [32]byte { return sha256.Sum256(key) }
 // report data and that the quote signature verifies under the platform
 // quoting key.
 func VerifyBinding(ev Evidence, quotingKey ed25519.PublicKey) error {
+	// Constant-time: a byte-at-a-time early exit here is a timing oracle
+	// on the expected report data. hmac.Equal also treats unequal lengths
+	// as a mismatch.
 	h := KeyHash(ev.SessionKey)
-	if len(ev.Quote.ReportData) != len(h) {
+	if !hmac.Equal(ev.Quote.ReportData, h[:]) {
 		return ErrKeyMismatch
-	}
-	for i := range h {
-		if ev.Quote.ReportData[i] != h[i] {
-			return ErrKeyMismatch
-		}
 	}
 	if err := sgx.VerifyQuote(ev.Quote, quotingKey); err != nil {
 		return fmt.Errorf("%w: %v", ErrQuoteInvalid, err)

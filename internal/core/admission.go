@@ -90,11 +90,13 @@ type AdmissionStats struct {
 func (s AdmissionStats) Rejected() uint64 { return s.RejectedRate + s.RejectedGate }
 
 // tenantBucket is one tenant's token bucket plus its accounting. Tokens
-// refill lazily at TenantRate, capped at TenantBurst.
+// refill lazily at TenantRate, capped at TenantBurst. Every field is
+// owned by the admission controller's mutex (the guardedby annotations
+// are verified by palaemonvet, DESIGN.md §12).
 type tenantBucket struct {
-	tokens float64
-	last   time.Time
-	stats  AdmissionStats
+	tokens float64        // palaemon:guardedby mu
+	last   time.Time      // palaemon:guardedby mu
+	stats  AdmissionStats // palaemon:guardedby mu
 }
 
 // admission is the controller: the bucket table and the concurrency gate.
@@ -102,7 +104,7 @@ type admission struct {
 	limits AdmissionLimits
 
 	mu      sync.Mutex
-	buckets map[ClientID]*tenantBucket
+	buckets map[ClientID]*tenantBucket // palaemon:guardedby mu
 
 	// slots is the instance-wide gate; nil when MaxConcurrent is 0.
 	slots chan struct{}
@@ -117,10 +119,12 @@ func newAdmission(limits AdmissionLimits) *admission {
 	return a
 }
 
-// bucketFor returns (creating if needed) the tenant's bucket; callers hold
-// a.mu. Unauthenticated requests share the zero ClientID — anonymous
+// bucketFor returns (creating if needed) the tenant's bucket; callers
+// hold a.mu. Unauthenticated requests share the zero ClientID — anonymous
 // traffic is one tenant, so it cannot multiply its budget by omitting the
 // certificate.
+//
+// palaemon:locks mu
 func (a *admission) bucketFor(id ClientID, now time.Time) *tenantBucket {
 	b, ok := a.buckets[id]
 	if ok {
@@ -138,7 +142,9 @@ func (a *admission) bucketFor(id ClientID, now time.Time) *tenantBucket {
 // refilled — they are indistinguishable from brand-new ones) go first;
 // when every tenant is active, arbitrary entries go, which only resets an
 // attacker's bucket to full — it cannot grant more than a fresh identity
-// would get anyway.
+// would get anyway. Callers hold a.mu.
+//
+// palaemon:locks mu
 func (a *admission) evictLocked() {
 	now := time.Now()
 	burst := float64(a.limits.TenantBurst)
@@ -156,7 +162,9 @@ func (a *admission) evictLocked() {
 	}
 }
 
-// refill advances b's lazy token refill to now.
+// refill advances b's lazy token refill to now. Callers hold a.mu.
+//
+// palaemon:locks mu
 func (a *admission) refill(b *tenantBucket, now time.Time) {
 	if a.limits.TenantRate <= 0 {
 		return

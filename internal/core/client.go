@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"crypto/hmac"
 	"crypto/tls"
 	"crypto/x509"
 	"encoding/json"
@@ -569,6 +570,18 @@ func (c *Client) ReadTag(ctx context.Context, policyName, serviceName string, tr
 	return out.Tag, nil
 }
 
+// reportBindsKey reports whether an attestation report's ReportData field
+// binds the served public key (ReportData == SHA-256 of the key). The
+// compare is constant-time (hmac.Equal): ReportData is authenticator
+// material, and a variable-time bytes.Equal would leak, through response
+// timing, how many leading bytes of the expected hash a forged report
+// matched — the classic byte-at-a-time forgery oracle. Unequal lengths
+// compare unequal.
+func reportBindsKey(reportData []byte, publicKey []byte) bool {
+	keyHash := attest.KeyHash(publicKey)
+	return hmac.Equal(reportData, keyHash[:])
+}
+
 // Attestation fetches the explicit-attestation document.
 func (c *Client) Attestation(ctx context.Context) (*AttestationDoc, error) {
 	var doc AttestationDoc
@@ -606,8 +619,7 @@ func (c *Client) VerifyInstance(ctx context.Context, iasPub []byte, expectedMREs
 		return fmt.Errorf("core: instance MRE %s not in expected set", doc.MRE)
 	}
 	// The report must bind the served public key.
-	keyHash := attest.KeyHash(doc.PublicKey)
-	if len(doc.Report.ReportData) != len(keyHash) || !bytes.Equal(doc.Report.ReportData, keyHash[:]) {
+	if !reportBindsKey(doc.Report.ReportData, doc.PublicKey) {
 		return errors.New("core: report does not bind the instance key")
 	}
 	// Prove liveness/possession.

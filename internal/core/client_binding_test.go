@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"palaemon/internal/attest"
+)
+
+// Regression tests for the VerifyInstance report/key binding check. The
+// original implementation compared doc.Report.ReportData against the key
+// hash with bytes.Equal — a variable-time compare whose early exit leaks,
+// through response timing, how many leading bytes of the expected hash a
+// forged report matched. The check now lives in reportBindsKey and uses
+// hmac.Equal; these tests pin its semantics.
+
+func TestReportBindsKey(t *testing.T) {
+	publicKey := []byte("instance-public-key")
+	keyHash := attest.KeyHash(publicKey)
+
+	good := append([]byte(nil), keyHash[:]...)
+	if !reportBindsKey(good, publicKey) {
+		t.Fatal("correct ReportData rejected")
+	}
+
+	tampered := append([]byte(nil), keyHash[:]...)
+	tampered[0] ^= 0x01
+	if reportBindsKey(tampered, publicKey) {
+		t.Fatal("tampered ReportData accepted")
+	}
+
+	// A last-byte flip must fail identically to a first-byte flip — the
+	// property the constant-time compare exists for.
+	tail := append([]byte(nil), keyHash[:]...)
+	tail[len(tail)-1] ^= 0x80
+	if reportBindsKey(tail, publicKey) {
+		t.Fatal("ReportData with flipped trailing byte accepted")
+	}
+
+	if reportBindsKey(keyHash[:16], publicKey) {
+		t.Fatal("truncated ReportData accepted")
+	}
+	if reportBindsKey(nil, publicKey) {
+		t.Fatal("empty ReportData accepted")
+	}
+	if reportBindsKey(append(good, 0x00), publicKey) {
+		t.Fatal("over-long ReportData accepted")
+	}
+
+	if reportBindsKey(good, []byte("some-other-key")) {
+		t.Fatal("ReportData bound to a different key accepted")
+	}
+}

@@ -68,12 +68,12 @@ type policySnapshot struct {
 	// have always served.
 	compiled *policy.Compiled
 
-	// resolved memoizes import resolution for one exporter-version
-	// vector; nil until first use. For import-free policies it is set
-	// eagerly at decode time (resolution is the identity). Guarded by
-	// resolveMu for policies with imports.
+	// resolveMu guards resolved for policies with imports; import-free
+	// policies set resolved once at decode time and never rewrite it.
 	resolveMu sync.Mutex
-	resolved  *resolvedPolicy
+	// resolved memoizes import resolution for one exporter-version
+	// vector; nil until first use.
+	resolved *resolvedPolicy // palaemon:guardedby resolveMu
 }
 
 // resolvedPolicy is a memoized resolvePolicy result: the policy with
@@ -107,12 +107,13 @@ type policyCache struct {
 
 type policyCacheShard struct {
 	mu sync.RWMutex
-	m  map[string]*policySnapshot
+	m  map[string]*policySnapshot // palaemon:guardedby mu
 }
 
 func newPolicyCache(enabled bool) *policyCache {
 	c := &policyCache{enabled: enabled}
 	for i := range c.shards {
+		//palaemon:allow guardedby -- single-goroutine construction: the cache is not published until newPolicyCache returns
 		c.shards[i].m = make(map[string]*policySnapshot)
 	}
 	return c
@@ -246,6 +247,7 @@ func (i *Instance) loadSnapshot(name string) (*policySnapshot, error) {
 	if len(p.Imports) == 0 {
 		// Import-free resolution is the identity; precompute it so the
 		// attestation fast path is a pure lookup.
+		//palaemon:allow guardedby -- pre-publication init: the snapshot is not shared until the cache put, and import-free resolved is never rewritten
 		s.resolved = &resolvedPolicy{pol: s.pol, compiled: s.compiled}
 	}
 	return s, nil

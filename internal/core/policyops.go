@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -18,6 +19,15 @@ import (
 // ClientID identifies a client by the fingerprint of its TLS certificate.
 // Multiple clients can share one certificate to share one policy (§IV-E).
 type ClientID [32]byte
+
+// isCreator reports whether client is the policy's pinned creator. The
+// compare is constant-time: a byte-wise != would tell a probing client,
+// through response timing, how many leading bytes of the creator's
+// fingerprint it has matched — an oracle on the (possibly confidential)
+// creator identity.
+func isCreator(pol *policy.Policy, client ClientID) bool {
+	return subtle.ConstantTimeCompare(pol.CreatorCertFingerprint[:], client[:]) == 1
+}
 
 // CreatePolicy stores a new policy under the caller's certificate. The new
 // policy's own board must approve the creation (§III-C: "Upon creation, the
@@ -118,7 +128,7 @@ func (i *Instance) readGate(ctx context.Context, client ClientID, name string) (
 	if err != nil {
 		return nil, err
 	}
-	if s.pol.CreatorCertFingerprint != [32]byte(client) {
+	if !isCreator(s.pol, client) {
 		return nil, ErrAccessDenied
 	}
 	if err := i.approve(ctx, s.pol.Board, board.Request{
@@ -171,7 +181,7 @@ func (i *Instance) updatePolicy(ctx context.Context, client ClientID, next *poli
 	if err != nil {
 		return err
 	}
-	if cur.pol.CreatorCertFingerprint != [32]byte(client) {
+	if !isCreator(cur.pol, client) {
 		return ErrAccessDenied
 	}
 
@@ -222,7 +232,7 @@ func (i *Instance) deletePolicy(ctx context.Context, client ClientID, name strin
 	if err != nil {
 		return err
 	}
-	if cur.pol.CreatorCertFingerprint != [32]byte(client) {
+	if !isCreator(cur.pol, client) {
 		return ErrAccessDenied
 	}
 	if err := i.approve(ctx, cur.pol.Board, board.Request{
@@ -336,7 +346,7 @@ func (i *Instance) ResetService(ctx context.Context, client ClientID, policyName
 	if err != nil {
 		return err
 	}
-	if s.pol.CreatorCertFingerprint != [32]byte(client) {
+	if !isCreator(s.pol, client) {
 		return ErrAccessDenied
 	}
 	if _, ok := s.pol.FindService(serviceName); !ok {

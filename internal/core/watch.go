@@ -21,12 +21,16 @@ import (
 // never-existing) policy names cannot grow the map without bound.
 type watchHub struct {
 	mu      sync.Mutex
-	entries map[string]*watchEntry
+	entries map[string]*watchEntry // palaemon:guardedby mu
 }
 
+// watchEntry is one generation of subscribers. Its fields are owned by
+// the hub's mutex (palaemon:guardedby, verified by palaemonvet): notify
+// retires the entry from the map under mu before closing ch, so the
+// post-unlock close acts on an entry no other goroutine can reach.
 type watchEntry struct {
-	ch   chan struct{}
-	refs int
+	ch   chan struct{} // palaemon:guardedby mu
+	refs int           // palaemon:guardedby mu
 }
 
 func newWatchHub() *watchHub {
@@ -124,7 +128,7 @@ func (i *Instance) peekVersionFor(client ClientID, name string) (PolicyVersion, 
 	if err != nil {
 		return PolicyVersion{}, err
 	}
-	if s.pol.CreatorCertFingerprint != [32]byte(client) {
+	if !isCreator(s.pol, client) {
 		return PolicyVersion{}, ErrAccessDenied
 	}
 	return PolicyVersion{Revision: s.version.Revision, CreateID: s.version.CreateID}, nil

@@ -1,0 +1,62 @@
+// Package fsatomic is the one blessed way PALÆMON persists a file whose
+// loss or truncation would violate a durability invariant: write the
+// bytes to a temp file in the destination directory, fsync the file,
+// close it, atomically rename it over the destination, and fsync the
+// directory so the rename itself survives power loss. os.WriteFile
+// alone syncs nothing — a crash can surface an empty or torn file after
+// reboot even though the write "succeeded" — and rename-without-sync
+// can publish a name pointing at unsynced bytes. The durablewrite
+// analyzer (internal/lint/durablewrite) flags any persistence in
+// internal/kvdb or internal/sgx that bypasses this helper.
+package fsatomic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically and durably replaces path with data. The temp
+// file lives in path's directory (rename must not cross filesystems)
+// under a ".tmp" suffix. On any error the temp file is removed; the
+// previous contents of path remain intact.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	//palaemon:allow durablewrite -- this IS the blessed sink: the raw write below is followed by fsync, atomic rename, and directory fsync
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
+	if err != nil {
+		return fmt.Errorf("fsatomic: create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsatomic: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsatomic: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsatomic: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsatomic: publish %s: %w", path, err)
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so a just-completed rename in it is
+// durable. Filesystems that reject directory fsync (some network and
+// FUSE mounts) degrade to best-effort, matching the pre-existing NVRAM
+// behaviour.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	_ = d.Sync()
+	return d.Close()
+}

@@ -1,0 +1,59 @@
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFile(path, []byte("v1"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Replacement is atomic: no temp file survives, contents swap whole.
+	if err := WriteFile(path, []byte("v2-longer"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2-longer" {
+		t.Fatalf("after replace: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil || info.Mode().Perm() != 0o600 {
+		t.Fatalf("mode = %v, err %v", info.Mode(), err)
+	}
+}
+
+func TestWriteFileFailureKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFile(path, []byte("old"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Make the directory unwritable so the temp create fails; the
+	// published file must be untouched.
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o700)
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	if err := WriteFile(path, []byte("new"), 0o600); err == nil {
+		t.Fatal("expected create failure in read-only dir")
+	}
+	os.Chmod(dir, 0o700)
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("old contents lost: %q", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fsatomic"
 )
 
 var (
@@ -347,6 +348,7 @@ func (db *DB) commit(rec record) error {
 // writeWALLocked appends framed bytes to the WAL and (by default) fsyncs.
 // Callers hold db.mu.
 func (db *DB) writeWALLocked(framed []byte) error {
+	//palaemon:allow durablewrite -- WAL append path: durability comes from the Sync barrier below, not atomic replace
 	if _, err := db.wal.Write(framed); err != nil {
 		return fmt.Errorf("kvdb: write WAL: %w", err)
 	}
@@ -427,6 +429,7 @@ func (db *DB) committer() {
 		for _, p := range batch {
 			buf = append(buf, p.framed...)
 		}
+		//palaemon:allow durablewrite -- group-commit WAL append: the batch is durable at the Sync barrier below
 		_, err := wal.Write(buf)
 		if err == nil && !noFsync {
 			err = wal.Sync()
@@ -570,12 +573,11 @@ func (db *DB) Compact() error {
 	if err != nil {
 		return fmt.Errorf("kvdb: seal snapshot: %w", err)
 	}
-	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
-	if err := os.WriteFile(tmp, sealed, 0o600); err != nil {
+	// fsatomic: the snapshot must be ON DISK (fsync + atomic rename +
+	// directory sync) before the WAL that also holds these records is
+	// truncated, or a crash between the two loses committed data.
+	if err := fsatomic.WriteFile(filepath.Join(db.dir, snapshotFile), sealed, 0o600); err != nil {
 		return fmt.Errorf("kvdb: write snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
-		return fmt.Errorf("kvdb: publish snapshot: %w", err)
 	}
 	if err := db.wal.Close(); err != nil {
 		return fmt.Errorf("kvdb: close WAL: %w", err)
@@ -692,6 +694,7 @@ func RestoreFrom(dir, src string) error {
 		if err != nil {
 			return err
 		}
+		//palaemon:allow durablewrite -- attacker rollback primitive for tests: non-durable restore is the scenario under test
 		if err := os.WriteFile(filepath.Join(dir, name), data, 0o600); err != nil {
 			return err
 		}

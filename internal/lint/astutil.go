@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shared type-aware helpers for the analyzers.
+
+// Callee resolves the static callee of a call expression, or nil for
+// dynamic calls (function values, interface methods resolve to the
+// interface method object, which is still useful for matching).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function
+// pkgPath.name (e.g. "bytes", "Equal").
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// IsMethodOn reports whether fn is a method whose receiver (after
+// pointer indirection) is the named type pkgPath.typeName.
+func IsMethodOn(fn *types.Func, pkgPath, typeName string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// ImplementsResponseWriter reports whether t satisfies net/http's
+// ResponseWriter interface shape, detected structurally (Header/Write/
+// WriteHeader) so synthetic test fixtures qualify too.
+func ImplementsResponseWriter(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	has := func(name string) bool {
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+		return false
+	}
+	return has("Header") && has("Write") && has("WriteHeader")
+}
+
+// FuncDecls walks every function declaration in the pass's files,
+// handing the visitor the declaration (body may be nil for externally
+// implemented functions).
+func (p *Pass) FuncDecls(visit func(*ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				visit(fd)
+			}
+		}
+	}
+}
+
+// HasPathPrefix reports whether the pass's package import path equals
+// prefix or lives below it.
+func (p *Pass) HasPathPrefix(prefix string) bool {
+	path := p.Path()
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// CommentDirective scans a comment group for "palaemon:<key> <value>"
+// and returns the trimmed value.
+func CommentDirective(cg *ast.CommentGroup, key string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if rest, ok := strings.CutPrefix(text, "palaemon:"+key); ok {
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return strings.TrimSpace(rest), true
+			}
+		}
+	}
+	return "", false
+}

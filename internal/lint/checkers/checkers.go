@@ -1,0 +1,24 @@
+// Package checkers is the registry of PALÆMON's invariant analyzers —
+// the single list both the palaemonvet multichecker and the aggregate
+// tests iterate. One entry per DESIGN.md §12 table row.
+package checkers
+
+import (
+	"palaemon/internal/lint"
+	"palaemon/internal/lint/constanttime"
+	"palaemon/internal/lint/durablewrite"
+	"palaemon/internal/lint/envelopewriter"
+	"palaemon/internal/lint/guardedby"
+	"palaemon/internal/lint/slogonly"
+)
+
+// All returns every registered analyzer, in reporting order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		constanttime.Analyzer,
+		durablewrite.Analyzer,
+		envelopewriter.Analyzer,
+		guardedby.Analyzer,
+		slogonly.Analyzer,
+	}
+}

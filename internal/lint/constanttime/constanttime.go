@@ -1,0 +1,183 @@
+// Package constanttime flags comparisons of authenticator material —
+// MACs, digests, key hashes, attestation report data, signatures — done
+// with bytes.Equal or the == / != operators, none of which run in
+// constant time. A data-dependent early exit leaks how many leading
+// bytes the attacker guessed right, which is the classic byte-at-a-time
+// MAC forgery oracle. PALÆMON compares such material with hmac.Equal or
+// subtle.ConstantTimeCompare.
+//
+// Sensitivity is inferred from names: an operand whose identifier chain
+// mentions mac, digest, keyhash, reportdata, fingerprint, signature,
+// seal-key, or auth/expected-tag spellings is treated as authenticator
+// material. Pure length checks (len(a) == len(b)) are exempt — length is
+// public. False positives carry a //palaemon:allow constanttime
+// directive with the argument for why timing is not observable there.
+package constanttime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"palaemon/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "constanttime",
+	Doc:  "flags variable-time comparison (bytes.Equal, ==, !=) of MAC/digest/key/report material; require hmac.Equal or subtle.ConstantTimeCompare",
+	Run:  run,
+}
+
+// Sensitivity is matched on identifier words: the rendered expression is
+// split at punctuation, underscores, and camelCase humps, so gotMAC,
+// report_data, and doc.Report.ReportData all resolve to their component
+// words. Single words and adjacent word pairs both match.
+var sensitiveWords = map[string]bool{
+	"mac": true, "macs": true, "hmac": true,
+	"digest": true, "digests": true,
+	"fingerprint": true, "fingerprints": true,
+	"signature": true, "signatures": true, "sig": true, "sigs": true,
+	// joined forms of the pairs below, for whole identifiers like
+	// "keyhash" that have no hump or underscore to split at
+	"keyhash": true, "reportdata": true, "reporthash": true,
+	"authtag": true, "expectedtag": true, "secrethash": true, "sealkey": true,
+}
+
+var sensitivePairs = map[[2]string]bool{
+	{"key", "hash"}: true, {"report", "data"}: true, {"report", "hash"}: true,
+	{"auth", "tag"}: true, {"expected", "tag"}: true,
+	{"secret", "hash"}: true, {"seal", "key"}: true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := lint.Callee(pass.Info, n)
+				if lint.IsPkgFunc(fn, "bytes", "Equal") && len(n.Args) == 2 &&
+					(sensitive(n.Args[0]) || sensitive(n.Args[1])) {
+					pass.Reportf(n.Pos(),
+						"bytes.Equal on authenticator material %q is not constant-time; use hmac.Equal or subtle.ConstantTimeCompare",
+						sensitiveName(n.Args[0], n.Args[1]))
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isLen(n.X) || isLen(n.Y) {
+					return true // length is public
+				}
+				if !secretShaped(pass, n.X) && !secretShaped(pass, n.Y) {
+					return true
+				}
+				if sensitive(n.X) || sensitive(n.Y) {
+					pass.Reportf(n.Pos(),
+						"%s on authenticator material %q is not constant-time; use hmac.Equal or subtle.ConstantTimeCompare",
+						n.Op, sensitiveName(n.X, n.Y))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sensitive reports whether the expression's identifier chain names
+// authenticator material.
+func sensitive(e ast.Expr) bool {
+	rendered := lint.ExprString(e)
+	words := identWords(rendered, true)
+	for i, w := range words {
+		if sensitiveWords[w] {
+			return true
+		}
+		if i+1 < len(words) && sensitivePairs[[2]string{w, words[i+1]}] {
+			return true
+		}
+	}
+	// Whole identifiers (split at punctuation only) catch acronym
+	// plurals like "MACs" that camel splitting mangles.
+	for _, w := range identWords(rendered, false) {
+		if sensitiveWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// identWords lowercases and splits the rendered expression into words at
+// punctuation and underscores, and (when camel is set) at camelCase
+// humps.
+func identWords(s string, camel bool) []string {
+	var words []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, strings.ToLower(string(cur)))
+			cur = nil
+		}
+	}
+	prev := rune(0)
+	for _, r := range s {
+		switch {
+		case unicode.IsUpper(r):
+			if camel && !unicode.IsUpper(prev) {
+				flush()
+			}
+			cur = append(cur, r)
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			if camel && unicode.IsUpper(prev) && len(cur) > 1 {
+				// Acronym boundary: in "HTTPServer" the final upper
+				// belongs to the next word.
+				last := cur[len(cur)-1]
+				cur = cur[:len(cur)-1]
+				flush()
+				cur = []rune{last}
+			}
+			cur = append(cur, r)
+		default:
+			flush()
+		}
+		prev = r
+	}
+	flush()
+	return words
+}
+
+func sensitiveName(x, y ast.Expr) string {
+	if sensitive(x) {
+		return lint.ExprString(x)
+	}
+	return lint.ExprString(y)
+}
+
+// secretShaped limits the == / != check to string and byte-array shaped
+// operands: comparing a sensitive *count* or bool with == is fine,
+// comparing the material itself is not.
+func secretShaped(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Basic:
+		return t.Info()&types.IsString != 0
+	case *types.Array:
+		elem, ok := t.Elem().Underlying().(*types.Basic)
+		return ok && elem.Kind() == types.Uint8
+	}
+	return false
+}
+
+// isLen matches len(x) calls.
+func isLen(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "len"
+}

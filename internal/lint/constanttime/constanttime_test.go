@@ -1,0 +1,20 @@
+package constanttime_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"palaemon/internal/lint/constanttime"
+	"palaemon/internal/lint/linttest"
+)
+
+func TestConstantTime(t *testing.T) {
+	res := linttest.Run(t, filepath.Join("testdata", "src", "a"), "palaemon/internal/a", constanttime.Analyzer)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the public-test-vector directive)", res.Suppressed)
+	}
+	// Two well-formed directives exist; the reasonless one does not count.
+	if res.Directives != 1 {
+		t.Errorf("directives = %d, want 1 (the reasonless directive is malformed)", res.Directives)
+	}
+}

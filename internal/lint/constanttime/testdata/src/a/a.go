@@ -1,0 +1,77 @@
+// Fixture for the constanttime analyzer. The verifyPreFix function
+// reproduces, shape for shape, the internal/core/client.go:610 pattern
+// this analyzer was built to catch (fixed in the same PR that added the
+// analyzer): attestation ReportData verified against a key hash with
+// bytes.Equal.
+package a
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+)
+
+type report struct {
+	ReportData []byte
+	Status     string
+}
+
+type doc struct {
+	Report    *report
+	PublicKey []byte
+}
+
+// verifyPreFix is the pre-fix client.go VerifyInstance binding check.
+func verifyPreFix(d *doc) bool {
+	keyHash := sha256.Sum256(d.PublicKey)
+	if len(d.Report.ReportData) != len(keyHash) || !bytes.Equal(d.Report.ReportData, keyHash[:]) { // want `bytes.Equal on authenticator material "d\.Report\.ReportData" is not constant-time`
+		return false
+	}
+	return true
+}
+
+// verifyFixed is the post-fix form: hmac.Equal is constant-time and
+// handles unequal lengths itself.
+func verifyFixed(d *doc) bool {
+	keyHash := sha256.Sum256(d.PublicKey)
+	return hmac.Equal(d.Report.ReportData, keyHash[:])
+}
+
+func compareMACs(gotMAC, wantMAC []byte) bool {
+	return bytes.Equal(gotMAC, wantMAC) // want `bytes.Equal on authenticator material "gotMAC"`
+}
+
+func compareDigestStrings(digest, expected string) bool {
+	return digest == expected // want `== on authenticator material "digest"`
+}
+
+func compareFingerprints(a, b [32]byte) bool {
+	if a != [32]byte{} { // "a" names nothing sensitive: no diagnostic
+		_ = a
+	}
+	var creatorFingerprint [32]byte
+	return creatorFingerprint != b // want `!= on authenticator material "creatorFingerprint"`
+}
+
+func constantTimeOK(mac1, mac2 []byte) bool {
+	return subtle.ConstantTimeCompare(mac1, mac2) == 1 // the == on the int result is fine
+}
+
+func lengthIsPublic(mac []byte) bool {
+	return len(mac) == 32 // length checks are exempt
+}
+
+func nonSensitive(payload, other []byte, n int) bool {
+	return bytes.Equal(payload, other) && n == 3 // nothing authenticator-shaped here
+}
+
+func suppressedCompare(authTag, expected []byte) bool {
+	//palaemon:allow constanttime -- fixture: both operands are public test vectors
+	return bytes.Equal(authTag, expected)
+}
+
+func reasonlessDirective(sigBytes, expected []byte) bool {
+	//palaemon:allow constanttime // want `palaemon:allow requires a reason`
+	return bytes.Equal(sigBytes, expected) // want `bytes.Equal on authenticator material "sigBytes"`
+}

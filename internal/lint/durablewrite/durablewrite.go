@@ -1,0 +1,75 @@
+// Package durablewrite enforces the PR 3 persistence discipline in the
+// packages that own durable state (palaemon/internal/kvdb and
+// palaemon/internal/sgx): bytes that must survive power loss reach disk
+// through fsatomic.WriteFile — write to a temp file, fsync, close,
+// atomic rename, fsync the directory — never through bare os.WriteFile
+// or raw (*os.File).Write calls. os.WriteFile syncs nothing: a crash
+// after the rename that publishes an unsynced snapshot can surface a
+// torn or empty file after reboot, which is exactly the rollback/
+// truncation window the NVRAM and kvdb chain checks exist to close.
+//
+// The WAL append path is the one legitimate raw writer (it batches
+// appends and fsyncs at the group-commit barrier instead of per write);
+// its two call sites carry //palaemon:allow durablewrite directives
+// stating that argument. Everything else goes through the helper.
+package durablewrite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"palaemon/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "durablewrite",
+	Doc:  "flags os.WriteFile and raw (*os.File).Write* persistence in internal/kvdb and internal/sgx that bypasses fsatomic.WriteFile (fsync + atomic rename)",
+	Run:  run,
+}
+
+// Scope lists the import paths owning durable state.
+var Scope = []string{"palaemon/internal/kvdb", "palaemon/internal/sgx"}
+
+var fileWriteMethods = map[string]bool{"Write": true, "WriteString": true, "WriteAt": true}
+
+func run(pass *lint.Pass) error {
+	inScope := false
+	for _, s := range Scope {
+		if pass.Path() == s {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.Callee(pass.Info, call)
+			switch {
+			case lint.IsPkgFunc(fn, "os", "WriteFile"):
+				pass.Reportf(call.Pos(),
+					"os.WriteFile does not fsync; persist through fsatomic.WriteFile (temp + fsync + atomic rename)")
+			case isOSFileWrite(pass, fn, call):
+				pass.Reportf(call.Pos(),
+					"raw (*os.File).%s bypasses the fsync+atomic-rename discipline; persist through fsatomic.WriteFile or justify with palaemon:allow",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isOSFileWrite reports whether call is a Write/WriteString/WriteAt
+// method call whose receiver is an *os.File.
+func isOSFileWrite(pass *lint.Pass, fn *types.Func, call *ast.CallExpr) bool {
+	if fn == nil || !fileWriteMethods[fn.Name()] {
+		return false
+	}
+	return lint.IsMethodOn(fn, "os", "File")
+}

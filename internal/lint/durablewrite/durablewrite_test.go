@@ -1,0 +1,23 @@
+package durablewrite_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"palaemon/internal/lint/durablewrite"
+	"palaemon/internal/lint/linttest"
+)
+
+func TestDurableWriteInScope(t *testing.T) {
+	res := linttest.Run(t, filepath.Join("testdata", "src", "kvdb"), "palaemon/internal/kvdb", durablewrite.Analyzer)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the WAL-append directive)", res.Suppressed)
+	}
+	if res.Directives != 1 {
+		t.Errorf("directives = %d, want 1", res.Directives)
+	}
+}
+
+func TestDurableWriteOutOfScope(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "outside"), "palaemon/internal/board", durablewrite.Analyzer)
+}

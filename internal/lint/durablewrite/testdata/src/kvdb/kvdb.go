@@ -1,0 +1,35 @@
+// Fixture for the durablewrite analyzer, type-checked under the
+// in-scope import path palaemon/internal/kvdb. Raw persistence fires;
+// hashing and in-memory buffers do not; the WAL-append shape carries
+// the suppression directive it carries in the real tree.
+package kvdb
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+)
+
+func persistBad(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600) // want `os.WriteFile does not fsync`
+}
+
+func rawWrites(f *os.File, data []byte) {
+	f.Write(data)        // want `raw \(\*os.File\)\.Write bypasses the fsync\+atomic-rename discipline`
+	f.WriteString("hdr") // want `raw \(\*os.File\)\.WriteString bypasses the fsync\+atomic-rename discipline`
+	f.WriteAt(data, 0)   // want `raw \(\*os.File\)\.WriteAt bypasses the fsync\+atomic-rename discipline`
+}
+
+func nonDurableWrites(data []byte) [32]byte {
+	var buf bytes.Buffer
+	buf.Write(data) // not an *os.File: fine
+	h := sha256.New()
+	h.Write(data) // hashing, not persistence
+	return sha256.Sum256(buf.Bytes())
+}
+
+func walAppend(f *os.File, frame []byte) error {
+	//palaemon:allow durablewrite -- fixture: WAL append path, fsynced at the group-commit barrier
+	_, err := f.Write(frame)
+	return err
+}

@@ -1,0 +1,10 @@
+// The same raw persistence outside the durable-state packages: caches
+// and scratch files may be lost on crash by design, so the analyzer
+// must stay silent.
+package board
+
+import "os"
+
+func cacheDump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}

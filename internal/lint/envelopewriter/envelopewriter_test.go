@@ -1,0 +1,25 @@
+package envelopewriter_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"palaemon/internal/lint/envelopewriter"
+	"palaemon/internal/lint/linttest"
+)
+
+func TestEnvelopeWriterInScope(t *testing.T) {
+	res := linttest.Run(t, filepath.Join("testdata", "src", "core"), "palaemon/internal/core", envelopewriter.Analyzer)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the legacy-endpoint directive)", res.Suppressed)
+	}
+	if res.Directives != 1 {
+		t.Errorf("directives = %d, want 1", res.Directives)
+	}
+}
+
+func TestEnvelopeWriterOutOfScope(t *testing.T) {
+	// Same violations under a non-core import path: no diagnostics, and
+	// the fixture carries no want comments to prove it.
+	linttest.Run(t, filepath.Join("testdata", "src", "notcore"), "palaemon/internal/notcore", envelopewriter.Analyzer)
+}

@@ -1,0 +1,13 @@
+// The same violation shapes as the core fixture, type-checked under an
+// import path outside palaemon/internal/core: the analyzer must stay
+// silent. The ops/debug endpoints live outside core and legitimately
+// answer plain text.
+package notcore
+
+import "net/http"
+
+func handlePlain(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError)
+	http.NotFound(w, r)
+	w.WriteHeader(http.StatusTeapot)
+}

@@ -1,0 +1,254 @@
+// Package guardedby machine-checks the lock discipline that previously
+// lived in comments. A struct field annotated
+//
+//	// palaemon:guardedby mu
+//
+// may only be touched inside a function that visibly acquires that
+// mutex — a x.mu.Lock()/RLock() call in the function body — or that
+// declares the caller-holds-the-lock contract explicitly:
+//
+//	// palaemon:locks mu
+//	func (a *admission) bucketFor(...)
+//
+// Writes (assignment, ++/--, delete, taking the address) require the
+// write lock; reads accept RLock or Lock. When the guard mutex is a
+// sibling field of the guarded one (the common case: policyCacheShard.m
+// guarded by policyCacheShard.mu), the lock receiver must be the same
+// expression as the access receiver — sh.mu.Lock() licenses sh.m, not
+// other.m. When the guard lives on a different struct (watchEntry fields
+// guarded by the hub's mu), matching falls back to the mutex name.
+//
+// The check is function-granular and flow-insensitive on purpose: it
+// will not catch an unlock placed too early, but it reliably catches the
+// regression class the annotations exist for — a new method or refactor
+// touching guarded state with no locking at all. Initialization of a
+// still-unpublished object is the expected false positive; such sites
+// carry //palaemon:allow guardedby with that argument.
+package guardedby
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"palaemon/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "guardedby",
+	Doc:  "verifies palaemon:guardedby field annotations: guarded fields are accessed only under their mutex or in functions declaring palaemon:locks",
+	Run:  run,
+}
+
+// guard describes one annotated field's protection.
+type guard struct {
+	mutex   string // mutex name from the annotation
+	sibling bool   // the mutex is a field of the same struct
+	owner   string // struct type name, for diagnostics
+}
+
+// lockFact is one mutex acquisition seen in a function body.
+type lockFact struct {
+	mutex string // mutex field name
+	base  string // rendered receiver expression ("" for a bare ident lock)
+	write bool   // Lock (true) vs RLock (false)
+}
+
+func run(pass *lint.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	pass.FuncDecls(func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		granted := map[string]bool{}
+		if v, ok := lint.CommentDirective(fd.Doc, "locks"); ok {
+			for _, name := range strings.Split(v, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					granted[name] = true
+				}
+			}
+		}
+		locks := collectLocks(pass, fd.Body)
+		checkAccesses(pass, fd, guards, granted, locks)
+	})
+	return nil
+}
+
+// collectGuards maps annotated field objects to their guard spec.
+func collectGuards(pass *lint.Pass) map[*types.Var]guard {
+	guards := make(map[*types.Var]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mutex, ok := lint.CommentDirective(fld.Doc, "guardedby")
+				if !ok {
+					mutex, ok = lint.CommentDirective(fld.Comment, "guardedby")
+				}
+				if !ok {
+					continue
+				}
+				if mutex == "" {
+					pass.Reportf(fld.Pos(), "palaemon:guardedby names no mutex")
+					continue
+				}
+				for _, name := range fld.Names {
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					guards[obj] = guard{
+						mutex:   mutex,
+						sibling: fieldNames[mutex],
+						owner:   ts.Name.Name,
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// collectLocks gathers every mutex Lock/RLock call in body, including
+// inside closures (function-granular by design).
+func collectLocks(pass *lint.Pass, body *ast.BlockStmt) []lockFact {
+	var facts []lockFact
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		write := sel.Sel.Name == "Lock"
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr: // base.mu.Lock()
+			facts = append(facts, lockFact{
+				mutex: recv.Sel.Name,
+				base:  lint.ExprString(recv.X),
+				write: write,
+			})
+		case *ast.Ident: // mu.Lock() on a local/package mutex
+			facts = append(facts, lockFact{mutex: recv.Name, write: write})
+		}
+		return true
+	})
+	return facts
+}
+
+// checkAccesses walks the body tracking write context and validates each
+// touch of a guarded field.
+func checkAccesses(pass *lint.Pass, fd *ast.FuncDecl, guards map[*types.Var]guard, granted map[string]bool, locks []lockFact) {
+	var visit func(n ast.Node, writing bool)
+	visitAll := func(nodes []ast.Expr, writing bool) {
+		for _, n := range nodes {
+			visit(n, writing)
+		}
+	}
+	report := func(sel *ast.SelectorExpr, g guard, writing bool) {
+		mode := "read"
+		need := g.mutex + ".RLock (or Lock)"
+		if writing {
+			mode = "write"
+			need = g.mutex + ".Lock"
+		}
+		where := g.mutex
+		if g.sibling {
+			where = fmt.Sprintf("%s.%s", lint.ExprString(sel.X), g.mutex)
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s of %s.%s (palaemon:guardedby %s) without holding %s; acquire %s or declare //palaemon:locks %s",
+			mode, g.owner, sel.Sel.Name, g.mutex, where, need, g.mutex)
+	}
+	check := func(sel *ast.SelectorExpr, writing bool) {
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return
+		}
+		fieldVar, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return
+		}
+		g, ok := guards[fieldVar]
+		if !ok {
+			return
+		}
+		if granted[g.mutex] {
+			return
+		}
+		base := lint.ExprString(sel.X)
+		for _, l := range locks {
+			if l.mutex != g.mutex {
+				continue
+			}
+			if writing && !l.write {
+				continue
+			}
+			if g.sibling && l.base != base {
+				continue
+			}
+			return // adequately locked
+		}
+		report(sel, g, writing)
+	}
+	visit = func(n ast.Node, writing bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.AssignStmt:
+			visitAll(n.Lhs, true)
+			visitAll(n.Rhs, false)
+		case *ast.IncDecStmt:
+			visit(n.X, true)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				visit(n.X, true)
+				return
+			}
+			visit(n.X, writing)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, builtin := pass.Info.Uses[id].(*types.Builtin); builtin && len(n.Args) > 0 {
+					visit(n.Args[0], true)
+					visitAll(n.Args[1:], false)
+					return
+				}
+			}
+			visit(n.Fun, false)
+			visitAll(n.Args, false)
+		case *ast.SelectorExpr:
+			check(n, writing)
+			visit(n.X, writing)
+		default:
+			// Generic traversal: children inherit the current mode.
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == n {
+					return true
+				}
+				visit(c, writing)
+				return false
+			})
+		}
+	}
+	visit(fd.Body, false)
+}

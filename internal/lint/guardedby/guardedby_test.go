@@ -1,0 +1,19 @@
+package guardedby_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"palaemon/internal/lint/guardedby"
+	"palaemon/internal/lint/linttest"
+)
+
+func TestGuardedBy(t *testing.T) {
+	res := linttest.Run(t, filepath.Join("testdata", "src", "a"), "palaemon/internal/a", guardedby.Analyzer)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the construction-time directive)", res.Suppressed)
+	}
+	if res.Directives != 1 {
+		t.Errorf("directives = %d, want 1", res.Directives)
+	}
+}

@@ -1,0 +1,95 @@
+// Fixture for the guardedby analyzer: sibling-mutex receiver matching,
+// read/write lock strength, the delete and address-of write forms, the
+// palaemon:locks caller-holds contract, foreign-mutex (non-sibling)
+// name-level matching, and the construction-time suppression.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int            // palaemon:guardedby mu
+	m  map[string]int // palaemon:guardedby mu
+}
+
+func (c *counter) incLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.m["k"] = c.n
+}
+
+func (c *counter) incUnlocked() {
+	c.n++ // want `write of counter.n \(palaemon:guardedby mu\) without holding c.mu`
+}
+
+func (c *counter) readUnlocked() int {
+	return c.n // want `read of counter.n \(palaemon:guardedby mu\) without holding c.mu`
+}
+
+func (c *counter) readRLocked() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n // RLock suffices for a read
+}
+
+func (c *counter) writeUnderRLock() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n = 0 // want `write of counter.n \(palaemon:guardedby mu\) without holding c.mu`
+}
+
+func (c *counter) dropUnlocked(k string) {
+	delete(c.m, k) // want `write of counter.m \(palaemon:guardedby mu\) without holding c.mu`
+}
+
+func (c *counter) leakAddr() *int {
+	return &c.n // want `write of counter.n \(palaemon:guardedby mu\) without holding c.mu`
+}
+
+// crossReceiver locks a's mutex but touches b's guarded field: for a
+// sibling guard the lock receiver must match the access receiver.
+func crossReceiver(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n = 1
+	b.n = 1 // want `write of counter.n \(palaemon:guardedby mu\) without holding b.mu`
+}
+
+// setContract writes c.n with the lock held by the caller.
+//
+// palaemon:locks mu
+func (c *counter) setContract(v int) {
+	c.n = v
+}
+
+func newCounter() *counter {
+	c := &counter{m: map[string]int{}}
+	//palaemon:allow guardedby -- fixture: single-goroutine construction, the object is not yet published
+	c.n = 1
+	return c
+}
+
+// hub/entry model the watchHub shape: entry's fields are guarded by the
+// hub's mutex, which is not a sibling field, so matching falls back to
+// the mutex name.
+type hub struct {
+	mu      sync.Mutex
+	entries map[string]*entry // palaemon:guardedby mu
+}
+
+type entry struct {
+	refs int // palaemon:guardedby mu
+}
+
+func (h *hub) retain(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e := h.entries[name]; e != nil {
+		e.refs++ // licensed by h.mu.Lock() via the mutex name
+	}
+}
+
+func leakyRetain(e *entry) {
+	e.refs++ // want `write of entry.refs \(palaemon:guardedby mu\) without holding mu`
+}

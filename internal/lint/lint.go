@@ -1,0 +1,139 @@
+// Package lint is PALÆMON's in-tree static-analysis framework: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus the loading and reporting
+// machinery the custom analyzers under internal/lint/* share.
+//
+// Why not x/tools? The module is deliberately stdlib-only (go.mod has no
+// requires), and the invariants the analyzers encode are repo-specific —
+// they need exactly one driver (cmd/palaemonvet) and one test harness
+// (internal/lint/linttest), both of which fit comfortably on go/ast,
+// go/types, and `go list -export`. The API mirrors go/analysis closely
+// enough that migrating onto it later is mechanical.
+//
+// Every analyzer enforces one invariant earned by an earlier PR (the
+// table lives in DESIGN.md §12): constant-time MAC compares, wire-error
+// envelopes, slog-only logging, guardedby lock annotations, and durable
+// (fsync + atomic-rename) persistence. Analyzers skip _test.go files by
+// design: the invariants bind production code; tests legitimately
+// compare MACs with bytes.Equal, write scratch files, and poke guarded
+// state single-threaded.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the analyzer identity used in diagnostics and in
+	// //palaemon:allow directives.
+	Name string
+	// Doc is the one-paragraph description shown by palaemonvet -help.
+	Doc string
+	// Run inspects one package and reports diagnostics via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's non-test syntax trees, parsed with
+	// comments.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags []Diagnostic
+}
+
+// Path is the package's import path as configured by the driver (tests
+// may pin a path such as "palaemon/internal/core" to exercise scoped
+// analyzers against synthetic sources).
+func (p *Pass) Path() string { return p.Pkg.Path() }
+
+// Report records one diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.diags = append(p.diags, d)
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// String renders the conventional file:line:col: analyzer: message form.
+func (d Diagnostic) String(fset *token.FileSet) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}
+
+// Result is the outcome of running a set of analyzers over one package:
+// the surviving diagnostics plus the suppression accounting feeding the
+// CI summary line.
+type Result struct {
+	// Diagnostics survived directive filtering, sorted by position.
+	Diagnostics []Diagnostic
+	// Suppressed counts diagnostics swallowed by //palaemon:allow
+	// directives.
+	Suppressed int
+	// Directives counts well-formed allow directives seen in the
+	// package's analyzed files.
+	Directives int
+}
+
+// RunAnalyzers runs every analyzer over the package held by the template
+// pass and applies the //palaemon:allow directive filter. Directive
+// misuse (missing reason) surfaces as ordinary diagnostics so a vet run
+// cannot go green on an unexplained suppression.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) (Result, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: nonTestFiles(fset, files), Pkg: pkg, Info: info}
+		if err := a.Run(pass); err != nil {
+			return Result{}, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		all = append(all, pass.diags...)
+	}
+	dirs, badDirs := CollectDirectives(fset, nonTestFiles(fset, files))
+	kept, suppressed := Filter(fset, all, dirs)
+	kept = append(kept, badDirs...)
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return Result{Diagnostics: kept, Suppressed: suppressed, Directives: len(dirs)}, nil
+}
+
+// nonTestFiles drops _test.go syntax trees: the invariants bind
+// production code only.
+func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := files[:0:0]
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ExprString renders an expression compactly (go/types' formatter).
+func ExprString(e ast.Expr) string { return types.ExprString(e) }

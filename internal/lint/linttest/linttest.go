@@ -1,0 +1,207 @@
+// Package linttest is the analysistest counterpart for internal/lint
+// analyzers: it type-checks a directory of synthetic source files,
+// runs one analyzer over them (including the //palaemon:allow directive
+// filter, so suppression behaviour is testable), and matches the
+// resulting diagnostics against // want "regexp" expectations embedded
+// in the sources.
+//
+// Conventions:
+//
+//   - Fixtures live in testdata/src/<name>/ next to the analyzer test.
+//   - A line expecting diagnostics carries // want "re" (several "re"
+//     for several diagnostics on that line); every diagnostic must match
+//     a want and every want must be consumed.
+//   - The package is type-checked under the import path the test names,
+//     so path-scoped analyzers (envelopewriter, slogonly, durablewrite)
+//     can be exercised both inside and outside their scope.
+//   - Imports are resolved from the real build cache via
+//     `go list -deps -export`, so fixtures may import anything in the
+//     standard library but nothing else.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"palaemon/internal/lint"
+)
+
+// Result reports the directive accounting of one Run, for tests
+// asserting on suppression behaviour.
+type Result struct {
+	Suppressed int
+	Directives int
+}
+
+// Run loads dir under importPath, applies the analyzer, and fails t on
+// any mismatch between produced diagnostics and // want expectations.
+func Run(t *testing.T, dir, importPath string, a *lint.Analyzer) Result {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: stdImporter(t, fset)}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: typecheck %s: %v", dir, err)
+	}
+	res, err := lint.RunAnalyzers([]*lint.Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("linttest: run %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, fset, files)
+	matchDiagnostics(t, fset, res.Diagnostics, wants)
+	return Result{Suppressed: res.Suppressed, Directives: res.Directives}
+}
+
+// want is one expectation attached to a source line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+	raw  string
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					raw := arg[1]
+					if raw == "" {
+						raw = arg[2]
+					} else {
+						raw = strings.ReplaceAll(raw, `\"`, `"`)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("linttest: bad want regexp %q at %s: %v", raw, pos, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchDiagnostics(t *testing.T, fset *token.FileSet, diags []lint.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// stdImporter resolves standard-library imports from the build cache.
+// Export locations are fetched lazily per import path via
+// `go list -deps -export` and memoized process-wide.
+var (
+	stdMu      sync.Mutex
+	stdExports = map[string]string{}
+)
+
+func stdImporter(t *testing.T, fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		stdMu.Lock()
+		file, ok := stdExports[path]
+		stdMu.Unlock()
+		if !ok {
+			if err := fetchExports(path); err != nil {
+				return nil, err
+			}
+			stdMu.Lock()
+			file, ok = stdExports[path]
+			stdMu.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("linttest: no export data for %q", path)
+			}
+		}
+		return os.Open(file)
+	})
+}
+
+func fetchExports(path string) error {
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("linttest: go list %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if p.Export != "" {
+			stdExports[p.ImportPath] = p.Export
+		}
+	}
+}

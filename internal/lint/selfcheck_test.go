@@ -1,0 +1,62 @@
+package lint_test
+
+import (
+	"testing"
+
+	"palaemon/internal/lint"
+	"palaemon/internal/lint/checkers"
+)
+
+// TestLoadSmoke loads one small real package through the go list
+// -export pipeline and sanity-checks the result.
+func TestLoadSmoke(t *testing.T) {
+	pkgs, err := lint.Load("../..", "./internal/fsatomic")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "palaemon/internal/fsatomic" {
+		t.Errorf("import path = %q", p.ImportPath)
+	}
+	if len(p.Files) == 0 || p.Pkg == nil || p.Info == nil {
+		t.Errorf("package not fully populated: files=%d pkg=%v", len(p.Files), p.Pkg)
+	}
+	// The importer resolved "os" etc. from export data; the types.Info
+	// maps must be populated for the analyzers to work with.
+	if len(p.Info.Uses) == 0 {
+		t.Error("types.Info.Uses is empty; type-checking did not resolve identifiers")
+	}
+}
+
+// TestRepoInvariantsHold runs every registered analyzer over the whole
+// module — the same sweep CI runs via palaemonvet — so `go test ./...`
+// alone cannot go green while an invariant violation exists in the
+// tree. Every suppression must be a reasoned //palaemon:allow.
+func TestRepoInvariantsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern resolution looks broken", len(pkgs))
+	}
+	var suppressed, directives int
+	for _, p := range pkgs {
+		res, err := lint.RunAnalyzers(checkers.All(), p.Fset, p.Files, p.Pkg, p.Info)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ImportPath, err)
+		}
+		for _, d := range res.Diagnostics {
+			t.Errorf("%s", d.String(p.Fset))
+		}
+		suppressed += res.Suppressed
+		directives += res.Directives
+	}
+	t.Logf("packages=%d suppressed=%d directives=%d", len(pkgs), suppressed, directives)
+}

@@ -1,0 +1,91 @@
+// Package slogonly enforces the PR 7 canonical-log-line invariant in
+// palaemon/internal/*: production code logs through log/slog (one
+// structured line per event, levels, key=value attrs that the obs layer
+// and the restart tests parse) — never through fmt.Print*, the legacy
+// log package, the print/println builtins, or fmt.Fprint* aimed at
+// os.Stdout/os.Stderr. Ad-hoc prints vanish from the canonical stream,
+// carry no request correlation ID, and break consumers that parse the
+// structured output.
+//
+// fmt.Fprint* to any other io.Writer is fine — report renderers and
+// HTTP handlers write to the writer they are handed. Harness output that
+// is genuinely meant for a terminal belongs in cmd/* (out of scope) or
+// carries a //palaemon:allow slogonly directive naming its consumer.
+package slogonly
+
+import (
+	"go/ast"
+	"go/types"
+
+	"palaemon/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "slogonly",
+	Doc:  "bans fmt.Print*/log.Print*/println and fmt.Fprint* to os.Stdout/os.Stderr in internal/* non-test code; log via log/slog",
+	Run:  run,
+}
+
+// Scope is the import path subtree the invariant binds.
+var Scope = "palaemon/internal"
+
+var fmtPrinters = map[string]bool{"Print": true, "Printf": true, "Println": true}
+var fmtFprinters = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+var logCalls = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+func run(pass *lint.Pass) error {
+	if !pass.HasPathPrefix(Scope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, builtin := pass.Info.Uses[id].(*types.Builtin); builtin &&
+					(id.Name == "println" || id.Name == "print") {
+					pass.Reportf(call.Pos(), "builtin %s writes raw to stderr; log via log/slog", id.Name)
+					return true
+				}
+			}
+			fn := lint.Callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "fmt":
+				if fmtPrinters[fn.Name()] {
+					pass.Reportf(call.Pos(), "fmt.%s bypasses the canonical slog stream; log via log/slog", fn.Name())
+				} else if fmtFprinters[fn.Name()] && len(call.Args) > 0 && isStdStream(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(), "fmt.%s to %s bypasses the canonical slog stream; log via log/slog", fn.Name(), lint.ExprString(call.Args[0]))
+				}
+			case "log":
+				if logCalls[fn.Name()] {
+					pass.Reportf(call.Pos(), "log.%s is the legacy unstructured logger; log via log/slog", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStdStream reports whether e resolves to the os.Stdout or os.Stderr
+// package variables.
+func isStdStream(pass *lint.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}

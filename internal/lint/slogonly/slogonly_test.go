@@ -1,0 +1,23 @@
+package slogonly_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"palaemon/internal/lint/linttest"
+	"palaemon/internal/lint/slogonly"
+)
+
+func TestSlogOnlyInScope(t *testing.T) {
+	res := linttest.Run(t, filepath.Join("testdata", "src", "a"), "palaemon/internal/logging", slogonly.Analyzer)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the harness-output directive)", res.Suppressed)
+	}
+	if res.Directives != 1 {
+		t.Errorf("directives = %d, want 1", res.Directives)
+	}
+}
+
+func TestSlogOnlyOutOfScope(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "outside"), "palaemon/cmd/tool", slogonly.Analyzer)
+}

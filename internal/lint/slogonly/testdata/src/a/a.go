@@ -1,0 +1,41 @@
+// Fixture for the slogonly analyzer, type-checked under an in-scope
+// palaemon/internal import path. Covers every banned printer family
+// (fmt.Print*, the legacy log package, the println builtin, fmt.Fprint*
+// aimed at os.Stdout/os.Stderr) and the legitimate escapes: slog,
+// Sprintf, writing to a caller-supplied io.Writer, and the suppression
+// directive.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"os"
+)
+
+func adHocPrints(err error) {
+	fmt.Println("started")                   // want `fmt.Println bypasses the canonical slog stream`
+	fmt.Printf("state=%v\n", err)            // want `fmt.Printf bypasses the canonical slog stream`
+	log.Printf("legacy %v", err)             // want `log.Printf is the legacy unstructured logger`
+	log.Fatalf("fatal %v", err)              // want `log.Fatalf is the legacy unstructured logger`
+	println("builtin")                       // want `builtin println writes raw to stderr`
+	fmt.Fprintf(os.Stderr, "oops %v\n", err) // want `fmt.Fprintf to os.Stderr bypasses the canonical slog stream`
+	fmt.Fprintln(os.Stdout, "done")          // want `fmt.Fprintln to os.Stdout bypasses the canonical slog stream`
+}
+
+func structured(err error) string {
+	slog.Error("request failed", "err", err) // the blessed path
+	return fmt.Sprintf("state=%v", err)      // formatting, not printing
+}
+
+// render writes to the writer it is handed — report renderers and HTTP
+// handlers do this legitimately.
+func render(w io.Writer, name string) {
+	fmt.Fprintf(w, "hello %s\n", name)
+}
+
+func harnessOutput() {
+	//palaemon:allow slogonly -- fixture: interactive harness progress consumed by a human terminal, not the log pipeline
+	fmt.Println("progress: 3/5")
+}

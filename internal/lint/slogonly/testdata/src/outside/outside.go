@@ -1,0 +1,10 @@
+// Prints outside the palaemon/internal subtree: cmd/* harnesses talk to
+// terminals, so the analyzer must stay silent here.
+package tool
+
+import "fmt"
+
+func banner() {
+	fmt.Println("palaemon tool")
+	println("raw is fine out here")
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression directives. A finding an engineer has judged and accepted
+// is silenced in the source, next to the code it covers, with the
+// reasoning attached:
+//
+//	//palaemon:allow durablewrite -- attacker rollback primitive; durability is the point under test
+//
+// Rules:
+//
+//   - The directive covers its own line and the line directly below it
+//     (so it can ride above a statement or trail one).
+//   - The analyzer name must match the diagnostic being silenced;
+//     "allow all" does not exist. A comma list names several analyzers.
+//   - The reason is mandatory, separated by "--" or "—". A reasonless
+//     directive is itself reported as a diagnostic: the multichecker
+//     counts suppressions in CI, and an uncounted, unexplained hole in
+//     an invariant is exactly what the analyzers exist to prevent.
+
+// Directive is one parsed //palaemon:allow comment.
+type Directive struct {
+	// Analyzers are the analyzer names the directive silences.
+	Analyzers []string
+	// Reason is the justification text (never empty for a valid directive).
+	Reason string
+	// File and Line locate the directive comment itself.
+	File string
+	Line int
+}
+
+var directiveRE = regexp.MustCompile(`^//\s*palaemon:allow\s+(.*)$`)
+
+// CollectDirectives scans file comments for //palaemon:allow directives.
+// Malformed directives (no analyzer name, or no reason) are returned as
+// diagnostics under the synthetic analyzer name "directive".
+func CollectDirectives(fset *token.FileSet, files []*ast.File) ([]Directive, []Diagnostic) {
+	var dirs []Directive
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, reason, ok := splitDirective(m[1])
+				switch {
+				case len(names) == 0:
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "directive",
+						Message:  "palaemon:allow names no analyzer",
+					})
+				case !ok || reason == "":
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "directive",
+						Message:  "palaemon:allow requires a reason: //palaemon:allow <analyzer> -- <why this is safe>",
+					})
+				default:
+					dirs = append(dirs, Directive{
+						Analyzers: names,
+						Reason:    reason,
+						File:      pos.Filename,
+						Line:      pos.Line,
+					})
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// splitDirective parses "name1,name2 -- reason". ok reports whether a
+// separator was present.
+func splitDirective(rest string) (names []string, reason string, ok bool) {
+	var head string
+	for _, sep := range []string{"--", "—"} {
+		if i := strings.Index(rest, sep); i >= 0 {
+			head, reason, ok = rest[:i], strings.TrimSpace(rest[i+len(sep):]), true
+			break
+		}
+	}
+	if !ok {
+		head = rest
+	}
+	for _, n := range strings.Split(head, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, reason, ok
+}
+
+// Filter drops diagnostics covered by a matching directive and returns
+// the survivors plus the suppressed count.
+func Filter(fset *token.FileSet, diags []Diagnostic, dirs []Directive) (kept []Diagnostic, suppressed int) {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	covered := make(map[key]bool)
+	for _, d := range dirs {
+		for _, n := range d.Analyzers {
+			covered[key{d.File, d.Line, n}] = true
+			covered[key{d.File, d.Line + 1, n}] = true
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if covered[key{pos.Filename, pos.Line, d.Analyzer}] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestSplitDirective(t *testing.T) {
+	cases := []struct {
+		in     string
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{"durablewrite -- WAL batches appends", []string{"durablewrite"}, "WAL batches appends", true},
+		{"alpha,beta -- two analyzers, one hole", []string{"alpha", "beta"}, "two analyzers, one hole", true},
+		{"alpha — em-dash separator", []string{"alpha"}, "em-dash separator", true},
+		{"alpha", []string{"alpha"}, "", false},
+		{"alpha --", []string{"alpha"}, "", true},
+		{"-- reason with no analyzer", nil, "reason with no analyzer", true},
+	}
+	for _, c := range cases {
+		names, reason, ok := splitDirective(c.in)
+		if !reflect.DeepEqual(names, c.names) || reason != c.reason || ok != c.ok {
+			t.Errorf("splitDirective(%q) = %v, %q, %v; want %v, %q, %v",
+				c.in, names, reason, ok, c.names, c.reason, c.ok)
+		}
+	}
+}
+
+// TestCollectAndFilter exercises the directive life cycle end to end:
+// parsing, malformed-directive diagnostics, and line coverage (own line
+// plus the line below, per analyzer name).
+func TestCollectAndFilter(t *testing.T) {
+	src := `package p
+
+//palaemon:allow alpha -- covers the declaration below
+var a = 1
+var b = 2 //palaemon:allow alpha,beta — trailing form covers this line
+var c = 3
+//palaemon:allow gamma
+var d = 4
+//palaemon:allow -- nameless
+var e = 5
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, bad := CollectDirectives(fset, []*ast.File{f})
+	if len(dirs) != 2 {
+		t.Fatalf("directives = %d, want 2 (the reasonless and nameless ones are malformed): %+v", len(dirs), dirs)
+	}
+	if len(bad) != 2 {
+		t.Fatalf("bad directives = %d, want 2: %+v", len(bad), bad)
+	}
+
+	at := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: lineStart(fset, f, line), Analyzer: analyzer, Message: "x"}
+	}
+	diags := []Diagnostic{
+		at(4, "alpha"), // covered: directive on line 3 reaches line 4
+		at(5, "beta"),  // covered: trailing directive on line 5
+		at(6, "alpha"), // covered: line-5 directive reaches line 6
+		at(6, "gamma"), // kept: no well-formed gamma directive anywhere
+		at(8, "gamma"), // kept: the line-7 gamma directive is reasonless, so it grants nothing
+	}
+	kept, suppressed := Filter(fset, diags, dirs)
+	if suppressed != 3 {
+		t.Errorf("suppressed = %d, want 3", suppressed)
+	}
+	if len(kept) != 2 || kept[0].Analyzer != "gamma" || kept[1].Analyzer != "gamma" {
+		t.Errorf("kept = %+v, want the two gamma diagnostics", kept)
+	}
+}
+
+// lineStart returns a Pos on the requested 1-based line of f's file.
+func lineStart(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	return fset.File(f.Pos()).LineStart(line)
+}

@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 
 	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fsatomic"
 	"palaemon/internal/simclock"
 )
 
@@ -263,33 +264,12 @@ func (p *Platform) persistLocked() error {
 	if err != nil {
 		return fmt.Errorf("sgx: encode platform NVRAM envelope: %w", err)
 	}
-	tmp := p.statePath + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
-	if err != nil {
-		return fmt.Errorf("sgx: write platform NVRAM: %w", err)
-	}
-	if _, err := f.Write(raw); err != nil {
-		f.Close()
-		return fmt.Errorf("sgx: write platform NVRAM: %w", err)
-	}
 	// The write-through contract is power-loss durability ("hardware NVRAM
-	// is durable per write"), so the bytes must be synced before the rename
-	// publishes them — rename alone only survives process death.
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("sgx: sync platform NVRAM: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("sgx: close platform NVRAM: %w", err)
-	}
-	if err := os.Rename(tmp, p.statePath); err != nil {
-		return fmt.Errorf("sgx: publish platform NVRAM: %w", err)
-	}
-	if dir, err := os.Open(filepath.Dir(p.statePath)); err == nil {
-		// Persist the rename itself; best-effort on filesystems that
-		// reject directory fsync.
-		_ = dir.Sync()
-		dir.Close()
+	// is durable per write"): fsatomic syncs the bytes before the rename
+	// publishes them and then syncs the directory (best-effort on
+	// filesystems that reject directory fsync).
+	if err := fsatomic.WriteFile(p.statePath, raw, 0o600); err != nil {
+		return fmt.Errorf("sgx: write platform NVRAM: %w", err)
 	}
 	return nil
 }
