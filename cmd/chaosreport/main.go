@@ -1,0 +1,71 @@
+// Command chaosreport runs the crash-consistency fault-injection sweep
+// (internal/chaos) and emits its summary as JSON — the CI chaos job's
+// CHAOS artifact. It exits non-zero when any (scenario, step, mode)
+// injection violated a durability invariant, printing each violation
+// with enough detail to replay it: same seed, same workload, same step.
+//
+// Usage:
+//
+//	chaosreport                     # sweep, summary to stdout
+//	chaosreport -json CHAOS.json    # also write the summary to a file
+//	chaosreport -seed 7             # pin the torn-write seed
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"palaemon/internal/chaos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		jsonPath = flag.String("json", "", "also write the summary to this file as JSON")
+		seed     = flag.Int64("seed", 1, "seed for deterministic torn-write prefixes")
+	)
+	flag.Parse()
+
+	scratch, err := os.MkdirTemp("", "palaemon-chaos")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	sum, err := chaos.Run(scratch, *seed)
+	if err != nil {
+		return err
+	}
+	for _, res := range sum.Results {
+		fmt.Printf("%-22s fault points %3d  cases %3d  violations %d\n",
+			res.Scenario, res.FaultPoints, res.Cases, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Printf("  VIOLATION step %d mode %-12s %s %s: %s\n",
+				v.Step, v.Mode, v.Op.Kind, v.Op.Path, v.Detail)
+		}
+	}
+	fmt.Printf("total: %d fault points, %d cases, %d violations (seed %d)\n",
+		sum.FaultPoints, sum.Cases, sum.Violations, sum.Seed)
+
+	if *jsonPath != "" {
+		raw, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if sum.Violations != 0 {
+		return fmt.Errorf("%d durability invariant violations", sum.Violations)
+	}
+	return nil
+}

@@ -98,10 +98,13 @@ type Member struct {
 
 	decide ApprovalFunc
 
-	mu      sync.Mutex
-	enclave *sgx.Enclave
-	delay   time.Duration
-	garbage bool
+	mu         sync.Mutex
+	enclave    *sgx.Enclave
+	delay      time.Duration
+	garbage    bool
+	equivocate bool
+	forge      bool
+	asks       int
 
 	server   *http.Server
 	listener net.Listener
@@ -134,6 +137,23 @@ func WithGarbageSignatures() MemberOption {
 	return func(m *Member) { m.garbage = true }
 }
 
+// WithEquivocation makes the member answer alternate requests with
+// opposite — but individually validly signed — verdicts: approve to one
+// asker, reject to the next. Each verdict passes VerifyVerdict on its
+// own; only comparing verdicts across askers exposes the equivocation,
+// which is exactly the evidence pair the stress suite collects.
+func WithEquivocation() MemberOption {
+	return func(m *Member) { m.equivocate = true }
+}
+
+// WithForgedApproval makes the member claim approval while its
+// signature covers the rejection it actually decided — a Byzantine
+// member lying about its own verdict. VerifyVerdict must reject the
+// claim, so the lie counts as a failure, never as an approval.
+func WithForgedApproval() MemberOption {
+	return func(m *Member) { m.forge = true }
+}
+
 // NewMember creates a member with a fresh key pair.
 func NewMember(name string, opts ...MemberOption) (*Member, error) {
 	signer, err := cryptoutil.NewSigner()
@@ -163,6 +183,15 @@ func (m *Member) URL() string { return m.url }
 // Serve starts the member's TLS approval service on a loopback port, using
 // a certificate issued by ca. It returns the endpoint URL.
 func (m *Member) Serve(ca *cryptoutil.CertAuthority) (string, error) {
+	return m.ServeVia(ca, nil)
+}
+
+// ServeVia starts the TLS approval service with the raw TCP listener
+// passed through wrap before the TLS layer goes on top — the hook the
+// Byzantine suite uses to interpose a fault.Listener (partition, refuse,
+// hang) beneath a member whose TLS identity stays untouched. A nil wrap
+// is plain Serve.
+func (m *Member) ServeVia(ca *cryptoutil.CertAuthority, wrap func(net.Listener) net.Listener) (string, error) {
 	iss, err := ca.Issue(cryptoutil.IssueOptions{
 		CommonName: "approval-" + m.Name,
 		IPs:        []net.IP{net.IPv4(127, 0, 0, 1)},
@@ -171,10 +200,14 @@ func (m *Member) Serve(ca *cryptoutil.CertAuthority) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("board: issue cert: %w", err)
 	}
-	ln, err := tls.Listen("tcp", "127.0.0.1:0", cryptoutil.ServerTLSConfig(iss.TLSCertificate(), nil))
+	tcp, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", fmt.Errorf("board: listen: %w", err)
 	}
+	if wrap != nil {
+		tcp = wrap(tcp)
+	}
+	ln := tls.NewListener(tcp, cryptoutil.ServerTLSConfig(iss.TLSCertificate(), nil))
 	return m.serveOn(ln, "https")
 }
 
@@ -236,8 +269,20 @@ func (m *Member) handleApprove(w http.ResponseWriter, r *http.Request) {
 		time.Sleep(m.enclave.ChargeSyscalls(6))
 	}
 	approve, reason := m.decide(req)
+	if m.equivocate {
+		m.mu.Lock()
+		m.asks++
+		approve, reason = m.asks%2 == 1, ""
+		m.mu.Unlock()
+	}
 	v := Verdict{Member: m.Name, Approve: approve, Reason: reason}
 	v.Signature = m.Signer.Sign(req.signedBytes(approve))
+	if m.forge {
+		// The signature stays over the honest decision; only the claim
+		// flips. A verifier that trusted the Approve field without
+		// checking what the signature covers would count this.
+		v.Approve = true
+	}
 	if m.garbage {
 		v.Signature[0] ^= 0xFF
 	}

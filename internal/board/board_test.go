@@ -2,6 +2,7 @@ package board
 
 import (
 	"context"
+	goruntime "runtime"
 	"testing"
 	"time"
 
@@ -228,5 +229,102 @@ func TestDigestPolicyDistinguishesContent(t *testing.T) {
 	}
 	if DigestPolicy(a) != DigestPolicy(&policy.Policy{Name: "p", Revision: 1}) {
 		t.Fatal("digest not deterministic")
+	}
+}
+
+// TestHangingMemberLeaksNoGoroutines: a member that never answers costs
+// the evaluator its per-member timeout and nothing else — the decision
+// lands within the bound and every goroutine Evaluate spawned (and the
+// server handlers it abandoned) unwinds afterwards.
+func TestHangingMemberLeaksNoGoroutines(t *testing.T) {
+	f := newFixture(t, []ApprovalFunc{ApproveAll, ApproveAll, ApproveAll},
+		nil, map[int][]MemberOption{2: {WithDelay(700 * time.Millisecond)}})
+	f.ev.Timeout = 150 * time.Millisecond
+	f.ev.Client.Timeout = 150 * time.Millisecond
+	f.board.Threshold = 2
+
+	baseline := goruntime.NumGoroutine()
+	start := time.Now()
+	d := f.ev.Evaluate(context.Background(), f.board, req())
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hanging member delayed the decision by %v", elapsed)
+	}
+	if !d.Approved || d.Approvals != 2 {
+		t.Fatalf("decision = %+v, want approval by the 2 responsive members", d)
+	}
+	if len(d.Failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the hanging member", d.Failures)
+	}
+	// The hung handler sleeps past the timeout; poll until everything
+	// Evaluate and the servers spawned has unwound. Keep-alive pool
+	// goroutines are part of the client, not a leak — flush them so the
+	// count can settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f.ev.Client.CloseIdleConnections()
+		if goruntime.NumGoroutine() <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", goruntime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestForgedApprovalDoesNotCount: a member claiming approval while its
+// signature covers its true (rejecting) verdict must fail VerifyVerdict
+// and count as a failure — the Approve field alone is not evidence.
+func TestForgedApprovalDoesNotCount(t *testing.T) {
+	f := newFixture(t, []ApprovalFunc{RejectAll}, nil,
+		map[int][]MemberOption{0: {WithForgedApproval()}})
+	f.board.Threshold = 1
+	r := req()
+
+	v, err := f.ev.ask(context.Background(), f.board.Members[0], r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Approve {
+		t.Fatal("forging member should claim approval")
+	}
+	if err := VerifyVerdict(r, v, f.board.Members[0]); err == nil {
+		t.Fatal("forged approval claim passed verification")
+	}
+
+	d := f.ev.Evaluate(context.Background(), f.board, r)
+	if d.Approved || d.Approvals != 0 {
+		t.Fatalf("decision = %+v, want no approvals from the forger", d)
+	}
+	if len(d.Failures) != 1 {
+		t.Fatalf("failures = %v, want the forger flagged", d.Failures)
+	}
+}
+
+// TestEquivocatingMemberSignsBothWays: each of an equivocator's
+// contradictory verdicts is individually valid — the pair is the proof.
+// A single verifier cannot detect the equivocation; two askers comparing
+// notes hold non-repudiable, oppositely-signed answers to one request.
+func TestEquivocatingMemberSignsBothWays(t *testing.T) {
+	f := newFixture(t, []ApprovalFunc{ApproveAll}, nil,
+		map[int][]MemberOption{0: {WithEquivocation()}})
+	r := req()
+	desc := f.board.Members[0]
+	v1, err := f.ev.ask(context.Background(), desc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := f.ev.ask(context.Background(), desc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Approve == v2.Approve {
+		t.Fatalf("equivocator answered consistently (approve=%v twice)", v1.Approve)
+	}
+	if err := VerifyVerdict(r, v1, desc); err != nil {
+		t.Errorf("first verdict should verify in isolation: %v", err)
+	}
+	if err := VerifyVerdict(r, v2, desc); err != nil {
+		t.Errorf("second verdict should verify in isolation: %v", err)
 	}
 }

@@ -1,0 +1,93 @@
+// Package fault is PALÆMON's deterministic fault-injection layer: an
+// injectable filesystem seam for the packages that own durable state
+// (internal/kvdb, internal/fsatomic, internal/sgx NVRAM) and a pair of
+// network injectors (an http.RoundTripper and a net.Listener wrapper)
+// for board and client traffic.
+//
+// The FS interface covers exactly the os calls those packages make.
+// Production code runs against fault.OS, a zero-cost passthrough; the
+// crash-consistency harness (internal/chaos) substitutes an Injector
+// whose scripted fault point — torn write, fsync error, ENOSPC, crash
+// before or after the Nth mutating operation — is chosen by enumerating
+// the recorded operation trace of a fault-free run. Everything is
+// seed-driven and deterministic: the same (workload, Plan) pair always
+// produces the same on-disk end state, so a failing case replays
+// exactly.
+//
+// Crash model (documented limitation): writes pass through to the real
+// filesystem immediately, so a simulated crash preserves every byte a
+// completed call wrote — as if the page cache had been flushed. The
+// model therefore cannot detect a *missing* fsync (the durablewrite
+// analyzer covers that statically); what it does model is every
+// interleaving of completed, torn, and never-issued operations around
+// the crash point, which is where the replay/repair logic lives.
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the writable-handle surface the durable-state packages use:
+// WAL appends, temp-file staging, and directory fsyncs.
+type File interface {
+	io.Writer
+	// Sync flushes the file (or directory) to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+}
+
+// FS is the filesystem seam. It covers exactly the operations
+// internal/kvdb, internal/fsatomic, and internal/sgx perform against
+// durable state; test helpers and lock files stay on the real os.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens name read-only (also used on directories for SyncDir).
+	Open(name string) (File, error)
+	// ReadFile reads the whole file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate resizes name in place.
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory (orphan sweeps).
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// OS is the production FS: a direct passthrough to package os.
+var OS FS = osFS{}
+
+// Or returns fsys, or the passthrough OS filesystem when fsys is nil —
+// the idiom for optional FS fields in Options structs.
+func Or(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }

@@ -1,0 +1,248 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// writeThrough writes data to path through fsys with the write/sync
+// sequence the durable packages use.
+func writeThrough(fsys FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestRecordingRunCountsMutatingOps(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Plan{})
+	if err := writeThrough(in, filepath.Join(dir, "a"), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	trace := in.Trace()
+	want := []OpKind{OpWrite, OpSync, OpRename}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want kinds %v", trace, want)
+	}
+	for i, k := range want {
+		if trace[i].Kind != k {
+			t.Errorf("trace[%d].Kind = %s, want %s", i, trace[i].Kind, k)
+		}
+	}
+	if trace[0].Bytes != 5 {
+		t.Errorf("write bytes = %d, want 5", trace[0].Bytes)
+	}
+	if in.Fired() || in.Crashed() {
+		t.Error("recording run must not fire or crash")
+	}
+}
+
+func TestCrashBeforeLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	in := NewInjector(OS, Plan{Step: 1, Mode: CrashBefore})
+	err := writeThrough(in, path, []byte("payload"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	raw, _ := os.ReadFile(path)
+	if len(raw) != 0 {
+		t.Errorf("crash-before left %d bytes on disk", len(raw))
+	}
+	// Everything after the crash fails too.
+	if _, err := in.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash read err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestTornWriteLeavesStrictPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	payload := []byte("0123456789abcdef")
+	in := NewInjector(OS, Plan{Step: 1, Mode: Torn, Seed: 42})
+	err := writeThrough(in, path, payload)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) >= len(payload) {
+		t.Fatalf("torn write left %d of %d bytes — not a strict prefix", len(raw), len(payload))
+	}
+	if string(raw) != string(payload[:len(raw)]) {
+		t.Errorf("torn bytes are not a prefix: %q", raw)
+	}
+	// Determinism: the same plan tears at the same offset.
+	dir2 := t.TempDir()
+	path2 := filepath.Join(dir2, "f")
+	in2 := NewInjector(OS, Plan{Step: 1, Mode: Torn, Seed: 42})
+	_ = writeThrough(in2, path2, payload)
+	raw2, _ := os.ReadFile(path2)
+	if string(raw) != string(raw2) {
+		t.Errorf("same plan, different tears: %q vs %q", raw, raw2)
+	}
+}
+
+func TestCrashAfterAppliesOperation(t *testing.T) {
+	dir := t.TempDir()
+	old, new := filepath.Join(dir, "old"), filepath.Join(dir, "new")
+	if err := os.WriteFile(old, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(OS, Plan{Step: 1, Mode: CrashAfter})
+	if err := in.Rename(old, new); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(new); err != nil {
+		t.Errorf("crash-after-rename: new name not published: %v", err)
+	}
+}
+
+func TestErrIOKeepsProcessAlive(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	in := NewInjector(OS, Plan{Step: 2, Mode: ErrIO}) // the sync
+	err := writeThrough(in, path, []byte("data"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if in.Crashed() {
+		t.Fatal("ErrIO must not crash the machine")
+	}
+	// The process keeps going: a later write succeeds.
+	if err := writeThrough(in, path, []byte("more")); err != nil {
+		t.Errorf("post-error write failed: %v", err)
+	}
+}
+
+func TestENOSPCSurfacesErrno(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Plan{Step: 1, Mode: ENOSPC, Seed: 7})
+	err := writeThrough(in, filepath.Join(dir, "f"), []byte("dataset"))
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ErrInjected wrapping ENOSPC", err)
+	}
+	if in.Crashed() {
+		t.Fatal("ENOSPC must not crash the machine")
+	}
+}
+
+func TestOpenTruncIsAFaultPoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("precious"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(OS, Plan{Step: 1, Mode: CrashBefore})
+	if _, err := in.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o600); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "precious" {
+		t.Errorf("crash-before open-trunc destroyed contents: %q", raw)
+	}
+}
+
+func TestRoundTripperScript(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Write([]byte("pong"))
+	}))
+	defer srv.Close()
+
+	rt := NewRoundTripper(http.DefaultTransport, func(n int, _ *http.Request) Action {
+		switch n {
+		case 1:
+			return Action{Kind: Pass}
+		case 2:
+			return Action{Kind: Drop}
+		case 3:
+			return Action{Kind: ReplayLast}
+		default:
+			return Action{Kind: Pass}
+		}
+	})
+	cli := &http.Client{Transport: rt}
+
+	resp, err := cli.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("pass body = %q", body)
+	}
+
+	if _, err := cli.Get(srv.URL); err == nil {
+		t.Fatal("dropped request returned a response")
+	}
+
+	resp, err = cli.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("replay body = %q", body)
+	}
+	if hits != 1 {
+		t.Errorf("server hits = %d, want 1 (replay must not contact the server)", hits)
+	}
+}
+
+func TestListenerHangPartitionsPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := WrapListener(ln)
+	defer fl.Close()
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})}
+	go srv.Serve(fl)
+	defer srv.Close()
+
+	url := "http://" + fl.Addr().String() + "/"
+	cli := &http.Client{Timeout: 5 * time.Second}
+	if _, err := cli.Get(url); err != nil {
+		t.Fatalf("accept mode: %v", err)
+	}
+
+	fl.SetMode(Hang)
+	cli = &http.Client{Timeout: 200 * time.Millisecond}
+	start := time.Now()
+	_, err = cli.Get(url)
+	if err == nil {
+		t.Fatal("hung listener answered")
+	}
+	if d := time.Since(start); d < 150*time.Millisecond || d > 2*time.Second {
+		t.Errorf("partition escape took %v, want ≈ client timeout", d)
+	}
+}

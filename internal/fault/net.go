@@ -1,0 +1,251 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrDropped reports a request the RoundTripper scripted away — the
+// network ate it (no response, no reset).
+var ErrDropped = errors.New("fault: request dropped")
+
+// ActionKind is what the RoundTripper does to one request.
+type ActionKind int
+
+const (
+	// Pass forwards the request unchanged.
+	Pass ActionKind = iota
+	// Drop eats the request: the caller sees a transport error.
+	Drop
+	// Reset fails the request with a connection-reset error.
+	Reset
+	// Delay sleeps Action.Delay, then forwards the request.
+	Delay
+	// Duplicate forwards the request twice (at-least-once delivery);
+	// the first response is returned, the duplicate's is discarded.
+	// Non-idempotent receivers see the request land twice.
+	Duplicate
+	// ReplayLast answers with a replay of the last captured response
+	// for the same URL instead of contacting the server — a stale
+	// message a Byzantine network (or member) serves back. With no
+	// capture yet, the request passes through (and is captured).
+	ReplayLast
+)
+
+// Action is one scripted decision.
+type Action struct {
+	Kind ActionKind
+	// Delay applies to Kind == Delay.
+	Delay time.Duration
+}
+
+// RoundTripper injects scripted faults into client traffic. Script is
+// called with the 1-based request sequence number and the outbound
+// request; it must be deterministic for reproducibility. Responses of
+// passed-through requests are captured per URL so ReplayLast can serve
+// them later. Safe for concurrent use.
+type RoundTripper struct {
+	// Base performs real round trips (required).
+	Base http.RoundTripper
+	// Script decides each request's fate; nil passes everything.
+	Script func(n int, req *http.Request) Action
+
+	mu       sync.Mutex
+	n        int
+	captured map[string]*capturedResponse
+}
+
+// capturedResponse is enough of a response to replay it byte-for-byte.
+type capturedResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// NewRoundTripper wraps base with the scripted behaviour.
+func NewRoundTripper(base http.RoundTripper, script func(n int, req *http.Request) Action) *RoundTripper {
+	return &RoundTripper{Base: base, Script: script}
+}
+
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.n++
+	n := rt.n
+	rt.mu.Unlock()
+	act := Action{Kind: Pass}
+	if rt.Script != nil {
+		act = rt.Script(n, req)
+	}
+	key := req.URL.String()
+	switch act.Kind {
+	case Drop:
+		return nil, fmt.Errorf("%w: %s %s", ErrDropped, req.Method, key)
+	case Reset:
+		return nil, fmt.Errorf("fault: %s %s: %w", req.Method, key, syscall.ECONNRESET)
+	case Delay:
+		t := time.NewTimer(act.Delay)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		}
+	case Duplicate:
+		// The duplicate needs its own body copy; GetBody is set for all
+		// replayable requests (and for the JSON POSTs the board client
+		// builds from a bytes.Reader).
+		if dup := cloneRequest(req); dup != nil {
+			if resp, err := rt.Base.RoundTrip(dup); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	case ReplayLast:
+		rt.mu.Lock()
+		c := rt.captured[key]
+		rt.mu.Unlock()
+		if c != nil {
+			return &http.Response{
+				StatusCode: c.status,
+				Status:     http.StatusText(c.status),
+				Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+				Header:        c.header.Clone(),
+				Body:          io.NopCloser(bytes.NewReader(c.body)),
+				ContentLength: int64(len(c.body)),
+				Request:       req,
+			}, nil
+		}
+	}
+	resp, err := rt.Base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	// Capture for later replay: buffer the body and hand the caller a
+	// reader over the same bytes.
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	rt.mu.Lock()
+	if rt.captured == nil {
+		rt.captured = make(map[string]*capturedResponse)
+	}
+	rt.captured[key] = &capturedResponse{status: resp.StatusCode, header: resp.Header.Clone(), body: body}
+	rt.mu.Unlock()
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	return resp, nil
+}
+
+// cloneRequest builds a second sendable copy of req, or nil when the
+// body cannot be replayed.
+func cloneRequest(req *http.Request) *http.Request {
+	dup := req.Clone(req.Context())
+	if req.Body == nil || req.GetBody == nil {
+		if req.Body != nil {
+			return nil
+		}
+		return dup
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil
+	}
+	dup.Body = body
+	return dup
+}
+
+// ListenerMode is what the listener injector does with inbound
+// connections — the server-side partition primitive.
+type ListenerMode int
+
+const (
+	// Accept serves connections normally.
+	Accept ListenerMode = iota
+	// Refuse closes each accepted connection immediately (the peer sees
+	// a reset — a crashed or firewalled approver).
+	Refuse
+	// Hang accepts and then black-holes the connection: bytes are read
+	// and discarded, nothing is ever answered (a partitioned approver;
+	// clients only escape via their own timeout).
+	Hang
+)
+
+// Listener wraps a net.Listener with a switchable fault mode. Refused
+// and hung connections are tracked and torn down on Close so tests
+// never leak.
+type Listener struct {
+	inner net.Listener
+
+	mu    sync.Mutex
+	mode  ListenerMode
+	held  []net.Conn
+	close sync.Once
+}
+
+// WrapListener wraps ln (mode Accept until SetMode is called).
+func WrapListener(ln net.Listener) *Listener {
+	return &Listener{inner: ln}
+}
+
+// SetMode switches the fault mode for subsequent connections.
+func (l *Listener) SetMode(m ListenerMode) {
+	l.mu.Lock()
+	l.mode = m
+	l.mu.Unlock()
+}
+
+// Accept implements net.Listener. Connections arriving in Refuse or
+// Hang mode never reach the wrapped server.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		mode := l.mode
+		if mode == Hang {
+			l.held = append(l.held, c)
+		}
+		l.mu.Unlock()
+		switch mode {
+		case Refuse:
+			c.Close()
+		case Hang:
+			go func(c net.Conn) {
+				// Drain so the peer's writes succeed and it commits to
+				// waiting for a response that never comes.
+				io.Copy(io.Discard, c)
+			}(c)
+		default:
+			return c, nil
+		}
+	}
+}
+
+// Close closes the wrapped listener and every held (hung) connection.
+func (l *Listener) Close() error {
+	var err error
+	l.close.Do(func() {
+		err = l.inner.Close()
+		l.mu.Lock()
+		held := l.held
+		l.held = nil
+		l.mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	})
+	return err
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }

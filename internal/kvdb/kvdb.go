@@ -25,7 +25,9 @@ import (
 	"time"
 
 	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fault"
 	"palaemon/internal/fsatomic"
+	"palaemon/internal/obs"
 )
 
 var (
@@ -84,6 +86,13 @@ type Options struct {
 	// (cf. MySQL's binlog_group_commit_sync_delay). A solo writer never
 	// waits. 0 means DefaultGroupCommitDelay.
 	GroupCommitDelay time.Duration
+	// FS is the filesystem the store persists through; nil means the
+	// real filesystem. The crash-consistency harness injects a
+	// fault.Injector here.
+	FS fault.FS
+	// Obs receives repair warnings (torn-tail truncation, stale-WAL
+	// discard, temp-file sweeps) and their counters; nil discards.
+	Obs *obs.Obs
 }
 
 // DefaultGroupCommitMaxBatch bounds a commit batch when Options leaves it 0.
@@ -113,7 +122,9 @@ type DB struct {
 	data    map[string]map[string][]byte
 	version uint64
 	chain   [32]byte
-	wal     *os.File
+	wal     fault.File
+	fs      fault.FS
+	obs     *obs.Obs
 	opts    Options
 	closed  bool
 	// walRecords counts records since the last snapshot, for compaction.
@@ -155,7 +166,8 @@ type DB struct {
 
 // Open loads (or creates) the database in dir, encrypted under key.
 func Open(dir string, key cryptoutil.Key, opts Options) (*DB, error) {
-	if err := os.MkdirAll(dir, 0o700); err != nil {
+	fsys := fault.Or(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("kvdb: create dir: %w", err)
 	}
 	if opts.GroupCommitMaxBatch <= 0 {
@@ -169,12 +181,23 @@ func Open(dir string, key cryptoutil.Key, opts Options) (*DB, error) {
 		key:  key,
 		data: make(map[string]map[string][]byte),
 		opts: opts,
+		fs:   fsys,
+		obs:  opts.Obs.Or(),
 	}
 	db.commitCond = sync.NewCond(&db.mu)
+	// A crash between fsatomic's temp-file create and rename strands a
+	// "*.tmp" orphan next to the snapshot; nothing is in flight at open,
+	// so sweep them before reading state.
+	if removed, err := fsatomic.SweepTmp(fsys, dir); err != nil {
+		return nil, fmt.Errorf("kvdb: %w", err)
+	} else if len(removed) > 0 {
+		db.obs.Log.Warn("kvdb: removed stale temp files left by a crash", "dir", dir, "files", removed)
+		db.obs.Metrics.Counter("palaemon_kvdb_repairs_total", obs.L("kind", "tmp-sweep")).Add(uint64(len(removed)))
+	}
 	if err := db.load(); err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	wal, err := fsys.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("kvdb: open WAL: %w", err)
 	}
@@ -187,8 +210,14 @@ func Open(dir string, key cryptoutil.Key, opts Options) (*DB, error) {
 }
 
 // load reads snapshot then replays the WAL, verifying the hash chain.
+// Two crash residues are repaired here instead of refusing service
+// (both sit strictly past the last group-commit barrier, so no acked
+// write is involved): a torn trailing record from a power loss
+// mid-append, and a whole stale WAL from a power loss between Compact's
+// snapshot publish and its WAL truncation.
 func (db *DB) load() error {
-	snapRaw, err := os.ReadFile(filepath.Join(db.dir, snapshotFile))
+	hadSnapshot := false
+	snapRaw, err := db.fs.ReadFile(filepath.Join(db.dir, snapshotFile))
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		// Fresh database.
@@ -209,47 +238,137 @@ func (db *DB) load() error {
 		}
 		db.version = snap.Version
 		db.chain = snap.Chain
+		hadSnapshot = true
 	}
 
-	walRaw, err := os.ReadFile(filepath.Join(db.dir, walFile))
+	walPath := filepath.Join(db.dir, walFile)
+	walRaw, err := db.fs.ReadFile(walPath)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("kvdb: read WAL: %w", err)
 	}
-	return db.replay(walRaw)
+	good, rerr := db.replay(walRaw)
+	switch {
+	case rerr == nil:
+		return nil
+	case errors.Is(rerr, errTornTail):
+		// A power loss tore the append of the final record. Framed
+		// records are written front-to-back, so the tear is a strict
+		// prefix of one record sitting past the last complete record —
+		// and the commit barrier (the acking fsync) is always at a
+		// record boundary, so the torn bytes were never acked. Dropping
+		// them restores availability without losing durable data;
+		// mid-stream corruption (a failed MAC or chain break below)
+		// stays fatal.
+		if err := db.fs.Truncate(walPath, int64(good)); err != nil {
+			return fmt.Errorf("kvdb: truncate torn WAL tail: %w", err)
+		}
+		db.obs.Log.Warn("kvdb: dropped torn WAL tail left by a crash mid-append (record was never acked)",
+			"dir", db.dir, "kept_bytes", good, "dropped_bytes", len(walRaw)-good)
+		db.obs.Metrics.Counter("palaemon_kvdb_repairs_total", obs.L("kind", "torn-tail")).Inc()
+		return nil
+	case hadSnapshot && db.walRecords == 0 && db.staleWAL(walRaw):
+		// A power loss hit Compact between publishing the snapshot and
+		// truncating the WAL: the WAL on disk is the complete
+		// pre-compact history, every record of which is already folded
+		// into the snapshot — proven by its chain head hashing out to
+		// exactly the snapshot's. Finish the interrupted truncation.
+		if err := db.fs.Truncate(walPath, 0); err != nil {
+			return fmt.Errorf("kvdb: truncate stale WAL: %w", err)
+		}
+		db.obs.Log.Warn("kvdb: discarded stale pre-compact WAL left by a crash during Compact (contents verified against snapshot chain)",
+			"dir", db.dir, "dropped_bytes", len(walRaw))
+		db.obs.Metrics.Counter("palaemon_kvdb_repairs_total", obs.L("kind", "stale-wal")).Inc()
+		return nil
+	default:
+		return rerr
+	}
 }
 
-func (db *DB) replay(raw []byte) error {
+// errTornTail marks an incomplete final WAL record — a crash residue,
+// not tampering. Internal to load's repair logic.
+var errTornTail = errors.New("kvdb: torn WAL tail")
+
+// replay applies raw's records to the in-memory state. It returns the
+// byte offset of the last complete, verified record consumed; on a
+// torn tail the error wraps errTornTail and the offset tells load
+// where to cut.
+func (db *DB) replay(raw []byte) (int, error) {
 	off := 0
+	good := 0
 	for off < len(raw) {
 		if off+4 > len(raw) {
-			return fmt.Errorf("%w: truncated WAL length", ErrCorrupt)
+			return good, fmt.Errorf("%w: truncated length prefix", errTornTail)
 		}
 		n := int(binary.LittleEndian.Uint32(raw[off:]))
 		off += 4
 		if off+n > len(raw) {
-			return fmt.Errorf("%w: truncated WAL record", ErrCorrupt)
+			return good, fmt.Errorf("%w: truncated record", errTornTail)
 		}
 		sealed := raw[off : off+n]
 		off += n
 		pt, err := cryptoutil.Open(db.key, sealed, []byte("kvdb-wal"))
 		if err != nil {
-			return fmt.Errorf("%w: WAL record", ErrCorrupt)
+			return good, fmt.Errorf("%w: WAL record", ErrCorrupt)
 		}
 		var rec record
 		if err := json.Unmarshal(pt, &rec); err != nil {
-			return fmt.Errorf("%w: WAL decode", ErrCorrupt)
+			return good, fmt.Errorf("%w: WAL decode", ErrCorrupt)
 		}
 		if rec.Prev != db.chain {
-			return fmt.Errorf("%w: WAL chain break", ErrCorrupt)
+			return good, fmt.Errorf("%w: WAL chain break", ErrCorrupt)
 		}
 		db.applyLocked(rec)
 		db.chain = chainHash(db.chain, pt)
 		db.walRecords++
+		good = off
 	}
-	return nil
+	return good, nil
+}
+
+// staleWAL reports whether raw is a complete, internally consistent
+// record chain whose final head equals the loaded snapshot's chain —
+// i.e. the exact history the snapshot already contains. Only such a
+// WAL may be discarded: an attacker cannot fabricate one without
+// breaking the AEAD or the hash chain, and a WAL with any record the
+// snapshot lacks hashes to a different head.
+func (db *DB) staleWAL(raw []byte) bool {
+	off := 0
+	var chain [32]byte
+	first := true
+	for off < len(raw) {
+		if off+4 > len(raw) {
+			return false
+		}
+		n := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+		if off+n > len(raw) {
+			return false
+		}
+		pt, err := cryptoutil.Open(db.key, raw[off:off+n], []byte("kvdb-wal"))
+		if err != nil {
+			return false
+		}
+		off += n
+		var rec record
+		if err := json.Unmarshal(pt, &rec); err != nil {
+			return false
+		}
+		if first {
+			// The pre-compact chain start is whatever the first record
+			// claims; what matters is that the chain closes on the
+			// snapshot's head.
+			chain = rec.Prev
+			first = false
+		}
+		if rec.Prev != chain {
+			return false
+		}
+		chain = chainHash(chain, pt)
+	}
+	return !first && chain == db.chain
 }
 
 func chainHash(prev [32]byte, payload []byte) [32]byte {
@@ -576,13 +695,13 @@ func (db *DB) Compact() error {
 	// fsatomic: the snapshot must be ON DISK (fsync + atomic rename +
 	// directory sync) before the WAL that also holds these records is
 	// truncated, or a crash between the two loses committed data.
-	if err := fsatomic.WriteFile(filepath.Join(db.dir, snapshotFile), sealed, 0o600); err != nil {
+	if err := fsatomic.WriteFileFS(db.fs, filepath.Join(db.dir, snapshotFile), sealed, 0o600); err != nil {
 		return fmt.Errorf("kvdb: write snapshot: %w", err)
 	}
 	if err := db.wal.Close(); err != nil {
 		return fmt.Errorf("kvdb: close WAL: %w", err)
 	}
-	wal, err := os.OpenFile(filepath.Join(db.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	wal, err := db.fs.OpenFile(filepath.Join(db.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
 	if err != nil {
 		return fmt.Errorf("kvdb: truncate WAL: %w", err)
 	}

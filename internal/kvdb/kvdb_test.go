@@ -3,6 +3,7 @@ package kvdb
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -168,7 +169,70 @@ func TestWALTamperingDetected(t *testing.T) {
 	}
 }
 
-func TestWALTruncationDetected(t *testing.T) {
+// TestTornTailRepaired pins the availability contract for a power loss
+// mid-append: a truncated FINAL record (which by the fsync barrier was
+// never acked) is dropped at Open instead of bricking the database, the
+// records before it stay served, and the repaired WAL keeps accepting
+// appends across another restart.
+func TestTornTailRepaired(t *testing.T) {
+	dir := t.TempDir()
+	key := cryptoutil.MustNewKey()
+	db, err := Open(dir, key, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Put("b", fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: the simulated crash cut its append short.
+	if err := os.WriteFile(walPath, raw[:len(raw)-5], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, key, Options{})
+	if err != nil {
+		t.Fatalf("torn tail must repair, got %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if v, err := db.Get("b", fmt.Sprintf("k%d", i)); err != nil || v[0] != byte(i) {
+			t.Fatalf("k%d after repair = %v, %v", i, v, err)
+		}
+	}
+	// k2's record was the torn one: it must be gone, not garbled.
+	if _, err := db.Get("b", "k2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn record must be dropped, got err %v", err)
+	}
+	if err := db.Put("b", "k3", []byte{3}); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The repaired-and-extended WAL replays cleanly.
+	db, err = Open(dir, key, Options{})
+	if err != nil {
+		t.Fatalf("reopen after repair+append: %v", err)
+	}
+	if v, err := db.Get("b", "k3"); err != nil || v[0] != 3 {
+		t.Fatalf("k3 = %v, %v", v, err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMidStreamCorruptionStaysFatal: losing bytes in the MIDDLE of the
+// WAL is tampering, not a crash residue — replay must refuse.
+func TestMidStreamCorruptionStaysFatal(t *testing.T) {
 	dir := t.TempDir()
 	key := cryptoutil.MustNewKey()
 	db, err := Open(dir, key, Options{})
@@ -188,12 +252,15 @@ func TestWALTruncationDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Cut the WAL mid-record.
-	if err := os.WriteFile(walPath, raw[:len(raw)-5], 0o600); err != nil {
+	// Splice 5 bytes out of the middle: record framing survives long
+	// enough to hit an authentication failure, not a torn tail.
+	mid := len(raw) / 2
+	spliced := append(append([]byte(nil), raw[:mid]...), raw[mid+5:]...)
+	if err := os.WriteFile(walPath, spliced, 0o600); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir, key, Options{}); !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("want ErrCorrupt for truncated WAL, got %v", err)
+		t.Fatalf("want ErrCorrupt for mid-stream corruption, got %v", err)
 	}
 }
 

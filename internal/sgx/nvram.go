@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 
 	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fault"
 	"palaemon/internal/fsatomic"
 	"palaemon/internal/simclock"
 )
@@ -86,26 +87,36 @@ func OpenPlatform(opts Options) (*Platform, error) {
 	if opts.StateDir == "" {
 		return nil, errors.New("sgx: OpenPlatform requires Options.StateDir")
 	}
-	if err := os.MkdirAll(opts.StateDir, 0o700); err != nil {
+	fsys := fault.Or(opts.FS)
+	if err := fsys.MkdirAll(opts.StateDir, 0o700); err != nil {
 		return nil, fmt.Errorf("sgx: create platform state dir: %w", err)
 	}
 	// Exclusive ownership before the first read: without it, two racing
 	// first-opens would each mint a platform and the rename loser's
-	// sealing key would be lost forever.
+	// sealing key would be lost forever. The flock stays on the real os
+	// regardless of opts.FS — it models the machine's process table, not
+	// its disk, so a simulated crash must not release it prematurely.
 	lock, err := lockStateDir(opts.StateDir)
 	if err != nil {
 		return nil, err
 	}
+	// A crash between fsatomic's temp-file create and rename strands a
+	// *.tmp orphan; no write can be in flight under the flock, so sweep
+	// it here.
+	if _, err := fsatomic.SweepTmp(fsys, opts.StateDir); err != nil {
+		lock.Close()
+		return nil, err
+	}
 	path := filepath.Join(opts.StateDir, nvramFileName)
-	raw, err := os.ReadFile(path)
+	raw, err := fsys.ReadFile(path)
 	var p *Platform
 	switch {
 	case errors.Is(err, os.ErrNotExist):
-		p, err = mintDurablePlatform(opts, path)
+		p, err = mintDurablePlatform(opts, path, fsys)
 	case err != nil:
 		err = fmt.Errorf("sgx: read platform NVRAM: %w", err)
 	default:
-		p, err = restorePlatform(opts, path, raw)
+		p, err = restorePlatform(opts, path, fsys, raw)
 	}
 	if err != nil {
 		lock.Close()
@@ -144,13 +155,14 @@ func MustOpenPlatform(opts Options) *Platform {
 }
 
 // mintDurablePlatform creates a fresh platform and writes its NVRAM.
-func mintDurablePlatform(opts Options, path string) (*Platform, error) {
+func mintDurablePlatform(opts Options, path string, fsys fault.FS) (*Platform, error) {
 	opts.StateDir = "" // avoid NewPlatform recursing back into OpenPlatform
 	p, err := NewPlatform(opts)
 	if err != nil {
 		return nil, err
 	}
 	p.statePath = path
+	p.fs = fsys
 	p.nvramCounters = make(map[string]nvramCounter)
 	if err := p.persistNVRAM(); err != nil {
 		return nil, err
@@ -159,7 +171,7 @@ func mintDurablePlatform(opts Options, path string) (*Platform, error) {
 }
 
 // restorePlatform rebuilds a platform from its NVRAM file.
-func restorePlatform(opts Options, path string, raw []byte) (*Platform, error) {
+func restorePlatform(opts Options, path string, fsys fault.FS, raw []byte) (*Platform, error) {
 	var env nvramEnvelope
 	if err := json.Unmarshal(raw, &env); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNVRAMCorrupt, err)
@@ -214,6 +226,7 @@ func restorePlatform(opts Options, path string, raw []byte) (*Platform, error) {
 		quoteKey:      signer,
 		counters:      make(map[string]*PlatformCounter, len(st.Counters)),
 		statePath:     path,
+		fs:            fsys,
 		nvramCounters: make(map[string]nvramCounter, len(st.Counters)),
 	}
 	for name, c := range st.Counters {
@@ -268,7 +281,7 @@ func (p *Platform) persistLocked() error {
 	// is durable per write"): fsatomic syncs the bytes before the rename
 	// publishes them and then syncs the directory (best-effort on
 	// filesystems that reject directory fsync).
-	if err := fsatomic.WriteFile(p.statePath, raw, 0o600); err != nil {
+	if err := fsatomic.WriteFileFS(fault.Or(p.fs), p.statePath, raw, 0o600); err != nil {
 		return fmt.Errorf("sgx: write platform NVRAM: %w", err)
 	}
 	return nil

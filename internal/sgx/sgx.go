@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fault"
 	"palaemon/internal/simclock"
 )
 
@@ -156,6 +157,11 @@ type Options struct {
 	// unseal what this one sealed). Empty means an ephemeral platform, as
 	// before.
 	StateDir string
+	// FS, when set, routes all durable-NVRAM filesystem access through
+	// it — the seam the crash-consistency harness (internal/chaos) uses
+	// to inject faults into the write-through path. Nil means the real
+	// filesystem.
+	FS fault.FS
 }
 
 // Platform is one simulated SGX-capable host.
@@ -183,6 +189,7 @@ type Platform struct {
 	// lockFile (the state-dir flock held for the platform's lifetime), and
 	// stateClosed (set by Close; disables further NVRAM writes).
 	statePath     string
+	fs            fault.FS
 	persistMu     sync.Mutex
 	nvramCounters map[string]nvramCounter
 	lockFile      *os.File

@@ -1,0 +1,379 @@
+// byzantine.go is the Byzantine stakeholder scenario suite (§III-C's
+// threat model made executable): each scenario scripts one adversarial
+// stakeholder behaviour against a real deployment — equivocating board
+// members, stale verdict/quote replays, counter rollback via restored
+// platform NVRAM, and partitioned approvers — and returns a result
+// struct the tests assert on. The scenarios are framework-free so the
+// CI chaos job and the -race tests drive the same code.
+package stress
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/board"
+	"palaemon/internal/core"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/fault"
+	"palaemon/internal/policy"
+	"palaemon/internal/sgx"
+)
+
+// byzReq is the policy change every board scenario submits.
+func byzReq(revision uint64, content string) board.Request {
+	return board.Request{
+		PolicyName: "byz-policy",
+		Operation:  "update",
+		Revision:   revision,
+		Digest:     cryptoutil.Digest([]byte(content)),
+	}
+}
+
+// askMember posts a request directly to one member's approval endpoint —
+// the per-asker view Evaluate hides, needed to collect equivocation
+// evidence.
+func askMember(cli *http.Client, url string, req board.Request) (board.Verdict, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return board.Verdict{}, err
+	}
+	resp, err := cli.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return board.Verdict{}, err
+	}
+	defer resp.Body.Close()
+	var v board.Verdict
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v); err != nil {
+		return board.Verdict{}, err
+	}
+	return v, nil
+}
+
+// EquivocationResult is the evidence an equivocating member leaves.
+type EquivocationResult struct {
+	// FirstVerdict and SecondVerdict are the member's answers to two
+	// askers posing the same request.
+	FirstVerdict, SecondVerdict board.Verdict
+	// BothValid: each verdict passes VerifyVerdict in isolation — the
+	// equivocation is invisible to a single asker.
+	BothValid bool
+	// Contradictory: the verdicts disagree — together they are
+	// non-repudiable proof of equivocation (both carry the member's
+	// signature over the same request).
+	Contradictory bool
+	// QuorumMasked: the full-board decision still approves, because the
+	// honest quorum outvotes the equivocator (f=1 of n=3, threshold 2).
+	QuorumMasked bool
+}
+
+// RunEquivocation stands up a 3-member board (2 honest approvers, 1
+// equivocator) and collects the cross-asker evidence.
+func RunEquivocation(ctx context.Context) (EquivocationResult, error) {
+	var res EquivocationResult
+	ca, err := cryptoutil.NewCertAuthority("Byzantine Approval Root", time.Hour)
+	if err != nil {
+		return res, err
+	}
+	var members []*board.Member
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}()
+	var b policy.Board
+	for _, spec := range []struct {
+		name string
+		opts []board.MemberOption
+	}{
+		{"honest-1", nil},
+		{"honest-2", nil},
+		{"equivocator", []board.MemberOption{board.WithEquivocation()}},
+	} {
+		m, err := board.NewMember(spec.name, spec.opts...)
+		if err != nil {
+			return res, err
+		}
+		if _, err := m.Serve(ca); err != nil {
+			return res, err
+		}
+		members = append(members, m)
+		b.Members = append(b.Members, m.Descriptor(false))
+	}
+	b.Threshold = 2
+	ev := board.NewEvaluator(ca, 2*time.Second)
+
+	req := byzReq(1, "byz-content-v1")
+	eq := members[2]
+	desc := eq.Descriptor(false)
+	v1, err := askMember(ev.Client, eq.URL(), req)
+	if err != nil {
+		return res, fmt.Errorf("first ask: %w", err)
+	}
+	v2, err := askMember(ev.Client, eq.URL(), req)
+	if err != nil {
+		return res, fmt.Errorf("second ask: %w", err)
+	}
+	res.FirstVerdict, res.SecondVerdict = v1, v2
+	res.BothValid = board.VerifyVerdict(req, v1, desc) == nil &&
+		board.VerifyVerdict(req, v2, desc) == nil
+	res.Contradictory = v1.Approve != v2.Approve
+
+	d := ev.Evaluate(ctx, b, req)
+	res.QuorumMasked = d.Approved && d.Approvals >= 2
+	return res, nil
+}
+
+// ReplayResult captures the two replay defences: a stale verdict served
+// back by the network, and a stale quote presented with a fresh key.
+type ReplayResult struct {
+	// FreshApproved: the legitimate first request passes.
+	FreshApproved bool
+	// StaleRejected: the second request — answered with a byte-for-byte
+	// replay of the first verdict — is NOT approved: the signature
+	// covers the old request, so VerifyVerdict fails for the new one.
+	StaleRejected bool
+	// ReplayCountedAsFailure: the replaying member lands in Failures
+	// (contributing nothing), not in Rejections.
+	ReplayCountedAsFailure bool
+	// QuoteReplayRejected: evidence minted for one session key, replayed
+	// by an attacker holding a different key, fails the report-data
+	// binding check with ErrKeyMismatch.
+	QuoteReplayRejected bool
+}
+
+// RunReplay scripts a network that serves stale messages: the
+// evaluator's transport replays the previous approval for a new request,
+// and an attacker replays a captured attestation quote under a new key.
+func RunReplay(ctx context.Context) (ReplayResult, error) {
+	var res ReplayResult
+	ca, err := cryptoutil.NewCertAuthority("Byzantine Approval Root", time.Hour)
+	if err != nil {
+		return res, err
+	}
+	m, err := board.NewMember("replayed")
+	if err != nil {
+		return res, err
+	}
+	if _, err := m.Serve(ca); err != nil {
+		return res, err
+	}
+	defer m.Close()
+	b := policy.Board{Members: []policy.BoardMember{m.Descriptor(false)}, Threshold: 1}
+
+	ev := board.NewEvaluator(ca, 2*time.Second)
+	// Request 1 passes (and its response is captured); every later
+	// request is answered from the capture — the stale-message network.
+	ev.Client.Transport = fault.NewRoundTripper(ev.Client.Transport, func(n int, _ *http.Request) fault.Action {
+		if n == 1 {
+			return fault.Action{Kind: fault.Pass}
+		}
+		return fault.Action{Kind: fault.ReplayLast}
+	})
+
+	d1 := ev.Evaluate(ctx, b, byzReq(1, "byz-content-v1"))
+	res.FreshApproved = d1.Approved
+	d2 := ev.Evaluate(ctx, b, byzReq(2, "byz-content-v2"))
+	res.StaleRejected = !d2.Approved && d2.Approvals == 0
+	res.ReplayCountedAsFailure = len(d2.Failures) == 1 && d2.Rejections == 0
+
+	// Stale quote: evidence minted by a real enclave for session key A;
+	// the attacker ships the same quote with their own key B.
+	p, err := sgx.NewPlatform(sgx.Options{})
+	if err != nil {
+		return res, err
+	}
+	enc, err := p.Launch(sgx.Binary{Name: "byz-app", Code: []byte("byz-app-v1")}, sgx.LaunchOptions{})
+	if err != nil {
+		return res, err
+	}
+	defer enc.Destroy()
+	keyA, err := cryptoutil.NewSigner()
+	if err != nil {
+		return res, err
+	}
+	keyB, err := cryptoutil.NewSigner()
+	if err != nil {
+		return res, err
+	}
+	evidence := attest.NewEvidence(enc, "byz-policy", "svc", keyA.Public)
+	if err := attest.VerifyBinding(evidence, p.QuotingKey()); err != nil {
+		return res, fmt.Errorf("fresh evidence rejected: %w", err)
+	}
+	evidence.SessionKey = append([]byte(nil), keyB.Public...)
+	res.QuoteReplayRejected = errors.Is(attest.VerifyBinding(evidence, p.QuotingKey()), attest.ErrKeyMismatch)
+	return res, nil
+}
+
+// RollbackResult captures the Fig 6 counter-rollback defence when the
+// attacker restores the platform's NVRAM file instead of the database.
+type RollbackResult struct {
+	// Detected: the restart after the NVRAM restore fails with
+	// ErrCounterMismatch (the DB claims a version the rolled-back
+	// counter never reached — fabricated state).
+	Detected bool
+	// RecoveryRefused: even the operator fail-over path (Recover: true)
+	// refuses — recovery exists for a database that LAGS the counter,
+	// never for one claiming a future the counter cannot vouch for.
+	RecoveryRefused bool
+	// HonestRestartOK: with the true NVRAM back in place the instance
+	// restarts cleanly, proving the defence has no false positive here.
+	HonestRestartOK bool
+}
+
+// RunCounterRollback runs two clean instance epochs on a durable
+// platform, then restores the NVRAM captured after epoch one — rolling
+// the monotonic counter behind the database — and asserts the restart
+// protocol refuses, with and without operator recovery.
+func RunCounterRollback(ctx context.Context, base string) (RollbackResult, error) {
+	var res RollbackResult
+	stateDir := filepath.Join(base, "platform")
+	dataDir := filepath.Join(base, "tms")
+	nvramPath := filepath.Join(stateDir, "platform.nvram")
+	model := sgx.DefaultCostModel()
+	model.CounterInterval = 0
+	openPlatform := func() (*sgx.Platform, error) {
+		return sgx.OpenPlatform(sgx.Options{StateDir: stateDir, Model: model})
+	}
+
+	p, err := openPlatform()
+	if err != nil {
+		return res, err
+	}
+	runEpoch := func() error {
+		inst, err := core.Open(core.Options{Platform: p, DataDir: dataDir})
+		if err != nil {
+			return err
+		}
+		return inst.Shutdown(ctx)
+	}
+	if err := runEpoch(); err != nil {
+		return res, fmt.Errorf("epoch 1: %w", err)
+	}
+	// The attacker snapshots untrusted storage between the epochs.
+	stale, err := os.ReadFile(nvramPath)
+	if err != nil {
+		return res, err
+	}
+	if err := runEpoch(); err != nil {
+		return res, fmt.Errorf("epoch 2: %w", err)
+	}
+	current, err := os.ReadFile(nvramPath)
+	if err != nil {
+		return res, err
+	}
+	if err := p.Close(); err != nil {
+		return res, err
+	}
+
+	// Rollback: the platform "reboots" with last week's NVRAM.
+	if err := os.WriteFile(nvramPath, stale, 0o600); err != nil {
+		return res, err
+	}
+	p2, err := openPlatform()
+	if err != nil {
+		return res, err
+	}
+	_, err = core.Open(core.Options{Platform: p2, DataDir: dataDir})
+	res.Detected = errors.Is(err, core.ErrCounterMismatch)
+	_, err = core.Open(core.Options{Platform: p2, DataDir: dataDir, Recover: true})
+	res.RecoveryRefused = errors.Is(err, core.ErrCounterMismatch)
+	if err := p2.Close(); err != nil {
+		return res, err
+	}
+
+	// Honest restart: true NVRAM back, everything proceeds.
+	if err := os.WriteFile(nvramPath, current, 0o600); err != nil {
+		return res, err
+	}
+	p3, err := openPlatform()
+	if err != nil {
+		return res, err
+	}
+	defer p3.Close()
+	inst, err := core.Open(core.Options{Platform: p3, DataDir: dataDir})
+	if err == nil {
+		res.HonestRestartOK = true
+		if err := inst.Shutdown(ctx); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// PartitionResult captures liveness under a partitioned approver.
+type PartitionResult struct {
+	// Approved: the honest quorum decides without the partitioned member.
+	Approved bool
+	// PartitionedAsFailure: the unreachable member is reported as a
+	// failure, not silently dropped.
+	PartitionedAsFailure bool
+	// Elapsed is how long the decision took; it must be bounded by the
+	// per-member timeout, not by the partition's (infinite) duration.
+	Elapsed time.Duration
+	// Timeout is the evaluator's per-member bound, for the assertion.
+	Timeout time.Duration
+}
+
+// RunPartition boards three members and black-holes one behind a
+// fault.Listener in Hang mode: connections are accepted and drained but
+// never answered, the worst case for a timeout (a refused connection
+// fails fast; a hung one burns the whole budget).
+func RunPartition(ctx context.Context) (PartitionResult, error) {
+	const timeout = 300 * time.Millisecond
+	res := PartitionResult{Timeout: timeout}
+	ca, err := cryptoutil.NewCertAuthority("Byzantine Approval Root", time.Hour)
+	if err != nil {
+		return res, err
+	}
+	var b policy.Board
+	var members []*board.Member
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}()
+	for _, name := range []string{"honest-1", "honest-2"} {
+		m, err := board.NewMember(name)
+		if err != nil {
+			return res, err
+		}
+		if _, err := m.Serve(ca); err != nil {
+			return res, err
+		}
+		members = append(members, m)
+		b.Members = append(b.Members, m.Descriptor(false))
+	}
+	parted, err := board.NewMember("partitioned")
+	if err != nil {
+		return res, err
+	}
+	var fl *fault.Listener
+	if _, err := parted.ServeVia(ca, func(ln net.Listener) net.Listener {
+		fl = fault.WrapListener(ln)
+		return fl
+	}); err != nil {
+		return res, err
+	}
+	members = append(members, parted)
+	b.Members = append(b.Members, parted.Descriptor(false))
+	b.Threshold = 2
+	fl.SetMode(fault.Hang)
+
+	ev := board.NewEvaluator(ca, timeout)
+	start := time.Now()
+	d := ev.Evaluate(ctx, b, byzReq(1, "byz-content-v1"))
+	res.Elapsed = time.Since(start)
+	res.Approved = d.Approved && d.Approvals == 2
+	res.PartitionedAsFailure = len(d.Failures) == 1 && d.Failures[0] == "partitioned"
+	return res, nil
+}

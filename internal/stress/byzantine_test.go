@@ -1,0 +1,88 @@
+package stress
+
+import (
+	"context"
+	"testing"
+)
+
+// TestByzantineEquivocation: an equivocating member hands opposite,
+// individually valid verdicts to two askers — cross-asker comparison is
+// the only detector — and the honest quorum still decides correctly.
+func TestByzantineEquivocation(t *testing.T) {
+	res, err := RunEquivocation(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BothValid {
+		t.Error("equivocator's verdicts must each pass VerifyVerdict in isolation")
+	}
+	if !res.Contradictory {
+		t.Errorf("expected contradictory verdicts, got approve=%v and approve=%v",
+			res.FirstVerdict.Approve, res.SecondVerdict.Approve)
+	}
+	if !res.QuorumMasked {
+		t.Error("honest 2-of-3 quorum must decide despite the equivocator")
+	}
+}
+
+// TestByzantineReplay: a stale verdict replayed for a new request must
+// not count (its signature covers the old request), and a stale quote
+// replayed under a new session key must fail the report-data binding.
+func TestByzantineReplay(t *testing.T) {
+	res, err := RunReplay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FreshApproved {
+		t.Error("legitimate first request must be approved")
+	}
+	if !res.StaleRejected {
+		t.Error("replayed stale verdict must not approve the new request")
+	}
+	if !res.ReplayCountedAsFailure {
+		t.Error("replaying member must count as failure, not rejection")
+	}
+	if !res.QuoteReplayRejected {
+		t.Error("stale quote under a new session key must fail the binding check")
+	}
+}
+
+// TestByzantineCounterRollback: restoring the platform NVRAM rolls the
+// monotonic counter behind the database; the Fig 6 restart protocol
+// must refuse — including through the operator recovery path, which
+// exists only for a database LAGGING the counter.
+func TestByzantineCounterRollback(t *testing.T) {
+	res, err := RunCounterRollback(context.Background(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Error("NVRAM rollback not detected: want ErrCounterMismatch")
+	}
+	if !res.RecoveryRefused {
+		t.Error("fabricated state (v ahead of c) must refuse even operator recovery")
+	}
+	if !res.HonestRestartOK {
+		t.Error("honest restart with the true NVRAM must succeed")
+	}
+}
+
+// TestByzantinePartition: a black-holed approver (connections accepted,
+// never answered) must cost at most the per-member timeout, not stall
+// the decision; the honest quorum approves and the partitioned member
+// is reported as a failure.
+func TestByzantinePartition(t *testing.T) {
+	res, err := RunPartition(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved {
+		t.Error("honest quorum must approve despite the partition")
+	}
+	if !res.PartitionedAsFailure {
+		t.Error("partitioned member must be reported in Failures")
+	}
+	if res.Elapsed > 4*res.Timeout {
+		t.Errorf("decision took %v, want bounded by the %v per-member timeout", res.Elapsed, res.Timeout)
+	}
+}
