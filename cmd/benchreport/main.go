@@ -7,7 +7,14 @@
 //	benchreport -exp fig10              # one experiment
 //	benchreport -exp fig8,fig12         # a comma-separated subset
 //	benchreport -json BENCH.json        # also write the reports as JSON
+//	benchreport -baseline BENCH_pr10.json  # diff against a committed baseline
 //	benchreport -list                   # list experiment IDs
+//
+// With -baseline, the run is compared against the committed JSON
+// baseline: losing an experiment, row, or column the baseline covers is
+// an error (the perf trajectory must not silently shrink), while numeric
+// drift is printed for the record but never fails the run — CI machines
+// are not a latency lab.
 package main
 
 import (
@@ -33,6 +40,7 @@ func run() error {
 		quick    = flag.Bool("quick", false, "reduced measurement windows")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonPath = flag.String("json", "", "also write the reports to this file as a JSON array (perf trajectory data points)")
+		baseline = flag.String("baseline", "", "committed baseline JSON to diff this run against (fails on coverage loss, reports numeric drift)")
 	)
 	flag.Parse()
 
@@ -78,6 +86,39 @@ func run() error {
 			return fmt.Errorf("write %s: %w", *jsonPath, err)
 		}
 		fmt.Fprintf(os.Stderr, "benchreport: wrote %d report(s) to %s\n", len(reports), *jsonPath)
+	}
+
+	if *baseline != "" {
+		if err := diffBaseline(*baseline, reports); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diffBaseline loads the committed baseline and prints the trajectory
+// diff. Coverage regressions are fatal; drift is informational.
+func diffBaseline(path string, reports []*figures.Report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base []*figures.Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("decode baseline %s: %w", path, err)
+	}
+	d := figures.Diff(base, reports)
+	fmt.Printf("== baseline diff vs %s ==\n", path)
+	fmt.Printf("  %d numeric cell(s) compared, %d drifted >=10%%, %d coverage regression(s)\n",
+		d.Compared, len(d.Drift), len(d.Structural))
+	for _, line := range d.Drift {
+		fmt.Println("  drift:", line)
+	}
+	for _, line := range d.Structural {
+		fmt.Println("  LOST:", line)
+	}
+	if d.Failed() {
+		return fmt.Errorf("baseline coverage regressed: %d item(s) lost (see LOST lines)", len(d.Structural))
 	}
 	return nil
 }

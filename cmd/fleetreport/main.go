@@ -1,0 +1,78 @@
+// Command fleetreport runs the kill-a-shard failover drill
+// (internal/stress.RunFleetKillShard) and emits its report as JSON — the
+// CI fleet job's failover artifact. It exits non-zero when any failover
+// invariant is violated: an acknowledged write lost, a promoted replica
+// that chain-verified nothing, a discovery epoch that failed to advance,
+// or a promoted shard that accepts no writes.
+//
+// Usage:
+//
+//	fleetreport                     # drill, summary to stdout
+//	fleetreport -json FLEET.json    # also write the report to a file
+//	fleetreport -shards 5 -writers 8 -warmup 12
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"palaemon/internal/stress"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		jsonPath = flag.String("json", "", "also write the report to this file as JSON")
+		shards   = flag.Int("shards", 3, "fleet size")
+		writers  = flag.Int("writers", 6, "concurrent stakeholder writers")
+		warmup   = flag.Int("warmup", 8, "policies each writer creates before the kill")
+		window   = flag.Duration("window", 300*time.Millisecond, "outage window between kill and promotion")
+	)
+	flag.Parse()
+
+	scratch, err := os.MkdirTemp("", "palaemon-fleet")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	report, err := stress.RunFleetKillShard(stress.FleetKillOptions{
+		DataDir:    scratch,
+		Shards:     *shards,
+		Writers:    *writers,
+		Warmup:     *warmup,
+		KillWindow: *window,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fleet failover drill: %d shards (replication %d), %d writers\n",
+		report.Shards, report.Replication, report.Writers)
+	fmt.Printf("  victim %s  epoch %d -> %d  duration %dms\n",
+		report.Victim, report.EpochBefore, report.EpochAfter, report.DurationMS)
+	fmt.Printf("  acked %d (victim-owned %d)  lost %d  replica-verified %d\n",
+		report.Acked, report.AckedVictim, report.LostWrites, report.ReplicaVerified)
+	fmt.Printf("  degraded %d  transient errors %d  post-failover writes %d\n",
+		report.Degraded, report.TransientErrors, report.PostFailoverOps)
+
+	if *jsonPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return report.Err()
+}

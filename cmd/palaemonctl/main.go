@@ -13,10 +13,19 @@
 //	palaemonctl -url ... batch-secrets <policy-name> [policy-name ...]
 //	palaemonctl -url ... attestation
 //	palaemonctl -ops-url http://127.0.0.1:PORT stats [prefix]
+//	palaemonctl -url ... -fleet-key HEX [-fleet-seed URL,URL] fleet
 //
 // stats talks to the daemon's plaintext operational endpoint (palaemond
 // -ops-addr) and prints its Prometheus metric lines, filtered to the
 // given name prefix (default "palaemon_").
+//
+// fleet fetches the signed discovery document (GET /v2/fleet) from -url
+// and any -fleet-seed endpoints and prints the shard map. With
+// -fleet-key (the hex Ed25519 document key from palaemond's "fleet
+// identity" banner) every document is verified — bad signature and
+// epoch regressions are rejected, and the highest verified epoch wins.
+// Without the key the map is printed with an explicit UNVERIFIED
+// warning: an unsigned shard map is routing advice from strangers.
 //
 // list, watch and batch-secrets speak the v2 wire protocol: list pages
 // through GET /v2/policies, watch long-polls board-approved updates
@@ -31,7 +40,9 @@ package main
 import (
 	"bufio"
 	"context"
+	"crypto/ed25519"
 	"crypto/tls"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,7 +54,9 @@ import (
 
 	"palaemon"
 	"palaemon/internal/core"
+	"palaemon/internal/fleet"
 	"palaemon/internal/policy"
+	"palaemon/internal/wire"
 )
 
 func main() {
@@ -59,6 +72,9 @@ func run() error {
 		opsURL  = flag.String("ops-url", "http://127.0.0.1:8444", "operational endpoint base URL (stats)")
 		certDir = flag.String("certdir", "./palaemonctl-certs", "client certificate directory")
 		asYAML  = flag.Bool("yaml", false, "print policies in the policy-file YAML dialect")
+
+		fleetSeed = flag.String("fleet-seed", "", "fleet: comma-separated extra seed endpoints to fetch the discovery document from")
+		fleetKey  = flag.String("fleet-key", "", "fleet: hex Ed25519 fleet document key; when set, discovery documents are verified")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -231,6 +247,17 @@ func run() error {
 			return fmt.Errorf("%d of %d policies failed", failed, len(results))
 		}
 		return nil
+	case "fleet":
+		if len(args) != 1 {
+			return fmt.Errorf("fleet takes no arguments")
+		}
+		seeds := []string{*url}
+		for _, s := range strings.Split(*fleetSeed, ",") {
+			if s = strings.TrimSpace(s); s != "" && s != *url {
+				seeds = append(seeds, s)
+			}
+		}
+		return fleetStatus(ctx, cert, seeds, *fleetKey)
 	case "attestation":
 		doc, err := cli.Attestation(ctx)
 		if err != nil {
@@ -244,6 +271,70 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// fleetStatus fetches the discovery document from each seed and prints
+// the shard map. With a document key every fetched doc is verified and
+// the highest verified epoch wins; without one the first doc that
+// arrives is printed UNVERIFIED. Seeds that fail are reported but only
+// fatal when none yields a document.
+func fleetStatus(ctx context.Context, cert *tls.Certificate, seeds []string, keyHex string) error {
+	var pub ed25519.PublicKey
+	if keyHex != "" {
+		raw, err := hex.DecodeString(keyHex)
+		if err != nil || len(raw) != ed25519.PublicKeySize {
+			return fmt.Errorf("-fleet-key must be a %d-byte hex Ed25519 public key", ed25519.PublicKeySize)
+		}
+		pub = ed25519.PublicKey(raw)
+	}
+
+	var best *wire.FleetDoc
+	var from string
+	for _, seed := range seeds {
+		cli := core.NewClient(core.ClientOptions{BaseURL: seed, Certificate: cert})
+		doc, err := cli.FetchFleetDoc(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %s: %v\n", seed, err)
+			continue
+		}
+		if pub != nil {
+			// minEpoch pins each doc to the best already seen, so a
+			// lagging or replayed map from a later seed cannot displace
+			// a newer verified one.
+			minEpoch := uint64(0)
+			if best != nil {
+				minEpoch = best.Epoch
+			}
+			if err := fleet.VerifyDoc(pub, doc, minEpoch); err != nil {
+				fmt.Fprintf(os.Stderr, "seed %s: %v\n", seed, err)
+				continue
+			}
+		}
+		if best == nil || doc.Epoch > best.Epoch {
+			best, from = doc, seed
+		}
+		if pub == nil {
+			break // unverified: more seeds add no trust, just print the first
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("no usable discovery document from %d seed(s)", len(seeds))
+	}
+
+	if pub != nil {
+		fmt.Printf("fleet document verified (epoch %d, from %s)\n", best.Epoch, from)
+	} else {
+		fmt.Printf("fleet document UNVERIFIED — no -fleet-key given (epoch %d, from %s)\n", best.Epoch, from)
+	}
+	fmt.Printf("replication %d, %d vnodes/shard, %d shards:\n", best.Replication, best.VNodes, len(best.Shards))
+	for _, s := range best.Shards {
+		fmt.Printf("  %-12s %-28s followers=%d", s.Name, s.Endpoint, s.Followers)
+		if s.QuotingKeyFP != "" {
+			fmt.Printf("  fp=%.16s…", s.QuotingKeyFP)
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 // printStats scrapes the ops endpoint's /metrics and prints the metric

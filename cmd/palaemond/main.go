@@ -8,9 +8,17 @@
 // startup banner carries the instance identity (platform ID, MRE, IAS
 // key, DB epoch) so a supervisor can parse readiness and identity from
 // the same stream.
+//
+// With -shards N the daemon instead serves a replicated fleet
+// (DESIGN.md §14): N sharded instances with per-shard WAL followers, a
+// consistent-hash ring over policy names, and a signed discovery
+// document at /v2/fleet on every shard. The banner then prints each
+// shard's endpoint and the discovery-document public key clients verify
+// the doc with (palaemonctl -fleet-key).
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -19,6 +27,7 @@ import (
 	"syscall"
 
 	"palaemon"
+	"palaemon/internal/fleet"
 )
 
 func main() {
@@ -42,6 +51,9 @@ func run() error {
 		opsAddr   = flag.String("ops-addr", "", "plaintext operational endpoint: /metrics, /healthz, /readyz, /debug/pprof (empty = disabled)")
 		auditPath = flag.String("audit", "", "hash-chained audit log file (default: <data>/audit.log, \"off\" = disabled)")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+
+		shards      = flag.Int("shards", 0, "serve a replicated fleet of N shards from this process instead of a single instance (-data holds one subdirectory per shard)")
+		replication = flag.Int("replication", 2, "fleet mode: copies of each shard's data, the primary included (1 = no followers)")
 	)
 	flag.Parse()
 
@@ -50,6 +62,13 @@ func run() error {
 		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
 	}
 	logger := slog.New(palaemon.NewTextLogHandler(os.Stdout, level))
+
+	if *shards > 0 {
+		if *opsAddr != "" || *tenantRate > 0 || *maxConcurrent > 0 || *recover {
+			return fmt.Errorf("-ops-addr, -tenant-rate, -max-concurrent and -recover are not supported in fleet mode (-shards)")
+		}
+		return runFleet(logger, *dataDir, *shards, *replication, *groupCommit)
+	}
 
 	// Admission control is enabled by any limit flag; without them the
 	// daemon serves unlimited, as before.
@@ -109,5 +128,44 @@ func run() error {
 		return err
 	}
 	logger.Info("clean shutdown (v = c)")
+	return nil
+}
+
+// runFleet serves a replicated in-process fleet: N shard primaries, each
+// with WAL followers on the other instances, all publishing the same
+// signed discovery document. Clients seed from any shard's /v2/fleet and
+// verify the doc against the key printed in the banner.
+func runFleet(logger *slog.Logger, dataDir string, shards, replication int, groupCommit bool) error {
+	if err := os.MkdirAll(dataDir, 0o700); err != nil {
+		return err
+	}
+	f, err := fleet.New(fleet.Options{
+		Shards:      shards,
+		Replication: replication,
+		DataDir:     dataDir,
+		GroupCommit: groupCommit,
+		Observe:     true,
+	})
+	if err != nil {
+		return err
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	for _, name := range f.Shards() {
+		logger.Info("shard serving", "shard", name, "url", f.Endpoint(name))
+	}
+	// The doc key is what palaemonctl -fleet-key (and any client) pins to
+	// verify the discovery document; without it the fleet doc is just an
+	// unauthenticated claim.
+	logger.Info("fleet identity",
+		"shards", shards,
+		"replication", replication,
+		"doc_key", hex.EncodeToString(f.DocKey()))
+	logger.Info("ready", "fleet_epoch", f.Epoch())
+
+	<-stop
+	logger.Info("draining fleet")
+	f.Close()
+	logger.Info("clean shutdown")
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"palaemon"
+	"palaemon/internal/fleet"
 )
 
 func main() {
@@ -197,5 +198,80 @@ func run() error {
 	}
 	seq, head := dep.Obs.Audit.Head()
 	fmt.Printf("audit    : %d chained records, anchor %x…\n", seq, head[:8])
-	return run2.Exit(ctx)
+	if err := run2.Exit(ctx); err != nil {
+		return err
+	}
+
+	// 10. Scale out (§14): a 3-shard replicated fleet. Policies spread over
+	//     the shards by consistent hashing; every shard's WAL streams to a
+	//     chain-verifying follower; clients route by a signed discovery
+	//     document. Kill a primary mid-flight and promote its follower —
+	//     the epoch bumps, clients re-route, and nothing acknowledged is
+	//     lost.
+	return fleetDemo(ctx)
+}
+
+// fleetDemo stands up a sharded fleet, kills a shard's primary, promotes
+// the follower's replica, and shows the client following the re-signed
+// discovery document to the policy's new home.
+func fleetDemo(ctx context.Context) error {
+	dir, err := os.MkdirTemp("", "palaemon-fleet")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	f, err := fleet.New(fleet.Options{Shards: 3, Replication: 2, DataDir: dir})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Printf("fleet    : %d shards, replication 2, discovery epoch %d\n",
+		len(f.Shards()), f.Epoch())
+
+	// The client seeds from any shard, verifies the discovery document
+	// against the fleet's document key, and routes each policy to its
+	// ring owner.
+	cli, err := f.NewStakeholderClient("software-provider")
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"checkout", "billing", "inventory"} {
+		pol := &palaemon.Policy{
+			Name: name,
+			Services: []palaemon.Service{{
+				Name:       "svc",
+				Command:    "svc --token $$token",
+				MREnclaves: []palaemon.Measurement{palaemon.MeasureBinary(palaemon.Binary{Name: name, Code: []byte(name)})},
+			}},
+			Secrets: []palaemon.Secret{{Name: "token", Type: palaemon.SecretRandom}},
+		}
+		if err := cli.CreatePolicy(ctx, pol); err != nil {
+			return err
+		}
+		fmt.Printf("sharded  : %q lives on %s\n", name, f.Ring().Owner(name))
+	}
+
+	// Kill the shard that owns "checkout" — no drain, no goodbye. Its
+	// follower already holds every acknowledged write, chain-verified.
+	victim := f.Ring().Owner("checkout")
+	if err := f.KillShard(victim); err != nil {
+		return err
+	}
+	fmt.Printf("killed   : %s (primary aborted, endpoint refusing)\n", victim)
+	if err := f.Promote(victim); err != nil {
+		return err
+	}
+	fmt.Printf("promoted : follower replica is the new %s, epoch %d -> %d\n",
+		victim, f.Epoch()-1, f.Epoch())
+
+	// The client's next touch of "checkout" fails against the corpse,
+	// refreshes the signed document (rejecting any stale epoch), and lands
+	// on the promoted replica — which still has the policy and its secret.
+	secrets, err := cli.FetchSecrets(ctx, "checkout", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failover : %q secrets survived the kill (%d recovered, client at epoch %d)\n",
+		"checkout", len(secrets), cli.Epoch())
+	return nil
 }

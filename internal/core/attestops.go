@@ -30,6 +30,14 @@ type AppConfig = wire.AppConfig
 func (i *Instance) AttestApplication(ctx context.Context, ev attest.Evidence, quotingKey ed25519.PublicKey) (*AppConfig, error) {
 	cfg, err := i.attestApplication(ev, quotingKey)
 	i.obsAttest(ctx, ev, err)
+	if err == nil {
+		// Attestation mutates durable state (volume key mint, tag-record
+		// epoch bump), so it crosses the replication barrier like any
+		// other acked write.
+		if err = i.replAck(); err != nil {
+			cfg = nil
+		}
+	}
 	return cfg, err
 }
 
@@ -307,7 +315,11 @@ func (i *Instance) PushTag(token string, tag fspf.Tag) error {
 		return err
 	}
 	defer i.end()
-	return i.pushTag(token, tag, false)
+	err := i.pushTag(token, tag, false)
+	if err == nil {
+		err = i.replAck()
+	}
+	return err
 }
 
 // NotifyExit records a clean exit with the final tag, unblocking
@@ -320,7 +332,11 @@ func (i *Instance) NotifyExit(token string, tag fspf.Tag) error {
 		return err
 	}
 	defer i.end()
-	return i.pushTag(token, tag, true)
+	err := i.pushTag(token, tag, true)
+	if err == nil {
+		err = i.replAck()
+	}
+	return err
 }
 
 func (i *Instance) pushTag(token string, tag fspf.Tag, exit bool) error {

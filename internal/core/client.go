@@ -104,6 +104,9 @@ type ClientOptions struct {
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps a single backoff sleep (default 2s).
 	RetryMaxDelay time.Duration
+	// WrapTransport wraps the HTTP transport (fault.RoundTripper in the
+	// fleet and chaos tests: drops, delays, duplicates). Nil is identity.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
 }
 
 // NewClient constructs a client. The underlying transport pools keep-alive
@@ -150,10 +153,14 @@ func NewClient(opts ClientOptions) *Client {
 		TLSHandshakeTimeout: 10 * time.Second,
 		DisableKeepAlives:   opts.DisableKeepAlives,
 	}
+	var rt http.RoundTripper = transport
+	if opts.WrapTransport != nil {
+		rt = opts.WrapTransport(transport)
+	}
 	return &Client{
 		base: opts.BaseURL,
 		http: &http.Client{
-			Transport: transport,
+			Transport: rt,
 			Timeout:   opts.Timeout,
 		},
 		transport:  transport,

@@ -41,6 +41,7 @@ var sentinelCodes = []struct {
 	{ErrStaleTag, wire.CodeStaleTag, http.StatusUnauthorized, false},
 	{ErrAttestation, wire.CodeAttestation, http.StatusUnauthorized, false},
 	{ErrDraining, wire.CodeDraining, http.StatusServiceUnavailable, true},
+	{ErrReplUncertain, wire.CodeReplUncertain, http.StatusServiceUnavailable, true},
 	{ErrResourceExhausted, wire.CodeResourceExhausted, http.StatusTooManyRequests, true},
 	{ErrPayloadTooLarge, wire.CodePayloadTooLarge, http.StatusRequestEntityTooLarge, false},
 }

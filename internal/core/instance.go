@@ -103,6 +103,33 @@ type Options struct {
 	// and audit become no-ops and only the cache collector registration is
 	// skipped.
 	Obs *obs.Obs
+	// DBRetainEntries enables the kvdb committed-entry window that feeds
+	// follower replication (DESIGN.md §14): positive is a cap, -1 the
+	// default cap, 0 (the default) disables retention — standalone
+	// instances pay nothing for the fleet machinery.
+	DBRetainEntries int
+	// ReplBarrier, when set, is called with the database commit sequence
+	// after every applied mutation, BEFORE the result is returned to the
+	// client. The fleet layer uses it as the semi-synchronous replication
+	// barrier: block (bounded) until a follower has the seq, so an acked
+	// write survives losing the primary. A returned error withholds the
+	// acknowledgement — the client gets ErrReplUncertain instead of
+	// success, because the fleet cannot promise the write survives the
+	// in-progress failover.
+	ReplBarrier func(seq uint64) error
+	// DBKey presets the database encryption key minted into a fresh
+	// identity instead of a random one. Promotion uses it: the follower
+	// replica on disk is sealed under the follower's key, and the promoted
+	// instance must open that database. Ignored when an identity already
+	// exists on disk.
+	DBKey *cryptoutil.Key
+	// AdoptReplica acknowledges that DataDir holds a replicated database
+	// whose version may be AHEAD of this platform's monotonic counter
+	// (the counter never saw the leader's epochs). The startup protocol
+	// then fast-forwards the counter to the database version — an explicit
+	// operator/fleet decision for promotion, audited, never automatic;
+	// without it v > c is refused as fabricated state.
+	AdoptReplica bool
 }
 
 // identity is the sealed instance identity (§IV-B): the Ed25519 key pair the
@@ -191,6 +218,11 @@ type Instance struct {
 	// ID from the context and append security events to the audit chain.
 	obs *obs.Obs
 
+	// barrier is Options.ReplBarrier (nil when not in a fleet): invoked
+	// with the commit sequence after every acknowledged mutation, before
+	// the result reaches the client.
+	barrier func(seq uint64) error
+
 	// inflight counts requests for the Fig 6 drain. A plain counter with a
 	// condition variable rather than a WaitGroup: exit notifications are
 	// admitted while draining, and WaitGroup forbids Add racing a Wait at
@@ -231,7 +263,7 @@ func Open(opts Options) (*Instance, error) {
 		return nil, fmt.Errorf("core: launch enclave: %w", err)
 	}
 
-	id, err := loadOrCreateIdentity(opts.Platform, enclave.MRE(), opts.DataDir)
+	id, err := loadOrCreateIdentity(opts.Platform, enclave.MRE(), opts.DataDir, opts.DBKey)
 	if err != nil {
 		enclave.Destroy()
 		return nil, err
@@ -242,7 +274,11 @@ func Open(opts Options) (*Instance, error) {
 		return nil, err
 	}
 
-	db, err := kvdb.Open(opts.DataDir, id.DBKey, kvdb.Options{NoFsync: opts.DBNoFsync, GroupCommit: opts.DBGroupCommit})
+	db, err := kvdb.Open(opts.DataDir, id.DBKey, kvdb.Options{
+		NoFsync:       opts.DBNoFsync,
+		GroupCommit:   opts.DBGroupCommit,
+		RetainEntries: opts.DBRetainEntries,
+	})
 	if err != nil {
 		enclave.Destroy()
 		return nil, fmt.Errorf("core: open database: %w", err)
@@ -263,13 +299,14 @@ func Open(opts Options) (*Instance, error) {
 		watchers: newWatchHub(),
 		drainCh:  make(chan struct{}),
 		obs:      opts.Obs.Or(),
+		barrier:  opts.ReplBarrier,
 	}
 	inst.inflightCond = sync.NewCond(&inst.inflightMu)
 	if opts.Obs != nil {
 		registerInstanceCollectors(opts.Obs.Metrics, inst)
 	}
 
-	if err := inst.startupProtocol(opts.Recover); err != nil {
+	if err := inst.startupProtocol(opts.Recover, opts.AdoptReplica); err != nil {
 		db.Close()
 		enclave.Destroy()
 		return nil, err
@@ -277,12 +314,32 @@ func Open(opts Options) (*Instance, error) {
 	return inst, nil
 }
 
-// startupProtocol is the Fig 6 sequence.
-func (i *Instance) startupProtocol(recover bool) error {
+// startupProtocol is the Fig 6 sequence, with one fleet extension: with
+// adoptReplica, a database version AHEAD of the counter is adopted by
+// fast-forwarding the counter (promotion of a replicated store onto a
+// platform whose counter never saw the leader's epochs) instead of being
+// refused as fabricated. The fast-forward is audited, and the rest of the
+// protocol — increment, c == v+1, single-instance check — runs unchanged
+// on the adopted epoch.
+func (i *Instance) startupProtocol(recover, adoptReplica bool) error {
 	v := i.db.Version()
 	c, err := i.counter.Value()
 	if err != nil {
 		return fmt.Errorf("core: read counter: %w", err)
+	}
+	if adoptReplica && v > c {
+		from := c
+		for c < v {
+			c, err = i.counter.Increment()
+			if err != nil {
+				return fmt.Errorf("core: adopt replica version: %w", err)
+			}
+		}
+		_ = i.obs.Audit.Append(obs.AuditEvent{
+			Event:   "replica_adopted",
+			Outcome: "ok",
+			Detail:  fmt.Sprintf("counter fast-forwarded %d -> %d to adopt replicated database", from, c),
+		})
 	}
 	if v != c {
 		if !recover {
@@ -468,7 +525,7 @@ func (i *Instance) DBVersion() uint64 { return i.db.Version() }
 // known). We keep it in a file next to the DB.
 const sealedIdentityFile = "identity.sealed"
 
-func loadOrCreateIdentity(p *sgx.Platform, mre sgx.Measurement, dir string) (identity, error) {
+func loadOrCreateIdentity(p *sgx.Platform, mre sgx.Measurement, dir string, presetDBKey *cryptoutil.Key) (identity, error) {
 	path := dir + "/" + sealedIdentityFile
 	raw, err := readFileIfExists(path)
 	if err != nil {
@@ -494,6 +551,12 @@ func loadOrCreateIdentity(p *sgx.Platform, mre sgx.Measurement, dir string) (ide
 	dbKey, err := cryptoutil.NewKey()
 	if err != nil {
 		return identity{}, err
+	}
+	if presetDBKey != nil {
+		// Promotion: the database on disk is a replica sealed under the
+		// follower's key; the fresh identity must carry that key or the
+		// instance cannot read its own store.
+		dbKey = *presetDBKey
 	}
 	id := identity{
 		Ed25519Public: signer.Public,

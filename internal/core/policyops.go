@@ -39,6 +39,9 @@ func (i *Instance) CreatePolicy(ctx context.Context, client ClientID, p *policy.
 		name = p.Name
 	}
 	i.obsMutation(ctx, "policy.create", client, name, err)
+	if err == nil {
+		err = i.replAck()
+	}
 	return err
 }
 
@@ -165,6 +168,9 @@ func (i *Instance) UpdatePolicy(ctx context.Context, client ClientID, next *poli
 		name = next.Name
 	}
 	i.obsMutation(ctx, "policy.update", client, name, err)
+	if err == nil {
+		err = i.replAck()
+	}
 	return err
 }
 
@@ -219,6 +225,9 @@ func (i *Instance) updatePolicy(ctx context.Context, client ClientID, next *poli
 func (i *Instance) DeletePolicy(ctx context.Context, client ClientID, name string) error {
 	err := i.deletePolicy(ctx, client, name)
 	i.obsMutation(ctx, "policy.delete", client, name, err)
+	if err == nil {
+		err = i.replAck()
+	}
 	return err
 }
 

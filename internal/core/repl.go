@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"palaemon/internal/kvdb"
+	"palaemon/internal/wire"
+)
+
+// This file is the instance's replication surface (DESIGN.md §14): narrow
+// accessors the fleet server routes /v2/repl/* through, instead of
+// exposing the database itself. The entries come out of the kvdb
+// committed-entry window, so nothing that has not passed the group-commit
+// durability barrier can ever be shipped to a follower.
+
+// ErrReplDisabled reports a replication call on an instance opened
+// without Options.DBRetainEntries.
+var ErrReplDisabled = errors.New("core: replication not enabled on this instance")
+
+// ErrReplTruncated reports a tail position older than the retained entry
+// window; the follower must re-bootstrap from ReplState.
+var ErrReplTruncated = errors.New("core: replication history truncated before requested position")
+
+// ErrReplUncertain reports a mutation that was applied locally but whose
+// replication could not be confirmed (the replication barrier failed —
+// typically a failover in progress). The response withholds the
+// acknowledgement: an acked write is a write the fleet promises to keep
+// across a shard kill, and this one carries no such promise.
+var ErrReplUncertain = errors.New("core: write applied locally but replication unconfirmed")
+
+// DBSeq returns the database commit sequence (records applied this
+// process), the position replication lag is measured against.
+func (i *Instance) DBSeq() uint64 { return i.db.Seq() }
+
+// replAck runs the fleet replication barrier (if any) after an applied
+// mutation: the result must not reach the client before a follower holds
+// the write. A barrier failure turns the op's success into
+// ErrReplUncertain — the write happened locally, but the caller gets no
+// durability promise the fleet cannot keep.
+func (i *Instance) replAck() error {
+	if i.barrier == nil {
+		return nil
+	}
+	if err := i.barrier(i.db.Seq()); err != nil {
+		return fmt.Errorf("%w: %v", ErrReplUncertain, err)
+	}
+	return nil
+}
+
+// ReplState exports the full applied state as the follower bootstrap
+// payload (GET /v2/repl/state).
+func (i *Instance) ReplState() (*wire.ReplState, error) {
+	st, err := i.db.ExportState()
+	if err != nil {
+		if errors.Is(err, kvdb.ErrEntriesDisabled) {
+			return nil, ErrReplDisabled
+		}
+		return nil, err
+	}
+	return &wire.ReplState{
+		Data:    st.Data,
+		Version: st.Version,
+		Chain:   st.Chain[:],
+		Seq:     st.Seq,
+	}, nil
+}
+
+// ReplEntries returns up to max committed entries with Seq > from. With
+// wait > 0 it long-polls: when no entry is available it blocks up to wait
+// for the next commit, then returns what exists (possibly nothing — an
+// empty response with the current head is the keep-alive). A from older
+// than the retention window fails with ErrReplTruncated.
+func (i *Instance) ReplEntries(ctx context.Context, from uint64, max int, wait time.Duration) (*wire.ReplTailResponse, error) {
+	if max <= 0 || max > wire.MaxReplBatch {
+		max = wire.MaxReplBatch
+	}
+	entries, err := i.db.Entries(from, max)
+	if err == nil && len(entries) == 0 && wait > 0 {
+		tctx, cancel := context.WithTimeout(ctx, wait)
+		entries, err = i.db.TailFrom(tctx, from, max)
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			err = nil // long-poll expired: answer with an empty batch
+		}
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, kvdb.ErrEntriesDisabled):
+			return nil, ErrReplDisabled
+		case errors.Is(err, kvdb.ErrEntriesTruncated):
+			return nil, ErrReplTruncated
+		}
+		return nil, err
+	}
+	out := &wire.ReplTailResponse{Entries: make([]wire.ReplEntry, len(entries)), Seq: i.db.Seq()}
+	for n, e := range entries {
+		out.Entries[n] = wire.ReplEntry{
+			Seq:     e.Seq,
+			Op:      e.Op,
+			Bucket:  e.Bucket,
+			Key:     e.Key,
+			Value:   e.Value,
+			Version: e.Version,
+			Prev:    e.Prev[:],
+			Chain:   e.Chain[:],
+		}
+	}
+	return out, nil
+}

@@ -42,6 +42,9 @@ type Server struct {
 
 	iasReport *ias.Report
 	iasPub    ed25519.PublicKey
+
+	// fleet is ServerOptions.Fleet; nil for a standalone server.
+	fleet *FleetHooks
 }
 
 // Connection-hygiene defaults (ServerOptions overrides). ReadTimeout
@@ -83,6 +86,16 @@ type ServerOptions struct {
 	// and audit records for admission rejections. Usually the same bundle
 	// passed to core.Open. Nil disables the middleware entirely.
 	Obs *obs.Obs
+	// Fleet mounts the fleet surface (serverfleet.go): the signed
+	// discovery document, shard-ownership enforcement with wrong_shard
+	// redirects, and the follower replication feed. Nil for a standalone
+	// server — the fleet routes then simply do not exist.
+	Fleet *FleetHooks
+	// WrapListener wraps the raw TCP listener BEFORE the TLS layer; the
+	// fleet kill-a-shard tests use it to black-hole a shard at the
+	// transport (fault.Listener) so failover is exercised against real
+	// connection failures, not polite HTTP errors. Nil is identity.
+	WrapListener func(net.Listener) net.Listener
 }
 
 // Serve attests the instance to the CA, obtains its TLS certificate, and
@@ -127,7 +140,7 @@ func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
 		Leaf:        iss.Leaf,
 	}
 
-	s := &Server{inst: inst, done: make(chan struct{}), obs: opts.Obs}
+	s := &Server{inst: inst, done: make(chan struct{}), obs: opts.Obs, fleet: opts.Fleet}
 	if opts.Limits != nil {
 		s.adm = newAdmission(*opts.Limits)
 		if opts.Obs != nil {
@@ -157,10 +170,16 @@ func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
 		// the application layer.
 		ClientAuth: tls.RequestClientCert,
 	}
-	ln, err := tls.Listen("tcp", opts.Addr, tlsCfg)
+	// Listen raw, wrap (fault injection hooks in below TLS, so a refused
+	// shard looks like a dead host, not a TLS alert), then layer TLS.
+	rawLn, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("core: listen: %w", err)
 	}
+	if opts.WrapListener != nil {
+		rawLn = opts.WrapListener(rawLn)
+	}
+	ln := tls.NewListener(rawLn, tlsCfg)
 
 	mux := http.NewServeMux()
 	// v1 compatibility surface: thin adapters over the same instance ops
@@ -180,6 +199,8 @@ func Serve(inst *Instance, opts ServerOptions) (*Server, error) {
 	mux.HandleFunc("POST /challenge", s.handleChallenge)
 	// v2: the typed wire contract (serverv2.go).
 	s.registerV2(mux)
+	// Fleet surface (serverfleet.go); no-op without ServerOptions.Fleet.
+	s.registerFleet(mux)
 
 	writeBudget := timeoutOrDefault(opts.RequestWriteTimeout, defaultWriteBudget)
 	// The write deadline is per REQUEST, not per connection (http.Server's

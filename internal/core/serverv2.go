@@ -162,6 +162,9 @@ func (s *Server) v2CreatePolicy(w http.ResponseWriter, r *http.Request) {
 		writeWireErr(w, r, err)
 		return
 	}
+	if !s.shardCheck(w, r, p.Name) {
+		return
+	}
 	if err := s.inst.CreatePolicy(r.Context(), id, &p); err != nil {
 		writeWireErr(w, r, err)
 		return
@@ -175,6 +178,9 @@ func (s *Server) v2ReadPolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
+	if !s.shardCheck(w, r, name) {
+		return
+	}
 	// Conditional read: when the presented ETag still matches the stored
 	// (CreateID, Revision) — answered from the policy cache's decoded
 	// snapshot — reply 304 with no body, no policy clone, no board round
@@ -213,6 +219,9 @@ func (s *Server) v2UpdatePolicy(w http.ResponseWriter, r *http.Request) {
 			"core: policy name mismatch between path and body"))
 		return
 	}
+	if !s.shardCheck(w, r, p.Name) {
+		return
+	}
 	if err := s.inst.UpdatePolicy(r.Context(), id, &p); err != nil {
 		writeWireErr(w, r, err)
 		return
@@ -223,6 +232,9 @@ func (s *Server) v2UpdatePolicy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) v2DeletePolicy(w http.ResponseWriter, r *http.Request) {
 	id, ok := clientIDV2(w, r)
 	if !ok {
+		return
+	}
+	if !s.shardCheck(w, r, r.PathValue("name")) {
 		return
 	}
 	if err := s.inst.DeletePolicy(r.Context(), id, r.PathValue("name")); err != nil {
@@ -293,13 +305,16 @@ func (s *Server) v2WatchPolicy(w http.ResponseWriter, r *http.Request) {
 	if window > maxWatchWindow {
 		window = maxWatchWindow
 	}
+	name := r.PathValue("name")
+	if !s.shardCheck(w, r, name) {
+		return
+	}
 	// The long-poll legitimately outlives the per-request write budget
 	// armed by the server wrapper: push the deadline past this poll's
 	// window (plus slack to serialize the response).
 	_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(window + watchDeadlineSlack))
 	ctx, cancel := context.WithTimeout(r.Context(), window)
 	defer cancel()
-	name := r.PathValue("name")
 	res, err := s.inst.WatchPolicy(ctx, id, name, rev, createID)
 	if err != nil {
 		writeWireErr(w, r, err)
@@ -326,6 +341,9 @@ func (s *Server) v2FetchSecrets(w http.ResponseWriter, r *http.Request) {
 		writeWireErr(w, r, err)
 		return
 	}
+	if !s.shardCheck(w, r, r.PathValue("name")) {
+		return
+	}
 	secrets, err := s.inst.FetchSecrets(r.Context(), id, r.PathValue("name"), req.Names)
 	if err != nil {
 		writeWireErr(w, r, err)
@@ -343,6 +361,9 @@ func (s *Server) v2Batch(w http.ResponseWriter, r *http.Request) {
 		writeWireErr(w, r, err)
 		return
 	}
+	if !s.shardCheckBatch(w, r, req.Ops) {
+		return
+	}
 	results, err := execBatch(r.Context(), s.inst, id, hasID, req.Ops)
 	if err != nil {
 		writeWireErr(w, r, err)
@@ -355,6 +376,9 @@ func (s *Server) v2Attest(w http.ResponseWriter, r *http.Request) {
 	var req wire.AttestRequest
 	if err := decodeBodyV2(w, r, &req); err != nil {
 		writeWireErr(w, r, err)
+		return
+	}
+	if !s.shardCheck(w, r, req.Evidence.PolicyName) {
 		return
 	}
 	cfg, err := s.inst.AttestApplication(r.Context(), req.Evidence, req.QuotingKey)
@@ -379,6 +403,9 @@ func (s *Server) v2PushTag(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) v2ReadTag(w http.ResponseWriter, r *http.Request) {
+	if !s.shardCheck(w, r, r.PathValue("policy")) {
+		return
+	}
 	tag, err := s.inst.ExpectedTag(r.PathValue("policy"), r.PathValue("service"))
 	if err != nil {
 		writeWireErr(w, r, err)

@@ -1,0 +1,143 @@
+package figures
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file diffs a benchreport run against a committed baseline
+// (BENCH_prN.json in the repo root): the perf trajectory only means
+// something if successive runs measure the same things, so coverage is
+// enforced structurally — every experiment, row, and column present in
+// the baseline must exist in the current run — while numeric drift is
+// reported but never fails the diff (CI runners are far too noisy for
+// hard latency gates; the committed baseline is the trend anchor, not an
+// SLO).
+
+// DiffResult is the outcome of comparing a run against a baseline.
+type DiffResult struct {
+	// Structural lists coverage regressions: experiments, rows, or
+	// columns the baseline has and the current run lost. Non-empty means
+	// the diff failed.
+	Structural []string
+	// Drift lists per-cell relative changes for cells that parse as
+	// numbers or durations in both runs, formatted for humans.
+	Drift []string
+	// Compared counts the numeric cells compared.
+	Compared int
+}
+
+// Failed reports whether the baseline coverage regressed.
+func (d *DiffResult) Failed() bool { return len(d.Structural) > 0 }
+
+// Diff compares current reports against a baseline. Experiments present
+// only in the current run are ignored (new coverage is not a
+// regression); everything in the baseline must still exist.
+func Diff(baseline, current []*Report) *DiffResult {
+	d := &DiffResult{}
+	cur := make(map[string]*Report, len(current))
+	for _, r := range current {
+		cur[r.ID] = r
+	}
+	for _, b := range baseline {
+		c, ok := cur[b.ID]
+		if !ok {
+			d.Structural = append(d.Structural, fmt.Sprintf("experiment %s: in baseline, missing from this run", b.ID))
+			continue
+		}
+		cols := make(map[string]int, len(c.Header))
+		for i, h := range c.Header {
+			cols[h] = i
+		}
+		for _, h := range b.Header {
+			if _, ok := cols[h]; !ok {
+				d.Structural = append(d.Structural, fmt.Sprintf("experiment %s: column %q lost", b.ID, h))
+			}
+		}
+		// Rows key by first cell PLUS occurrence number: series tables
+		// repeat the first cell across rows (fig12 has one "Local" row
+		// per secret count), and pairing by name alone would diff
+		// unrelated rows.
+		rows := make(map[string][]string, len(c.Rows))
+		seen := make(map[string]int, len(c.Rows))
+		for _, row := range c.Rows {
+			if len(row) > 0 {
+				key := fmt.Sprintf("%s#%d", row[0], seen[row[0]])
+				seen[row[0]]++
+				rows[key] = row
+			}
+		}
+		bseen := make(map[string]int, len(b.Rows))
+		for _, brow := range b.Rows {
+			if len(brow) == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%s#%d", brow[0], bseen[brow[0]])
+			bseen[brow[0]]++
+			crow, ok := rows[key]
+			if !ok {
+				d.Structural = append(d.Structural, fmt.Sprintf("experiment %s: row %q lost", b.ID, brow[0]))
+				continue
+			}
+			for i := 1; i < len(brow) && i < len(b.Header); i++ {
+				ci, ok := cols[b.Header[i]]
+				if !ok || ci >= len(crow) {
+					continue
+				}
+				bv, bok := parseMetric(brow[i])
+				cv, cok := parseMetric(crow[ci])
+				if !bok || !cok {
+					continue
+				}
+				d.Compared++
+				if bv == 0 {
+					continue
+				}
+				if pct := (cv - bv) / bv * 100; pct >= 10 || pct <= -10 {
+					d.Drift = append(d.Drift, fmt.Sprintf("%s %s [%s]: %s -> %s (%+.0f%%)",
+						b.ID, brow[0], b.Header[i], brow[i], crow[ci], pct))
+				}
+			}
+		}
+	}
+	return d
+}
+
+// parseMetric extracts a comparable number from a table cell: a plain
+// number, a Go duration ("1.2ms"), or a number with a trailing unit
+// ("812 req/s", "3.1x", "97%"). Cells like "-" or prose do not parse.
+func parseMetric(cell string) (float64, bool) {
+	s := strings.TrimSpace(cell)
+	if s == "" || s == "-" {
+		return 0, false
+	}
+	if dur, err := time.ParseDuration(s); err == nil {
+		return float64(dur), true
+	}
+	// Longest numeric prefix (sign, digits, one dot).
+	end := 0
+	dot := false
+	for end < len(s) {
+		ch := s[end]
+		if ch >= '0' && ch <= '9' || (end == 0 && (ch == '-' || ch == '+')) {
+			end++
+			continue
+		}
+		if ch == '.' && !dot {
+			dot = true
+			end++
+			continue
+		}
+		break
+	}
+	if end == 0 || (end == 1 && (s[0] == '-' || s[0] == '+')) {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

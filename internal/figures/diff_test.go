@@ -1,0 +1,87 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMetric(t *testing.T) {
+	cases := []struct {
+		cell string
+		want float64
+		ok   bool
+	}{
+		{"1.5ms", float64(1500 * time.Microsecond), true},
+		{"2m3s", float64(2*time.Minute + 3*time.Second), true},
+		{"812 req/s", 812, true},
+		{"97%", 97, true},
+		{"3.1x", 3.1, true},
+		{"-4.5", -4.5, true},
+		{"46080", 46080, true},
+		{"-", 0, false},
+		{"", 0, false},
+		{"n/a", 0, false},
+		{"local loopback", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseMetric(c.cell)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseMetric(%q) = %v, %v; want %v, %v", c.cell, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestDiffStructuralAndDrift(t *testing.T) {
+	base := []*Report{{
+		ID:     "figX",
+		Header: []string{"variant", "latency", "throughput"},
+		Rows: [][]string{
+			{"alpha", "10ms", "100 req/s"},
+			{"beta", "20ms", "50 req/s"},
+		},
+	}}
+
+	// Identical run: clean diff.
+	d := Diff(base, base)
+	if d.Failed() || len(d.Drift) != 0 || d.Compared != 4 {
+		t.Fatalf("self-diff = %+v, want clean with 4 compared cells", d)
+	}
+
+	// Numeric drift is reported but does not fail the diff.
+	drifted := []*Report{{
+		ID:     "figX",
+		Header: []string{"variant", "latency", "throughput"},
+		Rows: [][]string{
+			{"alpha", "25ms", "100 req/s"}, // +150%
+			{"beta", "20ms", "51 req/s"},   // +2%: below the report floor
+		},
+	}}
+	d = Diff(base, drifted)
+	if d.Failed() {
+		t.Fatalf("drift-only diff failed: %v", d.Structural)
+	}
+	if len(d.Drift) != 1 || !strings.Contains(d.Drift[0], "alpha") || !strings.Contains(d.Drift[0], "+150%") {
+		t.Fatalf("drift lines = %v, want one alpha latency line at +150%%", d.Drift)
+	}
+
+	// Lost experiment, lost row, lost column: every one is structural.
+	d = Diff(base, []*Report{{
+		ID:     "figX",
+		Header: []string{"variant", "latency"},
+		Rows:   [][]string{{"alpha", "10ms"}},
+	}})
+	if !d.Failed() || len(d.Structural) != 2 {
+		t.Fatalf("structural = %v, want lost column + lost row", d.Structural)
+	}
+	d = Diff(base, nil)
+	if !d.Failed() || len(d.Structural) != 1 {
+		t.Fatalf("structural = %v, want one lost experiment", d.Structural)
+	}
+
+	// New coverage in the current run is not a regression.
+	extra := append([]*Report{{ID: "figNew", Header: []string{"k", "v"}}}, base...)
+	if d := Diff(base, extra); d.Failed() {
+		t.Fatalf("extra experiment flagged: %v", d.Structural)
+	}
+}

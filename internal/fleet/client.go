@@ -1,0 +1,330 @@
+package fleet
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"palaemon/internal/attest"
+	"palaemon/internal/core"
+	"palaemon/internal/policy"
+	"palaemon/internal/wire"
+)
+
+// ClientOptions configures a fleet-routing client.
+type ClientOptions struct {
+	// Seeds are bootstrap endpoints to fetch the first discovery document
+	// from; at least one required. After the first refresh the client
+	// also tries every endpoint of the last verified document.
+	Seeds []string
+	// DocKey is the fleet document public key (out-of-band trust anchor,
+	// like the IAS key). Required.
+	DocKey ed25519.PublicKey
+	// Roots verifies the shards' TLS certificates (the fleet CA root).
+	Roots *x509.CertPool
+	// Certificate is the stakeholder's client certificate.
+	Certificate *tls.Certificate
+	// Timeout bounds each underlying request (default 15s).
+	Timeout time.Duration
+	// MaxRetries is the per-shard retry budget for retryable wire errors
+	// (conflicts, draining), passed through to the core client.
+	MaxRetries int
+}
+
+// Client routes PALÆMON operations to their owner shards. It fetches the
+// signed discovery document, verifies it (signature + epoch
+// monotonicity — doc.go), builds the same ring the servers use, and
+// sends each policy-addressed call to the shard that owns the policy.
+// Two signals trigger a re-route: a wrong_shard envelope (the client
+// follows its Redirect immediately and refreshes the document), and a
+// transport-level failure (a dead shard — the client refreshes until a
+// newer document names the promoted replacement).
+type Client struct {
+	opts ClientOptions
+
+	mu      sync.Mutex
+	doc     *wire.FleetDoc          // palaemon:guardedby mu
+	ring    *Ring                   // palaemon:guardedby mu
+	epoch   uint64                  // palaemon:guardedby mu
+	clients map[string]*core.Client // palaemon:guardedby mu
+}
+
+// NewClient builds the client; no network traffic until the first call
+// (or an explicit Refresh).
+func NewClient(opts ClientOptions) (*Client, error) {
+	if len(opts.Seeds) == 0 {
+		return nil, errors.New("fleet: client needs at least one seed endpoint")
+	}
+	if len(opts.DocKey) != ed25519.PublicKeySize {
+		return nil, errors.New("fleet: client needs the fleet document key")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 15 * time.Second
+	}
+	return &Client{opts: opts, clients: make(map[string]*core.Client)}, nil
+}
+
+// Epoch returns the epoch of the last verified document (0 before any).
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Doc returns the last verified discovery document (nil before any).
+func (c *Client) Doc() *wire.FleetDoc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.doc
+}
+
+// coreClient returns (caching) the per-endpoint transport client.
+func (c *Client) coreClient(endpoint string) *core.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cli, ok := c.clients[endpoint]; ok {
+		return cli
+	}
+	cli := core.NewClient(core.ClientOptions{
+		BaseURL:     endpoint,
+		Roots:       c.opts.Roots,
+		Certificate: c.opts.Certificate,
+		Timeout:     c.opts.Timeout,
+		MaxRetries:  c.opts.MaxRetries,
+	})
+	c.clients[endpoint] = cli
+	return cli
+}
+
+// Refresh fetches, verifies and adopts the freshest discovery document
+// reachable. Every candidate endpoint (known shards first, then seeds)
+// is asked; the highest verified epoch wins. A document that fails
+// verification — bad signature, or an epoch below one already verified —
+// is discarded (ErrBadDocSignature / ErrStaleEpoch), never adopted.
+func (c *Client) Refresh(ctx context.Context) error {
+	c.mu.Lock()
+	candidates := make([]string, 0, 8)
+	if c.doc != nil {
+		for _, s := range c.doc.Shards {
+			candidates = append(candidates, s.Endpoint)
+		}
+	}
+	minEpoch := c.epoch
+	c.mu.Unlock()
+	candidates = append(candidates, c.opts.Seeds...)
+
+	var best *wire.FleetDoc
+	var errs []error
+	seen := map[string]bool{}
+	for _, ep := range candidates {
+		if seen[ep] {
+			continue
+		}
+		seen[ep] = true
+		doc, err := c.coreClient(ep).FetchFleetDoc(ctx)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", ep, err))
+			continue
+		}
+		if err := VerifyDoc(c.opts.DocKey, doc, minEpoch); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", ep, err))
+			continue
+		}
+		if best == nil || doc.Epoch > best.Epoch {
+			best = doc
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("fleet: no verifiable discovery document: %w", errors.Join(errs...))
+	}
+	return c.adopt(best)
+}
+
+// adopt installs a verified document, re-verifying epoch monotonicity
+// under the lock (a concurrent Refresh may have advanced it).
+func (c *Client) adopt(doc *wire.FleetDoc) error {
+	ring, err := ringFromDoc(doc)
+	if err != nil {
+		return fmt.Errorf("fleet: discovery document yields no ring: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if doc.Epoch < c.epoch {
+		return ErrStaleEpoch
+	}
+	c.doc = doc
+	c.ring = ring
+	c.epoch = doc.Epoch
+	return nil
+}
+
+// ownerEndpoint resolves the policy's owner under the current document.
+func (c *Client) ownerEndpoint(ctx context.Context, policyName string) (string, error) {
+	c.mu.Lock()
+	ready := c.ring != nil
+	c.mu.Unlock()
+	if !ready {
+		if err := c.Refresh(ctx); err != nil {
+			return "", err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	owner := c.ring.Owner(policyName)
+	for _, s := range c.doc.Shards {
+		if s.Name == owner {
+			return s.Endpoint, nil
+		}
+	}
+	return "", fmt.Errorf("fleet: document names no endpoint for owner shard %q", owner)
+}
+
+// routeAttempts bounds one operation's re-route cycle: initial try plus
+// redirects/refreshes. Each failover consumes at most two (the failed
+// try and the re-routed one).
+const routeAttempts = 5
+
+// do routes one policy-addressed operation, following wrong_shard
+// redirects and failing over on transport errors.
+func (c *Client) do(ctx context.Context, policyName string, op func(context.Context, *core.Client) error) error {
+	var lastErr error
+	endpoint := ""
+	for attempt := 0; attempt < routeAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if endpoint == "" {
+			ep, err := c.ownerEndpoint(ctx, policyName)
+			if err != nil {
+				// No verifiable document right now (mid-failover): back
+				// off briefly and try again.
+				lastErr = err
+				if !sleepCtx(ctx, 50*time.Millisecond) {
+					return ctx.Err()
+				}
+				continue
+			}
+			endpoint = ep
+		}
+		err := op(ctx, c.coreClient(endpoint))
+		if err == nil {
+			return nil
+		}
+		var we *wire.Error
+		if errors.As(err, &we) {
+			if we.Code == wire.CodeWrongShard {
+				// The envelope's Redirect is immediately usable; the
+				// document refresh (for the epoch bump that moved the
+				// policy) rides along for next time.
+				lastErr = err
+				endpoint = we.Redirect
+				_ = c.Refresh(ctx)
+				continue
+			}
+			// Any other envelope is an application-level answer from the
+			// right shard — the caller's business, not routing's.
+			return err
+		}
+		// No envelope: transport-level failure — the shard may be dead.
+		// Refresh the document (a promotion publishes a bumped epoch with
+		// the replacement endpoint) and re-resolve the owner.
+		lastErr = err
+		endpoint = ""
+		if rerr := c.Refresh(ctx); rerr != nil {
+			if !sleepCtx(ctx, 100*time.Millisecond) {
+				return ctx.Err()
+			}
+		}
+	}
+	return fmt.Errorf("fleet: operation failed after %d routing attempts: %w", routeAttempts, lastErr)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// CreatePolicy routes the create to the policy's owner shard.
+func (c *Client) CreatePolicy(ctx context.Context, p *policy.Policy) error {
+	return c.do(ctx, p.Name, func(ctx context.Context, cli *core.Client) error {
+		return cli.CreatePolicy(ctx, p)
+	})
+}
+
+// ReadPolicy routes the read to the policy's owner shard.
+func (c *Client) ReadPolicy(ctx context.Context, name string) (*policy.Policy, error) {
+	var out *policy.Policy
+	err := c.do(ctx, name, func(ctx context.Context, cli *core.Client) error {
+		p, err := cli.ReadPolicy(ctx, name)
+		if err == nil {
+			out = p
+		}
+		return err
+	})
+	return out, err
+}
+
+// UpdatePolicy routes the update to the policy's owner shard.
+func (c *Client) UpdatePolicy(ctx context.Context, p *policy.Policy) error {
+	return c.do(ctx, p.Name, func(ctx context.Context, cli *core.Client) error {
+		return cli.UpdatePolicy(ctx, p)
+	})
+}
+
+// DeletePolicy routes the delete to the policy's owner shard.
+func (c *Client) DeletePolicy(ctx context.Context, name string) error {
+	return c.do(ctx, name, func(ctx context.Context, cli *core.Client) error {
+		return cli.DeletePolicy(ctx, name)
+	})
+}
+
+// FetchSecrets routes the secret fetch to the policy's owner shard.
+func (c *Client) FetchSecrets(ctx context.Context, policyName string, names []string) (map[string]string, error) {
+	var out map[string]string
+	err := c.do(ctx, policyName, func(ctx context.Context, cli *core.Client) error {
+		m, err := cli.FetchSecrets(ctx, policyName, names, nil)
+		if err == nil {
+			out = m
+		}
+		return err
+	})
+	return out, err
+}
+
+// Attest routes the application attestation to the shard owning the
+// policy named in the evidence.
+func (c *Client) Attest(ctx context.Context, ev attest.Evidence, quotingKey []byte) (*core.AppConfig, error) {
+	var out *core.AppConfig
+	err := c.do(ctx, ev.PolicyName, func(ctx context.Context, cli *core.Client) error {
+		cfg, err := cli.Attest(ctx, ev, quotingKey, nil)
+		if err == nil {
+			out = cfg
+		}
+		return err
+	})
+	return out, err
+}
+
+// ReadTag routes the rollback-protection tag read to the owner shard.
+func (c *Client) ReadTag(ctx context.Context, policyName, serviceName string) (string, error) {
+	var out string
+	err := c.do(ctx, policyName, func(ctx context.Context, cli *core.Client) error {
+		tag, err := cli.ReadTag(ctx, policyName, serviceName, nil)
+		if err == nil {
+			out = tag
+		}
+		return err
+	})
+	return out, err
+}

@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/wire"
+)
+
+// Discovery-document signing and verification (DESIGN.md §14). The
+// document key plays the role the IAS key plays for attestation: clients
+// obtain its public half out of band and trust nothing about the shard
+// map that is not signed by it. Verification is two rules, both fatal:
+//
+//  1. the Ed25519 signature over SigningBytes must verify — a forged or
+//     tampered map would let an attacker route traffic anywhere;
+//  2. the epoch must not regress below one the client already verified —
+//     an old, correctly signed map replayed after a failover would steer
+//     clients back to a dead (or compromised, if the kill was a
+//     compromise) endpoint.
+
+var (
+	// ErrBadDocSignature means the discovery document's signature does not
+	// verify under the fleet document key. The document must be discarded.
+	ErrBadDocSignature = errors.New("fleet: discovery document signature invalid")
+	// ErrStaleEpoch means the document is authentic but older than one the
+	// client has already verified — a replay, or a lagging shard. Either
+	// way it must not replace the newer map.
+	ErrStaleEpoch = errors.New("fleet: discovery document epoch is stale")
+)
+
+// SignDoc signs the document in place with the fleet document key.
+func SignDoc(signer *cryptoutil.Signer, doc *wire.FleetDoc) error {
+	doc.Signature = nil
+	msg, err := doc.SigningBytes()
+	if err != nil {
+		return fmt.Errorf("fleet: encode document for signing: %w", err)
+	}
+	doc.Signature = signer.Sign(msg)
+	return nil
+}
+
+// VerifyDoc checks a fetched document against the fleet document key and
+// the highest epoch the caller has already verified (0 accepts any).
+func VerifyDoc(pub ed25519.PublicKey, doc *wire.FleetDoc, minEpoch uint64) error {
+	msg, err := doc.SigningBytes()
+	if err != nil {
+		return fmt.Errorf("fleet: encode document for verification: %w", err)
+	}
+	if !cryptoutil.Verify(pub, msg, doc.Signature) {
+		return ErrBadDocSignature
+	}
+	if doc.Epoch < minEpoch {
+		return fmt.Errorf("%w: got epoch %d, already verified %d", ErrStaleEpoch, doc.Epoch, minEpoch)
+	}
+	return nil
+}
+
+// ringFromDoc builds the routing ring exactly as the document dictates.
+func ringFromDoc(doc *wire.FleetDoc) (*Ring, error) {
+	names := make([]string, 0, len(doc.Shards))
+	for _, s := range doc.Shards {
+		names = append(names, s.Name)
+	}
+	return NewRing(names, doc.VNodes)
+}

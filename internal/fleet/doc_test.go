@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/wire"
+)
+
+func testDoc(epoch uint64) *wire.FleetDoc {
+	return &wire.FleetDoc{
+		Epoch:       epoch,
+		Replication: 2,
+		VNodes:      64,
+		Shards: []wire.FleetShard{
+			{Name: "shard-1", Endpoint: "https://127.0.0.1:1001", Followers: 1},
+			{Name: "shard-2", Endpoint: "https://127.0.0.1:1002", Followers: 1},
+		},
+	}
+}
+
+func TestSignAndVerifyDoc(t *testing.T) {
+	signer := cryptoutil.MustNewSigner()
+	doc := testDoc(1)
+	if err := SignDoc(signer, doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Signature) == 0 {
+		t.Fatal("SignDoc left Signature empty")
+	}
+	if err := VerifyDoc(signer.Public, doc, 0); err != nil {
+		t.Fatalf("authentic document rejected: %v", err)
+	}
+	if err := VerifyDoc(signer.Public, doc, 1); err != nil {
+		t.Fatalf("document at exactly the verified epoch rejected: %v", err)
+	}
+}
+
+func TestVerifyDocRejectsTamperAndWrongKey(t *testing.T) {
+	signer := cryptoutil.MustNewSigner()
+	doc := testDoc(1)
+	if err := SignDoc(signer, doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tampered shard map (the attack: steer clients to a rogue
+	// endpoint) must fail closed.
+	tampered := *doc
+	tampered.Shards = append([]wire.FleetShard(nil), doc.Shards...)
+	tampered.Shards[0].Endpoint = "https://evil.example:443"
+	if err := VerifyDoc(signer.Public, &tampered, 0); !errors.Is(err, ErrBadDocSignature) {
+		t.Fatalf("tampered document: got %v, want ErrBadDocSignature", err)
+	}
+
+	// A document signed by anyone but the fleet document key is noise.
+	other := cryptoutil.MustNewSigner()
+	if err := VerifyDoc(other.Public, doc, 0); !errors.Is(err, ErrBadDocSignature) {
+		t.Fatalf("wrong key: got %v, want ErrBadDocSignature", err)
+	}
+}
+
+func TestVerifyDocRejectsStaleEpoch(t *testing.T) {
+	signer := cryptoutil.MustNewSigner()
+	doc := testDoc(2)
+	if err := SignDoc(signer, doc); err != nil {
+		t.Fatal(err)
+	}
+	// Correctly signed but older than what the client already verified:
+	// a replayed pre-failover map must not displace the newer one.
+	if err := VerifyDoc(signer.Public, doc, 3); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale document: got %v, want ErrStaleEpoch", err)
+	}
+}
+
+func TestClientAdoptIsEpochMonotonic(t *testing.T) {
+	signer := cryptoutil.MustNewSigner()
+	c, err := NewClient(ClientOptions{
+		Seeds:  []string{"https://127.0.0.1:1"},
+		DocKey: signer.Public,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDoc := testDoc(5)
+	if err := SignDoc(signer, newDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.adopt(newDoc); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", c.Epoch())
+	}
+	// Regression attempt: adopt must refuse to go backwards even if a
+	// racing verification let an older (authentic) document this far.
+	oldDoc := testDoc(4)
+	if err := SignDoc(signer, oldDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.adopt(oldDoc); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("adopt of older epoch: got %v, want ErrStaleEpoch", err)
+	}
+	if c.Epoch() != 5 || c.Doc().Epoch != 5 {
+		t.Fatalf("stale adopt mutated client state: epoch %d doc %d", c.Epoch(), c.Doc().Epoch)
+	}
+}

@@ -1,0 +1,306 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"palaemon/internal/core"
+	"palaemon/internal/cryptoutil"
+	"palaemon/internal/kvdb"
+	"palaemon/internal/wire"
+)
+
+// Follower replicates one shard's committed WAL into a local kvdb store.
+// It is deliberately NOT a core.Instance: an instance runs the Fig. 6
+// startup protocol against its platform counter, and a follower's
+// database version advances with the leader's epochs, which the
+// follower's counter never saw. The follower is a bare chain-verified
+// kvdb replica; only promotion (Fleet.Promote) turns the directory into
+// an instance, via core.Options.AdoptReplica.
+//
+// The replica is sealed under the follower's OWN key, minted at creation
+// and kept for the follower's lifetime: the leader never shares its
+// database key, and promotion reopens the directory under this key.
+type Follower struct {
+	name string
+	dir  string
+	key  cryptoutil.Key
+	db   *kvdb.DB
+	cli  *core.Client
+
+	// onAck is invoked (outside mu) after each verified, applied, durable
+	// batch with the new replica position — the fleet's replication
+	// barrier rides on it.
+	onAck func(seq uint64)
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// bootstrapped flips once the replica holds a state import (or opened
+	// non-empty). Only the run goroutine touches it. It cannot be inferred
+	// from Seq: bootstrapping against a leader that has not committed
+	// anything yet imports a valid state whose Seq is still 0.
+	bootstrapped bool
+
+	mu       sync.Mutex
+	pos      uint64 // palaemon:guardedby mu
+	verified uint64 // palaemon:guardedby mu
+	lastErr  error  // palaemon:guardedby mu
+}
+
+// FollowerOptions configures NewFollower.
+type FollowerOptions struct {
+	// Name labels the follower (metrics, errors). Required.
+	Name string
+	// Dir is the replica directory. Required; must be empty or a previous
+	// replica of the same leader.
+	Dir string
+	// Client reaches the leader's /v2/repl/* surface. It must present the
+	// client certificate whose fingerprint the leader's FleetHooks
+	// registered as a follower. Required.
+	Client *core.Client
+	// Key seals the replica database. Zero mints a fresh random key.
+	Key cryptoutil.Key
+	// OnAck, when set, is called after each applied batch with the new
+	// replica position (and once at startup with the bootstrap position).
+	OnAck func(seq uint64)
+}
+
+// NewFollower opens (or creates) the local replica store. The returned
+// follower is idle until Start.
+func NewFollower(opts FollowerOptions) (*Follower, error) {
+	if opts.Name == "" || opts.Dir == "" || opts.Client == nil {
+		return nil, errors.New("fleet: follower needs Name, Dir and Client")
+	}
+	key := opts.Key
+	if key.IsZero() {
+		var err error
+		if key, err = cryptoutil.NewKey(); err != nil {
+			return nil, fmt.Errorf("fleet: mint follower key: %w", err)
+		}
+	}
+	// RetainEntries is enabled on the replica too, so a promoted replica
+	// can immediately feed its own follower.
+	db, err := kvdb.Open(opts.Dir, key, kvdb.Options{RetainEntries: -1})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: open replica store: %w", err)
+	}
+	return &Follower{
+		name:  opts.Name,
+		dir:   opts.Dir,
+		key:   key,
+		db:    db,
+		cli:   opts.Client,
+		onAck: opts.OnAck,
+	}, nil
+}
+
+// Key returns the replica's database key — Fleet.Promote passes it to
+// core.Open so the promoted instance can read the replica.
+func (f *Follower) Key() cryptoutil.Key { return f.key }
+
+// Dir returns the replica directory.
+func (f *Follower) Dir() string { return f.dir }
+
+// Pos returns the replica's applied commit sequence.
+func (f *Follower) Pos() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pos
+}
+
+// Verified returns how many entries this follower has chain-verified and
+// applied since it opened (bootstrap state not included).
+func (f *Follower) Verified() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.verified
+}
+
+// Err returns the error that stopped the tail loop, nil while healthy.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}
+
+// Start launches the bootstrap + tail loop. Stop (or Detach) ends it.
+func (f *Follower) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.done = make(chan struct{})
+	go func() {
+		defer close(f.done)
+		err := f.run(ctx)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			f.setErr(err)
+		}
+	}()
+}
+
+// Stop ends the tail loop and waits for it; the replica store stays open
+// (promotion closes it via Detach).
+func (f *Follower) Stop() {
+	if f.cancel != nil {
+		f.cancel()
+		<-f.done
+	}
+}
+
+// Detach stops the loop and closes the replica store, fsyncing its WAL.
+// After Detach the directory is ready for core.Open(AdoptReplica).
+func (f *Follower) Detach() error {
+	f.Stop()
+	return f.db.Close()
+}
+
+// run drives bootstrap + tail with reconnection: transient failures
+// (leader briefly unreachable, a slow handshake under load) back off and
+// retry — a follower that died on the first network hiccup would
+// silently turn its shard into a single copy. Integrity failures are
+// FATAL: a diverged chain or truncated feed must stop the follower, not
+// be retried into.
+func (f *Follower) run(ctx context.Context) error {
+	const maxBackoff = 2 * time.Second
+	backoff := 50 * time.Millisecond
+	for {
+		err := f.syncOnce(ctx)
+		switch {
+		case err == nil:
+			backoff = 50 * time.Millisecond
+			f.setErr(nil)
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case replFatal(err):
+			return err
+		default:
+			f.setErr(err)
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
+}
+
+// syncOnce performs one replication step: the bootstrap import while the
+// replica is empty, one tail round after.
+func (f *Follower) syncOnce(ctx context.Context) error {
+	if !f.bootstrapped {
+		if f.db.Seq() == 0 {
+			st, err := f.cli.ReplState(ctx)
+			if err != nil {
+				return fmt.Errorf("fleet: follower %s bootstrap: %w", f.name, err)
+			}
+			ks, err := stateFromWire(st)
+			if err != nil {
+				return fmt.Errorf("fleet: follower %s bootstrap: %w", f.name, err)
+			}
+			if err := f.db.ImportReplica(ks); err != nil {
+				return fmt.Errorf("fleet: follower %s bootstrap: %w", f.name, err)
+			}
+		}
+		f.bootstrapped = true
+		f.setPos(f.db.Seq(), 0)
+		return nil
+	}
+	resp, err := f.cli.ReplTail(ctx, f.db.Seq(), wire.MaxReplBatch, 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("fleet: follower %s tail: %w", f.name, err)
+	}
+	if len(resp.Entries) == 0 {
+		return nil // long-poll keep-alive
+	}
+	entries, err := entriesFromWire(resp.Entries)
+	if err != nil {
+		return fmt.Errorf("fleet: follower %s feed: %w", f.name, err)
+	}
+	// AppendReplica verifies the whole batch against the replica's
+	// chain head before writing anything; a feed that skips, reorders,
+	// tampers or replays fails here with ErrReplicaDiverged.
+	if err := f.db.AppendReplica(entries); err != nil {
+		return fmt.Errorf("fleet: follower %s apply: %w", f.name, err)
+	}
+	f.setPos(f.db.Seq(), uint64(len(entries)))
+	return nil
+}
+
+// replFatal classifies follower errors that retrying cannot fix (and
+// must not paper over): chain divergence, a non-empty store at
+// bootstrap, and a feed truncated past our position (re-bootstrapping a
+// non-empty replica would mean discarding verified state — an operator
+// decision, not a retry).
+func replFatal(err error) bool {
+	if errors.Is(err, kvdb.ErrReplicaDiverged) || errors.Is(err, kvdb.ErrNotEmpty) {
+		return true
+	}
+	var we *wire.Error
+	return errors.As(err, &we) && we.Code == wire.CodeReplTruncated
+}
+
+// setErr records (or clears, with nil) the follower's visible health.
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+// setPos records progress and fires the ack callback outside mu.
+func (f *Follower) setPos(pos, applied uint64) {
+	f.mu.Lock()
+	f.pos = pos
+	f.verified += applied
+	f.mu.Unlock()
+	if f.onAck != nil {
+		f.onAck(pos)
+	}
+}
+
+// stateFromWire converts the bootstrap DTO, deep-copying nothing: the
+// DTO was just decoded and is not shared.
+func stateFromWire(st *wire.ReplState) (*kvdb.State, error) {
+	out := &kvdb.State{
+		Data:    st.Data,
+		Version: st.Version,
+		Seq:     st.Seq,
+	}
+	if out.Data == nil {
+		out.Data = map[string]map[string][]byte{}
+	}
+	if len(st.Chain) != len(out.Chain) {
+		return nil, fmt.Errorf("fleet: bootstrap chain head is %d bytes, want %d", len(st.Chain), len(out.Chain))
+	}
+	copy(out.Chain[:], st.Chain)
+	return out, nil
+}
+
+// entriesFromWire converts feed entries, rejecting malformed hashes
+// before they reach the verifier.
+func entriesFromWire(in []wire.ReplEntry) ([]kvdb.Entry, error) {
+	out := make([]kvdb.Entry, len(in))
+	for i, e := range in {
+		out[i] = kvdb.Entry{
+			Seq:     e.Seq,
+			Op:      e.Op,
+			Bucket:  e.Bucket,
+			Key:     e.Key,
+			Value:   e.Value,
+			Version: e.Version,
+		}
+		if len(e.Prev) != len(out[i].Prev) || len(e.Chain) != len(out[i].Chain) {
+			return nil, fmt.Errorf("fleet: entry seq %d carries malformed chain hashes", e.Seq)
+		}
+		copy(out[i].Prev[:], e.Prev)
+		copy(out[i].Chain[:], e.Chain)
+	}
+	return out, nil
+}

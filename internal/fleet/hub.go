@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBarrierTimeout bounds how long an acknowledged write may wait
+// for its follower before the shard degrades to asynchronous replication
+// for that write. Availability over strict semi-sync: a wedged follower
+// must not take the primary down with it, but every degradation is
+// counted and visible in the metrics.
+const DefaultBarrierTimeout = 2 * time.Second
+
+// errBarrierSealed is what parked (and future) barriers return once the
+// hub is sealed for a kill: the follower has been detached, so a write
+// it has not confirmed must not be acknowledged — it would not survive
+// the promotion.
+var errBarrierSealed = errors.New("fleet: shard sealed for failover; replication unconfirmed")
+
+// replHub is the semi-synchronous replication barrier for one shard. The
+// instance calls barrier(seq) after every applied mutation (via
+// core.Options.ReplBarrier) BEFORE the result reaches the client; the
+// follower's ack callback releases it once the replica has applied seq.
+//
+// Three ways out of the barrier:
+//   - the follower acks seq → the write is acknowledged (the normal path);
+//   - the timeout fires → the write is acknowledged anyway and the
+//     degradation counted (availability: a slow follower must not stop
+//     the shard — but the fleet report shows the async exposure);
+//   - the hub is sealed (KillShard detaching the follower) → the write
+//     FAILS with errBarrierSealed. This is the zero-loss linchpin:
+//     releasing parked barriers as successes while the primary is dying
+//     would acknowledge writes only the doomed primary holds.
+//
+// With no follower registered (single-copy shard) the barrier is a no-op.
+type replHub struct {
+	timeout time.Duration
+
+	// degraded counts barrier timeouts: writes acknowledged before the
+	// follower confirmed them (asynchronous-replication windows).
+	degraded atomic.Uint64
+
+	mu        sync.Mutex
+	ack       uint64        // palaemon:guardedby mu
+	followers int           // palaemon:guardedby mu
+	sealed    bool          // palaemon:guardedby mu
+	waitCh    chan struct{} // palaemon:guardedby mu
+}
+
+func newReplHub(timeout time.Duration) *replHub {
+	if timeout <= 0 {
+		timeout = DefaultBarrierTimeout
+	}
+	return &replHub{timeout: timeout, waitCh: make(chan struct{})}
+}
+
+// wakeLocked releases every parked barrier to re-check state.
+//
+// palaemon:locks mu
+func (h *replHub) wakeLocked() {
+	close(h.waitCh)
+	h.waitCh = make(chan struct{})
+}
+
+// register adds a follower; the barrier starts waiting for acks.
+func (h *replHub) register() {
+	h.mu.Lock()
+	h.followers++
+	h.mu.Unlock()
+}
+
+// seal marks the shard as dying: every parked and future barrier fails
+// instead of acknowledging. Called by KillShard BEFORE the follower is
+// detached.
+func (h *replHub) seal() {
+	h.mu.Lock()
+	h.sealed = true
+	h.wakeLocked()
+	h.mu.Unlock()
+}
+
+// onAck records the follower's applied position and wakes waiters.
+func (h *replHub) onAck(seq uint64) {
+	h.mu.Lock()
+	if seq > h.ack {
+		h.ack = seq
+		h.wakeLocked()
+	}
+	h.mu.Unlock()
+}
+
+// barrier blocks until the follower has applied seq (acked), the timeout
+// degrades the write to async (acked, counted), or the hub is sealed
+// (write fails — replication unconfirmed).
+func (h *replHub) barrier(seq uint64) error {
+	h.mu.Lock()
+	if h.sealed {
+		h.mu.Unlock()
+		return errBarrierSealed
+	}
+	if h.followers <= 0 || h.ack >= seq {
+		h.mu.Unlock()
+		return nil
+	}
+	timer := time.NewTimer(h.timeout)
+	defer timer.Stop()
+	for {
+		ch := h.waitCh
+		h.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			h.degraded.Add(1)
+			return nil
+		}
+		h.mu.Lock()
+		if h.sealed {
+			h.mu.Unlock()
+			return errBarrierSealed
+		}
+		if h.followers <= 0 || h.ack >= seq {
+			h.mu.Unlock()
+			return nil
+		}
+	}
+}
+
+// Degraded returns how many acked writes timed out waiting for the
+// follower (the asynchronous-replication exposure of this shard).
+func (h *replHub) Degraded() uint64 { return h.degraded.Load() }

@@ -1,0 +1,39 @@
+package fleet
+
+import "palaemon/internal/obs"
+
+// registerShardCollector exposes the shard's replication health through
+// its observability bundle: the follower's lag behind the primary, how
+// many entries it has chain-verified, how many acked writes degraded to
+// asynchronous replication, and the document epoch the fleet is on. All
+// read at scrape time from the live structs — the same numbers the
+// failover report asserts on.
+func (f *Fleet) registerShardCollector(shard string, st *shardState) {
+	labels := []obs.Label{obs.L("shard", shard)}
+	st.bundle.Metrics.RegisterCollector(obs.CollectorFunc(func() []obs.Sample {
+		samples := []obs.Sample{
+			{Name: "palaemon_fleet_epoch", Type: "gauge",
+				Help: "Discovery document epoch.", Value: float64(f.Epoch())},
+			{Name: "palaemon_fleet_barrier_degraded_total", Type: "counter", Labels: labels,
+				Help:  "Acked writes that timed out at the semi-sync replication barrier.",
+				Value: float64(st.hub.Degraded())},
+		}
+		if st.follower != nil {
+			lead := st.inst.DBSeq()
+			pos := st.follower.Pos()
+			lag := int64(lead) - int64(pos)
+			if lag < 0 {
+				lag = 0
+			}
+			samples = append(samples,
+				obs.Sample{Name: "palaemon_fleet_repl_lag", Type: "gauge", Labels: labels,
+					Help:  "Commit sequences the follower is behind the primary.",
+					Value: float64(lag)},
+				obs.Sample{Name: "palaemon_fleet_repl_verified_total", Type: "counter", Labels: labels,
+					Help:  "WAL entries chain-verified and applied by the follower.",
+					Value: float64(st.follower.Verified())},
+			)
+		}
+		return samples
+	}))
+}

@@ -100,7 +100,12 @@ func TestGroupCommitTamperingDetected(t *testing.T) {
 				t.Fatal(err)
 			}
 			if mode == "tamper" {
-				raw[len(raw)/2] ^= 1
+				// Flip a byte inside the FIRST record's sealed payload (the
+				// frame is a 4-byte length prefix, then ciphertext). A flip
+				// at an arbitrary offset can land in a later record's length
+				// prefix, which reads as a record running past EOF — a torn
+				// tail that reopen legitimately repairs — not tampering.
+				raw[4+1] ^= 1
 			} else {
 				raw = raw[:len(raw)-7]
 			}

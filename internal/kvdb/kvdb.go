@@ -86,6 +86,12 @@ type Options struct {
 	// (cf. MySQL's binlog_group_commit_sync_delay). A solo writer never
 	// waits. 0 means DefaultGroupCommitDelay.
 	GroupCommitDelay time.Duration
+	// RetainEntries enables the in-memory committed-entry log behind
+	// Entries/TailFrom (replication and backup tooling, entries.go):
+	// positive caps the retained window, -1 selects
+	// DefaultRetainEntries, 0 (the default) disables retention — a
+	// standalone store pays nothing for the feature.
+	RetainEntries int
 	// FS is the filesystem the store persists through; nil means the
 	// real filesystem. The crash-consistency harness injects a
 	// fault.Injector here.
@@ -110,6 +116,10 @@ type pendingCommit struct {
 	// rec is applied to the in-memory state only after the batch is
 	// durable, so readers never observe records a crash would lose.
 	rec record
+	// chain is the hash-chain head after rec (computed at enqueue, where
+	// the chain advances); the committer stamps it onto the retained
+	// entry so the replication feed carries the right head per record.
+	chain [32]byte
 	// done receives the batch outcome (buffered; the committer never blocks).
 	done chan error
 }
@@ -122,6 +132,13 @@ type DB struct {
 	data    map[string]map[string][]byte
 	version uint64
 	chain   [32]byte
+	// appliedChain is the hash-chain head of the APPLIED (durable) prefix.
+	// In group-commit mode chain advances at enqueue — before the fsync —
+	// while data/version/seq advance at apply; appliedChain advances with
+	// them, so a state export pairs a consistent {data, seq, chain head}
+	// even while a batch is in flight. Outside group commit the two heads
+	// are always equal.
+	appliedChain [32]byte
 	wal     fault.File
 	fs      fault.FS
 	obs     *obs.Obs
@@ -139,6 +156,15 @@ type DB struct {
 	// a cache hit is a db read that never happened). Atomic so readers
 	// under RLock do not race each other.
 	reads atomic.Uint64
+
+	// Replication state (entries.go), guarded by mu: retain is the
+	// resolved Options.RetainEntries (0 = disabled); entries is the
+	// committed-entry window, appended strictly after the durability
+	// barrier; tailCh, when non-nil, is closed to wake TailFrom waiters
+	// on the next retained entry.
+	retain  int
+	entries []Entry
+	tailCh  chan struct{}
 
 	// Group-commit state, all guarded by mu. pending holds records whose
 	// writers are blocked awaiting durability; committing marks a batch
@@ -177,12 +203,16 @@ func Open(dir string, key cryptoutil.Key, opts Options) (*DB, error) {
 		opts.GroupCommitDelay = DefaultGroupCommitDelay
 	}
 	db := &DB{
-		dir:  dir,
-		key:  key,
-		data: make(map[string]map[string][]byte),
-		opts: opts,
-		fs:   fsys,
-		obs:  opts.Obs.Or(),
+		dir:    dir,
+		key:    key,
+		data:   make(map[string]map[string][]byte),
+		opts:   opts,
+		fs:     fsys,
+		obs:    opts.Obs.Or(),
+		retain: opts.RetainEntries,
+	}
+	if db.retain < 0 {
+		db.retain = DefaultRetainEntries
 	}
 	db.commitCond = sync.NewCond(&db.mu)
 	// A crash between fsatomic's temp-file create and rename strands a
@@ -238,6 +268,7 @@ func (db *DB) load() error {
 		}
 		db.version = snap.Version
 		db.chain = snap.Chain
+		db.appliedChain = snap.Chain
 		hadSnapshot = true
 	}
 
@@ -322,6 +353,7 @@ func (db *DB) replay(raw []byte) (int, error) {
 		}
 		db.applyLocked(rec)
 		db.chain = chainHash(db.chain, pt)
+		db.retainLocked(rec, db.chain)
 		db.walRecords++
 		good = off
 	}
@@ -369,6 +401,21 @@ func (db *DB) staleWAL(raw []byte) bool {
 		chain = chainHash(chain, pt)
 	}
 	return !first && chain == db.chain
+}
+
+// sealRecord seals a plaintext record under key and frames it for the
+// WAL (4-byte little-endian length prefix); shared by the local commit
+// path and the replica apply path, which re-seals replicated plaintext
+// under its own key.
+func sealRecord(key cryptoutil.Key, pt []byte) ([]byte, error) {
+	sealed, err := cryptoutil.Seal(key, pt, []byte("kvdb-wal"))
+	if err != nil {
+		return nil, fmt.Errorf("kvdb: seal record: %w", err)
+	}
+	framed := make([]byte, 4+len(sealed))
+	binary.LittleEndian.PutUint32(framed, uint32(len(sealed)))
+	copy(framed[4:], sealed)
+	return framed, nil
 }
 
 func chainHash(prev [32]byte, payload []byte) [32]byte {
@@ -427,20 +474,18 @@ func (db *DB) commit(rec record) error {
 		db.mu.Unlock()
 		return fmt.Errorf("kvdb: encode record: %w", err)
 	}
-	sealed, err := cryptoutil.Seal(db.key, pt, []byte("kvdb-wal"))
+	framed, err := sealRecord(db.key, pt)
 	if err != nil {
 		db.mu.Unlock()
-		return fmt.Errorf("kvdb: seal record: %w", err)
+		return err
 	}
-	framed := make([]byte, 4+len(sealed))
-	binary.LittleEndian.PutUint32(framed, uint32(len(sealed)))
-	copy(framed[4:], sealed)
 
 	if !db.opts.GroupCommit {
 		err := db.writeWALLocked(framed)
 		if err == nil {
 			db.applyLocked(rec)
 			db.chain = chainHash(db.chain, pt)
+			db.retainLocked(rec, db.chain)
 			db.walRecords++
 		} else if db.failed == nil {
 			// The record's bytes may be partially in the WAL while the
@@ -458,7 +503,7 @@ func (db *DB) commit(rec record) error {
 	// the fsync), so concurrent readers only ever see durable records.
 	db.chain = chainHash(db.chain, pt)
 	done := make(chan error, 1)
-	db.pending = append(db.pending, pendingCommit{framed: framed, rec: rec, done: done})
+	db.pending = append(db.pending, pendingCommit{framed: framed, rec: rec, chain: db.chain, done: done})
 	db.commitCond.Broadcast()
 	db.mu.Unlock()
 	return <-done
@@ -565,6 +610,7 @@ func (db *DB) committer() {
 		if err == nil {
 			for _, p := range batch {
 				db.applyLocked(p.rec)
+				db.retainLocked(p.rec, p.chain)
 				db.walRecords++
 			}
 		}
@@ -683,6 +729,12 @@ func (db *DB) Compact() error {
 	if db.failed != nil {
 		return fmt.Errorf("kvdb: compact after write failure: %w", db.failed)
 	}
+	return db.snapshotLocked()
+}
+
+// snapshotLocked writes the current applied state as the snapshot and
+// truncates the WAL. Callers hold db.mu with no batch in flight.
+func (db *DB) snapshotLocked() error {
 	snap := snapshot{Data: db.data, Version: db.version, Chain: db.chain}
 	pt, err := json.Marshal(snap)
 	if err != nil {

@@ -1,0 +1,186 @@
+package stress
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"palaemon/internal/core"
+	"palaemon/internal/fault"
+)
+
+// These tests pin the composition of the client's retry loop (backoff on
+// retryable envelopes, honoring Retry-After) with fault.RoundTripper's
+// Delay and Duplicate modes: injected transport behaviour must slow or
+// repeat requests without ever breaking the client's correctness
+// contract, and at-least-once delivery must never double-apply a create.
+
+// faultyStakeholder mints a stakeholder whose transport runs through a
+// fault.RoundTripper with the given script, plus client-side retries.
+func faultyStakeholder(t *testing.T, h *Harness, name string, retries int,
+	script func(n int, req *http.Request) fault.Action) *core.Client {
+	t.Helper()
+	cert, _, err := core.NewClientCertificate(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewClient(core.ClientOptions{
+		BaseURL:        h.Server.URL(),
+		Roots:          h.Authority.Root().Pool(),
+		Certificate:    cert,
+		Timeout:        30 * time.Second,
+		MaxRetries:     retries,
+		RetryBaseDelay: 5 * time.Millisecond,
+		WrapTransport: func(base http.RoundTripper) http.RoundTripper {
+			return fault.NewRoundTripper(base, script)
+		},
+	})
+}
+
+// TestDelayedRetriesConverge composes Delay with the retry loop: an
+// admission-limited server rejects the burst overflow with a retryable
+// resource_exhausted envelope, and every transport attempt — including
+// the retries — is additionally delayed by the fault layer. The client
+// must still converge, and the injected latency must actually have been
+// paid on each attempt.
+func TestDelayedRetriesConverge(t *testing.T) {
+	h, err := New(Options{
+		DataDir: t.TempDir(),
+		// Burst of 1: the second back-to-back request is rejected with a
+		// Retry-After hint; the bucket refills within ~200ms.
+		Limits: &core.AdmissionLimits{TenantRate: 5, TenantBurst: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	const perAttempt = 20 * time.Millisecond
+	var attempts atomic.Int64
+	cli := faultyStakeholder(t, h, "delayed", 5, func(n int, req *http.Request) fault.Action {
+		attempts.Add(1)
+		return fault.Action{Kind: fault.Delay, Delay: perAttempt}
+	})
+	ctx := context.Background()
+
+	start := time.Now()
+	if err := cli.CreatePolicy(ctx, h.BenchPolicy("delay-a")); err != nil {
+		t.Fatalf("first create: %v", err)
+	}
+	// Budget exhausted: this one is rejected at least once and must ride
+	// the retry loop to success.
+	if err := cli.CreatePolicy(ctx, h.BenchPolicy("delay-b")); err != nil {
+		t.Fatalf("second create did not converge through retries: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	got := attempts.Load()
+	if got < 3 {
+		t.Fatalf("transport saw %d attempts, want >= 3 (two creates + at least one retry)", got)
+	}
+	if min := time.Duration(got) * perAttempt; elapsed < min {
+		t.Fatalf("elapsed %v < %v: the Delay injection was not paid on every attempt", elapsed, min)
+	}
+	for _, name := range []string{"delay-a", "delay-b"} {
+		if _, err := cli.ReadPolicy(ctx, name); err != nil {
+			t.Fatalf("read %s after convergence: %v", name, err)
+		}
+	}
+}
+
+// TestDuplicateDeliveryNeverDoubleApplies composes Duplicate with the
+// retry loop. The fault layer turns one logical create into two wire
+// deliveries (the duplicate lands first); the second application is
+// refused with policy_exists, which is NOT retryable — so the client
+// must not burn its retry budget re-issuing it, the error must surface,
+// and exactly one policy must exist. Duplicated reads are harmless.
+func TestDuplicateDeliveryNeverDoubleApplies(t *testing.T) {
+	h, err := New(Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	var attempts atomic.Int64
+	duplicateAll := func(n int, req *http.Request) fault.Action {
+		attempts.Add(1)
+		return fault.Action{Kind: fault.Duplicate}
+	}
+	cli := faultyStakeholder(t, h, "duper", 3, duplicateAll)
+	ctx := context.Background()
+
+	// The duplicate (delivered first) creates the policy; the original's
+	// response is what the client sees: policy_exists. At-least-once
+	// delivery of a non-idempotent op is surfaced, not silently absorbed.
+	err = cli.CreatePolicy(ctx, h.BenchPolicy("dup-pol"))
+	if !errors.Is(err, core.ErrPolicyExists) {
+		t.Fatalf("duplicated create = %v, want ErrPolicyExists", err)
+	}
+	// policy_exists is terminal: the retry loop must not have re-issued
+	// the create (1 logical request = 1 scripted attempt; the duplicate
+	// itself is injected below the counter).
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("transport saw %d scripted attempts for the create, want 1 (no retries on policy_exists)", got)
+	}
+
+	// The write landed exactly once.
+	p, err := cli.ReadPolicy(ctx, "dup-pol")
+	if err != nil {
+		t.Fatalf("read after duplicated create: %v", err)
+	}
+	if p.Revision != 1 {
+		t.Fatalf("policy revision = %d, want 1 (single application)", p.Revision)
+	}
+
+	// Duplicated reads are idempotent: same policy, no error, and the
+	// response the client consumes is well-formed.
+	for i := 0; i < 3; i++ {
+		if _, err := cli.ReadPolicy(ctx, "dup-pol"); err != nil {
+			t.Fatalf("duplicated read %d: %v", i, err)
+		}
+	}
+}
+
+// TestDuplicateUpdateAdvancesRevisionTwice documents the flip side of
+// the duplicate-create pin: updates are NOT guarded by a client-supplied
+// expected revision, so at-least-once delivery applies the same content
+// twice and the revision advances by two. The content converges (the
+// payloads are identical) and the client sees the original's success —
+// this is the at-least-once contract DESIGN.md §14 tells fleet clients
+// to expect on retried mutations.
+func TestDuplicateUpdateAdvancesRevisionTwice(t *testing.T) {
+	h, err := New(Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ctx := context.Background()
+
+	duplicating := false
+	cli := faultyStakeholder(t, h, "updater", 0, func(n int, req *http.Request) fault.Action {
+		if duplicating {
+			return fault.Action{Kind: fault.Duplicate}
+		}
+		return fault.Action{Kind: fault.Pass}
+	})
+
+	if err := cli.CreatePolicy(ctx, h.BenchPolicy("dup-upd")); err != nil {
+		t.Fatal(err)
+	}
+	duplicating = true
+	if err := cli.UpdatePolicy(ctx, h.BenchPolicy("dup-upd")); err != nil {
+		t.Fatalf("duplicated update: %v", err)
+	}
+	duplicating = false
+
+	p, err := cli.ReadPolicy(ctx, "dup-upd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Revision != 3 {
+		t.Fatalf("revision after duplicated update = %d, want 3 (create=1, update applied twice)", p.Revision)
+	}
+}

@@ -1,0 +1,32 @@
+package stress
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunFleetKillShard is the CI fleet job's smoke: the full drill —
+// 3 shards under concurrent load, one killed and promoted mid-run —
+// with the report's invariants enforced. Run under -race in CI.
+func TestRunFleetKillShard(t *testing.T) {
+	rep, err := RunFleetKillShard(FleetKillOptions{
+		DataDir: t.TempDir(),
+		Writers: 4,
+		Warmup:  6,
+	})
+	if err != nil {
+		t.Fatalf("drill: %v", err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if rep.Acked == 0 || rep.AckedVictim == 0 {
+		t.Fatalf("drill wrote nothing to the victim: %+v", rep)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not serialisable: %v", err)
+	}
+	t.Logf("victim=%s acked=%d (victim-owned %d) lost=%d verified=%d transient=%d epoch %d->%d",
+		rep.Victim, rep.Acked, rep.AckedVictim, rep.LostWrites,
+		rep.ReplicaVerified, rep.TransientErrors, rep.EpochBefore, rep.EpochAfter)
+}

@@ -31,6 +31,11 @@ type Error struct {
 	// the Retry-After header (whole seconds, rounded up) for generic HTTP
 	// tooling; the envelope field keeps millisecond precision.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Redirect, set on CodeWrongShard, is the base URL of the shard that
+	// owns the request's policy: a fleet client re-issues there directly
+	// (and refreshes the signed discovery document, since a misroute
+	// means its shard map is stale).
+	Redirect string `json:"redirect,omitempty"`
 }
 
 // Error implements the error interface.
@@ -81,6 +86,25 @@ const (
 	CodeResourceExhausted = "resource_exhausted"
 	// CodeInternal reports an unclassified server-side failure.
 	CodeInternal = "internal"
+	// CodeWrongShard reports a policy-scoped request that reached a fleet
+	// shard which does not own the policy. The envelope's Redirect field
+	// carries the owner's endpoint; not retryable against the same shard.
+	CodeWrongShard = "wrong_shard"
+	// CodeReplTruncated reports a follower tail position older than the
+	// leader's retained entry window: the follower must re-bootstrap from
+	// /v2/repl/state instead of tailing.
+	CodeReplTruncated = "repl_truncated"
+	// CodeReplDenied reports a /v2/repl/* request from a client that is
+	// not a registered follower of this shard (the feed carries secret
+	// material, so it is fingerprint-gated like policy reads).
+	CodeReplDenied = "repl_denied"
+	// CodeReplUncertain reports a mutation that was applied locally but
+	// whose replication could not be confirmed before the shard's
+	// follower detached (a failover in progress). The write MUST NOT be
+	// treated as acknowledged: it may not survive the promotion. Clients
+	// retry — against the promoted shard once the refreshed discovery
+	// document names it.
+	CodeReplUncertain = "repl_uncertain"
 )
 
 // NewError builds an envelope.

@@ -1,0 +1,111 @@
+package wire
+
+import "encoding/json"
+
+// This file is the fleet half of the v2 wire contract (DESIGN.md §14):
+// the signed discovery document served at GET /v2/fleet, and the WAL
+// follower-replication DTOs behind /v2/repl/*. Like everything in this
+// package the encodings are pinned by golden files — a fleet is many
+// binaries at possibly different versions, so silent drift here is a
+// split-brain generator.
+
+// FleetShard describes one shard of the fleet in the discovery document.
+type FleetShard struct {
+	// Name is the shard's stable identity — the consistent-hash ring is
+	// built over names, so failover (same name, new endpoint) does not
+	// reshuffle policy ownership.
+	Name string `json:"name"`
+	// Endpoint is the shard's current base URL (https://host:port).
+	Endpoint string `json:"endpoint"`
+	// QuotingKeyFP is the hex SHA-256 fingerprint of the instance's
+	// identity public key, so clients can cross-check the instance they
+	// reach against the document that routed them there.
+	QuotingKeyFP string `json:"quoting_key_fp,omitempty"`
+	// Followers counts the live replication followers behind this shard
+	// (informational; the replication contract is in DESIGN.md §14).
+	Followers int `json:"followers,omitempty"`
+}
+
+// FleetDoc is the signed discovery document: the authoritative shard map
+// clients route by. Clients MUST verify Signature against the fleet's
+// document key (obtained out of band, like the IAS key) and MUST reject
+// a document whose Epoch is lower than one they already verified —
+// otherwise a network attacker replays an old map and steers traffic to
+// a decommissioned (or compromised) endpoint.
+type FleetDoc struct {
+	// Epoch increments on every topology change (shard added, endpoint
+	// moved, failover promotion). Strictly monotonic per fleet.
+	Epoch uint64 `json:"epoch"`
+	// Replication is the number of copies of each shard's data (1 primary
+	// + Replication-1 followers).
+	Replication int `json:"replication"`
+	// VNodes is the number of virtual nodes per shard on the hash ring;
+	// clients MUST build the ring with exactly this value or they will
+	// disagree with the servers about ownership.
+	VNodes int `json:"vnodes"`
+	// Shards is the shard map, sorted by name.
+	Shards []FleetShard `json:"shards"`
+	// Signature is an Ed25519 signature by the fleet's document key over
+	// SigningBytes (the canonical encoding with Signature empty).
+	Signature []byte `json:"signature,omitempty"`
+}
+
+// SigningBytes returns the canonical byte string the document signature
+// covers: the JSON encoding of the document with Signature empty. Struct
+// encoding order is fixed by the field order above, so both sides always
+// produce the same bytes for the same document.
+func (d *FleetDoc) SigningBytes() ([]byte, error) {
+	c := *d
+	c.Signature = nil
+	c.Shards = append([]FleetShard(nil), d.Shards...)
+	return json.Marshal(&c)
+}
+
+// ReplEntry is one committed WAL record in the follower feed: the
+// plaintext record fields plus the chain hashes. The leader's WAL stores
+// records sealed under its own database key, so replication ships the
+// plaintext over the authenticated follower channel and the follower
+// re-seals under its own key; the chain hashes still transfer intact
+// because the kvdb chain is computed over the canonical plaintext
+// encoding, not the ciphertext (DESIGN.md §14).
+type ReplEntry struct {
+	// Seq is the leader's commit sequence after applying this record.
+	Seq uint64 `json:"seq"`
+	// Op is "put", "del", or "ver".
+	Op string `json:"op"`
+	// Bucket/Key/Value carry the mutation (put/del).
+	Bucket string `json:"bucket,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Value  []byte `json:"value,omitempty"`
+	// Version carries the new version for "ver" records.
+	Version uint64 `json:"version,omitempty"`
+	// Prev is the chain hash preceding this record; Chain is the head
+	// after it. A follower verifies Prev against its own head and Chain
+	// against its recomputation before applying — a feed that skips,
+	// reorders, or fabricates records cannot produce matching hashes.
+	Prev  []byte `json:"prev"`
+	Chain []byte `json:"chain"`
+}
+
+// ReplState is the bootstrap payload (GET /v2/repl/state): the leader's
+// full applied state at Seq, from which a fresh follower starts tailing.
+type ReplState struct {
+	Data    map[string]map[string][]byte `json:"data"`
+	Version uint64                       `json:"version"`
+	Chain   []byte                       `json:"chain"`
+	Seq     uint64                       `json:"seq"`
+}
+
+// ReplTailResponse answers GET /v2/repl/tail?from=N: the committed
+// entries with Seq > N, capped by the max parameter, plus the leader's
+// current head so the follower can report its lag.
+type ReplTailResponse struct {
+	Entries []ReplEntry `json:"entries"`
+	// Seq is the leader's commit sequence at response time.
+	Seq uint64 `json:"seq"`
+}
+
+// MaxReplBatch bounds one tail response; a follower further behind just
+// tails again. Keeps a single response under the wire size cap even with
+// large policy payloads.
+const MaxReplBatch = 512

@@ -128,6 +128,41 @@ func goldenDTOs() map[string]any {
 			{Op: OpPushTag, Token: "tok-42", Tag: &tag},
 			{Op: OpNotifyExit, Token: "tok-42", Tag: &tag},
 		}},
+		"error_wrong_shard": &Error{
+			Code:     CodeWrongShard,
+			Message:  "core: policy golden is owned by shard-2",
+			Status:   421,
+			Redirect: "https://127.0.0.1:7002",
+		},
+		"fleet_doc": &FleetDoc{
+			Epoch:       3,
+			Replication: 2,
+			VNodes:      64,
+			Shards: []FleetShard{
+				{Name: "shard-1", Endpoint: "https://127.0.0.1:7001", QuotingKeyFP: "aabb", Followers: 1},
+				{Name: "shard-2", Endpoint: "https://127.0.0.1:7002", QuotingKeyFP: "ccdd", Followers: 1},
+			},
+			Signature: []byte{9, 9, 9},
+		},
+		"repl_entry": &ReplEntry{
+			Seq:    11,
+			Op:     "put",
+			Bucket: "policies",
+			Key:    "golden",
+			Value:  []byte{1, 2, 3},
+			Prev:   []byte{4, 4},
+			Chain:  []byte{5, 5},
+		},
+		"repl_state": &ReplState{
+			Data:    map[string]map[string][]byte{"policies": {"golden": {1, 2, 3}}},
+			Version: 4,
+			Chain:   []byte{5, 5},
+			Seq:     11,
+		},
+		"repl_tail_response": &ReplTailResponse{
+			Entries: []ReplEntry{{Seq: 12, Op: "ver", Version: 5, Prev: []byte{5, 5}, Chain: []byte{6, 6}}},
+			Seq:     12,
+		},
 		"batch_response": &BatchResponse{Results: []BatchResult{
 			{Secrets: map[string]string{"api_token": "s3cr3t"}},
 			{Policy: pol},
